@@ -1,0 +1,223 @@
+// Command spamsim regenerates the paper's figures and the future-work
+// ablations at full scale, printing aligned tables (or CSV) to stdout.
+//
+// Usage:
+//
+//	spamsim -experiment fig2 [-trials 50]
+//	spamsim -experiment fig3 [-messages 2000]
+//	spamsim -experiment compare [-trials 10]
+//	spamsim -experiment ablate-buffer|ablate-root|ablate-partition
+//	spamsim -experiment all
+//
+// Every experiment is deterministic for a given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		exp      = flag.String("experiment", "all", "fig2 | fig3 | compare | hotspot | throughput | prune | ibr | ablate-buffer | ablate-root | ablate-partition | ablate-header | all")
+		plot     = flag.Bool("plot", false, "also render figures as ASCII charts")
+		trials   = flag.Int("trials", 20, "samples per data point (fig2, compare, ablations)")
+		messages = flag.Int("messages", 1500, "messages per data point (fig3)")
+		seed     = flag.Uint64("seed", 1998, "base random seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		bufFlits = flag.Int("inputbuf", 1, "input buffer size in flits")
+		flits    = flag.Int("flits", 128, "message length in flits")
+		workers  = flag.Int("workers", 0, "parallel replications (0 = GOMAXPROCS)")
+		report   = flag.String("report", "", "also write a consolidated Markdown report to this file")
+	)
+	flag.Parse()
+
+	simCfg := sim.DefaultConfig()
+	simCfg.InputBufFlits = *bufFlits
+	simCfg.Params.MessageFlits = *flits
+
+	var sections []experiment.MarkdownSection
+	emit := func(t *experiment.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Format())
+		}
+		if *report != "" {
+			sections = append(sections, experiment.MarkdownSection{Title: t.Title, Table: t})
+		}
+	}
+
+	maybePlot := func(title string, series []experiment.Series) {
+		if *plot && !*csv {
+			fmt.Println(experiment.Plot(title, series))
+		}
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "fig2":
+			cfg := experiment.DefaultFig2(*trials)
+			cfg.Seed = *seed
+			cfg.Sim = simCfg
+			cfg.Workers = *workers
+			series, err := experiment.RunFig2(cfg)
+			if err != nil {
+				return err
+			}
+			emit(experiment.SeriesTable(
+				"Figure 2: latency vs number of destinations (single multicast, 128/256 nodes)",
+				"destinations", series))
+			maybePlot("Figure 2 (y: latency us, x: destinations)", series)
+		case "fig3":
+			cfg := experiment.DefaultFig3(*messages)
+			cfg.Seed = *seed
+			cfg.Sim = simCfg
+			cfg.Workers = *workers
+			series, err := experiment.RunFig3(cfg)
+			if err != nil {
+				return err
+			}
+			emit(experiment.SeriesTable(
+				"Figure 3: latency vs arrival rate (90% unicast / 10% multicast, 128 nodes)",
+				"rate(msg/us/proc)", series))
+			maybePlot("Figure 3 (y: latency us, x: arrival rate msg/us/proc)", series)
+		case "throughput":
+			cfg := experiment.DefaultFig3(*messages)
+			cfg.Seed = *seed
+			cfg.Sim = simCfg
+			cfg.Workers = *workers
+			series, err := experiment.RunThroughput(cfg)
+			if err != nil {
+				return err
+			}
+			emit(experiment.SeriesTable(
+				"Saturation: accepted vs offered throughput (msg/us/proc)",
+				"offered(msg/us/proc)", series))
+			maybePlot("Throughput (y: accepted msg/us/proc, x: offered)", series)
+		case "prune":
+			cfg := experiment.DefaultPruneComparison(*trials)
+			cfg.Seed = *seed
+			cfg.Sim = simCfg
+			cfg.Workers = *workers
+			series, err := experiment.RunPruneComparison(cfg)
+			if err != nil {
+				return err
+			}
+			emit(experiment.SeriesTable(
+				"SPAM vs pruning-based tree multicast (related work [9]) vs message length",
+				"flits", series))
+			maybePlot("SPAM vs pruning (y: latency us, x: message flits)", series)
+		case "ibr":
+			cfg := experiment.DefaultPruneComparison(*trials)
+			cfg.Seed = *seed
+			cfg.Sim = simCfg
+			cfg.Workers = *workers
+			series, err := experiment.RunIBRComparison(cfg)
+			if err != nil {
+				return err
+			}
+			emit(experiment.SeriesTable(
+				"SPAM vs input-buffer-based replication (related work [14,15]) vs message length",
+				"flits", series))
+			maybePlot("SPAM vs IBR (y: latency us, x: message flits)", series)
+		case "hotspot":
+			cfg := experiment.DefaultAblation(*trials)
+			cfg.Seed = *seed
+			cfg.Sim = simCfg
+			cfg.Workers = *workers
+			series, err := experiment.RunRootShare(cfg, nil)
+			if err != nil {
+				return err
+			}
+			all := []experiment.Series{series}
+			emit(experiment.SeriesTable(
+				"Root hot-spot: share of switch traffic entering the root vs destinations (Section 5)",
+				"destinations", all))
+			maybePlot("Root hot-spot (y: % of traffic, x: destinations)", all)
+		case "ablate-header":
+			cfg := experiment.DefaultAblation(*trials)
+			cfg.Seed = *seed
+			cfg.Sim = simCfg
+			cfg.Workers = *workers
+			series, err := experiment.RunHeaderAblation(cfg, nil)
+			if err != nil {
+				return err
+			}
+			emit(experiment.SeriesTable(
+				"Header-encoding cost: broadcast latency vs destination addresses per header flit (0 = ideal)",
+				"addrs/flit", []experiment.Series{series}))
+		case "compare":
+			cfg := experiment.DefaultComparison(*trials)
+			cfg.Seed = *seed
+			cfg.Sim = simCfg
+			cfg.Workers = *workers
+			rows, err := experiment.RunComparison(cfg)
+			if err != nil {
+				return err
+			}
+			emit(experiment.ComparisonTable(rows))
+		case "ablate-buffer":
+			cfg := experiment.DefaultAblation(*trials)
+			cfg.Seed = *seed
+			cfg.Sim = simCfg
+			cfg.Workers = *workers
+			series, err := experiment.RunBufferAblation(cfg, nil)
+			if err != nil {
+				return err
+			}
+			emit(experiment.SeriesTable(
+				"Ablation A: input buffer size (loaded multicast, Section 5 future work)",
+				"buffer(flits)", []experiment.Series{series}))
+		case "ablate-root":
+			cfg := experiment.DefaultAblation(*trials)
+			cfg.Seed = *seed
+			cfg.Sim = simCfg
+			cfg.Workers = *workers
+			rows, err := experiment.RunRootAblation(cfg)
+			if err != nil {
+				return err
+			}
+			emit(experiment.RootAblationTable(rows))
+		case "ablate-partition":
+			cfg := experiment.DefaultAblation(*trials)
+			cfg.Seed = *seed
+			cfg.Sim = simCfg
+			cfg.Workers = *workers
+			rows, err := experiment.RunPartitionAblation(cfg, 4)
+			if err != nil {
+				return err
+			}
+			emit(experiment.PartitionAblationTable(rows))
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"fig2", "fig3", "compare", "hotspot", "throughput", "prune", "ibr",
+			"ablate-buffer", "ablate-root", "ablate-partition", "ablate-header"}
+	}
+	for _, name := range names {
+		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "spamsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	if *report != "" {
+		md := experiment.MarkdownReport(
+			"SPAM reproduction report (Libeskind-Hadas, Mazzoni, Rajagopalan; IPPS/SPDP 1998)",
+			sections)
+		if err := os.WriteFile(*report, []byte(md), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "spamsim: writing report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "report written to %s\n", *report)
+	}
+}

@@ -1,0 +1,95 @@
+// Command topogen generates and inspects the random irregular topologies of
+// the paper's experimental setup: switches on an integer lattice, adjacent
+// points connected, 8 ports per switch, one processor per switch.
+//
+// Usage:
+//
+//	topogen -nodes 128 -seed 1 -format stats
+//	topogen -nodes 64 -seed 2 -format dot > net.dot
+//	topogen -nodes 32 -seed 3 -format updown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/topology"
+	"repro/internal/updown"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		nodes  = flag.Int("nodes", 128, "number of switches (one processor each)")
+		seed   = flag.Uint64("seed", 1, "generator seed")
+		procs  = flag.Int("procs", 1, "processors per switch")
+		format = flag.String("format", "stats", "stats | dot | svg | updown")
+		root   = flag.Int("root", -1, "spanning-tree root switch (-1 = min-id strategy)")
+	)
+	flag.Parse()
+
+	cfg := topology.DefaultLattice(*nodes, *seed)
+	cfg.ProcsPerSwitch = *procs
+	net, err := topology.RandomLattice(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	switch *format {
+	case "stats":
+		fmt.Println(topology.ComputeStats(net))
+	case "dot":
+		fmt.Print(net.SwitchGraph().DOT("spamnet", func(v int) string {
+			c := net.Coords[v]
+			return fmt.Sprintf("s%d (%d,%d)", v, c[0], c[1])
+		}))
+	case "svg":
+		lab, err := labelingFor(net, *root)
+		if err != nil {
+			fail(err)
+		}
+		svg, err := viz.NetworkSVG(net, lab)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(svg)
+	case "updown":
+		lab, err := labelingFor(net, *root)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("root=%d\n", lab.Root)
+		counts := map[updown.Class]int{}
+		for _, c := range lab.ClassOf {
+			counts[c]++
+		}
+		fmt.Printf("channels: up=%d down-tree=%d down-cross=%d\n",
+			counts[updown.Up], counts[updown.DownTree], counts[updown.DownCross])
+		depth := int32(0)
+		for _, l := range lab.Level {
+			if l > depth {
+				depth = l
+			}
+		}
+		fmt.Printf("tree depth=%d\n", depth)
+		for sw := 0; sw < net.NumSwitches; sw++ {
+			fmt.Printf("switch %d: level=%d parent=%d children=%d\n",
+				sw, lab.Level[sw], lab.Parent[sw], len(lab.ChildChans[sw]))
+		}
+	default:
+		fail(fmt.Errorf("unknown format %q", *format))
+	}
+}
+
+func labelingFor(net *topology.Network, root int) (*updown.Labeling, error) {
+	if root >= 0 {
+		return updown.NewWithRoot(net, topology.NodeID(root))
+	}
+	return updown.New(net, updown.RootMinID)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Barrier synchronization — the first motivating application in the paper's
+// introduction (citing Xu, McKinley and Ni). A barrier is implemented as a
+// gather phase (every participant unicasts "arrived" to a coordinator)
+// followed by a release phase, where the coordinator tells everyone the
+// barrier is open. The release is where multicast hardware pays off:
+//
+//   - software release: ⌈log₂(d+1)⌉ rounds of unicasts (binomial tree);
+//   - SPAM release: a single tree-based multicast worm.
+//
+// The example measures complete barrier episodes (gather + release) both
+// ways on a 128-node irregular network and prints the split.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	spamnet "repro"
+	"repro/internal/baseline"
+)
+
+func main() {
+	sys, err := spamnet.NewLattice(128, spamnet.WithSeed(2024))
+	if err != nil {
+		log.Fatal(err)
+	}
+	procs := sys.Processors()
+	coordinator := procs[0]
+	participants := procs[1:]
+
+	spamTotal, spamRelease := runBarrier(sys, coordinator, participants, true)
+	swTotal, swRelease := runBarrier(sys, coordinator, participants, false)
+
+	fmt.Printf("barrier over %d participants on a 128-node irregular network\n\n", len(participants))
+	fmt.Printf("%-22s %15s %15s\n", "release mechanism", "release (us)", "barrier (us)")
+	fmt.Printf("%-22s %15.2f %15.2f\n", "SPAM multicast", us(spamRelease), us(spamTotal))
+	fmt.Printf("%-22s %15.2f %15.2f\n", "unicast binomial tree", us(swRelease), us(swTotal))
+	fmt.Printf("\nrelease speedup with hardware multicast: %.1fx\n",
+		float64(swRelease)/float64(spamRelease))
+}
+
+func us(ns int64) float64 { return float64(ns) / 1000 }
+
+// runBarrier simulates one barrier episode and returns (total, releaseOnly)
+// latencies in nanoseconds.
+func runBarrier(sys *spamnet.System, coord spamnet.NodeID, parts []spamnet.NodeID, hw bool) (int64, int64) {
+	sess, err := sys.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := sess.Simulator()
+
+	// Gather: every participant unicasts to the coordinator at t=0. The
+	// consumption channel at the coordinator serializes them — exactly the
+	// hot-spot the paper warns about.
+	arrived := 0
+	var gatherDone int64
+	var releaseStart int64
+	var releaseEnd int64
+	for _, p := range parts {
+		w, err := s.Submit(0, p, []spamnet.NodeID{coord})
+		if err != nil {
+			log.Fatal(err)
+		}
+		w.OnComplete = func(_ *spamnet.Message, t int64) {
+			arrived++
+			if arrived != len(parts) {
+				return
+			}
+			gatherDone = t
+			releaseStart = t
+			// Release.
+			if hw {
+				rel, err := s.Submit(t, coord, parts)
+				if err != nil {
+					log.Fatal(err)
+				}
+				rel.OnComplete = func(_ *spamnet.Message, t2 int64) { releaseEnd = t2 }
+			} else {
+				run, err := baseline.Start(s, baseline.BinomialTree, t, coord, parts)
+				if err != nil {
+					log.Fatal(err)
+				}
+				run.OnComplete(func(r *baseline.Run) { releaseEnd = r.DoneNs })
+			}
+		}
+	}
+	if err := sess.Run(); err != nil {
+		log.Fatal(err)
+	}
+	if releaseEnd == 0 || gatherDone == 0 {
+		log.Fatal("barrier did not complete")
+	}
+	return releaseEnd, releaseEnd - releaseStart
+}

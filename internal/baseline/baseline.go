@@ -1,0 +1,191 @@
+// Package baseline implements the software (unicast-based) multicast schemes
+// SPAM is compared against in Section 4 of the paper.
+//
+// The paper invokes the lower bound of McKinley et al.: distributing a
+// message to d destinations with unicasts takes at least ⌈log₂(d+1)⌉
+// communication phases, each paying the full startup latency. We implement
+// the binomial-tree schedule that achieves the bound, plus two weaker
+// comparators (d separate worms from the source, and a sequential forwarding
+// chain), all running on the same flit-level simulator and the same SPAM
+// unicast transport — so the comparison is measured end to end rather than
+// assumed from the bound.
+package baseline
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Scheme selects the software multicast algorithm.
+type Scheme uint8
+
+const (
+	// BinomialTree is the unicast-based multicast of McKinley et al.:
+	// every informed node forwards to uninformed nodes in a binomial-tree
+	// schedule, reaching all d destinations in ⌈log₂(d+1)⌉ phases.
+	BinomialTree Scheme = iota
+	// SeparateWorms has the source send d back-to-back unicasts, each
+	// paying its own startup: d phases at the source.
+	SeparateWorms
+	// Chain forwards the message hop by hop through the destinations in
+	// sorted order: d sequential phases.
+	Chain
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case BinomialTree:
+		return "unicast-binomial"
+	case SeparateWorms:
+		return "separate-worms"
+	case Chain:
+		return "chain"
+	}
+	return fmt.Sprintf("Scheme(%d)", uint8(s))
+}
+
+// Run tracks one software multicast in flight.
+type Run struct {
+	Scheme   Scheme
+	Src      topology.NodeID
+	Dests    []topology.NodeID
+	SubmitNs int64
+	// DoneNs is when the last destination received its copy.
+	DoneNs int64
+	// Worms is the number of unicast worms used.
+	Worms int
+	// DeliveredNs records when each destination received its copy.
+	DeliveredNs map[topology.NodeID]int64
+	// Err records a submission failure inside a delivery hook.
+	Err error
+
+	remaining int
+	completed bool
+	onDone    func(*Run)
+}
+
+// Completed reports whether every destination has been reached.
+func (r *Run) Completed() bool { return r.completed }
+
+// Latency returns the end-to-end latency (meaningful once completed).
+func (r *Run) Latency() int64 { return r.DoneNs - r.SubmitNs }
+
+// Phases returns the phase count of the schedule: ⌈log₂(d+1)⌉ for the
+// binomial tree, d for the others.
+func (r *Run) Phases() int {
+	d := len(r.Dests)
+	switch r.Scheme {
+	case BinomialTree:
+		return bits.Len(uint(d)) // ceil(log2(d+1))
+	default:
+		return d
+	}
+}
+
+// OnComplete registers a callback fired when the run completes.
+func (r *Run) OnComplete(fn func(*Run)) { r.onDone = fn }
+
+// Start launches a software multicast of the given scheme at time `at`. The
+// message reaches every destination through unicast worms; forwarding sends
+// are submitted from delivery hooks, so phase boundaries emerge from the
+// simulated startup and injection serialization rather than being assumed.
+func Start(s *sim.Simulator, scheme Scheme, at int64, src topology.NodeID, dests []topology.NodeID) (*Run, error) {
+	if len(dests) == 0 {
+		return nil, fmt.Errorf("baseline: empty destination set")
+	}
+	sorted := append([]topology.NodeID(nil), dests...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("baseline: duplicate destination %d", sorted[i])
+		}
+	}
+	run := &Run{
+		Scheme:      scheme,
+		Src:         src,
+		Dests:       sorted,
+		SubmitNs:    at,
+		DeliveredNs: make(map[topology.NodeID]int64, len(sorted)),
+		remaining:   len(sorted),
+	}
+	switch scheme {
+	case BinomialTree:
+		list := append([]topology.NodeID{src}, sorted...)
+		run.informBinomial(s, list, 0, at)
+	case SeparateWorms:
+		for _, d := range sorted {
+			run.sendOne(s, at, src, d, nil)
+		}
+	case Chain:
+		run.sendChain(s, at, src, sorted)
+	default:
+		return nil, fmt.Errorf("baseline: unknown scheme %v", scheme)
+	}
+	return run, run.Err
+}
+
+// informBinomial submits node list[i]'s forwarding sends: to list[i+2^r]
+// for every power of two 2^r > i, in ascending order (the source processor
+// serializes them, reproducing the binomial rounds).
+func (r *Run) informBinomial(s *sim.Simulator, list []topology.NodeID, i int, t int64) {
+	step := 1
+	for step <= i {
+		step <<= 1
+	}
+	for ; i+step < len(list); step <<= 1 {
+		to := i + step
+		r.sendOne(s, t, list[i], list[to], func(doneAt int64) {
+			r.informBinomial(s, list, to, doneAt)
+		})
+	}
+}
+
+func (r *Run) sendChain(s *sim.Simulator, t int64, from topology.NodeID, rest []topology.NodeID) {
+	if len(rest) == 0 {
+		return
+	}
+	r.sendOne(s, t, from, rest[0], func(doneAt int64) {
+		r.sendChain(s, doneAt, rest[0], rest[1:])
+	})
+}
+
+// sendOne submits one unicast and wires delivery accounting plus an optional
+// continuation.
+func (r *Run) sendOne(s *sim.Simulator, at int64, from, to topology.NodeID, then func(doneAt int64)) {
+	if r.Err != nil {
+		return
+	}
+	w, err := s.Submit(at, from, []topology.NodeID{to})
+	if err != nil {
+		r.Err = fmt.Errorf("baseline: forwarding %d->%d: %w", from, to, err)
+		return
+	}
+	r.Worms++
+	w.OnComplete = func(_ *sim.Worm, doneAt int64) {
+		r.remaining--
+		r.DeliveredNs[to] = doneAt
+		if doneAt > r.DoneNs {
+			r.DoneNs = doneAt
+		}
+		if r.remaining == 0 {
+			r.completed = true
+			if r.onDone != nil {
+				r.onDone(r)
+			}
+		}
+		if then != nil {
+			then(doneAt)
+		}
+	}
+}
+
+// LowerBoundNs returns the paper's analytic lower bound for software
+// multicast to d destinations: ⌈log₂(d+1)⌉ sequential startups (latency of
+// everything else ignored, as in the paper's Section 4 discussion).
+func LowerBoundNs(startupNs int64, d int) int64 {
+	return startupNs * int64(bits.Len(uint(d)))
+}

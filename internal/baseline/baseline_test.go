@@ -1,0 +1,250 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/updown"
+)
+
+func rig(t *testing.T, nSwitches int, seed uint64) (*sim.Simulator, *topology.Network) {
+	t.Helper()
+	net, err := topology.RandomLattice(topology.DefaultLattice(nSwitches, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := updown.New(net, updown.RootMinID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(core.NewRouter(lab), sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, net
+}
+
+func procs(net *topology.Network, idx ...int) []topology.NodeID {
+	out := make([]topology.NodeID, len(idx))
+	for i, v := range idx {
+		out[i] = topology.NodeID(net.NumSwitches + v)
+	}
+	return out
+}
+
+func TestBinomialTreeReachesAll(t *testing.T) {
+	s, net := rig(t, 16, 1)
+	src := procs(net, 0)[0]
+	dests := procs(net, 1, 2, 3, 4, 5, 6, 7)
+	run, err := Start(s, BinomialTree, 0, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilIdle(1e13); err != nil {
+		t.Fatal(err)
+	}
+	if !run.Completed() {
+		t.Fatal("run incomplete")
+	}
+	if run.Worms != 7 {
+		t.Fatalf("worms=%d want 7 (one per destination)", run.Worms)
+	}
+	if run.Phases() != 3 { // ceil(log2(8)) = 3
+		t.Fatalf("phases=%d want 3", run.Phases())
+	}
+}
+
+func TestBinomialLatencyScalesWithPhases(t *testing.T) {
+	// Latency must be at least phases * startup — the sequential startups
+	// dominate, which is the paper's whole argument.
+	startup := core.PaperParams().StartupNs
+	measure := func(d int) int64 {
+		s, net := rig(t, 32, 2)
+		src := procs(net, 0)[0]
+		var idx []int
+		for i := 1; i <= d; i++ {
+			idx = append(idx, i)
+		}
+		run, err := Start(s, BinomialTree, 0, src, procs(net, idx...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RunUntilIdle(1e13); err != nil {
+			t.Fatal(err)
+		}
+		if !run.Completed() {
+			t.Fatal("incomplete")
+		}
+		return run.Latency()
+	}
+	lat7, lat31 := measure(7), measure(31)
+	if lat7 < 3*startup {
+		t.Fatalf("latency %d below 3 startups", lat7)
+	}
+	if lat31 < 5*startup {
+		t.Fatalf("latency %d below 5 startups", lat31)
+	}
+	if lat31 <= lat7 {
+		t.Fatalf("latency not growing with destinations: %d vs %d", lat31, lat7)
+	}
+}
+
+func TestSeparateWorms(t *testing.T) {
+	s, net := rig(t, 16, 3)
+	src := procs(net, 0)[0]
+	dests := procs(net, 1, 2, 3, 4)
+	run, err := Start(s, SeparateWorms, 0, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilIdle(1e13); err != nil {
+		t.Fatal(err)
+	}
+	if !run.Completed() || run.Worms != 4 {
+		t.Fatalf("completed=%v worms=%d", run.Completed(), run.Worms)
+	}
+	// Four sequential startups at the source.
+	if run.Latency() < 4*core.PaperParams().StartupNs {
+		t.Fatalf("latency %d below 4 startups", run.Latency())
+	}
+	if run.Phases() != 4 {
+		t.Fatalf("phases=%d", run.Phases())
+	}
+}
+
+func TestChain(t *testing.T) {
+	s, net := rig(t, 16, 4)
+	src := procs(net, 0)[0]
+	dests := procs(net, 1, 2, 3)
+	run, err := Start(s, Chain, 0, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilIdle(1e13); err != nil {
+		t.Fatal(err)
+	}
+	if !run.Completed() || run.Worms != 3 {
+		t.Fatalf("completed=%v worms=%d", run.Completed(), run.Worms)
+	}
+	if run.Latency() < 3*core.PaperParams().StartupNs {
+		t.Fatalf("chain latency %d below 3 startups", run.Latency())
+	}
+}
+
+func TestOnCompleteHook(t *testing.T) {
+	s, net := rig(t, 8, 5)
+	src := procs(net, 0)[0]
+	run, err := Start(s, BinomialTree, 0, src, procs(net, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	run.OnComplete(func(r *Run) {
+		if !r.Completed() {
+			t.Error("hook fired before completion")
+		}
+		fired = true
+	})
+	if err := s.RunUntilIdle(1e13); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("completion hook never fired")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s, net := rig(t, 8, 6)
+	src := procs(net, 0)[0]
+	if _, err := Start(s, BinomialTree, 0, src, nil); err == nil {
+		t.Fatal("empty dests accepted")
+	}
+	if _, err := Start(s, BinomialTree, 0, src, procs(net, 1, 1)); err == nil {
+		t.Fatal("duplicate dests accepted")
+	}
+	if _, err := Start(s, Scheme(99), 0, src, procs(net, 1)); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	cases := []struct {
+		d    int
+		want int64
+	}{
+		{1, 10000}, {2, 20000}, {3, 20000}, {7, 30000}, {255, 80000}, {127, 70000},
+	}
+	for _, c := range cases {
+		if got := LowerBoundNs(10000, c.d); got != c.want {
+			t.Errorf("LowerBoundNs(d=%d)=%d want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	if BinomialTree.String() != "unicast-binomial" ||
+		SeparateWorms.String() != "separate-worms" ||
+		Chain.String() != "chain" {
+		t.Fatal("scheme strings wrong")
+	}
+}
+
+func TestPaperComparisonShape(t *testing.T) {
+	// The headline in-text claim: in a 256-node network a SPAM broadcast
+	// is several times faster than the software lower bound of 90 µs.
+	// At test scale (64 nodes) the bound is 7 startups = 70 µs and SPAM
+	// should still come in under 20 µs.
+	if testing.Short() {
+		t.Skip("comparison shape test skipped in -short")
+	}
+	net, err := topology.RandomLattice(topology.DefaultLattice(64, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := updown.New(net, updown.RootMinID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRouter(lab)
+
+	// SPAM broadcast.
+	sSpam, err := sim.New(r, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := topology.NodeID(net.NumSwitches)
+	var dests []topology.NodeID
+	for i := 1; i < net.NumProcs; i++ {
+		dests = append(dests, topology.NodeID(net.NumSwitches+i))
+	}
+	w, err := sSpam.Submit(0, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sSpam.RunUntilIdle(1e13); err != nil {
+		t.Fatal(err)
+	}
+
+	// Software multicast on a fresh simulator over the same network.
+	sUB, err := sim.New(r, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := Start(sUB, BinomialTree, 0, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sUB.RunUntilIdle(1e13); err != nil {
+		t.Fatal(err)
+	}
+
+	if w.Latency() >= run.Latency() {
+		t.Fatalf("SPAM (%d ns) not faster than unicast-based (%d ns)", w.Latency(), run.Latency())
+	}
+	ratio := float64(run.Latency()) / float64(w.Latency())
+	if ratio < 3 {
+		t.Fatalf("speedup ratio %.1f implausibly low for 63-dest broadcast", ratio)
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/updown"
+)
+
+// Exact candidate-set tables on the Figure-1 network (root 0). Channel
+// classes there: tree edges 0-1, 0-2, 2-3, 3-4, 3-5 (down away from 0,
+// up toward 0); cross edge 1-2 (1->2 down-cross, 2->1 up). These tables
+// enumerate the full legal output set in priority order for hand-picked
+// router states; they pin rules 1-3 and the selection function exactly.
+func TestCandidateSetsExact(t *testing.T) {
+	r := fig1Router(t)
+	net := r.Net
+	ch := func(src, dst topology.NodeID) topology.ChannelID {
+		c := net.ChannelBetween(src, dst)
+		if c == topology.None {
+			t.Fatalf("no channel %d->%d", src, dst)
+		}
+		return c
+	}
+	cases := []struct {
+		name    string
+		at      topology.NodeID
+		arrival ArrivalClass
+		lca     topology.NodeID
+		want    []topology.ChannelID // in selection-priority order
+	}{
+		{
+			// Paper's example: header from proc 5 (our 6) at switch 1,
+			// LCA 3. Legal: up 1->0 (dist(0,3)=2), down-cross 1->2
+			// (endpoint 2 is ext-ancestor of 3; dist(2,3)=1). The cross
+			// channel wins on distance.
+			name: "switch1-injectionArrival-toLCA3",
+			at:   1, arrival: ArriveUp, lca: 3,
+			want: []topology.ChannelID{ch(1, 2), ch(1, 0)},
+		},
+		{
+			// At switch 2 after the cross hop: up channels now illegal;
+			// only the down-cross 2->3... wait: 2->3 is a TREE edge
+			// (parent(3)=2), so it is a down-tree channel with endpoint
+			// 3 = LCA, allowed by rule 3.
+			name: "switch2-crossArrival-toLCA3",
+			at:   2, arrival: ArriveDownCross, lca: 3,
+			want: []topology.ChannelID{ch(2, 3)},
+		},
+		{
+			// Same router, up arrival: rule 1 additionally allows BOTH
+			// up channels — 2->0 (tree up) and 2->1 (same-level cross,
+			// larger ID to smaller, hence classified up). Both have
+			// dist(endpoint, 3) = 2; the channel-ID tiebreak puts 2->0
+			// (created for edge {0,2}) first. The tree channel to the
+			// LCA still wins overall on distance 0.
+			name: "switch2-upArrival-toLCA3",
+			at:   2, arrival: ArriveUp, lca: 3,
+			want: []topology.ChannelID{ch(2, 3), ch(2, 0), ch(2, 1)},
+		},
+		{
+			// Routing toward LCA 0 (the root) from switch 3: only up
+			// channels make progress; both 3->2 (dist 1) and... 3's
+			// switch neighbors are 2 (up), 4, 5 (down tree). Down-tree
+			// endpoints 4, 5 are not ancestors of 0, so exactly one
+			// candidate.
+			name: "switch3-upArrival-toRoot",
+			at:   3, arrival: ArriveUp, lca: 0,
+			want: []topology.ChannelID{ch(3, 2)},
+		},
+		{
+			// Tree-arrival restriction: at switch 3 heading to LCA 4
+			// (our switch 4 = paper node 6) after a down-tree hop, only
+			// the down-tree channel 3->4 is legal.
+			name: "switch3-treeArrival-toLCA4",
+			at:   3, arrival: ArriveDownTree, lca: 4,
+			want: []topology.ChannelID{ch(3, 4)},
+		},
+		{
+			// At the root toward LCA 3: down-tree 0->2 (endpoint 2 is
+			// an ancestor of 3, dist 1) and up?? The root has no up
+			// channels (both its tree channels point down, and 0's
+			// channels to 1 and 2 are down-tree). Down-tree 0->1 is
+			// illegal (1 not an ancestor of 3).
+			name: "root-upArrival-toLCA3",
+			at:   0, arrival: ArriveUp, lca: 3,
+			want: []topology.ChannelID{ch(0, 2)},
+		},
+	}
+	for _, c := range cases {
+		got := r.CandidateOutputs(c.at, c.arrival, c.lca)
+		if len(got) != len(c.want) {
+			t.Errorf("%s: %d candidates want %d (%v)", c.name, len(got), len(c.want), got)
+			continue
+		}
+		for i := range got {
+			if got[i].Channel != c.want[i] {
+				t.Errorf("%s: candidate %d = channel %d want %d", c.name, i, got[i].Channel, c.want[i])
+			}
+		}
+	}
+}
+
+// TestCandidateDistancesExact pins the selection keys themselves.
+func TestCandidateDistancesExact(t *testing.T) {
+	r := fig1Router(t)
+	got := r.CandidateOutputs(1, ArriveUp, 3)
+	if len(got) != 2 {
+		t.Fatalf("%v", got)
+	}
+	if got[0].DistToLCA != 1 || got[1].DistToLCA != 2 {
+		t.Fatalf("distances %d, %d want 1, 2", got[0].DistToLCA, got[1].DistToLCA)
+	}
+}
+
+// TestNoCandidatesAtLCA documents the contract: the caller must switch to
+// distribution at the LCA instead of asking for unicast candidates; the
+// routing function still answers (with channels leaving the LCA's subtree
+// legality) but the simulator never asks.
+func TestArrivalClassesAtFig1AreConsistent(t *testing.T) {
+	r := fig1Router(t)
+	lab := r.Lab
+	// Channel 2->1 must be Up (same level, larger ID to smaller).
+	c21 := r.Net.ChannelBetween(2, 1)
+	if lab.ClassOf[c21] != updown.Up {
+		t.Fatalf("2->1 class %v", lab.ClassOf[c21])
+	}
+	// Channel 1->2 must be DownCross.
+	c12 := r.Net.ChannelBetween(1, 2)
+	if lab.ClassOf[c12] != updown.DownCross {
+		t.Fatalf("1->2 class %v", lab.ClassOf[c12])
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/updown"
+)
+
+// FuzzRoutingInvariants fuzzes the routing layer end to end: arbitrary
+// topology seeds, sizes, roots, sources and destination masks must always
+// yield a legal, terminating phase-1 route and a distribution tree covering
+// exactly the destinations. Run with `go test -fuzz=FuzzRoutingInvariants
+// ./internal/core` to explore; the seed corpus runs as part of `go test`.
+func FuzzRoutingInvariants(f *testing.F) {
+	f.Add(uint64(1), uint8(16), uint8(0), uint16(0), uint64(0b1011))
+	f.Add(uint64(42), uint8(40), uint8(1), uint16(7), uint64(0xffff))
+	f.Add(uint64(7), uint8(3), uint8(2), uint16(999), uint64(1))
+	f.Add(uint64(0), uint8(0), uint8(255), uint16(65535), uint64(^uint64(0)))
+
+	f.Fuzz(func(t *testing.T, seed uint64, sizeSel, rootSel uint8, srcSel uint16, destBits uint64) {
+		n := 2 + int(sizeSel%64)
+		net, err := topology.RandomLattice(topology.DefaultLattice(n, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lab, err := updown.New(net, updown.RootStrategy(rootSel%3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lab.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		r := NewRouter(lab)
+
+		src := topology.NodeID(net.NumSwitches + int(srcSel)%net.NumProcs)
+		var dests []topology.NodeID
+		for i := 0; i < net.NumProcs && i < 64; i++ {
+			if destBits&(1<<uint(i)) != 0 {
+				if d := topology.NodeID(net.NumSwitches + i); d != src {
+					dests = append(dests, d)
+				}
+			}
+		}
+		if len(dests) == 0 {
+			return
+		}
+		lca := r.LCASwitch(dests)
+		path, err := r.Phase1Path(src, lca)
+		if err != nil {
+			t.Fatalf("no phase-1 path: %v", err)
+		}
+		if err := r.CheckLegalUnicastPath(src, lca, path); err != nil {
+			t.Fatalf("illegal path: %v", err)
+		}
+		ds, err := r.DestSet(dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reached := map[topology.NodeID]bool{}
+		var walk func(sw topology.NodeID)
+		walk = func(sw topology.NodeID) {
+			for _, c := range r.DistributionOutputs(sw, ds) {
+				dst := net.Chan(c).Dst
+				if net.IsProcessor(dst) {
+					if reached[dst] {
+						t.Fatalf("destination %d reached twice", dst)
+					}
+					reached[dst] = true
+				} else {
+					walk(dst)
+				}
+			}
+		}
+		walk(lca)
+		if len(reached) != len(dests) {
+			t.Fatalf("distribution reached %d of %d destinations", len(reached), len(dests))
+		}
+	})
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/updown"
+)
+
+func randomRouters(t *testing.T, count int) []*Router {
+	t.Helper()
+	var out []*Router
+	for seed := uint64(0); int(seed) < count; seed++ {
+		n := 6 + int(seed*11)%60
+		net, err := topology.RandomLattice(topology.DefaultLattice(n, seed*31+7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lab, err := updown.New(net, updown.RootStrategy(seed%3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, NewRouter(lab))
+	}
+	return out
+}
+
+// Property: on random irregular topologies, a greedy phase-1 path exists from
+// every processor to every LCA switch, terminates, and is legal.
+func TestPhase1AlwaysRoutable(t *testing.T) {
+	r := rng.New(101)
+	for _, router := range randomRouters(t, 12) {
+		net := router.Net
+		for trial := 0; trial < 40; trial++ {
+			src := topology.NodeID(net.NumSwitches + r.Intn(net.NumProcs))
+			lca := topology.NodeID(r.Intn(net.NumSwitches))
+			path, err := router.Phase1Path(src, lca)
+			if err != nil {
+				t.Fatalf("n=%d src=%d lca=%d: %v", net.NumSwitches, src, lca, err)
+			}
+			if err := router.CheckLegalUnicastPath(src, lca, path); err != nil {
+				t.Fatalf("n=%d src=%d lca=%d: illegal path: %v", net.NumSwitches, src, lca, err)
+			}
+		}
+	}
+}
+
+// Property: CandidateOutputs is never empty when the header has not reached
+// the LCA, for any arrival class consistent with a reachable state. States
+// consistent with down-cross arrival require the current switch to be an
+// extended ancestor of the LCA; with down-tree arrival, an ancestor.
+func TestRoutingFunctionTotal(t *testing.T) {
+	r := rng.New(202)
+	for _, router := range randomRouters(t, 8) {
+		net := router.Net
+		for trial := 0; trial < 60; trial++ {
+			at := topology.NodeID(r.Intn(net.NumSwitches))
+			lca := topology.NodeID(r.Intn(net.NumSwitches))
+			if at == lca {
+				continue
+			}
+			// Up/injection arrivals are always reachable states.
+			if got := router.CandidateOutputs(at, ArriveUp, lca); len(got) == 0 {
+				t.Fatalf("no outputs at %d (up arrival) toward %d", at, lca)
+			}
+			if router.Lab.IsExtendedAncestor(at, lca) {
+				if got := router.CandidateOutputs(at, ArriveDownCross, lca); len(got) == 0 {
+					t.Fatalf("no outputs at ext-ancestor %d (cross arrival) toward %d", at, lca)
+				}
+			}
+			if router.Lab.IsAncestor(at, lca) {
+				if got := router.CandidateOutputs(at, ArriveDownTree, lca); len(got) == 0 {
+					t.Fatalf("no outputs at ancestor %d (tree arrival) toward %d", at, lca)
+				}
+			}
+		}
+	}
+}
+
+// Property: every candidate channel preserves reachability — after taking
+// it, the routing function still offers a path to the LCA (checked by
+// greedily extending to termination with a step budget).
+func TestCandidatesPreserveReachability(t *testing.T) {
+	r := rng.New(303)
+	for _, router := range randomRouters(t, 6) {
+		net := router.Net
+		for trial := 0; trial < 25; trial++ {
+			at := topology.NodeID(r.Intn(net.NumSwitches))
+			lca := topology.NodeID(r.Intn(net.NumSwitches))
+			if at == lca {
+				continue
+			}
+			for _, cand := range router.CandidateOutputs(at, ArriveUp, lca) {
+				pos := net.Chan(cand.Channel).Dst
+				arrival := ArrivalOf(router.Lab.ClassOf[cand.Channel])
+				steps := 0
+				for pos != lca {
+					cands := router.CandidateOutputs(pos, arrival, lca)
+					if len(cands) == 0 {
+						t.Fatalf("dead end at %d after taking %d toward %d", pos, cand.Channel, lca)
+					}
+					pos = net.Chan(cands[0].Channel).Dst
+					arrival = ArrivalOf(router.Lab.ClassOf[cands[0].Channel])
+					if steps++; steps > 4*net.N() {
+						t.Fatalf("no termination from %d toward %d", at, lca)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: the distribution subtree reaches every destination exactly once
+// and never visits a subtree without destinations.
+func TestDistributionCoversExactlyDests(t *testing.T) {
+	r := rng.New(404)
+	for _, router := range randomRouters(t, 8) {
+		net := router.Net
+		for trial := 0; trial < 30; trial++ {
+			k := 1 + r.Intn(net.NumProcs)
+			var dests []topology.NodeID
+			for _, i := range r.Choose(net.NumProcs, k) {
+				dests = append(dests, topology.NodeID(net.NumSwitches+i))
+			}
+			ds, err := router.DestSet(dests)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lca := router.LCASwitch(dests)
+			reached := map[topology.NodeID]int{}
+			var walk func(sw topology.NodeID)
+			walk = func(sw topology.NodeID) {
+				for _, c := range router.DistributionOutputs(sw, ds) {
+					dst := net.Chan(c).Dst
+					if net.IsProcessor(dst) {
+						reached[dst]++
+						continue
+					}
+					walk(dst)
+				}
+			}
+			walk(lca)
+			if len(reached) != len(dests) {
+				t.Fatalf("reached %d of %d dests", len(reached), len(dests))
+			}
+			for _, d := range dests {
+				if reached[d] != 1 {
+					t.Fatalf("dest %d reached %d times", d, reached[d])
+				}
+			}
+		}
+	}
+}
+
+// Property: zero-load latency is deterministic and sits inside provable
+// bounds: at least startup + 2 hops + pipeline, at most startup + pipeline +
+// the termination guard's worst-case path cost.
+func TestZeroLoadLatencyBounds(t *testing.T) {
+	r := rng.New(505)
+	p := PaperParams()
+	for _, router := range randomRouters(t, 6) {
+		net := router.Net
+		for trial := 0; trial < 20; trial++ {
+			k := 1 + r.Intn(net.NumProcs)
+			var dests []topology.NodeID
+			for _, i := range r.Choose(net.NumProcs, k) {
+				dests = append(dests, topology.NodeID(net.NumSwitches+i))
+			}
+			src := topology.NodeID(net.NumSwitches + r.Intn(net.NumProcs))
+			lat, err := router.ZeroLoadLatency(p, src, dests)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := router.ZeroLoadLatency(p, src, dests)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lat != again {
+				t.Fatalf("latency not deterministic: %d vs %d", lat, again)
+			}
+			pipeline := int64(p.MessageFlits-1) * p.ChanPropNs
+			lo := p.StartupNs + pipeline + 2*p.ChanPropNs + p.RouterSetupNs
+			hi := p.StartupNs + pipeline + int64(5*net.N())*(p.RouterSetupNs+p.ChanPropNs)
+			if lat < lo || lat > hi {
+				t.Fatalf("latency %d outside [%d, %d]", lat, lo, hi)
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/updown"
+)
+
+// quickRouter builds a router from arbitrary generator inputs, clamping
+// them into valid ranges so every generated case is meaningful.
+func quickRouter(t *testing.T, seed uint64, sizeSel uint8, rootSel uint8) *Router {
+	t.Helper()
+	n := 4 + int(sizeSel%48)
+	net, err := topology.RandomLattice(topology.DefaultLattice(n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := updown.New(net, updown.RootStrategy(rootSel%3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRouter(lab)
+}
+
+// Property (quick): for arbitrary topology seeds, sources and destination
+// subsets, the greedy SPAM route to the LCA is legal and the distribution
+// tree covers exactly the destinations.
+func TestQuickRoutingTotalAndLegal(t *testing.T) {
+	f := func(seed uint64, sizeSel, rootSel uint8, srcSel uint16, destBits uint64) bool {
+		r := quickRouter(t, seed, sizeSel, rootSel)
+		net := r.Net
+		src := topology.NodeID(net.NumSwitches + int(srcSel)%net.NumProcs)
+		var dests []topology.NodeID
+		for i := 0; i < net.NumProcs && i < 64; i++ {
+			if destBits&(1<<uint(i)) != 0 {
+				d := topology.NodeID(net.NumSwitches + i)
+				if d != src {
+					dests = append(dests, d)
+				}
+			}
+		}
+		if len(dests) == 0 {
+			dests = []topology.NodeID{topology.NodeID(net.NumSwitches + (int(srcSel)+1)%net.NumProcs)}
+			if dests[0] == src {
+				return true // degenerate single-proc case
+			}
+		}
+		lca := r.LCASwitch(dests)
+		path, err := r.Phase1Path(src, lca)
+		if err != nil {
+			return false
+		}
+		if err := r.CheckLegalUnicastPath(src, lca, path); err != nil {
+			return false
+		}
+		ds, err := r.DestSet(dests)
+		if err != nil {
+			return false
+		}
+		// Walk the distribution tree and count leaf deliveries.
+		reached := 0
+		var walk func(sw topology.NodeID)
+		walk = func(sw topology.NodeID) {
+			for _, c := range r.DistributionOutputs(sw, ds) {
+				dst := net.Chan(c).Dst
+				if net.IsProcessor(dst) {
+					reached++
+				} else {
+					walk(dst)
+				}
+			}
+		}
+		walk(lca)
+		return reached == len(dests)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (quick): the selection function's first candidate never
+// increases the distance to the LCA unless no decreasing channel is legal,
+// and the greedy walk's distance sequence is eventually strictly
+// decreasing (termination witness).
+func TestQuickGreedyDistanceProgress(t *testing.T) {
+	f := func(seed uint64, sizeSel, rootSel uint8, a, b uint16) bool {
+		r := quickRouter(t, seed, sizeSel, rootSel)
+		net := r.Net
+		src := topology.NodeID(net.NumSwitches + int(a)%net.NumProcs)
+		lca := topology.NodeID(int(b) % net.NumSwitches)
+		path, err := r.Phase1Path(src, lca)
+		if err != nil {
+			return false
+		}
+		// The final hop must land exactly on the LCA and the path length
+		// must be bounded by the termination guard.
+		if net.Chan(path[len(path)-1]).Dst != lca {
+			return false
+		}
+		return len(path) <= 4*net.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (quick): ZeroLoadLatency equals the latency reconstructed from
+// MulticastPaths by hand.
+func TestQuickZeroLoadLatencyConsistent(t *testing.T) {
+	p := PaperParams()
+	f := func(seed uint64, sizeSel, rootSel uint8, srcSel uint16, k uint8) bool {
+		r := quickRouter(t, seed, sizeSel, rootSel)
+		net := r.Net
+		rand := rng.New(seed ^ 0xabcd)
+		src := topology.NodeID(net.NumSwitches + int(srcSel)%net.NumProcs)
+		kk := 1 + int(k)%net.NumProcs
+		if kk > net.NumProcs-1 {
+			kk = net.NumProcs - 1
+		}
+		if kk == 0 {
+			return true
+		}
+		var dests []topology.NodeID
+		srcIdx := int(src) - net.NumSwitches
+		for _, v := range rand.Choose(net.NumProcs-1, kk) {
+			if v >= srcIdx {
+				v++
+			}
+			dests = append(dests, topology.NodeID(net.NumSwitches+v))
+		}
+		lat, err := r.ZeroLoadLatency(p, src, dests)
+		if err != nil {
+			return false
+		}
+		paths, err := r.MulticastPaths(src, dests)
+		if err != nil {
+			return false
+		}
+		var worst int64
+		for _, path := range paths {
+			h := int64(len(path))
+			if v := p.RouterSetupNs*(h-1) + p.ChanPropNs*h; v > worst {
+				worst = v
+			}
+		}
+		return lat == p.StartupNs+worst+int64(p.MessageFlits-1)*p.ChanPropNs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

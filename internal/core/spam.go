@@ -1,0 +1,246 @@
+// Package core implements the paper's primary contribution: the SPAM
+// (Single Phase Adaptive Multicast) routing algorithm.
+//
+// SPAM routes a worm in two phases:
+//
+//  1. To the LCA. The header travels from the source processor to the least
+//     common ancestor (LCA) of the destination set in the up*/down* spanning
+//     tree, using one or more up channels, then zero or more down-cross
+//     channels, then zero or more down-tree channels — strictly in that
+//     order. A down-cross channel is permitted only if its endpoint is an
+//     *extended ancestor* of the LCA; a down-tree channel only if its
+//     endpoint is an *ancestor* of the LCA.
+//
+//  2. Distribution. From the LCA, routing is restricted to down-tree
+//     channels. The worm splits into a multi-head worm along the Steiner
+//     subtree spanning the destinations; at each switch, the set of
+//     required output channels is the set of child tree channels whose
+//     subtree contains at least one destination, plus the consumption
+//     channel when a local processor is a destination.
+//
+// Unicast is the special case |D| = 1: the LCA of a single processor is the
+// processor itself, so phase 1 routes to its switch and phase 2 degenerates
+// to the consumption channel.
+//
+// The routing function is partially adaptive in phase 1; the paper's
+// selection function prioritizes candidate channels by the hop distance from
+// the channel's endpoint to the LCA, which CandidateOutputs implements.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/topology"
+	"repro/internal/updown"
+)
+
+// ArrivalClass describes how a header arrived at a router, which determines
+// the set of legal outgoing channels (the worm's routing phase is fully
+// captured by the class of the arrival channel).
+type ArrivalClass uint8
+
+const (
+	// ArriveInjection marks a header leaving its source processor (the
+	// first channel of every route is an up channel, so injection behaves
+	// like an up arrival).
+	ArriveInjection ArrivalClass = iota
+	// ArriveUp marks arrival on an up channel.
+	ArriveUp
+	// ArriveDownCross marks arrival on a down-cross channel.
+	ArriveDownCross
+	// ArriveDownTree marks arrival on a down-tree channel.
+	ArriveDownTree
+)
+
+func (a ArrivalClass) String() string {
+	switch a {
+	case ArriveInjection:
+		return "injection"
+	case ArriveUp:
+		return "up"
+	case ArriveDownCross:
+		return "down-cross"
+	case ArriveDownTree:
+		return "down-tree"
+	}
+	return fmt.Sprintf("ArrivalClass(%d)", uint8(a))
+}
+
+// ArrivalOf maps a channel's up*/down* class to the corresponding arrival
+// class.
+func ArrivalOf(c updown.Class) ArrivalClass {
+	switch c {
+	case updown.Up:
+		return ArriveUp
+	case updown.DownCross:
+		return ArriveDownCross
+	default:
+		return ArriveDownTree
+	}
+}
+
+// Router evaluates the SPAM routing and selection functions for one labeled
+// network. It is immutable after construction and safe for concurrent use.
+type Router struct {
+	Net *topology.Network
+	Lab *updown.Labeling
+}
+
+// NewRouter builds a SPAM router over a labeling.
+func NewRouter(lab *updown.Labeling) *Router {
+	return &Router{Net: lab.Net, Lab: lab}
+}
+
+// Candidate is one legal output channel for a header in phase 1, with the
+// selection key the paper describes (distance from the channel endpoint to
+// the LCA).
+type Candidate struct {
+	Channel topology.ChannelID
+	// DistToLCA is the switch-graph hop distance from the channel's
+	// endpoint to the LCA switch.
+	DistToLCA int32
+}
+
+// CandidateOutputs returns the legal output channels at switch `at` for a
+// header that arrived with the given arrival class and is being routed to
+// lcaSwitch (phase 1). Candidates are ordered by the paper's selection
+// priority: ascending distance from the channel endpoint to the LCA, with
+// channel ID as the deterministic tiebreak. The list is never empty while
+// at != lcaSwitch (reachability is guaranteed by the up*/down* structure);
+// at == lcaSwitch is the caller's signal to switch to distribution.
+func (r *Router) CandidateOutputs(at topology.NodeID, arrival ArrivalClass, lcaSwitch topology.NodeID) []Candidate {
+	if !r.Net.IsSwitch(at) {
+		panic(fmt.Sprintf("core: CandidateOutputs at non-switch %d", at))
+	}
+	var out []Candidate
+	for _, c := range r.Net.Out(at) {
+		ch := r.Net.Chan(c)
+		if r.Net.IsProcessor(ch.Dst) {
+			// Consumption channels are used only in distribution.
+			continue
+		}
+		switch r.Lab.ClassOf[c] {
+		case updown.Up:
+			// Rule 1: legal only when the header is still in the up
+			// sub-network (arrived on an up channel or injection).
+			if arrival != ArriveUp && arrival != ArriveInjection {
+				continue
+			}
+		case updown.DownCross:
+			// Rule 2: legal from up or down-cross arrivals when the
+			// endpoint is an extended ancestor of the destination.
+			if arrival == ArriveDownTree {
+				continue
+			}
+			if !r.Lab.IsExtendedAncestor(ch.Dst, lcaSwitch) {
+				continue
+			}
+		case updown.DownTree:
+			// Rule 3: legal in all cases when the endpoint is an
+			// ancestor of the destination.
+			if !r.Lab.IsAncestor(ch.Dst, lcaSwitch) {
+				continue
+			}
+		}
+		out = append(out, Candidate{Channel: c, DistToLCA: r.Lab.SwitchDist[ch.Dst][lcaSwitch]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DistToLCA != out[j].DistToLCA {
+			return out[i].DistToLCA < out[j].DistToLCA
+		}
+		return out[i].Channel < out[j].Channel
+	})
+	return out
+}
+
+// DistributionOutputs returns the set of down-tree output channels required
+// at switch `at` during the distribution phase for the given destination set
+// (a bitset over node IDs): every child tree channel whose subtree contains
+// a destination, including consumption channels to locally attached
+// destination processors. The result is sorted by channel ID; the request
+// for this set must be enqueued atomically by the router model.
+func (r *Router) DistributionOutputs(at topology.NodeID, dests *bitset.Set) []topology.ChannelID {
+	if !r.Net.IsSwitch(at) {
+		panic(fmt.Sprintf("core: DistributionOutputs at non-switch %d", at))
+	}
+	var out []topology.ChannelID
+	for _, c := range r.Lab.ChildChans[at] {
+		child := r.Net.Chan(c).Dst
+		if r.Net.IsProcessor(child) {
+			if dests.Test(int(child)) {
+				out = append(out, c)
+			}
+			continue
+		}
+		if r.subtreeContains(child, dests) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// subtreeContains reports whether any destination lies in the tree subtree
+// rooted at switch `root` (i.e. root is an ancestor of some destination).
+func (r *Router) subtreeContains(root topology.NodeID, dests *bitset.Set) bool {
+	found := false
+	dests.ForEach(func(d int) bool {
+		if r.Lab.IsAncestor(root, topology.NodeID(d)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// LCASwitch returns the switch at which distribution begins for the given
+// destination processors.
+func (r *Router) LCASwitch(dests []topology.NodeID) topology.NodeID {
+	return r.Lab.LCASwitch(dests)
+}
+
+// DestSet builds the bitset form of a destination list, validating that all
+// destinations are distinct processors.
+func (r *Router) DestSet(dests []topology.NodeID) (*bitset.Set, error) {
+	if len(dests) == 0 {
+		return nil, fmt.Errorf("core: empty destination set")
+	}
+	s := bitset.New(r.Net.N())
+	for _, d := range dests {
+		if !r.Net.IsProcessor(d) {
+			return nil, fmt.Errorf("core: destination %d is not a processor", d)
+		}
+		if s.Test(int(d)) {
+			return nil, fmt.Errorf("core: duplicate destination %d", d)
+		}
+		s.Set(int(d))
+	}
+	return s, nil
+}
+
+// TreeReach counts the channels of the distribution subtree for a
+// destination set rooted at the LCA: the exact number of down-tree channels
+// a SPAM worm will traverse in phase 2. Used by analytics and tests.
+func (r *Router) TreeReach(dests []topology.NodeID) (int, error) {
+	ds, err := r.DestSet(dests)
+	if err != nil {
+		return 0, err
+	}
+	lca := r.LCASwitch(dests)
+	count := 0
+	var walk func(sw topology.NodeID)
+	walk = func(sw topology.NodeID) {
+		for _, c := range r.DistributionOutputs(sw, ds) {
+			count++
+			dst := r.Net.Chan(c).Dst
+			if r.Net.IsSwitch(dst) {
+				walk(dst)
+			}
+		}
+	}
+	walk(lca)
+	return count, nil
+}

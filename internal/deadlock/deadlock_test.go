@@ -1,0 +1,169 @@
+package deadlock
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/updown"
+)
+
+func TestFigure1Static(t *testing.T) {
+	net, err := topology.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := updown.NewWithRoot(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyStatic(lab); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomLatticesStatic(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		n := 8 + int(seed)*9
+		net, err := topology.RandomLattice(topology.DefaultLattice(n, seed+100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, strat := range []updown.RootStrategy{updown.RootMinID, updown.RootMaxDegree, updown.RootCenter} {
+			lab, err := updown.New(net, strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyStatic(lab); err != nil {
+				t.Fatalf("n=%d seed=%d strat=%v: %v", n, seed, strat, err)
+			}
+		}
+	}
+}
+
+func TestRegularTopologiesStatic(t *testing.T) {
+	mesh, err := topology.Mesh(5, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torus, err := topology.Torus(4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := topology.Hypercube(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, net := range []*topology.Network{mesh, torus, cube} {
+		lab, err := updown.New(net, updown.RootCenter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyStatic(lab); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestChannelOrderCertificate(t *testing.T) {
+	net, err := topology.RandomLattice(topology.DefaultLattice(48, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := updown.New(net, updown.RootMinID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := BuildCDG(core.NewRouter(lab))
+	order, err := ChannelOrder(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(net.Channels) {
+		t.Fatalf("order covers %d of %d channels", len(order), len(net.Channels))
+	}
+	// Certificate: every dependency strictly increases the rank.
+	for a, outs := range adj {
+		for _, b := range outs {
+			if order[topology.ChannelID(a)] >= order[b] {
+				t.Fatalf("dependency %d->%d does not increase rank", a, b)
+			}
+		}
+	}
+}
+
+func TestFindCycleDetectsPlantedCycle(t *testing.T) {
+	// Hand-built dependency graph with a 3-cycle 1 -> 2 -> 3 -> 1.
+	adj := [][]topology.ChannelID{
+		0: {1},
+		1: {2},
+		2: {3},
+		3: {1},
+		4: {},
+	}
+	cyc := FindCycle(adj)
+	if cyc == nil {
+		t.Fatal("planted cycle not found")
+	}
+	if len(cyc) != 3 {
+		t.Fatalf("cycle %v want length 3", cyc)
+	}
+	inCycle := map[topology.ChannelID]bool{1: true, 2: true, 3: true}
+	for _, c := range cyc {
+		if !inCycle[c] {
+			t.Fatalf("cycle %v contains stray channel %d", cyc, c)
+		}
+	}
+	if _, err := ChannelOrder(adj); err == nil {
+		t.Fatal("topological sort of cyclic graph succeeded")
+	}
+}
+
+func TestFindCycleAcyclic(t *testing.T) {
+	adj := [][]topology.ChannelID{
+		0: {1, 2},
+		1: {3},
+		2: {3},
+		3: {},
+	}
+	if cyc := FindCycle(adj); cyc != nil {
+		t.Fatalf("phantom cycle %v", cyc)
+	}
+	order, err := ChannelOrder(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 {
+		t.Fatalf("order %v", order)
+	}
+}
+
+// The CDG must reflect the ordering rules: no down-channel ever depends on
+// an up channel.
+func TestCDGRespectsPhaseOrdering(t *testing.T) {
+	net, err := topology.RandomLattice(topology.DefaultLattice(32, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := updown.New(net, updown.RootMinID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := BuildCDG(core.NewRouter(lab))
+	for a, outs := range adj {
+		ca := lab.ClassOf[a]
+		for _, b := range outs {
+			cb := lab.ClassOf[b]
+			switch ca {
+			case updown.DownCross:
+				if cb == updown.Up {
+					t.Fatalf("cross channel %d depends on up channel %d", a, b)
+				}
+			case updown.DownTree:
+				if cb != updown.DownTree {
+					t.Fatalf("tree channel %d depends on %v channel %d", a, cb, b)
+				}
+			}
+		}
+	}
+}

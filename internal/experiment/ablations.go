@@ -1,0 +1,295 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/updown"
+)
+
+// AblationConfig is the shared setup for the future-work ablations.
+type AblationConfig struct {
+	Nodes  int
+	Trials int
+	Seed   uint64
+	Sim    sim.Config
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultAblation returns a 128-node ablation setup.
+func DefaultAblation(trials int) AblationConfig {
+	return AblationConfig{Nodes: 128, Trials: trials, Seed: 1998, Sim: sim.DefaultConfig()}
+}
+
+// RunBufferAblation measures broadcast latency under concurrent multicast
+// background load for input buffer sizes of 1, 2, 4 and 8 flits — the
+// paper's Section 5 question of whether larger input buffers reduce latency.
+// Returns one series point per buffer size (x = buffer size).
+func RunBufferAblation(cfg AblationConfig, bufSizes []int) (Series, error) {
+	if len(bufSizes) == 0 {
+		bufSizes = []int{1, 2, 4, 8}
+	}
+	rg, err := buildRig(cfg.Nodes, cfg.Seed, updown.RootMinID)
+	if err != nil {
+		return Series{}, err
+	}
+	jobs := make([]job, len(bufSizes))
+	for bi, buf := range bufSizes {
+		bi, buf := bi, buf
+		jobs[bi] = func() (*stats.Stream, error) {
+			st := &stats.Stream{}
+			rand := rng.New(cfg.Seed ^ uint64(buf)<<8)
+			simCfg := cfg.Sim
+			simCfg.InputBufFlits = buf
+			for trial := 0; trial < cfg.Trials; trial++ {
+				s, err := rg.newSim(simCfg)
+				if err != nil {
+					return nil, err
+				}
+				// Measured multicast plus 8 contending multicasts
+				// launched concurrently: buffering matters only when
+				// branches block.
+				src := rg.proc(rand.Intn(rg.net.NumProcs))
+				k := rg.net.NumProcs / 4
+				w, err := s.Submit(0, src, rg.pickDests(rand, src, k))
+				if err != nil {
+					return nil, err
+				}
+				for i := 0; i < 8; i++ {
+					bsrc := rg.proc(rand.Intn(rg.net.NumProcs))
+					if _, err := s.Submit(int64(i)*200, bsrc, rg.pickDests(rand, bsrc, k)); err != nil {
+						return nil, err
+					}
+				}
+				if err := s.RunUntilIdle(1e16); err != nil {
+					return nil, err
+				}
+				st.Add(float64(w.Latency()) / nsPerUs)
+			}
+			return st, nil
+		}
+	}
+	streams, err := runParallel(jobs, cfg.Workers)
+	if err != nil {
+		return Series{}, err
+	}
+	series := Series{Label: "loaded multicast latency"}
+	for bi, buf := range bufSizes {
+		series.Points = append(series.Points, Point{
+			X: float64(buf), Mean: streams[bi].Mean(), CI95: streams[bi].CI95(), N: streams[bi].N(),
+		})
+	}
+	return series, nil
+}
+
+// RootAblationRow reports one root strategy.
+type RootAblationRow struct {
+	Strategy  string
+	TreeDepth int
+	MeanUs    float64
+	CI95Us    float64
+}
+
+// RunRootAblation measures single-broadcast latency under the three root
+// selection strategies — the paper's Section 5 point that judicious
+// spanning-tree selection may matter.
+func RunRootAblation(cfg AblationConfig) ([]RootAblationRow, error) {
+	strategies := []updown.RootStrategy{updown.RootMinID, updown.RootMaxDegree, updown.RootCenter}
+	jobs := make([]job, len(strategies))
+	depths := make([]int, len(strategies))
+	for si, strat := range strategies {
+		si, strat := si, strat
+		jobs[si] = func() (*stats.Stream, error) {
+			rg, err := buildRig(cfg.Nodes, cfg.Seed, strat)
+			if err != nil {
+				return nil, err
+			}
+			depth := 0
+			for v := 0; v < rg.net.N(); v++ {
+				if int(rg.lab.Level[v]) > depth {
+					depth = int(rg.lab.Level[v])
+				}
+			}
+			depths[si] = depth
+			st := &stats.Stream{}
+			rand := rng.New(cfg.Seed ^ uint64(si)<<12)
+			for trial := 0; trial < cfg.Trials; trial++ {
+				s, err := rg.newSim(cfg.Sim)
+				if err != nil {
+					return nil, err
+				}
+				src := rg.proc(rand.Intn(rg.net.NumProcs))
+				w, err := s.Submit(0, src, rg.pickDests(rand, src, rg.net.NumProcs-1))
+				if err != nil {
+					return nil, err
+				}
+				if err := s.RunUntilIdle(1e16); err != nil {
+					return nil, err
+				}
+				st.Add(float64(w.Latency()) / nsPerUs)
+			}
+			return st, nil
+		}
+	}
+	streams, err := runParallel(jobs, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	var rows []RootAblationRow
+	for si, strat := range strategies {
+		rows = append(rows, RootAblationRow{
+			Strategy:  strat.String(),
+			TreeDepth: depths[si],
+			MeanUs:    streams[si].Mean(),
+			CI95Us:    streams[si].CI95(),
+		})
+	}
+	return rows, nil
+}
+
+// RootAblationTable renders root-ablation rows.
+func RootAblationTable(rows []RootAblationRow) *Table {
+	t := &Table{
+		Title:   "Spanning-tree root selection (future work, Section 5)",
+		Headers: []string{"root strategy", "tree depth", "broadcast mean(us)", "ci95(us)"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Strategy, fmt.Sprintf("%d", r.TreeDepth),
+			fmt.Sprintf("%.2f", r.MeanUs), fmt.Sprintf("%.2f", r.CI95Us))
+	}
+	return t
+}
+
+// PartitionAblationRow reports one partitioning strategy under concurrent
+// broadcast load. Partitioning costs the multicast itself extra startups,
+// but the interesting question is whether it relieves *other* traffic at
+// the root hot spot — hence the background-unicast column.
+type PartitionAblationRow struct {
+	Strategy string
+	K        int
+	MeanUs   float64
+	CI95Us   float64
+	Groups   float64 // mean groups per multicast
+	// UniMeanUs is the mean latency of background unicasts crossing the
+	// network while the broadcasts are in flight.
+	UniMeanUs float64
+	UniCI95Us float64
+}
+
+// RunPartitionAblation measures the future-work idea of splitting each
+// multicast into contiguous destination groups: several processors
+// broadcast concurrently (root hot-spot pressure) under each strategy.
+func RunPartitionAblation(cfg AblationConfig, concurrent int) ([]PartitionAblationRow, error) {
+	if concurrent <= 0 {
+		concurrent = 4
+	}
+	rg, err := buildRig(cfg.Nodes, cfg.Seed, updown.RootMinID)
+	if err != nil {
+		return nil, err
+	}
+	type variant struct {
+		strategy partition.Strategy
+		k        int
+	}
+	variants := []variant{
+		{partition.None, 0},
+		{partition.BySubtree, 0},
+		{partition.KWayDFS, 2},
+		{partition.KWayDFS, 4},
+	}
+	jobs := make([]job, len(variants))
+	groupCounts := make([]float64, len(variants))
+	uniStreams := make([]*stats.Stream, len(variants))
+	for vi, v := range variants {
+		vi, v := vi, v
+		jobs[vi] = func() (*stats.Stream, error) {
+			st := &stats.Stream{}
+			uni := &stats.Stream{}
+			rand := rng.New(cfg.Seed ^ uint64(vi)<<10 ^ 0xabc)
+			totalGroups := 0
+			runsCount := 0
+			for trial := 0; trial < cfg.Trials; trial++ {
+				s, err := rg.newSim(cfg.Sim)
+				if err != nil {
+					return nil, err
+				}
+				var runs []*partition.Run
+				for c := 0; c < concurrent; c++ {
+					src := rg.proc(rand.Intn(rg.net.NumProcs))
+					dests := rg.pickDests(rand, src, rg.net.NumProcs-1)
+					run, err := partition.Send(s, rg.lab, v.strategy, v.k, int64(c)*100, src, dests)
+					if err != nil {
+						return nil, err
+					}
+					runs = append(runs, run)
+					totalGroups += len(run.Groups)
+					runsCount++
+				}
+				// Background unicasts arriving while the broadcasts
+				// worm through: the hot-spot victims.
+				var bg []*sim.Worm
+				for u := 0; u < 2*concurrent; u++ {
+					src := rg.proc(rand.Intn(rg.net.NumProcs))
+					dests := rg.pickDests(rand, src, 1)
+					at := int64(rand.Intn(15000))
+					w, err := s.Submit(at, src, dests)
+					if err != nil {
+						return nil, err
+					}
+					bg = append(bg, w)
+				}
+				if err := s.RunUntilIdle(1e16); err != nil {
+					return nil, err
+				}
+				for _, run := range runs {
+					if !run.Completed() {
+						return nil, fmt.Errorf("experiment: partition run incomplete")
+					}
+					st.Add(float64(run.Latency()) / nsPerUs)
+				}
+				for _, w := range bg {
+					uni.Add(float64(w.Latency()) / nsPerUs)
+				}
+			}
+			groupCounts[vi] = float64(totalGroups) / float64(runsCount)
+			uniStreams[vi] = uni
+			return st, nil
+		}
+	}
+	streams, err := runParallel(jobs, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	var rows []PartitionAblationRow
+	for vi, v := range variants {
+		label := v.strategy.String()
+		rows = append(rows, PartitionAblationRow{
+			Strategy:  label,
+			K:         v.k,
+			MeanUs:    streams[vi].Mean(),
+			CI95Us:    streams[vi].CI95(),
+			Groups:    groupCounts[vi],
+			UniMeanUs: uniStreams[vi].Mean(),
+			UniCI95Us: uniStreams[vi].CI95(),
+		})
+	}
+	return rows, nil
+}
+
+// PartitionAblationTable renders partition-ablation rows.
+func PartitionAblationTable(rows []PartitionAblationRow) *Table {
+	t := &Table{
+		Title:   "Destination partitioning under concurrent broadcasts (future work, Section 5)",
+		Headers: []string{"strategy", "k", "groups/mcast", "mcast(us)", "ci95", "bg-unicast(us)", "ci95"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Strategy, fmt.Sprintf("%d", r.K), fmt.Sprintf("%.1f", r.Groups),
+			fmt.Sprintf("%.2f", r.MeanUs), fmt.Sprintf("%.2f", r.CI95Us),
+			fmt.Sprintf("%.2f", r.UniMeanUs), fmt.Sprintf("%.2f", r.UniCI95Us))
+	}
+	return t
+}

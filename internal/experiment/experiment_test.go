@@ -1,0 +1,400 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/updown"
+)
+
+// Small configurations keep tests fast; the CLI and benches run full scale.
+
+func smallSim() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Params.MessageFlits = 32
+	return cfg
+}
+
+func TestRunFig2Small(t *testing.T) {
+	cfg := Fig2Config{
+		Nodes:      []int{16, 24},
+		DestCounts: []int{1, 4, 8},
+		Trials:     6,
+		Topologies: 2,
+		Seed:       42,
+		Sim:        smallSim(),
+	}
+	series, err := RunFig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 3 {
+			t.Fatalf("series %q has %d points", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			// Latency must exceed startup (10 us) and stay near it at
+			// zero load (paper: 11-14 us band at 128 flits; here 32
+			// flits, so above 10 and below 15).
+			if p.Mean < 10 || p.Mean > 15 {
+				t.Fatalf("series %q point %v has implausible latency %.2f us", s.Label, p.X, p.Mean)
+			}
+			if p.N != int64(cfg.Trials) {
+				t.Fatalf("point has %d samples want %d", p.N, cfg.Trials)
+			}
+		}
+	}
+}
+
+func TestFig2LatencyFlatInDestinations(t *testing.T) {
+	// The paper's headline: latency is essentially independent of the
+	// number of destinations. Check max/min mean ratio stays small.
+	cfg := Fig2Config{
+		Nodes:      []int{32},
+		DestCounts: []int{1, 8, 31},
+		Trials:     10,
+		Topologies: 2,
+		Seed:       7,
+		Sim:        sim.DefaultConfig(), // full 128-flit messages
+	}
+	series, err := RunFig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := math.Inf(1), 0.0
+	for _, p := range series[0].Points {
+		if p.Mean < lo {
+			lo = p.Mean
+		}
+		if p.Mean > hi {
+			hi = p.Mean
+		}
+	}
+	if hi/lo > 1.35 {
+		t.Fatalf("latency not flat: min %.2f max %.2f us", lo, hi)
+	}
+}
+
+func TestRunFig2Validation(t *testing.T) {
+	if _, err := RunFig2(Fig2Config{Nodes: []int{8}}); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestRunFig2AdaptiveSampling(t *testing.T) {
+	// The paper's stopping criterion: sample until the 95% CI half-width
+	// falls below a fraction of the mean. A loose 5% target must be met
+	// and require no more than the cap.
+	cfg := Fig2Config{
+		Nodes:       []int{16},
+		DestCounts:  []int{4},
+		Trials:      3,
+		TargetRelCI: 0.05,
+		MaxTrials:   200,
+		Topologies:  2,
+		Seed:        11,
+		Sim:         smallSim(),
+	}
+	series, err := RunFig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := series[0].Points[0]
+	if p.N < 3 || p.N > 200 {
+		t.Fatalf("adaptive sampling took %d trials", p.N)
+	}
+	if p.CI95/p.Mean > 0.05 && p.N < 200 {
+		t.Fatalf("stopped at %d trials with rel CI %.3f", p.N, p.CI95/p.Mean)
+	}
+	// A tight target must draw more samples than the loose one.
+	tight := cfg
+	tight.TargetRelCI = 0.002
+	tightSeries, err := RunFig2(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tightSeries[0].Points[0].N < p.N {
+		t.Fatalf("tighter CI used fewer samples: %d vs %d", tightSeries[0].Points[0].N, p.N)
+	}
+}
+
+func TestRunFig3Small(t *testing.T) {
+	cfg := Fig3Config{
+		Nodes:             16,
+		DestCounts:        []int{2, 4},
+		Rates:             []float64{0.005, 0.02},
+		MulticastFraction: 0.1,
+		Messages:          120,
+		Warmup:            20,
+		Seed:              9,
+		Sim:               smallSim(),
+	}
+	series, err := RunFig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %q has %d points", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Mean < 10 {
+				t.Fatalf("mean %.2f below startup", p.Mean)
+			}
+			if p.N == 0 {
+				t.Fatal("no measured messages")
+			}
+		}
+	}
+}
+
+func TestFig3LatencyGrowsWithRate(t *testing.T) {
+	cfg := Fig3Config{
+		Nodes:             24,
+		DestCounts:        []int{6},
+		Rates:             []float64{0.002, 0.05},
+		MulticastFraction: 0.2,
+		Messages:          400,
+		Warmup:            50,
+		Seed:              13,
+		Sim:               smallSim(),
+	}
+	series, err := RunFig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := series[0].Points
+	if pts[1].Mean <= pts[0].Mean {
+		t.Fatalf("latency did not grow with rate: %.2f -> %.2f", pts[0].Mean, pts[1].Mean)
+	}
+}
+
+func TestRunFig3MetricFilters(t *testing.T) {
+	// Small message counts keep every point below the batch-means
+	// threshold so Point.N counts raw observations and the metric split
+	// must be exact: multicast + unicast = all.
+	base := Fig3Config{
+		Nodes:             16,
+		DestCounts:        []int{4},
+		Rates:             []float64{0.01},
+		MulticastFraction: 0.3,
+		Messages:          18,
+		Warmup:            2,
+		Seed:              5,
+		Sim:               smallSim(),
+	}
+	all, err := RunFig3(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := base
+	multi.Metric = "multicast"
+	ms, err := RunFig3(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := base
+	uni.Metric = "unicast"
+	us, err := RunFig3(uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nAll := all[0].Points[0].N
+	nM := ms[0].Points[0].N
+	nU := us[0].Points[0].N
+	if nM+nU != nAll {
+		t.Fatalf("metric split broken: %d + %d != %d", nM, nU, nAll)
+	}
+	if nM == 0 || nU == 0 {
+		t.Fatal("empty metric slice")
+	}
+}
+
+func TestRunFig3BatchMeansKickIn(t *testing.T) {
+	cfg := Fig3Config{
+		Nodes:             16,
+		DestCounts:        []int{2},
+		Rates:             []float64{0.01},
+		MulticastFraction: 0.1,
+		Messages:          120,
+		Warmup:            20,
+		Seed:              6,
+		Sim:               smallSim(),
+	}
+	series, err := RunFig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 measured messages -> 10 batch means.
+	if got := series[0].Points[0].N; got != 10 {
+		t.Fatalf("N=%d want 10 batch means", got)
+	}
+}
+
+func TestRunFig3Validation(t *testing.T) {
+	if _, err := RunFig3(Fig3Config{Nodes: 0, Messages: 10}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := RunFig3(Fig3Config{Nodes: 8, Messages: 10, Warmup: 10}); err == nil {
+		t.Fatal("warmup >= messages accepted")
+	}
+}
+
+func TestRunComparisonSmall(t *testing.T) {
+	cfg := ComparisonConfig{
+		Nodes:  []int{24},
+		Trials: 3,
+		Seed:   3,
+		Sim:    smallSim(),
+	}
+	rows, err := RunComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // SPAM + 3 baselines
+		t.Fatalf("%d rows", len(rows))
+	}
+	var spam, binom float64
+	for _, r := range rows {
+		if r.MeanUs <= 0 {
+			t.Fatalf("row %+v non-positive", r)
+		}
+		switch r.Scheme {
+		case "SPAM":
+			spam = r.MeanUs
+		case "unicast-binomial":
+			binom = r.MeanUs
+			if r.BoundUs <= 0 {
+				t.Fatal("no analytic bound on software row")
+			}
+		}
+	}
+	if spam >= binom {
+		t.Fatalf("SPAM %.2f not faster than binomial %.2f", spam, binom)
+	}
+	tbl := ComparisonTable(rows)
+	if !strings.Contains(tbl.Format(), "SPAM") {
+		t.Fatal("table missing SPAM row")
+	}
+	if !strings.Contains(tbl.CSV(), "scheme") {
+		t.Fatal("CSV missing header")
+	}
+}
+
+func TestRunComparisonValidation(t *testing.T) {
+	if _, err := RunComparison(ComparisonConfig{Nodes: []int{8}}); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestBufferAblationSmall(t *testing.T) {
+	cfg := AblationConfig{Nodes: 16, Trials: 3, Seed: 77, Sim: smallSim()}
+	series, err := RunBufferAblation(cfg, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) != 2 {
+		t.Fatalf("%d points", len(series.Points))
+	}
+	for _, p := range series.Points {
+		if p.Mean <= 0 {
+			t.Fatal("non-positive ablation latency")
+		}
+	}
+}
+
+func TestRootAblationSmall(t *testing.T) {
+	cfg := AblationConfig{Nodes: 16, Trials: 3, Seed: 78, Sim: smallSim()}
+	rows, err := RunRootAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]RootAblationRow{}
+	for _, r := range rows {
+		if r.TreeDepth <= 0 || r.MeanUs <= 0 {
+			t.Fatalf("row %+v", r)
+		}
+		byName[r.Strategy] = r
+	}
+	// A center root can never be deeper than the min-ID root's tree.
+	if byName["center"].TreeDepth > byName["min-id"].TreeDepth {
+		t.Fatalf("center root deeper than min-id: %+v", rows)
+	}
+	if RootAblationTable(rows).Format() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestPartitionAblationSmall(t *testing.T) {
+	cfg := AblationConfig{Nodes: 16, Trials: 2, Seed: 79, Sim: smallSim()}
+	rows, err := RunPartitionAblation(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Groups != 1 {
+		t.Fatalf("strategy none has %v groups", rows[0].Groups)
+	}
+	for _, r := range rows[1:] {
+		if r.Groups < 1 {
+			t.Fatalf("row %+v", r)
+		}
+	}
+	if PartitionAblationTable(rows).Format() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestSeriesTableAndCSV(t *testing.T) {
+	series := []Series{
+		{Label: "a", Points: []Point{{X: 1, Mean: 10, CI95: 0.1}, {X: 2, Mean: 11, CI95: 0.2}}},
+		{Label: "b", Points: []Point{{X: 1, Mean: 12, CI95: 0.3}}},
+	}
+	tbl := SeriesTable("test", "x", series)
+	out := tbl.Format()
+	for _, want := range []string{"a mean(us)", "b mean(us)", "10.000", "12.000", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	csv := tbl.CSV()
+	if !strings.Contains(csv, "x,a mean(us)") {
+		t.Fatalf("csv header wrong:\n%s", csv)
+	}
+}
+
+func TestDefaultsAreSane(t *testing.T) {
+	f2 := DefaultFig2(10)
+	if len(f2.Nodes) != 2 || f2.Trials != 10 {
+		t.Fatalf("%+v", f2)
+	}
+	f3 := DefaultFig3(1000)
+	if f3.Nodes != 128 || len(f3.DestCounts) != 4 || len(f3.Rates) != 8 {
+		t.Fatalf("%+v", f3)
+	}
+	cmp := DefaultComparison(5)
+	if len(cmp.Nodes) != 2 {
+		t.Fatalf("%+v", cmp)
+	}
+	ab := DefaultAblation(5)
+	if ab.Nodes != 128 {
+		t.Fatalf("%+v", ab)
+	}
+	if len(destSweep(128)) == 0 || destSweep(128)[len(destSweep(128))-1] != 127 {
+		t.Fatal("destSweep(128) must end at 127")
+	}
+	_ = updown.RootMinID
+}

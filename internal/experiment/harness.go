@@ -1,0 +1,249 @@
+// Package experiment contains the drivers that regenerate every figure and
+// in-text result of the paper's Section 4, plus the ablations suggested by
+// its future-work section. Each driver builds networks, runs replications in
+// parallel (one deterministic simulator per goroutine) and aggregates
+// latencies with 95% confidence intervals.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/updown"
+)
+
+// Point is one data point of a series: x value, mean latency in µs and the
+// 95% confidence half-width. N is the number of statistical samples behind
+// the CI — independent trials for single-shot experiments, batch means for
+// steady-state experiments (Figure 3).
+type Point struct {
+	X    float64
+	Mean float64
+	CI95 float64
+	N    int64
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Table is a generic text table for experiment reports.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Format renders the table with aligned columns.
+func (t *Table) Format() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "# %s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values (quotes are not needed
+// for the numeric content these tables carry).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Headers, ","))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		sb.WriteString(strings.Join(row, ","))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SeriesTable renders a set of series as a table keyed by x value.
+func SeriesTable(title, xName string, series []Series) *Table {
+	t := &Table{Title: title}
+	t.Headers = append(t.Headers, xName)
+	xs := map[float64]bool{}
+	for _, s := range series {
+		t.Headers = append(t.Headers, s.Label+" mean(us)", s.Label+" ci95(us)")
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	var xsSorted []float64
+	for x := range xs {
+		xsSorted = append(xsSorted, x)
+	}
+	sort.Float64s(xsSorted)
+	for _, x := range xsSorted {
+		row := []string{trimFloat(x)}
+		for _, s := range series {
+			found := false
+			for _, p := range s.Points {
+				if p.X == x {
+					row = append(row, fmt.Sprintf("%.3f", p.Mean), fmt.Sprintf("%.3f", p.CI95))
+					found = true
+					break
+				}
+			}
+			if !found {
+				row = append(row, "-", "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.4f", x)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// job is one parallel work item producing a latency sample set.
+type job func() (*stats.Stream, error)
+
+// runParallel executes the jobs on a bounded worker pool, preserving order.
+func runParallel(jobs []job, workers int) ([]*stats.Stream, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]*stats.Stream, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = jobs[i]()
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// rig bundles a network with its labeling and router; experiments cache one
+// per (size, seed, root strategy).
+type rig struct {
+	net    *topology.Network
+	lab    *updown.Labeling
+	router *core.Router
+}
+
+func buildRig(switches int, seed uint64, strategy updown.RootStrategy) (*rig, error) {
+	net, err := topology.RandomLattice(topology.DefaultLattice(switches, seed))
+	if err != nil {
+		return nil, err
+	}
+	lab, err := updown.New(net, strategy)
+	if err != nil {
+		return nil, err
+	}
+	return &rig{net: net, lab: lab, router: core.NewRouter(lab)}, nil
+}
+
+func (r *rig) newSim(cfg sim.Config) (*sim.Simulator, error) {
+	return sim.New(r.router, cfg)
+}
+
+// proc maps a processor index to its node ID.
+func (r *rig) proc(i int) topology.NodeID {
+	return topology.NodeID(r.net.NumSwitches + i)
+}
+
+// pickDests draws k destinations excluding src.
+func (r *rig) pickDests(rand *rng.Source, src topology.NodeID, k int) []topology.NodeID {
+	n := r.net.NumProcs
+	srcIdx := int(src) - r.net.NumSwitches
+	idx := rand.Choose(n-1, k)
+	out := make([]topology.NodeID, k)
+	for i, v := range idx {
+		if v >= srcIdx {
+			v++
+		}
+		out[i] = r.proc(v)
+	}
+	return out
+}
+
+const nsPerUs = 1000.0
+
+// steadyStateStream summarizes a correlated steady-state latency series:
+// the mean comes from every observation, while the confidence interval is
+// built from batch means (10 batches) so that autocorrelation between
+// consecutive messages does not shrink the CI dishonestly. Short series
+// fall back to the plain per-observation stream.
+func steadyStateStream(series []float64) *stats.Stream {
+	const batches = 10
+	if len(series) >= 2*batches {
+		if bm, err := stats.BatchMeans(series, batches); err == nil {
+			// Rebuild a stream whose mean reflects all observations
+			// but whose spread reflects the batch means: feed the
+			// batch means, which have the same grand mean up to the
+			// dropped remainder.
+			return bm
+		}
+	}
+	st := &stats.Stream{}
+	for _, x := range series {
+		st.Add(x)
+	}
+	return st
+}

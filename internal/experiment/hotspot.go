@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/updown"
+	"repro/internal/viz"
+)
+
+// RunRootShare quantifies the paper's Section 5 observation: "As the number
+// of destinations increases, the probability that the worm must pass through
+// the root of the underlying spanning tree increases, resulting in potential
+// hot-spot effects at the root." For each destination count it measures the
+// percentage of multicasts whose worm traverses the root switch (x =
+// destinations, y = percent of worms through the root).
+func RunRootShare(cfg AblationConfig, destCounts []int) (Series, error) {
+	if len(destCounts) == 0 {
+		destCounts = []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	rg, err := buildRig(cfg.Nodes, cfg.Seed, updown.RootMinID)
+	if err != nil {
+		return Series{}, err
+	}
+	jobs := make([]job, len(destCounts))
+	for di, d := range destCounts {
+		di, d := di, d
+		if d > rg.net.NumProcs-1 {
+			d = rg.net.NumProcs - 1
+		}
+		jobs[di] = func() (*stats.Stream, error) {
+			st := &stats.Stream{}
+			rand := rng.New(cfg.Seed ^ uint64(d)<<6 ^ 0x707)
+			for trial := 0; trial < cfg.Trials; trial++ {
+				s, err := rg.newSim(cfg.Sim)
+				if err != nil {
+					return nil, err
+				}
+				src := rg.proc(rand.Intn(rg.net.NumProcs))
+				if _, err := s.Submit(0, src, rg.pickDests(rand, src, d)); err != nil {
+					return nil, err
+				}
+				if err := s.RunUntilIdle(1e16); err != nil {
+					return nil, err
+				}
+				if s.NodeThroughLoad(rg.lab.Root) > 0 {
+					st.Add(100)
+				} else {
+					st.Add(0)
+				}
+			}
+			return st, nil
+		}
+	}
+	streams, err := runParallel(jobs, cfg.Workers)
+	if err != nil {
+		return Series{}, err
+	}
+	series := Series{Label: "worms through root (%)"}
+	for di, d := range destCounts {
+		series.Points = append(series.Points, Point{
+			X: float64(d), Mean: streams[di].Mean(), CI95: streams[di].CI95(), N: streams[di].N(),
+		})
+	}
+	return series, nil
+}
+
+// RunHeaderAblation measures the latency cost of realistic destination-set
+// encoding in the header (extra address flits) versus the paper's
+// single-header-flit abstraction, for a broadcast.
+func RunHeaderAblation(cfg AblationConfig, addrsPerFlit []int) (Series, error) {
+	if len(addrsPerFlit) == 0 {
+		addrsPerFlit = []int{0, 16, 8, 4}
+	}
+	rg, err := buildRig(cfg.Nodes, cfg.Seed, updown.RootMinID)
+	if err != nil {
+		return Series{}, err
+	}
+	jobs := make([]job, len(addrsPerFlit))
+	for ai, a := range addrsPerFlit {
+		ai, a := ai, a
+		jobs[ai] = func() (*stats.Stream, error) {
+			st := &stats.Stream{}
+			rand := rng.New(cfg.Seed ^ uint64(a)<<5 ^ 0x909)
+			simCfg := cfg.Sim
+			simCfg.AddrsPerHeaderFlit = a
+			for trial := 0; trial < cfg.Trials; trial++ {
+				s, err := rg.newSim(simCfg)
+				if err != nil {
+					return nil, err
+				}
+				src := rg.proc(rand.Intn(rg.net.NumProcs))
+				w, err := s.Submit(0, src, rg.pickDests(rand, src, rg.net.NumProcs-1))
+				if err != nil {
+					return nil, err
+				}
+				if err := s.RunUntilIdle(1e16); err != nil {
+					return nil, err
+				}
+				st.Add(float64(w.Latency()) / nsPerUs)
+			}
+			return st, nil
+		}
+	}
+	streams, err := runParallel(jobs, cfg.Workers)
+	if err != nil {
+		return Series{}, err
+	}
+	series := Series{Label: "broadcast latency"}
+	for ai, a := range addrsPerFlit {
+		series.Points = append(series.Points, Point{
+			X: float64(a), Mean: streams[ai].Mean(), CI95: streams[ai].CI95(), N: streams[ai].N(),
+		})
+	}
+	return series, nil
+}
+
+// Plot renders series as an ASCII chart (80×20), echoing the paper's
+// figures.
+func Plot(title string, series []Series) string {
+	var curves []viz.Curve
+	for _, s := range series {
+		c := viz.Curve{Label: s.Label}
+		for _, p := range s.Points {
+			c.Points = append(c.Points, viz.Point{X: p.X, Y: p.Mean})
+		}
+		curves = append(curves, c)
+	}
+	return viz.Chart(title, 80, 20, curves)
+}

@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRootShareGrows(t *testing.T) {
+	cfg := AblationConfig{Nodes: 32, Trials: 8, Seed: 5, Sim: smallSim()}
+	series, err := RunRootShare(cfg, []int{1, 16, 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) != 3 {
+		t.Fatalf("%d points", len(series.Points))
+	}
+	// Root share is a percentage.
+	for _, p := range series.Points {
+		if p.Mean < 0 || p.Mean > 100 {
+			t.Fatalf("root share %v out of range", p.Mean)
+		}
+	}
+	// The paper's claim: share grows with the destination count; a
+	// broadcast is essentially guaranteed to pass through the root.
+	first, last := series.Points[0], series.Points[2]
+	if last.Mean <= first.Mean {
+		t.Fatalf("root share did not grow: %.2f%% (d=1) vs %.2f%% (d=31)", first.Mean, last.Mean)
+	}
+	if last.Mean == 0 {
+		t.Fatal("broadcast never touches the root?")
+	}
+}
+
+func TestRunRootShareClampsOversizedD(t *testing.T) {
+	cfg := AblationConfig{Nodes: 8, Trials: 2, Seed: 6, Sim: smallSim()}
+	series, err := RunRootShare(cfg, []int{1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) != 1 {
+		t.Fatal("clamped point missing")
+	}
+}
+
+func TestRunHeaderAblation(t *testing.T) {
+	cfg := AblationConfig{Nodes: 24, Trials: 4, Seed: 7, Sim: smallSim()}
+	series, err := RunHeaderAblation(cfg, []int{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) != 2 {
+		t.Fatalf("%d points", len(series.Points))
+	}
+	ideal, encoded := series.Points[0], series.Points[1]
+	// Encoding 23 destinations at 4 addrs/flit adds 5 extra flits =
+	// 50 ns = 0.05 us on the pipeline tail; latency must not shrink.
+	if encoded.Mean < ideal.Mean {
+		t.Fatalf("encoded header faster than ideal: %.3f vs %.3f", encoded.Mean, ideal.Mean)
+	}
+}
+
+func TestPlotRendersSeries(t *testing.T) {
+	series := []Series{{Label: "demo", Points: []Point{{X: 1, Mean: 10}, {X: 2, Mean: 20}}}}
+	out := Plot("title", series)
+	if !strings.Contains(out, "title") || !strings.Contains(out, "demo") {
+		t.Fatalf("plot output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/prune"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/updown"
+)
+
+// PruneComparisonConfig parameterizes the SPAM-versus-pruning comparison.
+// The paper's related-work section says the pruning scheme of Malumbres et
+// al. is "effective only for short messages": long worms hold channels
+// longer, prune more branches and pay a fresh 10 µs startup per retry
+// round. Sweeping the message length makes that crossover measurable.
+type PruneComparisonConfig struct {
+	Nodes int
+	// Flits lists the message lengths to sweep.
+	Flits []int
+	// Concurrent is how many multicasts contend simultaneously.
+	Concurrent int
+	// Dests is the destination count per multicast.
+	Dests   int
+	Trials  int
+	Seed    uint64
+	Sim     sim.Config
+	Workers int
+}
+
+// DefaultPruneComparison returns a 64-node setup sweeping 8..512 flits.
+func DefaultPruneComparison(trials int) PruneComparisonConfig {
+	return PruneComparisonConfig{
+		Nodes:      64,
+		Flits:      []int{8, 32, 128, 512},
+		Concurrent: 6,
+		Dests:      16,
+		Trials:     trials,
+		Seed:       1998,
+		Sim:        sim.DefaultConfig(),
+	}
+}
+
+// RunPruneComparison measures mean multicast completion latency for SPAM
+// (OCRQ waiting) and the pruning discipline, per message length, under
+// concurrent multicast contention. Returns two series (x = flits).
+func RunPruneComparison(cfg PruneComparisonConfig) ([]Series, error) {
+	if cfg.Trials <= 0 || len(cfg.Flits) == 0 {
+		return nil, fmt.Errorf("experiment: prune comparison needs trials and flit sweep")
+	}
+	if cfg.Concurrent <= 0 {
+		cfg.Concurrent = 4
+	}
+	rg, err := buildRig(cfg.Nodes, cfg.Seed, updown.RootMinID)
+	if err != nil {
+		return nil, err
+	}
+
+	type variant struct {
+		label string
+		prune bool
+	}
+	variants := []variant{{"SPAM (wait)", false}, {"prune+retry", true}}
+	var jobs []job
+	type key struct{ vi, fi int }
+	var keys []key
+	for vi, v := range variants {
+		for fi, flits := range cfg.Flits {
+			vi, fi, v, flits := vi, fi, v, flits
+			keys = append(keys, key{vi, fi})
+			jobs = append(jobs, func() (*stats.Stream, error) {
+				st := &stats.Stream{}
+				rand := rng.New(cfg.Seed ^ uint64(vi)<<40 ^ uint64(flits)<<4)
+				simCfg := cfg.Sim
+				simCfg.Params.MessageFlits = flits
+				for trial := 0; trial < cfg.Trials; trial++ {
+					s, err := rg.newSim(simCfg)
+					if err != nil {
+						return nil, err
+					}
+					type pending struct {
+						spam *sim.Worm
+						pr   *prune.Run
+					}
+					var ps []pending
+					for c := 0; c < cfg.Concurrent; c++ {
+						src := rg.proc(rand.Intn(rg.net.NumProcs))
+						dests := rg.pickDests(rand, src, cfg.Dests)
+						at := int64(c) * 150
+						if v.prune {
+							run, err := prune.Send(s, at, src, dests, 0)
+							if err != nil {
+								return nil, err
+							}
+							ps = append(ps, pending{pr: run})
+						} else {
+							w, err := s.Submit(at, src, dests)
+							if err != nil {
+								return nil, err
+							}
+							ps = append(ps, pending{spam: w})
+						}
+					}
+					if err := s.RunUntilIdle(1e16); err != nil {
+						return nil, err
+					}
+					for _, p := range ps {
+						switch {
+						case p.spam != nil:
+							if !p.spam.Completed() {
+								return nil, fmt.Errorf("experiment: SPAM worm incomplete")
+							}
+							st.Add(float64(p.spam.Latency()) / nsPerUs)
+						case p.pr != nil:
+							if p.pr.Err != nil {
+								return nil, p.pr.Err
+							}
+							if !p.pr.Completed() {
+								return nil, fmt.Errorf("experiment: prune run incomplete")
+							}
+							st.Add(float64(p.pr.Latency()) / nsPerUs)
+						}
+					}
+				}
+				return st, nil
+			})
+		}
+	}
+	streams, err := runParallel(jobs, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Series, len(variants))
+	for vi, v := range variants {
+		out[vi] = Series{Label: v.label}
+	}
+	for i, k := range keys {
+		out[k.vi].Points = append(out[k.vi].Points, Point{
+			X:    float64(cfg.Flits[k.fi]),
+			Mean: streams[i].Mean(),
+			CI95: streams[i].CI95(),
+			N:    streams[i].N(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,54 @@
+package experiment
+
+import "testing"
+
+func TestRunPruneComparisonSmall(t *testing.T) {
+	cfg := PruneComparisonConfig{
+		Nodes:      16,
+		Flits:      []int{8, 128},
+		Concurrent: 4,
+		Dests:      6,
+		Trials:     4,
+		Seed:       77,
+		Sim:        smallSim(),
+	}
+	series, err := RunPruneComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %q has %d points", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Mean < 10 {
+				t.Fatalf("series %q mean %.2f below startup", s.Label, p.Mean)
+			}
+		}
+	}
+	// The related-work claim: pruning degrades relative to SPAM as
+	// messages grow (each retry pays a fresh startup). Compare the
+	// prune/SPAM latency ratio at the two lengths.
+	spam, pr := series[0], series[1]
+	ratioShort := pr.Points[0].Mean / spam.Points[0].Mean
+	ratioLong := pr.Points[1].Mean / spam.Points[1].Mean
+	if ratioLong < ratioShort*0.8 {
+		t.Fatalf("pruning relatively better for long messages (%.2f vs %.2f)?", ratioLong, ratioShort)
+	}
+}
+
+func TestRunPruneComparisonValidation(t *testing.T) {
+	if _, err := RunPruneComparison(PruneComparisonConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestDefaultPruneComparison(t *testing.T) {
+	cfg := DefaultPruneComparison(5)
+	if cfg.Nodes != 64 || len(cfg.Flits) != 4 || cfg.Trials != 5 {
+		t.Fatalf("%+v", cfg)
+	}
+}

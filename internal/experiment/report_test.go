@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarkdownReport(t *testing.T) {
+	tbl := &Table{
+		Headers: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}, {"3", ""}},
+	}
+	out := MarkdownReport("Repro", []MarkdownSection{
+		{Title: "Sec1", Intro: "intro text", Table: tbl},
+		{Title: "Sec2"},
+	})
+	for _, want := range []string{
+		"# Repro",
+		"## Sec1",
+		"intro text",
+		"| a | b |",
+		"| --- | --- |",
+		"| 1 | 2 |",
+		"| 3 | - |", // empty cells padded
+		"## Sec2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMarkdownTableShortRows(t *testing.T) {
+	tbl := &Table{
+		Headers: []string{"x", "y", "z"},
+		Rows:    [][]string{{"only"}},
+	}
+	out := markdownTable(tbl)
+	if !strings.Contains(out, "| only | - | - |") {
+		t.Fatalf("short row not padded:\n%s", out)
+	}
+}
+
+func TestSeriesSummary(t *testing.T) {
+	series := []Series{
+		{Label: "curve", Points: []Point{
+			{X: 1, Mean: 10}, {X: 2, Mean: 30}, {X: 3, Mean: 20},
+		}},
+	}
+	s := SeriesSummary(series)
+	for _, want := range []string{"curve", "10.00", "30.00", "x=1", "x=2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+	if SeriesSummary(nil) != "" {
+		t.Fatal("empty summary not empty")
+	}
+	if SeriesSummary([]Series{{Label: "e"}}) != "" {
+		t.Fatal("pointless series not skipped")
+	}
+}

@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// RunThroughput complements Figure 3 with the classic saturation view:
+// accepted throughput (delivered messages per µs per processor) versus
+// offered load, per multicast destination count. Below saturation the
+// curves track the diagonal; past it they flatten at network capacity.
+func RunThroughput(cfg Fig3Config) ([]Series, error) {
+	if cfg.Nodes <= 0 || cfg.Messages <= 0 {
+		return nil, fmt.Errorf("experiment: throughput needs nodes and messages")
+	}
+	rg, err := buildRig(cfg.Nodes, cfg.Seed, cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	type key struct {
+		d  int
+		ri int
+	}
+	var jobs []job
+	var keys []key
+	for _, d := range cfg.DestCounts {
+		for ri, rate := range cfg.Rates {
+			d, ri, rate := d, ri, rate
+			keys = append(keys, key{d: d, ri: ri})
+			jobs = append(jobs, func() (*stats.Stream, error) {
+				s, err := rg.newSim(cfg.Sim)
+				if err != nil {
+					return nil, err
+				}
+				rand := rng.New(cfg.Seed ^ uint64(d)<<24 ^ uint64(ri)<<3 ^ 0x7f7f)
+				worms, err := traffic.Mixed(s, rand, traffic.NetworkAdapter{N: rg.net}, traffic.MixedConfig{
+					RatePerProcPerUs:  rate,
+					MulticastFraction: cfg.MulticastFraction,
+					MulticastDests:    d,
+					Messages:          cfg.Messages,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if err := s.RunUntilIdle(1e16); err != nil {
+					return nil, err
+				}
+				// Accepted rate over the busy interval: messages
+				// delivered / span / processors, in msg/µs/proc.
+				first, last := worms[0].SubmitNs, int64(0)
+				for _, w := range worms {
+					if w.SubmitNs < first {
+						first = w.SubmitNs
+					}
+					if w.DoneNs > last {
+						last = w.DoneNs
+					}
+				}
+				span := float64(last-first) / nsPerUs
+				st := &stats.Stream{}
+				if span > 0 {
+					st.Add(float64(len(worms)) / span / float64(rg.net.NumProcs))
+				}
+				return st, nil
+			})
+		}
+	}
+	streams, err := runParallel(jobs, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Series, len(cfg.DestCounts))
+	index := map[int]int{}
+	for i, d := range cfg.DestCounts {
+		out[i] = Series{Label: fmt.Sprintf("%d destinations", d)}
+		index[d] = i
+	}
+	for i, k := range keys {
+		out[index[k.d]].Points = append(out[index[k.d]].Points, Point{
+			X:    cfg.Rates[k.ri],
+			Mean: streams[i].Mean(),
+			CI95: streams[i].CI95(),
+			N:    streams[i].N(),
+		})
+	}
+	return out, nil
+}

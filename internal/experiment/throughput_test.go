@@ -1,0 +1,66 @@
+package experiment
+
+import "testing"
+
+func TestRunThroughputTracksOfferedBelowSaturation(t *testing.T) {
+	cfg := Fig3Config{
+		Nodes:             16,
+		DestCounts:        []int{2},
+		Rates:             []float64{0.002, 0.004},
+		MulticastFraction: 0.1,
+		Messages:          200,
+		Seed:              21,
+		Sim:               smallSim(),
+	}
+	series, err := RunThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := series[0].Points
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Below saturation, accepted ~= offered (within 30%: finite-run edge
+	// effects shave the measured span).
+	for _, p := range pts {
+		if p.Mean < 0.5*p.X || p.Mean > 1.5*p.X {
+			t.Fatalf("accepted %.4f far from offered %.4f", p.Mean, p.X)
+		}
+	}
+	// Accepted throughput grows with offered load pre-saturation.
+	if pts[1].Mean <= pts[0].Mean {
+		t.Fatalf("throughput did not grow: %.4f -> %.4f", pts[0].Mean, pts[1].Mean)
+	}
+}
+
+func TestRunThroughputSaturates(t *testing.T) {
+	cfg := Fig3Config{
+		Nodes:             16,
+		DestCounts:        []int{8},
+		Rates:             []float64{0.01, 0.2},
+		MulticastFraction: 0.5, // heavy multicast share saturates quickly
+		Messages:          300,
+		Seed:              22,
+		Sim:               smallSim(),
+	}
+	series, err := RunThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := series[0].Points
+	// At 20x the knee the accepted rate must fall well short of offered.
+	if pts[1].Mean > 0.8*pts[1].X {
+		t.Fatalf("no saturation: accepted %.4f of offered %.4f", pts[1].Mean, pts[1].X)
+	}
+	// But still at least what the lower rate achieved (no throughput
+	// collapse — SPAM has no retransmissions to thrash on).
+	if pts[1].Mean < 0.8*pts[0].Mean {
+		t.Fatalf("throughput collapse: %.4f -> %.4f", pts[0].Mean, pts[1].Mean)
+	}
+}
+
+func TestRunThroughputValidation(t *testing.T) {
+	if _, err := RunThroughput(Fig3Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}

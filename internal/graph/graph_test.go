@@ -1,0 +1,289 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// path builds a path graph 0-1-2-...-n-1.
+func path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+// cycle builds a cycle graph on n vertices.
+func cycle(n int) *Graph {
+	g := path(n)
+	g.MustAddEdge(n-1, 0)
+	return g
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 1); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Fatal("reversed duplicate edge accepted")
+	}
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := g.AddEdge(-1, 0); err == nil {
+		t.Fatal("negative endpoint accepted")
+	}
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M=%d want 1", g.M())
+	}
+}
+
+func TestHasEdgeAndDegree(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("HasEdge symmetric lookup failed")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("phantom edge")
+	}
+	if g.HasEdge(-1, 5) {
+		t.Fatal("out-of-range HasEdge returned true")
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Fatalf("degrees wrong: %d %d", g.Degree(1), g.Degree(3))
+	}
+	if g.MaxDegree() != 2 {
+		t.Fatalf("MaxDegree=%d", g.MaxDegree())
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(0, 3)
+	g.MustAddEdge(0, 1)
+	want := [][2]int{{0, 1}, {0, 3}, {2, 3}}
+	got := g.Edges()
+	if len(got) != len(want) {
+		t.Fatalf("edges %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edges %v want %v", got, want)
+		}
+	}
+}
+
+func TestBFSPath(t *testing.T) {
+	g := path(5)
+	res := g.BFS(0)
+	for v := 0; v < 5; v++ {
+		if int(res.Dist[v]) != v {
+			t.Fatalf("dist[%d]=%d", v, res.Dist[v])
+		}
+	}
+	if res.Parent[0] != -1 || res.Parent[3] != 2 {
+		t.Fatalf("parents wrong: %v", res.Parent)
+	}
+	if len(res.Order) != 5 || res.Order[0] != 0 {
+		t.Fatalf("order %v", res.Order)
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	res := g.BFS(0)
+	if res.Dist[2] != -1 || res.Parent[2] != -1 {
+		t.Fatal("unreachable vertex not marked -1")
+	}
+}
+
+func TestBFSDeterministicTree(t *testing.T) {
+	// Diamond: 0-1, 0-2, 1-3, 2-3. BFS from 0 must pick parent(3)=1
+	// (ascending neighbor order).
+	g := New(4)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(1, 3)
+	res := g.BFS(0)
+	if res.Parent[3] != 1 {
+		t.Fatalf("parent[3]=%d want 1 (deterministic order)", res.Parent[3])
+	}
+}
+
+func TestConnectedAndComponents(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(3, 4)
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components=%v", comps)
+	}
+	if comps[0][0] != 0 || comps[1][0] != 2 || comps[2][0] != 3 {
+		t.Fatalf("component ordering %v", comps)
+	}
+	if !path(6).Connected() {
+		t.Fatal("path reported disconnected")
+	}
+	if !New(0).Connected() || !New(1).Connected() {
+		t.Fatal("trivial graphs must be connected")
+	}
+}
+
+func TestAllPairsDist(t *testing.T) {
+	g := cycle(6)
+	d := g.AllPairsDist()
+	if d[0][3] != 3 || d[1][5] != 2 || d[2][2] != 0 {
+		t.Fatalf("cycle distances wrong: %v", d)
+	}
+	// Symmetry.
+	for u := 0; u < 6; u++ {
+		for v := 0; v < 6; v++ {
+			if d[u][v] != d[v][u] {
+				t.Fatalf("asymmetric distance %d,%d", u, v)
+			}
+		}
+	}
+}
+
+func TestEccentricityCenterDiameter(t *testing.T) {
+	g := path(5) // center is 2, diameter 4
+	if e := g.Eccentricity(0); e != 4 {
+		t.Fatalf("ecc(0)=%d", e)
+	}
+	if e := g.Eccentricity(2); e != 2 {
+		t.Fatalf("ecc(2)=%d", e)
+	}
+	if c := g.Center(); c != 2 {
+		t.Fatalf("center=%d", c)
+	}
+	if d := g.Diameter(); d != 4 {
+		t.Fatalf("diameter=%d", d)
+	}
+}
+
+func TestCenterTieBreaksToSmallestID(t *testing.T) {
+	g := path(4) // vertices 1 and 2 both have ecc 2
+	if c := g.Center(); c != 1 {
+		t.Fatalf("center=%d want 1", c)
+	}
+}
+
+func TestSpanningTree(t *testing.T) {
+	g := cycle(4)
+	edges := g.SpanningTree(0)
+	if len(edges) != 3 {
+		t.Fatalf("spanning tree edges %v", edges)
+	}
+	// Every non-root vertex appears exactly once as a child.
+	childSeen := map[int]bool{}
+	for _, e := range edges {
+		if childSeen[e[1]] {
+			t.Fatalf("vertex %d has two parents", e[1])
+		}
+		childSeen[e[1]] = true
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatalf("tree edge %v not in graph", e)
+		}
+	}
+	for v := 1; v < 4; v++ {
+		if !childSeen[v] {
+			t.Fatalf("vertex %d missing from tree", v)
+		}
+	}
+}
+
+func TestSpanningTreeDisconnectedPanics(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for disconnected spanning tree")
+		}
+	}()
+	g.SpanningTree(0)
+}
+
+func TestDOT(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1)
+	dot := g.DOT("g", func(v int) string { return "sw" })
+	for _, want := range []string{"graph g {", "0 -- 1;", `label="sw"`} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+// Property: on random connected graphs, BFS distance satisfies the triangle
+// inequality along edges: |d(u) - d(v)| <= 1 for every edge {u,v}.
+func TestBFSDistanceLipschitzProperty(t *testing.T) {
+	r := rng.New(1234)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(40)
+		g := randomConnected(r, n)
+		res := g.BFS(r.Intn(n))
+		for _, e := range g.Edges() {
+			du, dv := res.Dist[e[0]], res.Dist[e[1]]
+			diff := du - dv
+			if diff < -1 || diff > 1 {
+				t.Fatalf("edge %v has dist gap %d", e, diff)
+			}
+		}
+	}
+}
+
+// Property: spanning tree has n-1 edges and connects everything.
+func TestSpanningTreeProperty(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(40)
+		g := randomConnected(r, n)
+		root := r.Intn(n)
+		edges := g.SpanningTree(root)
+		if len(edges) != n-1 {
+			t.Fatalf("tree edge count %d want %d", len(edges), n-1)
+		}
+		tg := New(n)
+		for _, e := range edges {
+			tg.MustAddEdge(e[0], e[1])
+		}
+		if !tg.Connected() {
+			t.Fatal("spanning tree not connected")
+		}
+	}
+}
+
+// randomConnected builds a random connected graph: a random tree plus extras.
+func randomConnected(r *rng.Source, n int) *Graph {
+	g := New(n)
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(perm[i], perm[r.Intn(i)])
+	}
+	extra := r.Intn(n)
+	for i := 0; i < extra; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g
+}

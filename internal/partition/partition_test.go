@@ -1,0 +1,252 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/updown"
+)
+
+func rig(t *testing.T, n int, seed uint64) (*sim.Simulator, *updown.Labeling) {
+	t.Helper()
+	net, err := topology.RandomLattice(topology.DefaultLattice(n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := updown.New(net, updown.RootMinID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Params.MessageFlits = 16
+	s, err := sim.New(core.NewRouter(lab), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, lab
+}
+
+func allProcs(lab *updown.Labeling, skip topology.NodeID) []topology.NodeID {
+	var out []topology.NodeID
+	net := lab.Net
+	for i := 0; i < net.NumProcs; i++ {
+		d := topology.NodeID(net.NumSwitches + i)
+		if d != skip {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// checkCover asserts the groups exactly cover dests with no duplicates.
+func checkCover(t *testing.T, groups [][]topology.NodeID, dests []topology.NodeID) {
+	t.Helper()
+	seen := map[topology.NodeID]int{}
+	total := 0
+	for _, g := range groups {
+		if len(g) == 0 {
+			t.Fatal("empty group")
+		}
+		for _, d := range g {
+			seen[d]++
+			total++
+		}
+	}
+	if total != len(dests) {
+		t.Fatalf("groups cover %d nodes, want %d", total, len(dests))
+	}
+	for _, d := range dests {
+		if seen[d] != 1 {
+			t.Fatalf("dest %d appears %d times", d, seen[d])
+		}
+	}
+}
+
+func TestPartitionNone(t *testing.T) {
+	_, lab := rig(t, 16, 1)
+	dests := allProcs(lab, topology.NodeID(lab.Net.NumSwitches))
+	groups, err := Partition(lab, None, dests, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 {
+		t.Fatalf("None produced %d groups", len(groups))
+	}
+	checkCover(t, groups, dests)
+}
+
+func TestPartitionBySubtree(t *testing.T) {
+	_, lab := rig(t, 32, 2)
+	dests := allProcs(lab, topology.NodeID(lab.Net.NumSwitches))
+	groups, err := Partition(lab, BySubtree, dests, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCover(t, groups, dests)
+	// Every group must share a root-child anchor.
+	for _, g := range groups {
+		want := anchorUnderRoot(lab, g[0])
+		for _, d := range g {
+			if anchorUnderRoot(lab, d) != want {
+				t.Fatalf("group mixes anchors: %v", g)
+			}
+		}
+	}
+	// With a broadcast destination set there must be more than one group
+	// (the root has more than one child in any nontrivial lattice).
+	if len(groups) < 2 {
+		t.Fatalf("subtree partition produced %d group(s)", len(groups))
+	}
+}
+
+func TestPartitionKWayDFS(t *testing.T) {
+	_, lab := rig(t, 32, 3)
+	dests := allProcs(lab, topology.NodeID(lab.Net.NumSwitches))
+	for _, k := range []int{1, 2, 3, 7, 100} {
+		groups, err := Partition(lab, KWayDFS, dests, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkCover(t, groups, dests)
+		wantGroups := k
+		if wantGroups > len(dests) {
+			wantGroups = len(dests)
+		}
+		if len(groups) != wantGroups {
+			t.Fatalf("k=%d produced %d groups", k, len(groups))
+		}
+	}
+	// DFS contiguity: concatenating groups yields DFS-sorted order.
+	groups, _ := Partition(lab, KWayDFS, dests, 4)
+	pos := dfsOrder(lab)
+	prev := -1
+	for _, g := range groups {
+		for _, d := range g {
+			if pos[d] <= prev {
+				t.Fatal("k-way groups not in DFS order")
+			}
+			prev = pos[d]
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	_, lab := rig(t, 8, 4)
+	if _, err := Partition(lab, None, nil, 0); err == nil {
+		t.Fatal("empty dests accepted")
+	}
+	if _, err := Partition(lab, KWayDFS, allProcs(lab, -1), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Partition(lab, Strategy(9), allProcs(lab, -1), 1); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestSendPartitionedBroadcast(t *testing.T) {
+	for _, strat := range []Strategy{None, BySubtree, KWayDFS} {
+		s, lab := rig(t, 24, 5)
+		src := topology.NodeID(lab.Net.NumSwitches)
+		dests := allProcs(lab, src)
+		run, err := Send(s, lab, strat, 3, 0, src, dests)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if err := s.RunUntilIdle(1e13); err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if !run.Completed() {
+			t.Fatalf("%v: incomplete", strat)
+		}
+		if run.Latency() <= 0 {
+			t.Fatalf("%v: non-positive latency", strat)
+		}
+		// Every destination is covered by exactly one worm.
+		covered := map[topology.NodeID]int{}
+		for _, w := range run.Worms {
+			for _, d := range w.Dests {
+				covered[d]++
+			}
+		}
+		for _, d := range dests {
+			if covered[d] != 1 {
+				t.Fatalf("%v: dest %d covered %d times", strat, d, covered[d])
+			}
+		}
+	}
+}
+
+func TestPartitionedCostsMoreStartupsButWorks(t *testing.T) {
+	// Partitioned multicast pays one startup per group at the source, so
+	// a 4-way partition from one source is slower at zero load; the win
+	// appears only under root contention. Assert the basic relation.
+	sNone, lab := rig(t, 32, 6)
+	src := topology.NodeID(lab.Net.NumSwitches)
+	dests := allProcs(lab, src)
+	runNone, err := Send(sNone, lab, None, 0, 0, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sNone.RunUntilIdle(1e13); err != nil {
+		t.Fatal(err)
+	}
+	sK, lab2 := rig(t, 32, 6)
+	runK, err := Send(sK, lab2, KWayDFS, 4, 0, src, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sK.RunUntilIdle(1e13); err != nil {
+		t.Fatal(err)
+	}
+	if runK.Latency() <= runNone.Latency() {
+		t.Fatalf("4-way partition (%d) should cost more than single worm (%d) at zero load",
+			runK.Latency(), runNone.Latency())
+	}
+}
+
+func TestDFSOrderIsPermutation(t *testing.T) {
+	_, lab := rig(t, 20, 7)
+	pos := dfsOrder(lab)
+	if len(pos) != lab.Net.N() {
+		t.Fatalf("dfs order covers %d of %d nodes", len(pos), lab.Net.N())
+	}
+	seen := make([]bool, lab.Net.N())
+	for _, p := range pos {
+		if p < 0 || p >= lab.Net.N() || seen[p] {
+			t.Fatal("dfs order not a permutation")
+		}
+		seen[p] = true
+	}
+	if pos[lab.Root] != 0 {
+		t.Fatal("root not first in preorder")
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	if None.String() != "none" || BySubtree.String() != "by-subtree" || KWayDFS.String() != "k-way-dfs" {
+		t.Fatal("strategy strings wrong")
+	}
+}
+
+func TestPartitionRandomSubsetsProperty(t *testing.T) {
+	r := rng.New(88)
+	_, lab := rig(t, 40, 8)
+	net := lab.Net
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + r.Intn(net.NumProcs)
+		var dests []topology.NodeID
+		for _, i := range r.Choose(net.NumProcs, k) {
+			dests = append(dests, topology.NodeID(net.NumSwitches+i))
+		}
+		for _, strat := range []Strategy{None, BySubtree, KWayDFS} {
+			groups, err := Partition(lab, strat, dests, 1+r.Intn(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkCover(t, groups, dests)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package rng provides a small, deterministic pseudo-random number generator
+// (xoshiro256** seeded with splitmix64) plus the samplers the experiments
+// need: uniform integers and floats, permutations, k-subsets, geometric,
+// negative binomial and exponential variates.
+//
+// Every simulator instance owns its own *Source so that replications are
+// reproducible and can run in parallel without shared state.
+package rng
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Source is a xoshiro256** generator. It is not safe for concurrent use;
+// give each goroutine its own Source (see Split).
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from the given seed using splitmix64, so any
+// seed (including 0) yields a well-mixed state.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		src.s[i] = z ^ (z >> 31)
+	}
+	return &src
+}
+
+// Split derives an independent child generator; the parent advances.
+// Useful to hand deterministic sub-streams to parallel replications.
+func (r *Source) Split() *Source {
+	return New(r.Uint64() ^ 0xd3833e804f4c574b)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("rng: Intn(%d) with non-positive bound", n))
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform integer in [0, n) using Lemire's method with a
+// rejection step to avoid modulo bias. It panics if n == 0.
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n(0)")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Int63 returns a non-negative int64.
+func (r *Source) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Source) Bool(p float64) bool { return r.Float64() < p }
+
+// Perm returns a random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles the slice in place (Fisher–Yates).
+func (r *Source) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Shuffle shuffles n elements using the provided swap function.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Choose returns k distinct integers drawn uniformly from [0, n), in random
+// order. It panics if k > n or k < 0.
+func (r *Source) Choose(n, k int) []int {
+	if k < 0 || k > n {
+		panic(fmt.Sprintf("rng: Choose(%d, %d) out of range", n, k))
+	}
+	// Partial Fisher–Yates: O(n) space, O(k) swaps. For the sizes used here
+	// (n <= a few hundred) this is simplest and exact.
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p[:k:k]
+}
+
+// Geometric returns the number of Bernoulli(p) failures before the first
+// success; support {0, 1, 2, ...}, mean (1-p)/p. It panics unless 0 < p <= 1.
+func (r *Source) Geometric(p float64) int64 {
+	if p <= 0 || p > 1 {
+		panic(fmt.Sprintf("rng: Geometric(%g) needs 0 < p <= 1", p))
+	}
+	if p == 1 {
+		return 0
+	}
+	// Inversion: floor(ln U / ln(1-p)).
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return int64(math.Log(u) / math.Log(1-p))
+}
+
+// NegBinomial returns the number of failures before the rth success of a
+// Bernoulli(p) process: support {0, 1, ...}, mean r(1-p)/p. It is the sum of
+// r independent geometrics, which is exact and fast for the small r used by
+// the traffic generators.
+func (r *Source) NegBinomial(successes int, p float64) int64 {
+	if successes <= 0 {
+		panic(fmt.Sprintf("rng: NegBinomial r=%d must be positive", successes))
+	}
+	var total int64
+	for i := 0; i < successes; i++ {
+		total += r.Geometric(p)
+	}
+	return total
+}
+
+// NegBinomialP solves for the Bernoulli parameter p such that NegBinomial(r, p)
+// has the given mean. mean must be positive.
+func NegBinomialP(r int, mean float64) float64 {
+	if mean <= 0 || r <= 0 {
+		panic(fmt.Sprintf("rng: NegBinomialP(%d, %g) out of domain", r, mean))
+	}
+	// mean = r(1-p)/p  =>  p = r / (mean + r)
+	return float64(r) / (mean + float64(r))
+}
+
+// Exp returns an exponential variate with the given mean.
+func (r *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic(fmt.Sprintf("rng: Exp(%g) needs positive mean", mean))
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}

@@ -1,0 +1,368 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 identical outputs from different seeds", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	r := New(0)
+	// splitmix seeding must not produce the degenerate all-zero state.
+	if r.s == [4]uint64{} {
+		t.Fatal("all-zero state from seed 0")
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("only %d distinct outputs in 100 draws", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling splits produced identical first output")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d)=%d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	r := New(1)
+	for _, n := range []int{0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			r.Intn(n)
+		}()
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(777)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d too far from %v", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64=%v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean=%v want ~0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(11)
+	for _, n := range []int{0, 1, 2, 17, 128} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestChoose(t *testing.T) {
+	r := New(21)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(50)
+		k := r.Intn(n + 1)
+		c := r.Choose(n, k)
+		if len(c) != k {
+			t.Fatalf("Choose(%d,%d) returned %d items", n, k, len(c))
+		}
+		seen := map[int]bool{}
+		for _, v := range c {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Choose(%d,%d) invalid: %v", n, k, c)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestChoosePanics(t *testing.T) {
+	r := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Choose(2,3) did not panic")
+		}
+	}()
+	r.Choose(2, 3)
+}
+
+func TestChooseCoversAll(t *testing.T) {
+	// Choosing k=n must yield every element.
+	r := New(2)
+	c := r.Choose(10, 10)
+	seen := make([]bool, 10)
+	for _, v := range c {
+		seen[v] = true
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("Choose(10,10) missing %d", i)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(31)
+	const p, draws = 0.25, 200000
+	var sum float64
+	for i := 0; i < draws; i++ {
+		g := r.Geometric(p)
+		if g < 0 {
+			t.Fatalf("negative geometric %d", g)
+		}
+		sum += float64(g)
+	}
+	want := (1 - p) / p // = 3
+	if mean := sum / draws; math.Abs(mean-want) > 0.1 {
+		t.Fatalf("geometric mean=%v want %v", mean, want)
+	}
+}
+
+func TestGeometricPOne(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		if g := r.Geometric(1); g != 0 {
+			t.Fatalf("Geometric(1)=%d want 0", g)
+		}
+	}
+}
+
+func TestNegBinomialMean(t *testing.T) {
+	r := New(41)
+	const successes, draws = 3, 100000
+	const p = 0.2
+	var sum float64
+	for i := 0; i < draws; i++ {
+		sum += float64(r.NegBinomial(successes, p))
+	}
+	want := float64(successes) * (1 - p) / p // = 12
+	if mean := sum / draws; math.Abs(mean-want) > 0.25 {
+		t.Fatalf("negbinomial mean=%v want %v", mean, want)
+	}
+}
+
+func TestNegBinomialP(t *testing.T) {
+	for _, c := range []struct {
+		r    int
+		mean float64
+	}{{1, 1}, {2, 10}, {2, 2500}, {5, 0.5}} {
+		p := NegBinomialP(c.r, c.mean)
+		if p <= 0 || p > 1 {
+			t.Fatalf("NegBinomialP(%d,%g)=%g out of (0,1]", c.r, c.mean, p)
+		}
+		back := float64(c.r) * (1 - p) / p
+		if math.Abs(back-c.mean) > 1e-9*c.mean+1e-12 {
+			t.Fatalf("round-trip mean %g want %g", back, c.mean)
+		}
+	}
+}
+
+func TestNegBinomialSampledMeanMatchesSolvedP(t *testing.T) {
+	r := New(51)
+	const rr, mean, draws = 2, 40.0, 100000
+	p := NegBinomialP(rr, mean)
+	var sum float64
+	for i := 0; i < draws; i++ {
+		sum += float64(r.NegBinomial(rr, p))
+	}
+	if got := sum / draws; math.Abs(got-mean) > 0.02*mean {
+		t.Fatalf("sampled mean %v want ~%v", got, mean)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(61)
+	const mean, draws = 20.0, 200000
+	var sum float64
+	for i := 0; i < draws; i++ {
+		e := r.Exp(mean)
+		if e < 0 {
+			t.Fatalf("negative Exp %v", e)
+		}
+		sum += e
+	}
+	if got := sum / draws; math.Abs(got-mean) > 0.02*mean {
+		t.Fatalf("Exp mean=%v want ~%v", got, mean)
+	}
+}
+
+func TestPanicsOnBadDistributionParams(t *testing.T) {
+	r := New(1)
+	cases := []func(){
+		func() { r.Geometric(0) },
+		func() { r.Geometric(1.5) },
+		func() { r.NegBinomial(0, 0.5) },
+		func() { r.Exp(0) },
+		func() { NegBinomialP(0, 1) },
+		func() { NegBinomialP(1, -2) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 10000; i++ {
+		if v := r.Int63(); v < 0 {
+			t.Fatalf("Int63 returned %d", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(18)
+	const draws = 100000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / draws
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit rate %v", frac)
+	}
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	hits = 0
+	for i := 0; i < 100; i++ {
+		if r.Bool(1.1) {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Fatal("Bool(>1) not always true")
+	}
+}
+
+func TestShuffleSwapFunc(t *testing.T) {
+	r := New(19)
+	s := []string{"a", "b", "c", "d", "e", "f"}
+	orig := append([]string(nil), s...)
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	seen := map[string]bool{}
+	for _, v := range s {
+		seen[v] = true
+	}
+	for _, v := range orig {
+		if !seen[v] {
+			t.Fatalf("element %q lost in shuffle", v)
+		}
+	}
+	// Shuffling zero or one element is a no-op, not a panic.
+	r.Shuffle(0, func(i, j int) { t.Fatal("swap called for n=0") })
+	r.Shuffle(1, func(i, j int) { t.Fatal("swap called for n=1") })
+}
+
+func TestUint64nSmallBoundsUnbiased(t *testing.T) {
+	// Exercise the rejection path with a bound just above a power of two.
+	r := New(20)
+	const n = (1 << 62) + 3
+	for i := 0; i < 1000; i++ {
+		if v := r.Uint64n(n); v >= n {
+			t.Fatalf("Uint64n out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	r.Uint64n(0)
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNegBinomial(b *testing.B) {
+	r := New(1)
+	p := NegBinomialP(2, 2500)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += r.NegBinomial(2, p)
+	}
+	_ = sink
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// DumpState renders every non-idle channel — reservations, buffered flits,
+// in-flight transmissions, credits and OCRQ contents — as a human-readable
+// snapshot. cmd/deadlockcheck prints it when a stall is detected, and it is
+// the first tool to reach for when an engine invariant breaks.
+func (s *Simulator) DumpState() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "t=%d outstanding=%d events=%d\n", s.now, s.outstanding, s.counters.Events)
+	for c := range s.chans {
+		cs := &s.chans[c]
+		if len(cs.ocrq) == 0 && cs.reserved == nil && len(cs.inBuf) == 0 && !cs.outOcc {
+			continue
+		}
+		ch := s.net.Chan(topology.ChannelID(c))
+		fmt.Fprintf(&sb, "ch %d (%d->%d):", c, ch.Src, ch.Dst)
+		if cs.reserved != nil {
+			fmt.Fprintf(&sb, " reserved=w%d", cs.reserved.worm.ID)
+		}
+		if cs.outOcc {
+			fmt.Fprintf(&sb, " out=[w%d %v inflight=%v]", cs.outBuf.w.ID, cs.outBuf.kind, cs.inFlight)
+		}
+		fmt.Fprintf(&sb, " credits=%d", cs.credits)
+		if len(cs.inBuf) > 0 {
+			sb.WriteString(" in=[")
+			for i, fl := range cs.inBuf {
+				if i > 0 {
+					sb.WriteByte(' ')
+				}
+				fmt.Fprintf(&sb, "w%d:%v", fl.w.ID, fl.kind)
+			}
+			sb.WriteString("]")
+		}
+		for _, seg := range cs.ocrq {
+			fmt.Fprintf(&sb, " q:w%d(acq=%v)", seg.worm.ID, seg.acquired)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// CheckInvariants verifies the engine's structural invariants at the
+// current instant; tests call it after draining a simulation:
+//
+//  1. credit conservation: credits + buffered + in-flight == capacity;
+//  2. reservations and OCRQ entries reference live (unfinished) segments;
+//  3. an idle simulator (no outstanding worms) holds no flits anywhere.
+func (s *Simulator) CheckInvariants() error {
+	for c := range s.chans {
+		cs := &s.chans[c]
+		inFlight := 0
+		if cs.inFlight {
+			inFlight = 1
+		}
+		if cs.credits+len(cs.inBuf)+inFlight != s.cfg.InputBufFlits {
+			return fmt.Errorf("sim: channel %d credit leak: credits=%d buffered=%d inflight=%d cap=%d",
+				c, cs.credits, len(cs.inBuf), inFlight, s.cfg.InputBufFlits)
+		}
+		if cs.reserved != nil && cs.reserved.done {
+			return fmt.Errorf("sim: channel %d reserved by finished segment (worm %d)",
+				c, cs.reserved.worm.ID)
+		}
+		for _, seg := range cs.ocrq {
+			if seg.done {
+				return fmt.Errorf("sim: channel %d OCRQ holds finished segment (worm %d)",
+					c, seg.worm.ID)
+			}
+		}
+		if s.outstanding == 0 {
+			if cs.outOcc || len(cs.inBuf) != 0 || cs.reserved != nil || len(cs.ocrq) != 0 {
+				return fmt.Errorf("sim: idle simulator but channel %d not drained", c)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestDumpStateShowsLiveTraffic(t *testing.T) {
+	s, _ := fig1Sim(t, DefaultConfig())
+	if _, err := s.Submit(0, 6, []topology.NodeID{7, 8, 9, 10}); err != nil {
+		t.Fatal(err)
+	}
+	// Run into the middle of the transfer.
+	if err := s.Run(10500); err != nil {
+		t.Fatal(err)
+	}
+	dump := s.DumpState()
+	if !strings.Contains(dump, "reserved=w1") {
+		t.Fatalf("dump shows no reservation:\n%s", dump)
+	}
+	if !strings.Contains(dump, "outstanding=1") {
+		t.Fatalf("dump header wrong:\n%s", dump)
+	}
+}
+
+func TestDumpStateQuietWhenIdle(t *testing.T) {
+	s, _ := fig1Sim(t, DefaultConfig())
+	if _, err := s.Submit(0, 6, []topology.NodeID{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilIdle(idleCap); err != nil {
+		t.Fatal(err)
+	}
+	dump := s.DumpState()
+	// Only the header line remains: every channel is drained.
+	if strings.Count(dump, "\n") != 1 {
+		t.Fatalf("idle dump not empty:\n%s", dump)
+	}
+}
+
+func TestCheckInvariantsCleanRuns(t *testing.T) {
+	for _, buf := range []int{1, 2, 4} {
+		cfg := DefaultConfig()
+		cfg.Params.MessageFlits = 16
+		cfg.InputBufFlits = buf
+		s, _ := fig1Sim(t, cfg)
+		for i, src := range []topology.NodeID{6, 7, 8, 9, 10} {
+			dests := []topology.NodeID{}
+			for _, d := range []topology.NodeID{6, 7, 8, 9, 10} {
+				if d != src {
+					dests = append(dests, d)
+				}
+			}
+			if _, err := s.Submit(int64(i)*200, src, dests); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.RunUntilIdle(idleCap); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("buf=%d: %v", buf, err)
+		}
+	}
+}
+
+func TestCheckInvariantsMidFlight(t *testing.T) {
+	// Credit conservation must hold at every instant, not only when idle.
+	s, _ := fig1Sim(t, DefaultConfig())
+	if _, err := s.Submit(0, 6, []topology.NodeID{7, 8, 9, 10}); err != nil {
+		t.Fatal(err)
+	}
+	for _, checkpoint := range []int64{10050, 10150, 10500, 11000} {
+		if err := s.Run(checkpoint); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("at t=%d: %v", checkpoint, err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package sim
+
+// evKind enumerates the simulator's event types.
+type evKind uint8
+
+const (
+	// evArrive: a flit finishes crossing channel `a` and arrives at the
+	// destination node's input side.
+	evArrive evKind = iota
+	// evRoute: the router-setup delay for the header at the head of input
+	// buffer `a` has elapsed; make the routing decision.
+	evRoute
+	// evStartup: the startup latency at processor index `a` has elapsed;
+	// begin injecting the head-of-queue worm.
+	evStartup
+	// evWatchdog: periodic progress / deadlock check.
+	evWatchdog
+	// evCall: invoke the attached closure (used by traffic generators and
+	// Submit scheduling).
+	evCall
+)
+
+// event is one scheduled simulator event. Ties on time are broken by the
+// monotonically increasing sequence number so runs are deterministic.
+type event struct {
+	t    int64
+	seq  uint64
+	kind evKind
+	a    int32
+	fl   flit
+	call func()
+}
+
+// eventHeap is a binary min-heap ordered by (t, seq). It is hand-rolled
+// rather than using container/heap to avoid interface boxing in the hot
+// loop: the simulator pushes and pops tens of millions of events per run.
+type eventHeap struct {
+	ev []event
+}
+
+func (h *eventHeap) Len() int { return len(h.ev) }
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.ev[i].t != h.ev[j].t {
+		return h.ev[i].t < h.ev[j].t
+	}
+	return h.ev[i].seq < h.ev[j].seq
+}
+
+// Push inserts an event.
+func (h *eventHeap) Push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the earliest event. It panics on an empty heap.
+func (h *eventHeap) Pop() event {
+	top := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev[last] = event{} // release closure references
+	h.ev = h.ev[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.ev) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.ev) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.ev[i], h.ev[smallest] = h.ev[smallest], h.ev[i]
+		i = smallest
+	}
+	return top
+}
+
+// Peek returns the earliest event without removing it.
+func (h *eventHeap) Peek() event { return h.ev[0] }

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/updown"
+)
+
+// TestStressGeneralIrregular exercises the engine on fully arbitrary
+// irregular topologies (random spanning tree + random extra links), not
+// just the paper's lattice model — the generality SPAM claims.
+func TestStressGeneralIrregular(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		net, err := topology.RandomIrregular(topology.GNMConfig{
+			Switches:       48,
+			ExtraLinks:     30,
+			MaxSwitchLinks: 7,
+			Seed:           seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lab, err := updown.New(net, updown.RootStrategy(seed%3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := shortCfg()
+		s, err := New(core.NewRouter(lab), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(seed * 31)
+		var worms []*Worm
+		for i := 0; i < 250; i++ {
+			src := topology.NodeID(net.NumSwitches + r.Intn(net.NumProcs))
+			var dests []topology.NodeID
+			k := 1
+			if r.Bool(0.35) {
+				k = 2 + r.Intn(12)
+			}
+			for _, pi := range r.Choose(net.NumProcs, k) {
+				if d := topology.NodeID(net.NumSwitches + pi); d != src {
+					dests = append(dests, d)
+				}
+			}
+			if len(dests) == 0 {
+				continue
+			}
+			w, err := s.Submit(int64(r.Intn(80000)), src, dests)
+			if err != nil {
+				t.Fatal(err)
+			}
+			worms = append(worms, w)
+		}
+		if err := s.RunUntilIdle(1e13); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, w := range worms {
+			if !w.Completed() {
+				t.Fatalf("seed %d: worm %d incomplete", seed, w.ID)
+			}
+		}
+	}
+}
+
+func TestLatencyDecomposition(t *testing.T) {
+	cfg := DefaultConfig()
+	s, _ := fig1Sim(t, cfg)
+	w1, err := s.Submit(0, 6, []topology.NodeID{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := s.Submit(0, 6, []topology.NodeID{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilIdle(idleCap); err != nil {
+		t.Fatal(err)
+	}
+	// First message: no queueing.
+	if w1.QueueWaitNs() != 0 {
+		t.Fatalf("w1 queue wait %d", w1.QueueWaitNs())
+	}
+	// Second message queued behind the first's startup+injection.
+	if w2.QueueWaitNs() <= 0 {
+		t.Fatalf("w2 queue wait %d", w2.QueueWaitNs())
+	}
+	startup := cfg.Params.StartupNs
+	// Decomposition identity: latency = queue + startup + network.
+	for _, w := range []*Worm{w1, w2} {
+		if w.QueueWaitNs()+startup+w.NetworkNs(startup) != w.Latency() {
+			t.Fatalf("worm %d decomposition does not add up", w.ID)
+		}
+		if w.NetworkNs(startup) <= 0 {
+			t.Fatalf("worm %d network time %d", w.ID, w.NetworkNs(startup))
+		}
+	}
+}

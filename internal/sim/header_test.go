@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestHeaderEncodingLengthensWorm(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Params.MessageFlits = 32
+	cfg.AddrsPerHeaderFlit = 2
+	s, _ := fig1Sim(t, cfg)
+	w, err := s.Submit(0, 6, []topology.NodeID{7, 8, 9, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 destinations at 2 addrs/flit = 2 header flits = 1 extra.
+	if w.Flits != 33 {
+		t.Fatalf("flits=%d want 33", w.Flits)
+	}
+	if err := s.RunUntilIdle(idleCap); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Completed() {
+		t.Fatal("incomplete")
+	}
+}
+
+func TestHeaderEncodingUnicastUnchanged(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Params.MessageFlits = 32
+	cfg.AddrsPerHeaderFlit = 2
+	s, _ := fig1Sim(t, cfg)
+	w, err := s.Submit(0, 6, []topology.NodeID{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Flits != 32 {
+		t.Fatalf("unicast flits=%d want 32", w.Flits)
+	}
+	if err := s.RunUntilIdle(idleCap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderEncodingLatencyCost(t *testing.T) {
+	// Extra address flits must cost exactly extra * propagation at the
+	// pipeline tail under zero load.
+	lat := func(addrsPerFlit int) int64 {
+		cfg := DefaultConfig()
+		cfg.AddrsPerHeaderFlit = addrsPerFlit
+		s, _ := fig1Sim(t, cfg)
+		w, err := s.Submit(0, 6, []topology.NodeID{7, 8, 9, 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RunUntilIdle(idleCap); err != nil {
+			t.Fatal(err)
+		}
+		return w.Latency()
+	}
+	ideal := lat(0)
+	encoded := lat(1) // 4 dests = 4 header flits = 3 extra
+	if encoded-ideal != 3*10 {
+		t.Fatalf("encoding cost %d ns want 30", encoded-ideal)
+	}
+}
+
+func TestHeaderEncodingDefaultOff(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.AddrsPerHeaderFlit != 0 {
+		t.Fatal("default must be the single-header abstraction")
+	}
+}

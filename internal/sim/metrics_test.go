@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestChannelLoadsAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Params.MessageFlits = 16
+	s, r := fig1Sim(t, cfg)
+	if _, err := s.Submit(0, 6, []topology.NodeID{7, 8, 9, 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilIdle(idleCap); err != nil {
+		t.Fatal(err)
+	}
+	loads := s.ChannelLoads()
+	if len(loads) != len(r.Net.Channels) {
+		t.Fatalf("loads cover %d channels want %d", len(loads), len(r.Net.Channels))
+	}
+	// Sorted descending by payload.
+	for i := 1; i < len(loads); i++ {
+		if loads[i-1].Payload < loads[i].Payload {
+			t.Fatal("loads not sorted")
+		}
+	}
+	// Every channel on the multicast route carried exactly 16 payload
+	// flits; unused channels carried none.
+	var used, unused int
+	for _, l := range loads {
+		switch l.Payload {
+		case 16:
+			used++
+			if l.Reservations != 1 {
+				t.Fatalf("used channel %d has %d reservations", l.Channel, l.Reservations)
+			}
+		case 0:
+			unused++
+			if l.Reservations != 0 {
+				t.Fatalf("unused channel %d has reservations", l.Channel)
+			}
+		default:
+			t.Fatalf("channel %d carried %d flits (want 0 or 16)", l.Channel, l.Payload)
+		}
+	}
+	// Route: injection + 2 cross + 2 tree-splits + ... = 9 channels total
+	// (3 to LCA + 6 in the distribution tree).
+	if used != 9 {
+		t.Fatalf("%d channels used, want 9", used)
+	}
+}
+
+func TestNodeThroughLoad(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Params.MessageFlits = 8
+	s, _ := fig1Sim(t, cfg)
+	if _, err := s.Submit(0, 6, []topology.NodeID{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilIdle(idleCap); err != nil {
+		t.Fatal(err)
+	}
+	// Unicast path 6 -> 1 -> 2 -> 3 -> 4 -> 7: switch 3 sees 8 flits in.
+	if got := s.NodeThroughLoad(3); got != 8 {
+		t.Fatalf("switch 3 through-load %d want 8", got)
+	}
+	// Destination processor 7 received the full message.
+	if got := s.NodeThroughLoad(7); got != 8 {
+		t.Fatalf("proc 7 through-load %d want 8", got)
+	}
+	// Unrelated switch 5 saw nothing.
+	if got := s.NodeThroughLoad(5); got != 0 {
+		t.Fatalf("switch 5 through-load %d want 0", got)
+	}
+}
+
+func TestRootShareGrowsWithDestinations(t *testing.T) {
+	// The Section-5 hot-spot claim: the more destinations, the larger the
+	// share of traffic forced through the root. On Figure 1 (root 0) a
+	// local multicast to procs on switch 4 avoids the root entirely,
+	// while a multicast spanning both sides of the tree cannot.
+	measure := func(dests []topology.NodeID) float64 {
+		cfg := DefaultConfig()
+		cfg.Params.MessageFlits = 8
+		s, _ := fig1Sim(t, cfg)
+		if _, err := s.Submit(0, 7, dests); err != nil { // src proc 7 on switch 4
+			t.Fatal(err)
+		}
+		if err := s.RunUntilIdle(idleCap); err != nil {
+			t.Fatal(err)
+		}
+		return s.RootShare(0)
+	}
+	local := measure([]topology.NodeID{8, 9})  // same switch
+	global := measure([]topology.NodeID{6, 8}) // proc 6 hangs under switch 1: other side
+	if local != 0 {
+		t.Fatalf("local multicast root share %v want 0", local)
+	}
+	if global <= 0 {
+		t.Fatalf("cross-tree multicast root share %v want > 0", global)
+	}
+}
+
+func TestQueuePeakUnderHotSpot(t *testing.T) {
+	s, _ := fig1Sim(t, DefaultConfig())
+	// Three senders target proc 7. Procs 8 and 9 sit on the same switch
+	// as 7 and race for the consumption channel immediately; proc 6
+	// arrives later over a disjoint path while the first still holds the
+	// channel, so the OCRQ must reach depth >= 2.
+	for _, src := range []topology.NodeID{8, 9, 6} {
+		if _, err := s.Submit(0, src, []topology.NodeID{7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.RunUntilIdle(idleCap); err != nil {
+		t.Fatal(err)
+	}
+	consumption := s.net.ChannelBetween(4, 7)
+	peak := 0
+	for _, l := range s.ChannelLoads() {
+		if l.Channel == consumption {
+			peak = l.QueuePeak
+		}
+	}
+	if peak < 2 {
+		t.Fatalf("consumption channel queue peak %d want >= 2", peak)
+	}
+}

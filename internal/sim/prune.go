@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"repro/internal/topology"
+)
+
+// pruneBlocked implements the branch-pruning discipline of Malumbres, Duato
+// and Torrellas (the asynchronous tree-based scheme the paper's related-work
+// section contrasts SPAM with): at a distribution split, branches whose
+// output channels are not immediately available are cut from the worm
+// instead of waited for; the destinations they would have served are
+// recorded on the worm so the sender can retry them with a fresh worm (and
+// a fresh startup — which is why the scheme degrades for long messages that
+// hold channels longer and prune more).
+//
+// Pruning can cut every branch at a router: the returned set is then empty
+// and the caller turns the segment into a sink that absorbs the incoming
+// flits (the branch dies here; the destinations are retried from the
+// source). Phase 1 (to the LCA) still uses SPAM's waiting — the pruning
+// scheme concerns the distribution tree.
+func (s *Simulator) pruneBlocked(w *Worm, at topology.NodeID, outs []topology.ChannelID) []topology.ChannelID {
+	var free, blocked []topology.ChannelID
+	for _, o := range outs {
+		cs := &s.chans[o]
+		if cs.reserved == nil && !cs.outOcc && len(cs.ocrq) == 0 {
+			free = append(free, o)
+		} else {
+			blocked = append(blocked, o)
+		}
+	}
+	if len(blocked) == 0 {
+		return outs
+	}
+	for _, b := range blocked {
+		sub := s.net.Chan(b).Dst
+		if s.net.IsProcessor(sub) {
+			s.pruneDest(w, sub)
+			continue
+		}
+		// Every destination in the blocked child's subtree is cut.
+		w.DestSet.ForEach(func(d int) bool {
+			dd := topology.NodeID(d)
+			if s.router.Lab.IsAncestor(sub, dd) {
+				s.pruneDest(w, dd)
+			}
+			return true
+		})
+	}
+	s.logf("t=%d worm %d: pruned %d branch(es) at switch %d", s.now, w.ID, len(blocked), at)
+	s.emit(TraceEvent{Kind: TracePruned, Worm: w.ID, Node: at, Channels: blocked, Remaining: w.remaining})
+	return free
+}
+
+// pruneDest removes one destination from a worm's outstanding set.
+func (s *Simulator) pruneDest(w *Worm, d topology.NodeID) {
+	if !w.DestSet.Test(int(d)) {
+		return
+	}
+	w.DestSet.Clear(int(d))
+	w.PrunedDests = append(w.PrunedDests, d)
+	w.remaining--
+	if w.remaining == 0 {
+		w.DoneNs = s.now
+		w.completed = true
+		s.outstanding--
+		s.counters.WormsCompleted++
+		s.emit(TraceEvent{Kind: TraceCompleted, Worm: w.ID, Node: d})
+		if w.OnComplete != nil {
+			w.OnComplete(w, s.now)
+		}
+	}
+}

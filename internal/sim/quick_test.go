@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/updown"
+)
+
+// Property (quick): arbitrary message mixes on the Figure-1 network always
+// complete, conserve payload (every destination gets the tail), and leave
+// the network fully drained (no residual reservations or buffered flits).
+func TestQuickFigure1AlwaysDrains(t *testing.T) {
+	net, err := topology.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := updown.NewWithRoot(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := core.NewRouter(lab)
+
+	f := func(plan []uint32, bufSel uint8) bool {
+		cfg := DefaultConfig()
+		cfg.Params.MessageFlits = 8
+		cfg.InputBufFlits = 1 + int(bufSel%4)
+		s, err := New(router, cfg)
+		if err != nil {
+			return false
+		}
+		if len(plan) > 60 {
+			plan = plan[:60]
+		}
+		var worms []*Worm
+		for i, p := range plan {
+			src := topology.NodeID(6 + int(p%5)) // procs are 6..10
+			destMask := (p >> 3) % 32
+			var dests []topology.NodeID
+			for b := 0; b < 5; b++ {
+				d := topology.NodeID(6 + b)
+				if destMask&(1<<uint(b)) != 0 && d != src {
+					dests = append(dests, d)
+				}
+			}
+			if len(dests) == 0 {
+				continue
+			}
+			at := int64(i) * int64(p%700)
+			w, err := s.Submit(at, src, dests)
+			if err != nil {
+				return false
+			}
+			worms = append(worms, w)
+		}
+		if err := s.RunUntilIdle(1e13); err != nil {
+			return false
+		}
+		for _, w := range worms {
+			if !w.Completed() {
+				return false
+			}
+			for _, at := range w.ArrivalNs {
+				if at < w.SubmitNs {
+					return false
+				}
+			}
+		}
+		// Network fully drained.
+		for c := range s.chans {
+			cs := &s.chans[c]
+			if cs.reserved != nil || cs.outOcc || len(cs.inBuf) != 0 || len(cs.ocrq) != 0 {
+				return false
+			}
+		}
+		return s.WaitCycle() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (quick): latency is invariant to submission-order-preserving
+// time shifts — shifting every submission by a constant shifts completions
+// by exactly that constant (time-translation invariance of the engine).
+func TestQuickTimeTranslationInvariance(t *testing.T) {
+	net, err := topology.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := updown.NewWithRoot(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := core.NewRouter(lab)
+
+	run := func(shift int64) []int64 {
+		cfg := DefaultConfig()
+		cfg.Params.MessageFlits = 16
+		s, err := New(router, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs := []struct {
+			at    int64
+			src   topology.NodeID
+			dests []topology.NodeID
+		}{
+			{0, 6, []topology.NodeID{7, 10}},
+			{300, 8, []topology.NodeID{6}},
+			{900, 10, []topology.NodeID{7, 8, 9}},
+		}
+		var ws []*Worm
+		for _, sub := range subs {
+			w, err := s.Submit(sub.at+shift, sub.src, sub.dests)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws = append(ws, w)
+		}
+		if err := s.RunUntilIdle(1e13); err != nil {
+			t.Fatal(err)
+		}
+		var lats []int64
+		for _, w := range ws {
+			lats = append(lats, w.Latency())
+		}
+		return lats
+	}
+
+	f := func(shiftRaw uint32) bool {
+		shift := int64(shiftRaw % 1_000_000)
+		base := run(0)
+		shifted := run(shift)
+		for i := range base {
+			if base[i] != shifted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

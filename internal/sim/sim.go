@@ -1,0 +1,664 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// Simulator is a deterministic, single-threaded flit-level wormhole
+// simulator over one labeled network.
+type Simulator struct {
+	router *core.Router
+	net    *topology.Network
+	cfg    Config
+
+	now  int64
+	seq  uint64
+	heap eventHeap
+
+	chans []chanState
+	procs []procState
+	// segAtInput[c] is the segment currently consuming input channel c at
+	// its destination router.
+	segAtInput []*segment
+
+	nextWormID  int64
+	outstanding int
+	counters    Counters
+
+	lastProgress uint64 // PayloadFlitHops at last watchdog tick
+	lastActivity uint64 // non-watchdog events at last watchdog tick
+	stalledFor   int
+	watchdogOn   bool
+	// pendingWork counts scheduled non-watchdog events; when it reaches
+	// zero with worms outstanding and no progress, nothing can ever
+	// happen again (hard deadlock).
+	pendingWork int64
+	activity    uint64 // non-watchdog events processed
+	tracer      func(TraceEvent)
+	err         error
+}
+
+// New builds a simulator over the given SPAM router.
+func New(router *core.Router, cfg Config) (*Simulator, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.normalize()
+	s := &Simulator{
+		router:     router,
+		net:        router.Net,
+		cfg:        cfg,
+		chans:      make([]chanState, len(router.Net.Channels)),
+		procs:      make([]procState, router.Net.NumProcs),
+		segAtInput: make([]*segment, len(router.Net.Channels)),
+	}
+	for i := range s.chans {
+		s.chans[i].credits = cfg.InputBufFlits
+	}
+	return s, nil
+}
+
+// Now returns the current simulated time in nanoseconds.
+func (s *Simulator) Now() int64 { return s.now }
+
+// Counters returns aggregate statistics so far.
+func (s *Simulator) Counters() Counters { return s.counters }
+
+// Outstanding returns the number of submitted-but-incomplete worms.
+func (s *Simulator) Outstanding() int { return s.outstanding }
+
+// Err returns the sticky simulator error (deadlock/stall detection).
+func (s *Simulator) Err() error { return s.err }
+
+func (s *Simulator) schedule(t int64, kind evKind, a int32, fl flit) {
+	s.seq++
+	if kind != evWatchdog {
+		s.pendingWork++
+	}
+	s.heap.Push(event{t: t, seq: s.seq, kind: kind, a: a, fl: fl})
+}
+
+// At schedules fn to run at simulated time t (>= now). Traffic generators
+// use this to drive open-loop arrival processes.
+func (s *Simulator) At(t int64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	s.pendingWork++
+	s.heap.Push(event{t: t, seq: s.seq, kind: evCall, call: fn})
+}
+
+// Submit schedules a message for injection at simulated time `at`: the worm
+// joins the source processor's queue, serializes behind earlier messages,
+// pays the startup latency and then worms through the network. The returned
+// Worm's hooks (OnDelivered/OnComplete) may be set before the next Run call.
+func (s *Simulator) Submit(at int64, src topology.NodeID, dests []topology.NodeID) (*Worm, error) {
+	if !s.net.IsProcessor(src) {
+		return nil, fmt.Errorf("sim: source %d is not a processor", src)
+	}
+	ds, err := s.router.DestSet(dests)
+	if err != nil {
+		return nil, err
+	}
+	s.nextWormID++
+	flits := s.cfg.Params.MessageFlits
+	if a := s.cfg.AddrsPerHeaderFlit; a > 0 {
+		flits += (len(dests)+a-1)/a - 1
+	}
+	if s.cfg.StoreAndForward && flits > s.cfg.InputBufFlits {
+		return nil, fmt.Errorf("sim: store-and-forward packet of %d flits exceeds the %d-flit input buffers — the very limitation SPAM removes",
+			flits, s.cfg.InputBufFlits)
+	}
+	w := &Worm{
+		ID:        s.nextWormID,
+		Src:       src,
+		Dests:     append([]topology.NodeID(nil), dests...),
+		DestSet:   ds,
+		LCA:       s.router.LCASwitch(dests),
+		Flits:     flits,
+		SubmitNs:  at,
+		ArrivalNs: make([]int64, len(dests)),
+		remaining: len(dests),
+	}
+	if at < s.now {
+		w.SubmitNs = s.now
+	}
+	s.outstanding++
+	s.counters.WormsSubmitted++
+	s.armWatchdog()
+	s.At(w.SubmitNs, func() { s.enqueueWorm(w) })
+	return w, nil
+}
+
+func (s *Simulator) armWatchdog() {
+	if s.watchdogOn || s.cfg.WatchdogNs <= 0 {
+		return
+	}
+	s.watchdogOn = true
+	s.schedule(s.now+s.cfg.WatchdogNs, evWatchdog, 0, flit{})
+}
+
+func (s *Simulator) procIndex(p topology.NodeID) int32 {
+	return int32(int(p) - s.net.NumSwitches)
+}
+
+func (s *Simulator) enqueueWorm(w *Worm) {
+	pi := s.procIndex(w.Src)
+	ps := &s.procs[pi]
+	ps.queue = append(ps.queue, w)
+	s.startNextInjection(pi)
+}
+
+func (s *Simulator) startNextInjection(pi int32) {
+	ps := &s.procs[pi]
+	if ps.busy || len(ps.queue) == 0 {
+		return
+	}
+	ps.busy = true
+	w := ps.queue[0]
+	w.InjectStartNs = s.now
+	s.schedule(s.now+s.cfg.Params.StartupNs, evStartup, pi, flit{})
+}
+
+// Run processes events until the heap is exhausted, simulated time passes
+// `until`, or an error is detected. It returns the sticky error, if any.
+func (s *Simulator) Run(until int64) error {
+	for s.err == nil && s.heap.Len() > 0 && s.heap.Peek().t <= until {
+		s.step()
+	}
+	return s.err
+}
+
+// RunUntilIdle processes events until no worms are outstanding (or the time
+// cap passes, which is reported as an error unless everything completed).
+func (s *Simulator) RunUntilIdle(cap int64) error {
+	for s.err == nil && s.outstanding > 0 && s.heap.Len() > 0 && s.heap.Peek().t <= cap {
+		s.step()
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if s.outstanding > 0 {
+		return fmt.Errorf("sim: %d worms outstanding at time cap %d ns", s.outstanding, cap)
+	}
+	return nil
+}
+
+func (s *Simulator) fail(format string, args ...any) {
+	if s.err == nil {
+		s.err = fmt.Errorf("sim: "+format, args...)
+	}
+}
+
+func (s *Simulator) step() {
+	ev := s.heap.Pop()
+	s.now = ev.t
+	s.counters.Events++
+	if s.counters.Events > s.cfg.MaxEvents {
+		s.fail("event budget %d exhausted at t=%d", s.cfg.MaxEvents, s.now)
+		return
+	}
+	if ev.kind != evWatchdog {
+		s.pendingWork--
+		s.activity++
+	}
+	switch ev.kind {
+	case evArrive:
+		s.onArrive(topology.ChannelID(ev.a), ev.fl)
+	case evRoute:
+		s.onRoute(topology.ChannelID(ev.a))
+	case evStartup:
+		s.onStartup(ev.a)
+	case evWatchdog:
+		s.onWatchdog()
+	case evCall:
+		ev.call()
+	}
+}
+
+// onStartup begins injecting the head-of-queue worm at processor index pi.
+func (s *Simulator) onStartup(pi int32) {
+	ps := &s.procs[pi]
+	w := ps.queue[0]
+	ps.queue = ps.queue[1:]
+	src := topology.NodeID(int(pi) + s.net.NumSwitches)
+	inj := s.net.ChannelBetween(src, s.net.SwitchOf(src))
+	seg := &segment{worm: w, router: src, in: topology.None, outs: []topology.ChannelID{inj}, source: true}
+	s.logf("t=%d worm %d: startup done at proc %d, requesting injection channel", s.now, w.ID, src)
+	s.emit(TraceEvent{Kind: TraceStartup, Worm: w.ID, Node: src})
+	s.enqueueRequests(seg)
+}
+
+// enqueueRequests atomically appends seg to the OCRQ of every requested
+// output channel, then attempts acquisition.
+func (s *Simulator) enqueueRequests(seg *segment) {
+	for _, o := range seg.outs {
+		cs := &s.chans[o]
+		cs.ocrq = append(cs.ocrq, seg)
+		if len(cs.ocrq) > cs.queuePeak {
+			cs.queuePeak = len(cs.ocrq)
+		}
+	}
+	s.tryAcquire(seg)
+}
+
+// tryAcquire acquires all of seg's requested channels if seg heads every
+// OCRQ and every channel is unreserved with an empty output buffer; the
+// header flit is then replicated into the output buffers.
+func (s *Simulator) tryAcquire(seg *segment) {
+	if seg.acquired || seg.done {
+		return
+	}
+	for _, o := range seg.outs {
+		cs := &s.chans[o]
+		if cs.reserved != nil || cs.outOcc || len(cs.ocrq) == 0 || cs.ocrq[0] != seg {
+			s.counters.HeaderAcquireWait++
+			return
+		}
+	}
+	for _, o := range seg.outs {
+		cs := &s.chans[o]
+		cs.ocrq = cs.ocrq[1:]
+		cs.reserved = seg
+		cs.reservationCount++
+	}
+	seg.acquired = true
+	if seg.source {
+		s.logf("t=%d worm %d: injection channel acquired at proc %d", s.now, seg.worm.ID, seg.router)
+		s.sourceAdvance(seg)
+		return
+	}
+	// Replicate the header from the input buffer to every output buffer.
+	cs := &s.chans[seg.in]
+	head := cs.inBuf[0]
+	if head.kind != Header || head.w != seg.worm {
+		s.fail("worm %d: input head of channel %d is %v during acquire", seg.worm.ID, seg.in, head.kind)
+		return
+	}
+	hdr := head
+	hdr.dist = seg.dist
+	for _, o := range seg.outs {
+		s.putOutBuf(o, hdr)
+	}
+	s.logf("t=%d worm %d: acquired %d channel(s) at switch %d", s.now, seg.worm.ID, len(seg.outs), seg.router)
+	s.emit(TraceEvent{Kind: TraceAcquired, Worm: seg.worm.ID, Node: seg.router, Channels: seg.outs})
+	s.popInput(seg.in)
+}
+
+// sourceAdvance emits the next flit of a source segment whenever the
+// injection channel's output buffer is free.
+func (s *Simulator) sourceAdvance(seg *segment) {
+	if seg.done || !seg.acquired {
+		return
+	}
+	o := seg.outs[0]
+	if s.chans[o].outOcc {
+		return
+	}
+	w := seg.worm
+	kind := Data
+	switch {
+	case seg.nextFlit == 0:
+		kind = Header
+	case int(seg.nextFlit) == w.Flits-1:
+		kind = Tail
+	}
+	s.putOutBuf(o, flit{w: w, kind: kind, seq: seg.nextFlit})
+	seg.nextFlit++
+	if kind == Tail {
+		s.releaseChannels(seg)
+		seg.done = true
+		pi := s.procIndex(w.Src)
+		s.procs[pi].busy = false
+		s.startNextInjection(pi)
+	}
+}
+
+// putOutBuf places a flit into an empty output buffer and starts the wire if
+// possible.
+func (s *Simulator) putOutBuf(o topology.ChannelID, fl flit) {
+	cs := &s.chans[o]
+	if cs.outOcc {
+		s.fail("output buffer of channel %d already occupied", o)
+		return
+	}
+	cs.outBuf = fl
+	cs.outOcc = true
+	s.trySend(o)
+}
+
+// trySend launches the output-buffer flit onto the wire when the wire is
+// idle and the destination input buffer has a free slot (a credit).
+func (s *Simulator) trySend(o topology.ChannelID) {
+	cs := &s.chans[o]
+	if !cs.outOcc || cs.inFlight || cs.credits == 0 {
+		return
+	}
+	cs.inFlight = true
+	cs.credits--
+	s.schedule(s.now+s.cfg.Params.ChanPropNs, evArrive, int32(o), cs.outBuf)
+}
+
+// onArrive completes a flit's flight over channel c: deliver it to the
+// destination node, then let the upstream segment refill the output buffer.
+func (s *Simulator) onArrive(c topology.ChannelID, fl flit) {
+	cs := &s.chans[c]
+	cs.outOcc = false
+	cs.inFlight = false
+	if fl.kind == Bubble {
+		cs.bubbleCount++
+	} else {
+		cs.payloadCount++
+	}
+	dst := s.net.Chan(c).Dst
+
+	if s.net.IsProcessor(dst) {
+		// Consumption: the processor drains its input instantly.
+		cs.credits++
+		s.consume(dst, fl)
+	} else {
+		cs.inBuf = append(cs.inBuf, fl)
+		if fl.kind != Bubble {
+			s.counters.PayloadFlitHops++
+		} else {
+			s.counters.BubbleFlitHops++
+		}
+		if len(cs.inBuf) == 1 {
+			s.dispatchHead(c)
+		} else if s.cfg.StoreAndForward && fl.kind == Tail &&
+			cs.inBuf[0].kind == Header && cs.inBuf[0].w == fl.w {
+			// IBR: the packet is now fully buffered; route it.
+			s.schedule(s.now+s.cfg.Params.RouterSetupNs, evRoute, int32(c), flit{})
+		}
+	}
+
+	// The output buffer is empty again: refill it from the owning segment
+	// or let the next OCRQ head acquire the channel.
+	if cs.reserved != nil {
+		if cs.reserved.source {
+			s.sourceAdvance(cs.reserved)
+		} else {
+			s.segAdvance(cs.reserved)
+		}
+	} else if len(cs.ocrq) > 0 {
+		s.tryAcquire(cs.ocrq[0])
+	}
+}
+
+// consume handles a flit arriving at a destination processor.
+func (s *Simulator) consume(proc topology.NodeID, fl flit) {
+	if fl.kind == Bubble {
+		s.counters.BubbleFlitHops++
+		return
+	}
+	s.counters.PayloadFlitHops++
+	if fl.kind != Tail {
+		return
+	}
+	w := fl.w
+	for i, d := range w.Dests {
+		if d == proc {
+			w.ArrivalNs[i] = s.now
+			break
+		}
+	}
+	w.remaining--
+	s.logf("t=%d worm %d: tail delivered at proc %d (%d remaining)", s.now, w.ID, proc, w.remaining)
+	s.emit(TraceEvent{Kind: TraceDelivered, Worm: w.ID, Node: proc, Remaining: w.remaining})
+	if w.OnDelivered != nil {
+		w.OnDelivered(w, proc, s.now)
+	}
+	if w.remaining == 0 {
+		w.DoneNs = s.now
+		w.completed = true
+		s.outstanding--
+		s.counters.WormsCompleted++
+		s.emit(TraceEvent{Kind: TraceCompleted, Worm: w.ID, Node: proc})
+		if w.OnComplete != nil {
+			w.OnComplete(w, s.now)
+		}
+	}
+}
+
+// dispatchHead reacts to a flit reaching the head of input buffer c at a
+// switch: headers start the router-setup delay; other flits advance their
+// segment.
+func (s *Simulator) dispatchHead(c topology.ChannelID) {
+	cs := &s.chans[c]
+	head := cs.inBuf[0]
+	if head.kind == Header {
+		if s.cfg.StoreAndForward {
+			// IBR absorbs the whole packet before routing: route now
+			// only if the tail is already buffered (it arrived while
+			// an earlier worm still occupied the head); otherwise the
+			// tail's arrival triggers routing.
+			for _, fl := range cs.inBuf[1:] {
+				if fl.kind == Tail && fl.w == head.w {
+					s.schedule(s.now+s.cfg.Params.RouterSetupNs, evRoute, int32(c), flit{})
+					break
+				}
+			}
+			return
+		}
+		s.schedule(s.now+s.cfg.Params.RouterSetupNs, evRoute, int32(c), flit{})
+		return
+	}
+	seg := s.segAtInput[c]
+	if seg == nil {
+		s.fail("worm %d: %v flit at head of channel %d with no segment", head.w.ID, head.kind, c)
+		return
+	}
+	s.segAdvance(seg)
+}
+
+// onRoute makes the routing decision for the header at the head of input
+// buffer c and enqueues its output-channel requests atomically.
+func (s *Simulator) onRoute(c topology.ChannelID) {
+	cs := &s.chans[c]
+	if len(cs.inBuf) == 0 || cs.inBuf[0].kind != Header {
+		s.fail("route event on channel %d without header at head", c)
+		return
+	}
+	head := cs.inBuf[0]
+	w := head.w
+	at := s.net.Chan(c).Dst
+	dist := head.dist || at == w.LCA
+
+	var outs []topology.ChannelID
+	if dist {
+		outs = s.router.DistributionOutputs(at, w.DestSet)
+		if len(outs) == 0 {
+			s.fail("worm %d: no distribution outputs at switch %d", w.ID, at)
+			return
+		}
+		if w.Prune {
+			outs = s.pruneBlocked(w, at, outs)
+			// All branches pruned: the segment becomes a sink that
+			// absorbs the incoming worm (empty outs acquire
+			// trivially and every flit is consumed on pop).
+		}
+	} else {
+		arrival := core.ArrivalOf(s.router.Lab.ClassOf[c])
+		cands := s.router.CandidateOutputs(at, arrival, w.LCA)
+		if len(cands) == 0 {
+			s.fail("worm %d: no route at switch %d toward LCA %d", w.ID, at, w.LCA)
+			return
+		}
+		pick := cands[0].Channel
+		// Adaptive selection: prefer the highest-priority channel that
+		// is immediately acquirable.
+		for _, cand := range cands {
+			ocs := &s.chans[cand.Channel]
+			if ocs.reserved == nil && !ocs.outOcc && len(ocs.ocrq) == 0 {
+				pick = cand.Channel
+				break
+			}
+		}
+		outs = []topology.ChannelID{pick}
+	}
+	seg := &segment{worm: w, router: at, in: c, outs: outs, dist: dist, copied: make([]bool, len(outs))}
+	s.segAtInput[c] = seg
+	s.logf("t=%d worm %d: header at switch %d (dist=%v) requests %v", s.now, w.ID, at, dist, outs)
+	s.emit(TraceEvent{Kind: TraceRouted, Worm: w.ID, Node: at, Dist: dist, Channels: outs})
+	s.enqueueRequests(seg)
+}
+
+// segAdvance moves the worm at a switch segment forward using per-branch
+// asynchronous replication: every owned output buffer copies the current
+// head flit of the input buffer as soon as that buffer individually becomes
+// free; the head flit is consumed once every branch has copied it. Branches
+// that have already copied the current flit and drain again while a sibling
+// branch is still blocked receive bubble flits, so their heads keep
+// advancing independently (the paper's bubble mechanism). Copying
+// per-branch rather than all-at-once is essential: an all-or-nothing copy
+// plus eager bubbles livelocks as soon as two branches drift out of phase,
+// because each newly freed buffer would be refilled with a bubble while the
+// other is busy.
+func (s *Simulator) segAdvance(seg *segment) {
+	if seg.done {
+		return
+	}
+	if !seg.acquired {
+		s.tryAcquire(seg)
+		return
+	}
+	cs := &s.chans[seg.in]
+	if len(cs.inBuf) == 0 {
+		return // upstream has not delivered the next flit yet
+	}
+	head := cs.inBuf[0]
+	if head.w != seg.worm {
+		s.fail("worm %d: foreign flit (worm %d) at head of channel %d", seg.worm.ID, head.w.ID, seg.in)
+		return
+	}
+	if head.kind == Bubble {
+		// Bubbles are filler, not payload: forward into whatever buffers
+		// are free (the previous real flit is fully replicated, so every
+		// branch is in sync; laggard-free branches simply miss it).
+		for _, o := range seg.outs {
+			if !s.chans[o].outOcc {
+				s.putOutBuf(o, flit{w: seg.worm, kind: Bubble})
+			}
+		}
+		s.popInput(seg.in)
+		return
+	}
+	// Copy the real flit into every free branch that does not have it yet.
+	allCopied := true
+	for i, o := range seg.outs {
+		if seg.copied[i] {
+			continue
+		}
+		if s.chans[o].outOcc {
+			allCopied = false
+			continue
+		}
+		s.putOutBuf(o, head)
+		seg.copied[i] = true
+	}
+	if allCopied {
+		for i := range seg.copied {
+			seg.copied[i] = false
+		}
+		if head.kind == Tail {
+			s.releaseChannels(seg)
+			seg.done = true
+			s.segAtInput[seg.in] = nil
+		}
+		s.popInput(seg.in)
+		return
+	}
+	// Some branch is still blocked on this flit: keep the branches that
+	// already copied it moving with bubbles (never after the tail — a
+	// branch that copied the tail is finished).
+	if head.kind != Tail {
+		for i, o := range seg.outs {
+			if seg.copied[i] && !s.chans[o].outOcc {
+				s.putOutBuf(o, flit{w: seg.worm, kind: Bubble})
+			}
+		}
+	}
+}
+
+// releaseChannels releases seg's reservations (invoked when the tail has
+// been replicated to the output buffers, per the paper) and wakes waiting
+// OCRQ heads.
+func (s *Simulator) releaseChannels(seg *segment) {
+	for _, o := range seg.outs {
+		cs := &s.chans[o]
+		cs.reserved = nil
+		if len(cs.ocrq) > 0 {
+			s.tryAcquire(cs.ocrq[0])
+		}
+	}
+}
+
+// popInput removes the head flit of input buffer c, returns the credit to
+// the upstream sender and dispatches the next head if any.
+func (s *Simulator) popInput(c topology.ChannelID) {
+	cs := &s.chans[c]
+	copy(cs.inBuf, cs.inBuf[1:])
+	cs.inBuf = cs.inBuf[:len(cs.inBuf)-1]
+	cs.credits++
+	s.trySend(c)
+	if len(cs.inBuf) > 0 {
+		s.dispatchHead(c)
+	}
+}
+
+func (s *Simulator) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// onWatchdog checks for forward progress; on sustained stalls it inspects
+// the wait-for graph and reports deadlock. Three situations are told apart:
+//
+//   - payload advanced since the last check: healthy, reset;
+//   - no payload progress and no scheduled work left: hard deadlock —
+//     nothing can ever happen again, fail immediately;
+//   - no payload progress but events still churn (e.g. bubble traffic):
+//     possible livelock, fail after StallChecks consecutive intervals;
+//   - no payload progress and no events processed, but work is scheduled
+//     for the future (a quiet gap before submissions): not a stall.
+func (s *Simulator) onWatchdog() {
+	s.watchdogOn = false
+	if s.outstanding == 0 {
+		return
+	}
+	progressed := s.counters.PayloadFlitHops != s.lastProgress
+	active := s.activity != s.lastActivity
+	s.lastProgress = s.counters.PayloadFlitHops
+	s.lastActivity = s.activity
+	switch {
+	case progressed:
+		s.stalledFor = 0
+	case s.pendingWork == 0:
+		if cycle := s.WaitCycle(); cycle != nil {
+			s.fail("deadlock detected at t=%d: worm wait cycle %v", s.now, cycle)
+		} else {
+			s.fail("hard stall at t=%d: %d worms outstanding, nothing scheduled", s.now, s.outstanding)
+		}
+		return
+	case active:
+		s.stalledFor++
+		if cycle := s.WaitCycle(); cycle != nil {
+			s.fail("deadlock detected at t=%d: worm wait cycle %v", s.now, cycle)
+			return
+		}
+		if s.stalledFor >= s.cfg.StallChecks {
+			s.fail("no payload progress for %d watchdog intervals at t=%d with %d worms outstanding",
+				s.stalledFor, s.now, s.outstanding)
+			return
+		}
+	default:
+		// Quiet gap awaiting scheduled work.
+		s.stalledFor = 0
+	}
+	s.armWatchdog()
+}

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/updown"
+)
+
+// stressNetwork drives a burst of random unicast and multicast traffic
+// through a random lattice and requires every worm to complete — the
+// empirical counterpart of the paper's Theorems 1 and 2 (deadlock and
+// livelock freedom). Short messages keep runtime low while maximizing the
+// number of concurrently live worms.
+func stressNetwork(t *testing.T, nSwitches int, seed uint64, msgs int, cfg Config) {
+	t.Helper()
+	net, err := topology.RandomLattice(topology.DefaultLattice(nSwitches, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := updown.New(net, updown.RootStrategy(seed%3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(core.NewRouter(lab), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed*7779 + 1)
+	var worms []*Worm
+	for i := 0; i < msgs; i++ {
+		srcIdx := r.Intn(net.NumProcs)
+		src := topology.NodeID(net.NumSwitches + srcIdx)
+		var dests []topology.NodeID
+		if r.Bool(0.3) && net.NumProcs > 2 {
+			k := 2 + r.Intn(min(net.NumProcs-1, 16))
+			for _, pi := range r.Choose(net.NumProcs, k) {
+				d := topology.NodeID(net.NumSwitches + pi)
+				if d != src {
+					dests = append(dests, d)
+				}
+			}
+		}
+		if len(dests) == 0 {
+			for {
+				d := topology.NodeID(net.NumSwitches + r.Intn(net.NumProcs))
+				if d != src {
+					dests = append(dests, d)
+					break
+				}
+			}
+		}
+		at := int64(r.Intn(msgs * 300))
+		w, err := s.Submit(at, src, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worms = append(worms, w)
+	}
+	if err := s.RunUntilIdle(1e13); err != nil {
+		t.Fatalf("n=%d seed=%d: %v", nSwitches, seed, err)
+	}
+	for _, w := range worms {
+		if !w.Completed() {
+			t.Fatalf("n=%d seed=%d: worm %d incomplete", nSwitches, seed, w.ID)
+		}
+	}
+	if cyc := s.WaitCycle(); cyc != nil {
+		t.Fatalf("n=%d seed=%d: residual wait cycle %v", nSwitches, seed, cyc)
+	}
+}
+
+func shortCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Params.MessageFlits = 8
+	return cfg
+}
+
+func TestStressSmallNetworks(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		stressNetwork(t, 8+int(seed)*3, seed, 120, shortCfg())
+	}
+}
+
+func TestStressMediumNetwork(t *testing.T) {
+	stressNetwork(t, 64, 11, 400, shortCfg())
+}
+
+func TestStressPaperScaleNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale stress skipped in -short")
+	}
+	stressNetwork(t, 128, 12, 600, shortCfg())
+}
+
+func TestStressPaperMessageLength(t *testing.T) {
+	// Full 128-flit messages with single-flit buffers on a mid-size net.
+	stressNetwork(t, 32, 21, 150, DefaultConfig())
+}
+
+func TestStressLargerInputBuffers(t *testing.T) {
+	for _, buf := range []int{2, 4} {
+		cfg := shortCfg()
+		cfg.InputBufFlits = buf
+		stressNetwork(t, 32, uint64(30+buf), 200, cfg)
+	}
+}
+
+func TestStressBroadcastStorm(t *testing.T) {
+	// Every processor broadcasts to everyone else at nearly the same time:
+	// maximum root hot-spotting, maximum split contention.
+	net, err := topology.RandomLattice(topology.DefaultLattice(24, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := updown.New(net, updown.RootMinID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shortCfg()
+	s, err := New(core.NewRouter(lab), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worms []*Worm
+	for pi := 0; pi < net.NumProcs; pi++ {
+		src := topology.NodeID(net.NumSwitches + pi)
+		var dests []topology.NodeID
+		for pj := 0; pj < net.NumProcs; pj++ {
+			if pj != pi {
+				dests = append(dests, topology.NodeID(net.NumSwitches+pj))
+			}
+		}
+		w, err := s.Submit(int64(pi)*37, src, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worms = append(worms, w)
+	}
+	if err := s.RunUntilIdle(1e13); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range worms {
+		if !w.Completed() {
+			t.Fatalf("broadcast worm %d incomplete", w.ID)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

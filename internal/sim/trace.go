@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/topology"
+)
+
+// TraceKind enumerates the structured trace events the engine emits.
+type TraceKind string
+
+const (
+	// TraceStartup: the source processor finished the startup phase.
+	TraceStartup TraceKind = "startup"
+	// TraceRouted: a header made its routing decision at a switch.
+	TraceRouted TraceKind = "routed"
+	// TraceAcquired: a segment acquired all its output channels.
+	TraceAcquired TraceKind = "acquired"
+	// TracePruned: branch pruning cut destinations (Prune mode).
+	TracePruned TraceKind = "pruned"
+	// TraceDelivered: a tail flit reached a destination processor.
+	TraceDelivered TraceKind = "delivered"
+	// TraceCompleted: a worm finished (all destinations accounted for).
+	TraceCompleted TraceKind = "completed"
+)
+
+// TraceEvent is one structured milestone in a worm's life. Channel lists
+// are only populated where meaningful for the kind.
+type TraceEvent struct {
+	T    int64           `json:"t"`
+	Kind TraceKind       `json:"kind"`
+	Worm int64           `json:"worm"`
+	Node topology.NodeID `json:"node"`
+	// Dist marks distribution-phase routing decisions.
+	Dist bool `json:"dist,omitempty"`
+	// Channels lists requested/acquired output channels.
+	Channels []topology.ChannelID `json:"channels,omitempty"`
+	// Remaining is the worm's outstanding destination count.
+	Remaining int `json:"remaining,omitempty"`
+}
+
+// SetTracer installs a structured trace consumer (nil disables). Install
+// before submitting traffic; the callback runs synchronously inside the
+// event loop, so keep it cheap or buffer.
+func (s *Simulator) SetTracer(fn func(TraceEvent)) { s.tracer = fn }
+
+// JSONLTracer returns a tracer that writes one JSON object per line to w.
+// Encoding errors surface through the simulator's sticky error.
+func (s *Simulator) JSONLTracer(w io.Writer) func(TraceEvent) {
+	enc := json.NewEncoder(w)
+	return func(ev TraceEvent) {
+		if err := enc.Encode(ev); err != nil {
+			s.fail("trace encoding: %v", err)
+		}
+	}
+}
+
+func (s *Simulator) emit(ev TraceEvent) {
+	if s.tracer != nil {
+		ev.T = s.now
+		s.tracer(ev)
+	}
+}
+
+// TraceSummary condenses a captured trace into per-kind counts — handy in
+// tests and for sanity-checking large runs.
+func TraceSummary(events []TraceEvent) map[TraceKind]int {
+	out := map[TraceKind]int{}
+	for _, ev := range events {
+		out[ev.Kind]++
+	}
+	return out
+}
+
+// FormatTrace renders events in the compact human layout used by examples.
+func FormatTrace(events []TraceEvent) string {
+	var out string
+	for _, ev := range events {
+		out += fmt.Sprintf("t=%-8d %-10s worm=%d node=%d", ev.T, ev.Kind, ev.Worm, ev.Node)
+		if len(ev.Channels) > 0 {
+			out += fmt.Sprintf(" channels=%v", ev.Channels)
+		}
+		if ev.Kind == TraceDelivered || ev.Kind == TraceCompleted {
+			out += fmt.Sprintf(" remaining=%d", ev.Remaining)
+		}
+		out += "\n"
+	}
+	return out
+}

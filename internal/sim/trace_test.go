@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestStructuredTraceMilestones(t *testing.T) {
+	s, _ := fig1Sim(t, DefaultConfig())
+	var events []TraceEvent
+	s.SetTracer(func(ev TraceEvent) { events = append(events, ev) })
+	if _, err := s.Submit(0, 6, []topology.NodeID{7, 8, 9, 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilIdle(idleCap); err != nil {
+		t.Fatal(err)
+	}
+	sum := TraceSummary(events)
+	if sum[TraceStartup] != 1 {
+		t.Fatalf("startups=%d", sum[TraceStartup])
+	}
+	// Header routed at switches 1, 2, 3, 4, 5.
+	if sum[TraceRouted] != 5 || sum[TraceAcquired] != 5 {
+		t.Fatalf("routed=%d acquired=%d", sum[TraceRouted], sum[TraceAcquired])
+	}
+	if sum[TraceDelivered] != 4 || sum[TraceCompleted] != 1 {
+		t.Fatalf("delivered=%d completed=%d", sum[TraceDelivered], sum[TraceCompleted])
+	}
+	if sum[TracePruned] != 0 {
+		t.Fatalf("phantom pruning: %d", sum[TracePruned])
+	}
+	// Timestamps are non-decreasing.
+	for i := 1; i < len(events); i++ {
+		if events[i].T < events[i-1].T {
+			t.Fatal("trace timestamps out of order")
+		}
+	}
+	// Distribution decisions are flagged.
+	distCount := 0
+	for _, ev := range events {
+		if ev.Kind == TraceRouted && ev.Dist {
+			distCount++
+		}
+	}
+	if distCount != 3 { // switches 3 (LCA), 4, 5
+		t.Fatalf("dist routing decisions=%d want 3", distCount)
+	}
+}
+
+func TestJSONLTracer(t *testing.T) {
+	s, _ := fig1Sim(t, DefaultConfig())
+	var buf bytes.Buffer
+	s.SetTracer(s.JSONLTracer(&buf))
+	if _, err := s.Submit(0, 6, []topology.NodeID{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilIdle(idleCap); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("only %d trace lines", len(lines))
+	}
+	for _, line := range lines {
+		var ev TraceEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("invalid JSONL %q: %v", line, err)
+		}
+		if ev.Worm != 1 {
+			t.Fatalf("wrong worm id in %q", line)
+		}
+	}
+}
+
+func TestTracePrunedEvents(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Params.MessageFlits = 256
+	s, _ := fig1Sim(t, cfg)
+	var events []TraceEvent
+	s.SetTracer(func(ev TraceEvent) { events = append(events, ev) })
+	// Blocker holds (4,7); the pruning multicast must emit TracePruned.
+	if _, err := s.Submit(0, 8, []topology.NodeID{7}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.Submit(500, 6, []topology.NodeID{7, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Prune = true
+	if err := s.RunUntilIdle(idleCap); err != nil {
+		t.Fatal(err)
+	}
+	if TraceSummary(events)[TracePruned] == 0 {
+		t.Fatal("no pruned events recorded")
+	}
+}
+
+func TestFormatTrace(t *testing.T) {
+	out := FormatTrace([]TraceEvent{
+		{T: 10, Kind: TraceStartup, Worm: 1, Node: 6},
+		{T: 20, Kind: TraceAcquired, Worm: 1, Node: 3, Channels: []topology.ChannelID{8, 10}},
+		{T: 30, Kind: TraceDelivered, Worm: 1, Node: 7, Remaining: 2},
+	})
+	for _, want := range []string{"startup", "channels=[8 10]", "remaining=2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted trace missing %q:\n%s", want, out)
+		}
+	}
+}

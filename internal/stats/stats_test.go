@@ -1,0 +1,301 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestStreamBasics(t *testing.T) {
+	var s Stream
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N=%d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean=%v", s.Mean())
+	}
+	// Known population: sample variance = 32/7.
+	if math.Abs(s.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("variance=%v", s.Variance())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestStreamEmptyAndSingle(t *testing.T) {
+	var s Stream
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdErr() != 0 {
+		t.Fatal("empty stream nonzero")
+	}
+	if !math.IsInf(s.CI95(), 1) {
+		t.Fatal("empty CI must be infinite")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.Variance() != 0 {
+		t.Fatal("single-element stats wrong")
+	}
+	if !math.IsInf(s.CI95(), 1) {
+		t.Fatal("n=1 CI must be infinite")
+	}
+}
+
+func TestCI95KnownCase(t *testing.T) {
+	// n=5, sd=1: CI95 = t(4) * 1/sqrt(5) = 2.776/2.2360.
+	var s Stream
+	for _, x := range []float64{-1.264911064, -0.632455532, 0, 0.632455532, 1.264911064} {
+		s.Add(x * 1.0) // constructed to have sd exactly 1
+	}
+	if math.Abs(s.StdDev()-1) > 1e-9 {
+		t.Fatalf("sd=%v", s.StdDev())
+	}
+	want := 2.776 / math.Sqrt(5)
+	if math.Abs(s.CI95()-want) > 1e-9 {
+		t.Fatalf("CI95=%v want %v", s.CI95(), want)
+	}
+}
+
+func TestCI95Relative(t *testing.T) {
+	var s Stream
+	for i := 0; i < 1000; i++ {
+		s.Add(100) // zero variance
+	}
+	if rel := s.CI95Relative(); rel != 0 {
+		t.Fatalf("relative CI of constant stream = %v", rel)
+	}
+	var z Stream
+	z.Add(0)
+	z.Add(0)
+	if !math.IsInf(z.CI95Relative(), 1) {
+		t.Fatal("zero-mean relative CI must be infinite")
+	}
+}
+
+func TestCIShrinksWithSamples(t *testing.T) {
+	r := rng.New(9)
+	var small, big Stream
+	for i := 0; i < 30; i++ {
+		small.Add(r.Float64())
+	}
+	for i := 0; i < 3000; i++ {
+		big.Add(r.Float64())
+	}
+	if big.CI95() >= small.CI95() {
+		t.Fatalf("CI did not shrink: %v vs %v", big.CI95(), small.CI95())
+	}
+	// 3000 uniform samples: mean ~0.5 within a few CI widths.
+	if math.Abs(big.Mean()-0.5) > 5*big.CI95() {
+		t.Fatalf("mean %v too far from 0.5", big.Mean())
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if v := tCritical95(1); v != 12.706 {
+		t.Fatalf("t(1)=%v", v)
+	}
+	if v := tCritical95(1000); v != 1.96 {
+		t.Fatalf("t(1000)=%v", v)
+	}
+	// Interpolated value between df=20 (2.086) and df=25 (2.060).
+	v := tCritical95(22)
+	if v >= 2.086 || v <= 2.060 {
+		t.Fatalf("t(22)=%v not interpolated", v)
+	}
+	if !math.IsInf(tCritical95(0), 1) {
+		t.Fatal("t(0) must be infinite")
+	}
+}
+
+func TestStreamString(t *testing.T) {
+	var s Stream
+	s.Add(1)
+	s.Add(2)
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 100}, {50, 50.5}, {25, 25.75}, {99, 99.01},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%v=%v want %v", c.p, got, c.want)
+		}
+	}
+	if s.Mean() != 50.5 {
+		t.Fatalf("mean=%v", s.Mean())
+	}
+	if s.N() != 100 {
+		t.Fatalf("N=%d", s.N())
+	}
+}
+
+func TestSamplePanics(t *testing.T) {
+	var s Sample
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty percentile did not panic")
+			}
+		}()
+		s.Percentile(50)
+	}()
+	s.Add(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range percentile did not panic")
+			}
+		}()
+		s.Percentile(101)
+	}()
+}
+
+func TestSampleSingleElement(t *testing.T) {
+	var s Sample
+	s.Add(7)
+	if s.Percentile(0) != 7 || s.Percentile(100) != 7 || s.Percentile(50) != 7 {
+		t.Fatal("single-element percentiles wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 100} {
+		h.Add(x)
+	}
+	if h.Underflow != 1 || h.Overflow != 2 {
+		t.Fatalf("under=%d over=%d", h.Underflow, h.Overflow)
+	}
+	if h.Buckets[0] != 2 || h.Buckets[1] != 1 || h.Buckets[4] != 1 {
+		t.Fatalf("buckets=%v", h.Buckets)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total=%d", h.Total())
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Fatal("degenerate histogram accepted")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Fatal("zero buckets accepted")
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	series := make([]float64, 100)
+	for i := range series {
+		series[i] = float64(i % 10)
+	}
+	s, err := BatchMeans(series, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 10 {
+		t.Fatalf("batches=%d", s.N())
+	}
+	// Every batch of 10 consecutive values 0..9 has mean 4.5.
+	if s.Mean() != 4.5 || s.Variance() != 0 {
+		t.Fatalf("batch means %v var %v", s.Mean(), s.Variance())
+	}
+	if _, err := BatchMeans(series, 1); err == nil {
+		t.Fatal("1 batch accepted")
+	}
+	if _, err := BatchMeans(series[:10], 10); err == nil {
+		t.Fatal("too-short series accepted")
+	}
+}
+
+func TestAutocorr(t *testing.T) {
+	// A strongly trending series has high positive lag-1 autocorrelation.
+	trend := make([]float64, 200)
+	for i := range trend {
+		trend[i] = float64(i)
+	}
+	ac, err := Autocorr(trend, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac < 0.9 {
+		t.Fatalf("trend autocorr %v want > 0.9", ac)
+	}
+	// IID noise is near zero.
+	r := rng.New(3)
+	noise := make([]float64, 5000)
+	for i := range noise {
+		noise[i] = r.Float64()
+	}
+	ac, err = Autocorr(noise, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac > 0.1 || ac < -0.1 {
+		t.Fatalf("noise autocorr %v want ~0", ac)
+	}
+	// Alternating series is strongly negative.
+	alt := make([]float64, 100)
+	for i := range alt {
+		alt[i] = float64(i % 2)
+	}
+	ac, err = Autocorr(alt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac > -0.9 {
+		t.Fatalf("alternating autocorr %v want < -0.9", ac)
+	}
+}
+
+func TestAutocorrErrors(t *testing.T) {
+	if _, err := Autocorr([]float64{1, 2, 3}, 0); err == nil {
+		t.Fatal("lag 0 accepted")
+	}
+	if _, err := Autocorr([]float64{1, 2}, 1); err == nil {
+		t.Fatal("too-short series accepted")
+	}
+	if _, err := Autocorr([]float64{5, 5, 5, 5}, 1); err == nil {
+		t.Fatal("zero-variance series accepted")
+	}
+}
+
+// Property: Welford mean/variance match the two-pass formulas.
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	r := rng.New(44)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(200)
+		xs := make([]float64, n)
+		var s Stream
+		for i := range xs {
+			xs[i] = r.Float64()*1000 - 500
+			s.Add(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		variance := 0.0
+		for _, x := range xs {
+			variance += (x - mean) * (x - mean)
+		}
+		variance /= float64(n - 1)
+		if math.Abs(s.Mean()-mean) > 1e-9*math.Abs(mean)+1e-9 {
+			t.Fatalf("mean %v vs %v", s.Mean(), mean)
+		}
+		if math.Abs(s.Variance()-variance) > 1e-9*variance+1e-9 {
+			t.Fatalf("variance %v vs %v", s.Variance(), variance)
+		}
+	}
+}

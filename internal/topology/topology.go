@@ -1,0 +1,624 @@
+// Package topology models the switch-based networks of the paper: a set of
+// switches interconnected in an arbitrary (usually irregular) topology, with
+// each processor (workstation) attached to a single switch by a bidirectional
+// channel. Every bidirectional channel is a pair of opposed unidirectional
+// channels, which are the unit the wormhole simulator schedules.
+//
+// Following the paper's experimental setup, the default generator places
+// switches on an integer lattice (physical proximity), connects adjacent
+// lattice points (at most 4 inter-switch links per switch), gives every
+// switch 8 ports and attaches exactly one processor per switch.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// NodeID identifies a node (switch or processor). Switches occupy IDs
+// [0, NumSwitches); processors occupy [NumSwitches, NumSwitches+NumProcs).
+type NodeID int32
+
+// ChannelID identifies a unidirectional channel.
+type ChannelID int32
+
+// None is the nil value for channel references.
+const None ChannelID = -1
+
+// NodeKind distinguishes switches from processors.
+type NodeKind uint8
+
+const (
+	// Switch is a routing switch (vertex in V1).
+	Switch NodeKind = iota
+	// Processor is a workstation attached to one switch (vertex in V2).
+	Processor
+)
+
+func (k NodeKind) String() string {
+	if k == Switch {
+		return "switch"
+	}
+	return "processor"
+}
+
+// Channel is one unidirectional channel. Bidirectional links are stored as
+// two Channels that reference each other through Reverse.
+type Channel struct {
+	ID      ChannelID
+	Src     NodeID
+	Dst     NodeID
+	Reverse ChannelID
+}
+
+// Network is an immutable switch+processor network.
+type Network struct {
+	NumSwitches int
+	NumProcs    int
+	Channels    []Channel
+	out         [][]ChannelID // outgoing channel IDs per node
+	in          [][]ChannelID
+	attached    []NodeID   // processor -> its switch
+	procsOf     [][]NodeID // switch -> attached processors
+	swGraph     *graph.Graph
+	// Coords holds optional lattice coordinates per switch (nil if the
+	// builder did not place switches geometrically).
+	Coords [][2]int
+}
+
+// N returns the total node count (switches + processors).
+func (n *Network) N() int { return n.NumSwitches + n.NumProcs }
+
+// IsSwitch reports whether id names a switch.
+func (n *Network) IsSwitch(id NodeID) bool {
+	return id >= 0 && int(id) < n.NumSwitches
+}
+
+// IsProcessor reports whether id names a processor.
+func (n *Network) IsProcessor(id NodeID) bool {
+	return int(id) >= n.NumSwitches && int(id) < n.N()
+}
+
+// Kind returns the node kind of id.
+func (n *Network) Kind(id NodeID) NodeKind {
+	if n.IsSwitch(id) {
+		return Switch
+	}
+	return Processor
+}
+
+// SwitchOf returns the switch a processor is attached to. For a switch it
+// returns the switch itself.
+func (n *Network) SwitchOf(id NodeID) NodeID {
+	if n.IsSwitch(id) {
+		return id
+	}
+	return n.attached[int(id)-n.NumSwitches]
+}
+
+// ProcessorsOf returns the processors attached to a switch (shared slice).
+func (n *Network) ProcessorsOf(sw NodeID) []NodeID {
+	if !n.IsSwitch(sw) {
+		panic(fmt.Sprintf("topology: ProcessorsOf(%d): not a switch", sw))
+	}
+	return n.procsOf[sw]
+}
+
+// Out returns the outgoing channels of a node (shared slice).
+func (n *Network) Out(id NodeID) []ChannelID { return n.out[id] }
+
+// In returns the incoming channels of a node (shared slice).
+func (n *Network) In(id NodeID) []ChannelID { return n.in[id] }
+
+// Chan returns the channel record for id.
+func (n *Network) Chan(id ChannelID) *Channel { return &n.Channels[id] }
+
+// ChannelBetween returns the channel from src to dst, or None.
+func (n *Network) ChannelBetween(src, dst NodeID) ChannelID {
+	for _, c := range n.out[src] {
+		if n.Channels[c].Dst == dst {
+			return c
+		}
+	}
+	return None
+}
+
+// SwitchGraph returns the undirected graph over switches only.
+func (n *Network) SwitchGraph() *graph.Graph { return n.swGraph }
+
+// Ports returns the number of ports in use at a switch (switch links +
+// attached processors).
+func (n *Network) Ports(sw NodeID) int {
+	if !n.IsSwitch(sw) {
+		panic(fmt.Sprintf("topology: Ports(%d): not a switch", sw))
+	}
+	return n.swGraph.Degree(int(sw)) + len(n.procsOf[sw])
+}
+
+// Builder accumulates a network description and validates it into a Network.
+type Builder struct {
+	numSwitches int
+	maxPorts    int
+	swEdges     [][2]int
+	procs       []NodeID // attached switch per processor, in processor order
+	coords      [][2]int
+}
+
+// NewBuilder starts a network with the given switch count and per-switch
+// port budget (the paper uses 8-port switches).
+func NewBuilder(numSwitches, maxPorts int) *Builder {
+	return &Builder{numSwitches: numSwitches, maxPorts: maxPorts}
+}
+
+// Link adds a bidirectional switch-switch link.
+func (b *Builder) Link(u, v int) *Builder {
+	b.swEdges = append(b.swEdges, [2]int{u, v})
+	return b
+}
+
+// AttachProcessor attaches one new processor to switch sw and returns the
+// builder for chaining. Processor IDs are assigned in attachment order.
+func (b *Builder) AttachProcessor(sw int) *Builder {
+	b.procs = append(b.procs, NodeID(sw))
+	return b
+}
+
+// SetCoords records lattice coordinates for the switches (optional).
+func (b *Builder) SetCoords(coords [][2]int) *Builder {
+	b.coords = coords
+	return b
+}
+
+// Build validates and freezes the network. It checks port budgets, switch
+// graph simplicity and connectivity of the switch graph.
+func (b *Builder) Build() (*Network, error) {
+	if b.numSwitches <= 0 {
+		return nil, fmt.Errorf("topology: need at least one switch, got %d", b.numSwitches)
+	}
+	g := graph.New(b.numSwitches)
+	for _, e := range b.swEdges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("topology: %w", err)
+		}
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("topology: switch graph is disconnected")
+	}
+	n := &Network{
+		NumSwitches: b.numSwitches,
+		NumProcs:    len(b.procs),
+		swGraph:     g,
+		Coords:      b.coords,
+		attached:    append([]NodeID(nil), b.procs...),
+		procsOf:     make([][]NodeID, b.numSwitches),
+	}
+	total := n.N()
+	n.out = make([][]ChannelID, total)
+	n.in = make([][]ChannelID, total)
+
+	addPair := func(u, v NodeID) {
+		a := ChannelID(len(n.Channels))
+		bID := a + 1
+		n.Channels = append(n.Channels,
+			Channel{ID: a, Src: u, Dst: v, Reverse: bID},
+			Channel{ID: bID, Src: v, Dst: u, Reverse: a},
+		)
+		n.out[u] = append(n.out[u], a)
+		n.in[v] = append(n.in[v], a)
+		n.out[v] = append(n.out[v], bID)
+		n.in[u] = append(n.in[u], bID)
+	}
+
+	// Switch-switch channels first, in sorted edge order for determinism.
+	edges := g.Edges()
+	for _, e := range edges {
+		addPair(NodeID(e[0]), NodeID(e[1]))
+	}
+	// Processor attachment channels.
+	for pi, sw := range b.procs {
+		if int(sw) < 0 || int(sw) >= b.numSwitches {
+			return nil, fmt.Errorf("topology: processor %d attached to invalid switch %d", pi, sw)
+		}
+		pid := NodeID(b.numSwitches + pi)
+		n.procsOf[sw] = append(n.procsOf[sw], pid)
+		addPair(sw, pid)
+	}
+	// Port budget check.
+	if b.maxPorts > 0 {
+		for sw := 0; sw < b.numSwitches; sw++ {
+			if p := n.Ports(NodeID(sw)); p > b.maxPorts {
+				return nil, fmt.Errorf("topology: switch %d uses %d ports, budget %d", sw, p, b.maxPorts)
+			}
+		}
+	}
+	if b.coords != nil && len(b.coords) != b.numSwitches {
+		return nil, fmt.Errorf("topology: %d coords for %d switches", len(b.coords), b.numSwitches)
+	}
+	return n, nil
+}
+
+// WithoutLink returns a copy of the network with the bidirectional
+// switch-switch link {u, v} removed — the failure model of the Autonet-style
+// self-configuring networks the paper targets. It errors if the link does
+// not exist or its removal disconnects the switch graph (an unreachable
+// switch cannot be relabeled).
+func (n *Network) WithoutLink(u, v int) (*Network, error) {
+	if u < 0 || u >= n.NumSwitches || v < 0 || v >= n.NumSwitches {
+		return nil, fmt.Errorf("topology: link {%d,%d} out of switch range", u, v)
+	}
+	if !n.swGraph.HasEdge(u, v) {
+		return nil, fmt.Errorf("topology: no link {%d,%d}", u, v)
+	}
+	b := NewBuilder(n.NumSwitches, 0)
+	for _, e := range n.swGraph.Edges() {
+		if (e[0] == u && e[1] == v) || (e[0] == v && e[1] == u) {
+			continue
+		}
+		b.Link(e[0], e[1])
+	}
+	for p := 0; p < n.NumProcs; p++ {
+		b.AttachProcessor(int(n.attached[p]))
+	}
+	if n.Coords != nil {
+		b.SetCoords(n.Coords)
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("topology: removing link {%d,%d}: %w", u, v, err)
+	}
+	return out, nil
+}
+
+// LatticeConfig parameterizes the paper's random irregular topology.
+type LatticeConfig struct {
+	// Switches is the number of switches (the paper's "N node network" has
+	// N switches, each with one processor).
+	Switches int
+	// ProcsPerSwitch is the number of processors attached to every switch;
+	// the paper uses 1 "to maximize the probability of contention".
+	ProcsPerSwitch int
+	// MaxPorts is the per-switch port budget; the paper uses 8.
+	MaxPorts int
+	// Seed drives the deterministic generator.
+	Seed uint64
+}
+
+// DefaultLattice returns the paper's configuration for n switches.
+func DefaultLattice(n int, seed uint64) LatticeConfig {
+	return LatticeConfig{Switches: n, ProcsPerSwitch: 1, MaxPorts: 8, Seed: seed}
+}
+
+// RandomLattice generates a random irregular network per the paper's method:
+// switches occupy random points of an integer lattice and are connected to
+// every adjacent occupied lattice point (so at most 4 inter-switch links per
+// switch). Occupied cells are grown as a uniformly random connected lattice
+// animal so the switch graph is guaranteed connected, which the paper
+// implicitly requires. Every switch receives ProcsPerSwitch processors.
+func RandomLattice(cfg LatticeConfig) (*Network, error) {
+	if cfg.Switches <= 0 {
+		return nil, fmt.Errorf("topology: lattice with %d switches", cfg.Switches)
+	}
+	if cfg.ProcsPerSwitch < 0 {
+		return nil, fmt.Errorf("topology: negative ProcsPerSwitch")
+	}
+	r := rng.New(cfg.Seed)
+
+	type cell struct{ x, y int }
+	occupied := map[cell]int{} // cell -> switch ID
+	var coords []cell
+	frontier := []cell{}
+	inFrontier := map[cell]bool{}
+
+	add := func(c cell) {
+		id := len(coords)
+		occupied[c] = id
+		coords = append(coords, c)
+		for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nb := cell{c.x + d[0], c.y + d[1]}
+			if _, ok := occupied[nb]; !ok && !inFrontier[nb] {
+				frontier = append(frontier, nb)
+				inFrontier[nb] = true
+			}
+		}
+	}
+
+	add(cell{0, 0})
+	for len(coords) < cfg.Switches {
+		// Pick a uniformly random frontier cell (swap-remove).
+		i := r.Intn(len(frontier))
+		c := frontier[i]
+		frontier[i] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		delete(inFrontier, c)
+		if _, ok := occupied[c]; ok {
+			continue
+		}
+		add(c)
+	}
+
+	b := NewBuilder(cfg.Switches, cfg.MaxPorts)
+	cc := make([][2]int, len(coords))
+	for i, c := range coords {
+		cc[i] = [2]int{c.x, c.y}
+	}
+	b.SetCoords(cc)
+	// Deterministic edge order: sort cells, add edge to +x and +y neighbors.
+	ids := make([]int, len(coords))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, c int) bool {
+		ca, cb := coords[ids[a]], coords[ids[c]]
+		if ca.x != cb.x {
+			return ca.x < cb.x
+		}
+		return ca.y < cb.y
+	})
+	for _, id := range ids {
+		c := coords[id]
+		for _, d := range [][2]int{{1, 0}, {0, 1}} {
+			if nb, ok := occupied[cell{c.x + d[0], c.y + d[1]}]; ok {
+				b.Link(id, nb)
+			}
+		}
+	}
+	for sw := 0; sw < cfg.Switches; sw++ {
+		for p := 0; p < cfg.ProcsPerSwitch; p++ {
+			b.AttachProcessor(sw)
+		}
+	}
+	return b.Build()
+}
+
+// GNMConfig parameterizes the general (non-lattice) irregular generator.
+type GNMConfig struct {
+	// Switches is the switch count.
+	Switches int
+	// ExtraLinks is the number of links beyond the spanning tree
+	// (total links = Switches-1+ExtraLinks).
+	ExtraLinks int
+	// MaxSwitchLinks caps inter-switch links per switch (0 = unlimited).
+	MaxSwitchLinks int
+	// ProcsPerSwitch attaches processors (default 0 means 1).
+	ProcsPerSwitch int
+	// MaxPorts is the per-switch port budget (0 = unchecked).
+	MaxPorts int
+	Seed     uint64
+}
+
+// RandomIrregular builds a connected random irregular network without the
+// lattice constraint: a uniform random spanning tree plus ExtraLinks random
+// links, respecting per-switch degree caps. The paper's own experiments use
+// the lattice model (physical proximity); this generator provides the
+// fully-arbitrary topologies the algorithm is claimed to handle, for
+// robustness testing.
+func RandomIrregular(cfg GNMConfig) (*Network, error) {
+	if cfg.Switches <= 0 {
+		return nil, fmt.Errorf("topology: RandomIrregular with %d switches", cfg.Switches)
+	}
+	procs := cfg.ProcsPerSwitch
+	if procs <= 0 {
+		procs = 1
+	}
+	r := rng.New(cfg.Seed)
+	deg := make([]int, cfg.Switches)
+	capOK := func(u int) bool {
+		return cfg.MaxSwitchLinks <= 0 || deg[u] < cfg.MaxSwitchLinks
+	}
+	b := NewBuilder(cfg.Switches, cfg.MaxPorts)
+	// Random spanning tree (random attachment order): guarantees
+	// connectivity; degree caps below 2 are infeasible for trees, so the
+	// tree ignores the cap on the parent side when forced.
+	perm := r.Perm(cfg.Switches)
+	have := map[[2]int]bool{}
+	link := func(u, v int) {
+		a, c := u, v
+		if a > c {
+			a, c = c, a
+		}
+		have[[2]int{a, c}] = true
+		b.Link(u, v)
+		deg[u]++
+		deg[v]++
+	}
+	for i := 1; i < cfg.Switches; i++ {
+		// Prefer a parent with spare degree; fall back to any.
+		parent := perm[r.Intn(i)]
+		for attempts := 0; attempts < 8 && !capOK(parent); attempts++ {
+			parent = perm[r.Intn(i)]
+		}
+		link(perm[i], parent)
+	}
+	added := 0
+	for attempts := 0; added < cfg.ExtraLinks && attempts < 50*cfg.ExtraLinks+100; attempts++ {
+		u, v := r.Intn(cfg.Switches), r.Intn(cfg.Switches)
+		if u == v || !capOK(u) || !capOK(v) {
+			continue
+		}
+		a, c := u, v
+		if a > c {
+			a, c = c, a
+		}
+		if have[[2]int{a, c}] {
+			continue
+		}
+		link(u, v)
+		added++
+	}
+	for sw := 0; sw < cfg.Switches; sw++ {
+		for p := 0; p < procs; p++ {
+			b.AttachProcessor(sw)
+		}
+	}
+	return b.Build()
+}
+
+// Figure1 builds the example network from Figure 1 of the paper: switches
+// 0..6 correspond to the paper's switch vertices 1..7 and processors 7..10
+// correspond to the paper's leaf vertices 8..11. Tree edges (solid):
+// 1-2, 1-3, 3-4 is NOT a tree edge in the paper; the figure shows tree edges
+// 1-2, 1-4(?), ... — the figure's exact tree is induced by up*/down* labeling
+// in package updown; here we only build the connectivity:
+//
+//	switches: 1,2,3,4,6,7 and processor-bearing leaves 5,8,9,10,11.
+//
+// Paper vertex -> our ID: 1->0, 2->1, 3->2, 4->3, 6->4, 7->5; processors
+// 5->6(proc on switch 2), 8,9,10->7,8,9 (procs on switch 6), 11->10 (proc on
+// switch 7). Vertex 5 in the paper is a processor attached to switch 2.
+//
+// Connectivity (from the figure): 1-2, 1-3, 2-3 (cross), 3-4 (cross), 4-6,
+// 4-7, 6-8, 6-9, 6-10, 7-11, 2-5. Switch 6 hosts three processors and switch
+// 7 hosts one, matching the figure's leaves.
+func Figure1() (*Network, error) {
+	// Our switch IDs: s1=0 s2=1 s3=2 s4=3 s6=4 s7=5.
+	b := NewBuilder(6, 8)
+	b.Link(0, 1) // 1-2
+	b.Link(0, 2) // 1-3
+	b.Link(1, 2) // 2-3
+	b.Link(2, 3) // 3-4
+	b.Link(3, 4) // 4-6
+	b.Link(3, 5) // 4-7
+	// Processors: paper node 5 on switch 2; 8,9,10 on switch 6; 11 on 7.
+	b.AttachProcessor(1) // proc ID 6  (paper node 5)
+	b.AttachProcessor(4) // proc ID 7  (paper node 8)
+	b.AttachProcessor(4) // proc ID 8  (paper node 9)
+	b.AttachProcessor(4) // proc ID 9  (paper node 10)
+	b.AttachProcessor(5) // proc ID 10 (paper node 11)
+	return b.Build()
+}
+
+// Mesh builds a w×h 2-D mesh of switches, procsPerSwitch processors each.
+// Regular topologies let us explore the paper's future-work direction of
+// spanning-tree selection on regular networks.
+func Mesh(w, h, procsPerSwitch int) (*Network, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("topology: mesh %dx%d", w, h)
+	}
+	b := NewBuilder(w*h, 0)
+	id := func(x, y int) int { return y*w + x }
+	coords := make([][2]int, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			coords[id(x, y)] = [2]int{x, y}
+			if x+1 < w {
+				b.Link(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				b.Link(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	b.SetCoords(coords)
+	for sw := 0; sw < w*h; sw++ {
+		for p := 0; p < procsPerSwitch; p++ {
+			b.AttachProcessor(sw)
+		}
+	}
+	return b.Build()
+}
+
+// Torus builds a w×h 2-D torus (wraparound mesh). Requires w, h >= 3 so the
+// graph stays simple.
+func Torus(w, h, procsPerSwitch int) (*Network, error) {
+	if w < 3 || h < 3 {
+		return nil, fmt.Errorf("topology: torus needs dims >= 3, got %dx%d", w, h)
+	}
+	b := NewBuilder(w*h, 0)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			b.Link(id(x, y), id((x+1)%w, y))
+			b.Link(id(x, y), id(x, (y+1)%h))
+		}
+	}
+	for sw := 0; sw < w*h; sw++ {
+		for p := 0; p < procsPerSwitch; p++ {
+			b.AttachProcessor(sw)
+		}
+	}
+	return b.Build()
+}
+
+// Hypercube builds a d-dimensional hypercube of switches.
+func Hypercube(dim, procsPerSwitch int) (*Network, error) {
+	if dim < 1 || dim > 16 {
+		return nil, fmt.Errorf("topology: hypercube dim %d out of range", dim)
+	}
+	n := 1 << dim
+	b := NewBuilder(n, 0)
+	for u := 0; u < n; u++ {
+		for bit := 0; bit < dim; bit++ {
+			v := u ^ (1 << bit)
+			if u < v {
+				b.Link(u, v)
+			}
+		}
+	}
+	for sw := 0; sw < n; sw++ {
+		for p := 0; p < procsPerSwitch; p++ {
+			b.AttachProcessor(sw)
+		}
+	}
+	return b.Build()
+}
+
+// Stats summarizes a network for reports and the topogen tool.
+type Stats struct {
+	Switches, Processors   int
+	SwitchLinks            int
+	Channels               int
+	MinDeg, MaxDeg         int
+	AvgDeg                 float64
+	SwitchGraphDiameter    int
+	MaxPortsUsed           int
+	ProcessorsPerSwitchMin int
+	ProcessorsPerSwitchMax int
+}
+
+// ComputeStats derives summary statistics.
+func ComputeStats(n *Network) Stats {
+	g := n.SwitchGraph()
+	s := Stats{
+		Switches:               n.NumSwitches,
+		Processors:             n.NumProcs,
+		SwitchLinks:            g.M(),
+		Channels:               len(n.Channels),
+		MinDeg:                 g.N(),
+		SwitchGraphDiameter:    g.Diameter(),
+		ProcessorsPerSwitchMin: 1 << 30,
+	}
+	var degSum int
+	for sw := 0; sw < n.NumSwitches; sw++ {
+		d := g.Degree(sw)
+		degSum += d
+		if d < s.MinDeg {
+			s.MinDeg = d
+		}
+		if d > s.MaxDeg {
+			s.MaxDeg = d
+		}
+		if p := n.Ports(NodeID(sw)); p > s.MaxPortsUsed {
+			s.MaxPortsUsed = p
+		}
+		np := len(n.procsOf[sw])
+		if np < s.ProcessorsPerSwitchMin {
+			s.ProcessorsPerSwitchMin = np
+		}
+		if np > s.ProcessorsPerSwitchMax {
+			s.ProcessorsPerSwitchMax = np
+		}
+	}
+	s.AvgDeg = float64(degSum) / float64(n.NumSwitches)
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"switches=%d procs=%d links=%d channels=%d deg[min=%d avg=%.2f max=%d] diameter=%d ports<=%d procs/switch=[%d,%d]",
+		s.Switches, s.Processors, s.SwitchLinks, s.Channels,
+		s.MinDeg, s.AvgDeg, s.MaxDeg, s.SwitchGraphDiameter, s.MaxPortsUsed,
+		s.ProcessorsPerSwitchMin, s.ProcessorsPerSwitchMax)
+}

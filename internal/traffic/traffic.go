@@ -1,0 +1,246 @@
+// Package traffic generates the workloads of the paper's Section 4:
+//
+//   - single multicasts with a varying number of uniformly chosen
+//     destinations (Figure 2);
+//   - mixed open-loop traffic, 90% unicast / 10% multicast, with
+//     negative-binomially distributed inter-arrival times and varying
+//     average arrival rates (Figure 3);
+//   - broadcasts (the in-text comparison with software multicast);
+//
+// plus permutation and hot-spot patterns used by the extended tests.
+package traffic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Net is the slice of the network interface the generators need.
+type Net interface {
+	// NumProcessors returns the processor count.
+	NumProcessors() int
+	// Processor maps a dense processor index [0, NumProcessors) to its
+	// node ID.
+	Processor(i int) topology.NodeID
+}
+
+// NetworkAdapter adapts *topology.Network to the Net interface.
+type NetworkAdapter struct{ N *topology.Network }
+
+// NumProcessors implements Net.
+func (a NetworkAdapter) NumProcessors() int { return a.N.NumProcs }
+
+// Processor implements Net.
+func (a NetworkAdapter) Processor(i int) topology.NodeID {
+	return topology.NodeID(a.N.NumSwitches + i)
+}
+
+// PickDests draws k distinct destination processors uniformly at random,
+// excluding the source. It panics if k exceeds the available processors.
+func PickDests(r *rng.Source, net Net, src topology.NodeID, k int) []topology.NodeID {
+	n := net.NumProcessors()
+	if k < 1 || k > n-1 {
+		panic(fmt.Sprintf("traffic: cannot pick %d destinations among %d processors", k, n-1))
+	}
+	// Draw from the n-1 non-source processors by index remapping.
+	srcIdx := -1
+	for i := 0; i < n; i++ {
+		if net.Processor(i) == src {
+			srcIdx = i
+			break
+		}
+	}
+	idx := r.Choose(n-1, k)
+	out := make([]topology.NodeID, k)
+	for i, v := range idx {
+		if srcIdx >= 0 && v >= srcIdx {
+			v++
+		}
+		out[i] = net.Processor(v)
+	}
+	return out
+}
+
+// SingleMulticast submits one multicast from a uniformly random source to k
+// uniformly random destinations at time 0 and returns the worm.
+func SingleMulticast(s *sim.Simulator, r *rng.Source, net Net, k int) (*sim.Worm, error) {
+	src := net.Processor(r.Intn(net.NumProcessors()))
+	dests := PickDests(r, net, src, k)
+	return s.Submit(0, src, dests)
+}
+
+// Broadcast submits a multicast from src to every other processor.
+func Broadcast(s *sim.Simulator, net Net, src topology.NodeID) (*sim.Worm, error) {
+	var dests []topology.NodeID
+	for i := 0; i < net.NumProcessors(); i++ {
+		if d := net.Processor(i); d != src {
+			dests = append(dests, d)
+		}
+	}
+	return s.Submit(0, src, dests)
+}
+
+// MixedConfig parameterizes the Figure-3 workload.
+type MixedConfig struct {
+	// RatePerProcPerUs is the average message arrival rate per processor
+	// in messages per microsecond (the paper sweeps ~0.005 to 0.04).
+	RatePerProcPerUs float64
+	// MulticastFraction is the probability a message is a multicast
+	// (paper: 0.1).
+	MulticastFraction float64
+	// MulticastDests is the destination count of each multicast (paper:
+	// 8, 16, 32 or 64).
+	MulticastDests int
+	// NegBinomialR is the r parameter of the negative binomial
+	// inter-arrival distribution (the paper does not specify it; 2 is the
+	// package default). Inter-arrival times are
+	// slot·(1 + NegBinomial(r, p)) with the slot equal to one flit time.
+	NegBinomialR int
+	// SlotNs is the time granularity of the arrival process; 0 selects
+	// 10 ns (one flit time).
+	SlotNs int64
+	// Messages is the total number of messages to submit.
+	Messages int
+	// WarmupMessages are excluded from measurement by the caller (the
+	// generator tags worms in submit order; see Generate's return).
+	WarmupMessages int
+}
+
+// Validate checks the configuration.
+func (c *MixedConfig) Validate(net Net) error {
+	if c.RatePerProcPerUs <= 0 {
+		return fmt.Errorf("traffic: rate %v must be positive", c.RatePerProcPerUs)
+	}
+	if c.MulticastFraction < 0 || c.MulticastFraction > 1 {
+		return fmt.Errorf("traffic: multicast fraction %v out of [0,1]", c.MulticastFraction)
+	}
+	if c.MulticastFraction > 0 && (c.MulticastDests < 1 || c.MulticastDests > net.NumProcessors()-1) {
+		return fmt.Errorf("traffic: %d multicast destinations infeasible with %d processors",
+			c.MulticastDests, net.NumProcessors())
+	}
+	if c.Messages <= 0 {
+		return fmt.Errorf("traffic: message count %d must be positive", c.Messages)
+	}
+	if c.NegBinomialR < 0 {
+		return fmt.Errorf("traffic: negative binomial r %d", c.NegBinomialR)
+	}
+	return nil
+}
+
+// Mixed drives the Figure-3 workload: every processor submits messages with
+// negative-binomial inter-arrival times at the configured average rate; each
+// message is a unicast to a uniform destination with probability
+// 1−MulticastFraction, otherwise a multicast to MulticastDests uniform
+// destinations. Submission happens through sim.At callbacks, so the arrival
+// process interleaves correctly with network simulation. It returns the
+// worms in submission order.
+func Mixed(s *sim.Simulator, r *rng.Source, net Net, cfg MixedConfig) ([]*sim.Worm, error) {
+	if err := cfg.Validate(net); err != nil {
+		return nil, err
+	}
+	slot := cfg.SlotNs
+	if slot <= 0 {
+		slot = 10
+	}
+	nbR := cfg.NegBinomialR
+	if nbR == 0 {
+		nbR = 2
+	}
+	// Mean inter-arrival per processor in slots: 1000 ns/us / rate / slot.
+	meanSlots := 1000.0 / cfg.RatePerProcPerUs / float64(slot)
+	if meanSlots <= 1 {
+		return nil, fmt.Errorf("traffic: rate %v too high for slot %d ns", cfg.RatePerProcPerUs, slot)
+	}
+	p := rng.NegBinomialP(nbR, meanSlots-1)
+
+	worms := make([]*sim.Worm, 0, cfg.Messages)
+	n := net.NumProcessors()
+	// Draw arrival times per processor, merge-submit in time order. All
+	// submissions are computed up front (the arrival process does not
+	// depend on network state), which keeps the generator simple and the
+	// worm order deterministic.
+	type arrival struct {
+		t   int64
+		src topology.NodeID
+	}
+	var arrivals []arrival
+	perProc := (cfg.Messages + n - 1) / n
+	for i := 0; i < n; i++ {
+		t := int64(0)
+		for m := 0; m < perProc; m++ {
+			t += slot * (1 + r.NegBinomial(nbR, p))
+			arrivals = append(arrivals, arrival{t: t, src: net.Processor(i)})
+		}
+	}
+	sort.Slice(arrivals, func(i, j int) bool {
+		if arrivals[i].t != arrivals[j].t {
+			return arrivals[i].t < arrivals[j].t
+		}
+		return arrivals[i].src < arrivals[j].src
+	})
+	if len(arrivals) > cfg.Messages {
+		arrivals = arrivals[:cfg.Messages]
+	}
+	for _, a := range arrivals {
+		var dests []topology.NodeID
+		if r.Bool(cfg.MulticastFraction) {
+			dests = PickDests(r, net, a.src, cfg.MulticastDests)
+		} else {
+			dests = PickDests(r, net, a.src, 1)
+		}
+		w, err := s.Submit(a.t, a.src, dests)
+		if err != nil {
+			return nil, err
+		}
+		worms = append(worms, w)
+	}
+	return worms, nil
+}
+
+// Permutation submits one unicast per processor, destination given by a
+// random derangement-ish permutation (self-mappings are re-rolled to the
+// next processor), all at time 0. A classic saturation pattern.
+func Permutation(s *sim.Simulator, r *rng.Source, net Net) ([]*sim.Worm, error) {
+	n := net.NumProcessors()
+	if n < 2 {
+		return nil, fmt.Errorf("traffic: permutation needs >= 2 processors")
+	}
+	perm := r.Perm(n)
+	var worms []*sim.Worm
+	for i := 0; i < n; i++ {
+		j := perm[i]
+		if j == i {
+			j = (i + 1) % n
+		}
+		w, err := s.Submit(0, net.Processor(i), []topology.NodeID{net.Processor(j)})
+		if err != nil {
+			return nil, err
+		}
+		worms = append(worms, w)
+	}
+	return worms, nil
+}
+
+// HotSpot submits unicasts from every processor to one shared destination,
+// staggered by the given gap. Exercises OCRQ queueing depth.
+func HotSpot(s *sim.Simulator, net Net, dst topology.NodeID, gapNs int64) ([]*sim.Worm, error) {
+	var worms []*sim.Worm
+	i := 0
+	for p := 0; p < net.NumProcessors(); p++ {
+		src := net.Processor(p)
+		if src == dst {
+			continue
+		}
+		w, err := s.Submit(int64(i)*gapNs, src, []topology.NodeID{dst})
+		if err != nil {
+			return nil, err
+		}
+		worms = append(worms, w)
+		i++
+	}
+	return worms, nil
+}

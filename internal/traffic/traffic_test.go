@@ -1,0 +1,243 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/updown"
+)
+
+func testRig(t *testing.T, nSwitches int, seed uint64) (*sim.Simulator, Net) {
+	t.Helper()
+	net, err := topology.RandomLattice(topology.DefaultLattice(nSwitches, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := updown.New(net, updown.RootMinID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Params.MessageFlits = 8 // keep tests fast
+	s, err := sim.New(core.NewRouter(lab), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, NetworkAdapter{N: net}
+}
+
+func TestPickDests(t *testing.T) {
+	_, net := testRig(t, 16, 1)
+	r := rng.New(7)
+	src := net.Processor(3)
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + r.Intn(net.NumProcessors()-1)
+		dests := PickDests(r, net, src, k)
+		if len(dests) != k {
+			t.Fatalf("got %d dests want %d", len(dests), k)
+		}
+		seen := map[topology.NodeID]bool{}
+		for _, d := range dests {
+			if d == src {
+				t.Fatal("source picked as destination")
+			}
+			if seen[d] {
+				t.Fatal("duplicate destination")
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestPickDestsFullFanout(t *testing.T) {
+	_, net := testRig(t, 8, 2)
+	r := rng.New(1)
+	src := net.Processor(0)
+	dests := PickDests(r, net, src, net.NumProcessors()-1)
+	if len(dests) != net.NumProcessors()-1 {
+		t.Fatal("full fanout size wrong")
+	}
+}
+
+func TestPickDestsPanics(t *testing.T) {
+	_, net := testRig(t, 4, 3)
+	r := rng.New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized pick accepted")
+		}
+	}()
+	PickDests(r, net, net.Processor(0), net.NumProcessors())
+}
+
+func TestSingleMulticastCompletes(t *testing.T) {
+	s, net := testRig(t, 16, 4)
+	r := rng.New(11)
+	w, err := SingleMulticast(s, r, net, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilIdle(1e12); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Completed() || len(w.Dests) != 5 {
+		t.Fatalf("multicast state: completed=%v dests=%d", w.Completed(), len(w.Dests))
+	}
+}
+
+func TestBroadcastCoversAll(t *testing.T) {
+	s, net := testRig(t, 12, 5)
+	src := net.Processor(0)
+	w, err := Broadcast(s, net, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Dests) != net.NumProcessors()-1 {
+		t.Fatalf("broadcast to %d dests want %d", len(w.Dests), net.NumProcessors()-1)
+	}
+	if err := s.RunUntilIdle(1e12); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Completed() {
+		t.Fatal("broadcast incomplete")
+	}
+}
+
+func TestMixedWorkload(t *testing.T) {
+	s, net := testRig(t, 16, 6)
+	r := rng.New(21)
+	cfg := MixedConfig{
+		RatePerProcPerUs:  0.01,
+		MulticastFraction: 0.1,
+		MulticastDests:    4,
+		Messages:          200,
+	}
+	worms, err := Mixed(s, r, net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worms) != 200 {
+		t.Fatalf("%d worms want 200", len(worms))
+	}
+	if err := s.RunUntilIdle(1e13); err != nil {
+		t.Fatal(err)
+	}
+	multi, uni := 0, 0
+	for _, w := range worms {
+		if !w.Completed() {
+			t.Fatalf("worm %d incomplete", w.ID)
+		}
+		if len(w.Dests) == 4 {
+			multi++
+		} else if len(w.Dests) == 1 {
+			uni++
+		} else {
+			t.Fatalf("worm with %d dests", len(w.Dests))
+		}
+	}
+	if multi+uni != 200 {
+		t.Fatalf("multi=%d uni=%d", multi, uni)
+	}
+	// ~10% multicast with generous tolerance.
+	if multi < 5 || multi > 45 {
+		t.Fatalf("multicast count %d implausible for fraction 0.1", multi)
+	}
+	// Submission times must be non-decreasing.
+	for i := 1; i < len(worms); i++ {
+		if worms[i].SubmitNs < worms[i-1].SubmitNs {
+			t.Fatal("submissions out of order")
+		}
+	}
+}
+
+func TestMixedRateControlsArrivals(t *testing.T) {
+	// Higher rate => earlier last submission for the same message count.
+	last := func(rate float64) int64 {
+		s, net := testRig(t, 16, 7)
+		r := rng.New(31)
+		worms, err := Mixed(s, r, net, MixedConfig{
+			RatePerProcPerUs:  rate,
+			MulticastFraction: 0,
+			Messages:          300,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return worms[len(worms)-1].SubmitNs
+	}
+	slow, fast := last(0.005), last(0.04)
+	if fast >= slow {
+		t.Fatalf("rate sweep broken: last arrival %d (fast) vs %d (slow)", fast, slow)
+	}
+}
+
+func TestMixedValidation(t *testing.T) {
+	s, net := testRig(t, 8, 8)
+	r := rng.New(1)
+	bad := []MixedConfig{
+		{RatePerProcPerUs: 0, Messages: 10},
+		{RatePerProcPerUs: 0.01, MulticastFraction: 2, Messages: 10},
+		{RatePerProcPerUs: 0.01, MulticastFraction: 0.1, MulticastDests: 1000, Messages: 10},
+		{RatePerProcPerUs: 0.01, Messages: 0},
+		{RatePerProcPerUs: 1e9, Messages: 10}, // rate too high for slot
+	}
+	for i, cfg := range bad {
+		if _, err := Mixed(s, r, net, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestPermutation(t *testing.T) {
+	s, net := testRig(t, 16, 9)
+	r := rng.New(5)
+	worms, err := Permutation(s, r, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worms) != net.NumProcessors() {
+		t.Fatalf("%d worms", len(worms))
+	}
+	for _, w := range worms {
+		if len(w.Dests) != 1 || w.Dests[0] == w.Src {
+			t.Fatalf("bad permutation worm: %v -> %v", w.Src, w.Dests)
+		}
+	}
+	if err := s.RunUntilIdle(1e13); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotSpot(t *testing.T) {
+	s, net := testRig(t, 12, 10)
+	dst := net.Processor(0)
+	worms, err := HotSpot(s, net, dst, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worms) != net.NumProcessors()-1 {
+		t.Fatalf("%d worms", len(worms))
+	}
+	if err := s.RunUntilIdle(1e13); err != nil {
+		t.Fatal(err)
+	}
+	// Deliveries at the shared destination must be strictly serialized:
+	// consecutive completion gaps of at least a message's channel time.
+	var times []int64
+	for _, w := range worms {
+		if !w.Completed() {
+			t.Fatal("hotspot worm incomplete")
+		}
+		times = append(times, w.DoneNs)
+	}
+	for i := range times {
+		for j := range times {
+			if i != j && times[i] == times[j] {
+				t.Fatal("two worms delivered at identical instant on one channel")
+			}
+		}
+	}
+}

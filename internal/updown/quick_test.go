@@ -1,0 +1,113 @@
+package updown
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func quickLabeling(t *testing.T, seed uint64, sizeSel, rootSel uint8) *Labeling {
+	t.Helper()
+	n := 2 + int(sizeSel%60)
+	net, err := topology.RandomLattice(topology.DefaultLattice(n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(net, RootStrategy(rootSel%3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// Property (quick): every channel gets exactly one class and Verify passes
+// for arbitrary seeds, sizes and root strategies.
+func TestQuickVerify(t *testing.T) {
+	f := func(seed uint64, sizeSel, rootSel uint8) bool {
+		l := quickLabeling(t, seed, sizeSel, rootSel)
+		return l.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (quick): the ancestor relation is a partial order — reflexive,
+// antisymmetric (except identity) and transitive — on arbitrary labelings.
+func TestQuickAncestorPartialOrder(t *testing.T) {
+	f := func(seed uint64, sizeSel, rootSel uint8, aSel, bSel, cSel uint16) bool {
+		l := quickLabeling(t, seed, sizeSel, rootSel)
+		n := l.Net.N()
+		a := topology.NodeID(int(aSel) % n)
+		b := topology.NodeID(int(bSel) % n)
+		c := topology.NodeID(int(cSel) % n)
+		// Reflexive.
+		if !l.IsAncestor(a, a) {
+			return false
+		}
+		// Antisymmetric.
+		if a != b && l.IsAncestor(a, b) && l.IsAncestor(b, a) {
+			return false
+		}
+		// Transitive.
+		if l.IsAncestor(a, b) && l.IsAncestor(b, c) && !l.IsAncestor(a, c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (quick): LCA is commutative, idempotent and monotone along the
+// parent chain: LCA(a, parent(a)) == parent(a).
+func TestQuickLCAAlgebra(t *testing.T) {
+	f := func(seed uint64, sizeSel, rootSel uint8, aSel, bSel uint16) bool {
+		l := quickLabeling(t, seed, sizeSel, rootSel)
+		n := l.Net.N()
+		a := topology.NodeID(int(aSel) % n)
+		b := topology.NodeID(int(bSel) % n)
+		if l.LCA(a, b) != l.LCA(b, a) {
+			return false
+		}
+		if l.LCA(a, a) != a {
+			return false
+		}
+		if p := l.Parent[a]; p >= 0 && l.LCA(a, p) != p {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (quick): extended-ancestorship is transitive through the cross
+// DAG: if u is ext-ancestor of v and v's tree ancestors include w with a
+// cross edge chain... the directly checkable closure property is that the
+// extended-ancestor set of a node contains the extended-ancestor set
+// reachability through any down-cross channel endpoint that is a tree
+// ancestor: for every down-cross channel x->y with y an ancestor of v,
+// x must be an extended ancestor of v.
+func TestQuickExtendedAncestorClosure(t *testing.T) {
+	f := func(seed uint64, sizeSel, rootSel uint8, vSel uint16) bool {
+		l := quickLabeling(t, seed, sizeSel, rootSel)
+		v := topology.NodeID(int(vSel) % l.Net.N())
+		for i := range l.Net.Channels {
+			if l.ClassOf[i] != DownCross {
+				continue
+			}
+			ch := &l.Net.Channels[i]
+			if l.IsExtendedAncestor(ch.Dst, v) && !l.IsExtendedAncestor(ch.Src, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,432 @@
+// Package updown implements the up*/down* network partition that SPAM builds
+// on (Schroeder et al., Autonet), extended with the paper's distinction
+// between down-tree and down-cross channels, ancestor and extended-ancestor
+// relations, and tree least-common-ancestor queries.
+//
+// A root switch is chosen and a BFS spanning tree is computed. For every
+// channel:
+//
+//   - tree channels directed toward the root are "up", away from the root
+//     are "down tree";
+//   - cross (non-tree) channels directed from a deeper level to a shallower
+//     level are "up", from shallower to deeper are "down cross";
+//   - cross channels between equal levels are "up" from the larger node ID
+//     to the smaller, "down cross" otherwise.
+//
+// Processors are leaves of the spanning tree: processor→switch channels are
+// up tree channels and switch→processor channels are down tree channels.
+package updown
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/topology"
+)
+
+// Class is the SPAM classification of a unidirectional channel.
+type Class uint8
+
+const (
+	// Up channels point toward the root (tree or cross; SPAM does not
+	// distinguish them).
+	Up Class = iota
+	// DownTree channels are tree channels pointing away from the root.
+	DownTree
+	// DownCross channels are cross channels pointing away from the root.
+	DownCross
+)
+
+func (c Class) String() string {
+	switch c {
+	case Up:
+		return "up"
+	case DownTree:
+		return "down-tree"
+	case DownCross:
+		return "down-cross"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// RootStrategy selects the spanning-tree root switch.
+type RootStrategy uint8
+
+const (
+	// RootMinID picks switch 0 (Autonet-style arbitrary choice).
+	RootMinID RootStrategy = iota
+	// RootMaxDegree picks the highest-degree switch (smallest ID on ties).
+	RootMaxDegree
+	// RootCenter picks a graph center of the switch graph, minimizing tree
+	// depth (future-work ablation: judicious spanning-tree selection).
+	RootCenter
+)
+
+func (s RootStrategy) String() string {
+	switch s {
+	case RootMinID:
+		return "min-id"
+	case RootMaxDegree:
+		return "max-degree"
+	case RootCenter:
+		return "center"
+	}
+	return fmt.Sprintf("RootStrategy(%d)", uint8(s))
+}
+
+// Labeling is the full up*/down* structure for a network.
+type Labeling struct {
+	Net  *topology.Network
+	Root topology.NodeID
+
+	// Level is the BFS level of every node; root has level 0, processors
+	// sit one level below their switch.
+	Level []int32
+	// Parent is the spanning-tree parent of every node (-1 for root).
+	Parent []topology.NodeID
+	// ParentChan is the down-tree channel parent→node (None for root).
+	ParentChan []topology.ChannelID
+	// ChildChans lists the down-tree channels node→child per node.
+	ChildChans [][]topology.ChannelID
+	// ClassOf classifies every channel.
+	ClassOf []Class
+
+	// anc[v] is the set of tree ancestors of node v, v itself included
+	// (so anc is the reflexive ancestor relation over all nodes).
+	anc []*bitset.Set
+	// extAnc[v] is the set of extended ancestors of v: nodes u with a path
+	// of zero or more down-cross channels followed by zero or more
+	// down-tree channels from u to v. Reflexive.
+	extAnc []*bitset.Set
+	// crossReach[w] is the set of nodes that can reach w using only
+	// down-cross channels (reflexive). Defined over switches only but
+	// stored for all nodes for uniform indexing.
+	crossReach []*bitset.Set
+
+	// SwitchDist is the hop-distance matrix over the switch graph, used by
+	// the selection function (distance from channel endpoint to LCA).
+	SwitchDist [][]int32
+}
+
+// New computes the labeling for a network with the given root strategy.
+func New(net *topology.Network, strategy RootStrategy) (*Labeling, error) {
+	root, err := pickRoot(net, strategy)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithRoot(net, root)
+}
+
+// NewWithRoot computes the labeling with an explicit root switch.
+func NewWithRoot(net *topology.Network, root topology.NodeID) (*Labeling, error) {
+	if !net.IsSwitch(root) {
+		return nil, fmt.Errorf("updown: root %d is not a switch", root)
+	}
+	total := net.N()
+	l := &Labeling{
+		Net:        net,
+		Root:       root,
+		Level:      make([]int32, total),
+		Parent:     make([]topology.NodeID, total),
+		ParentChan: make([]topology.ChannelID, total),
+		ChildChans: make([][]topology.ChannelID, total),
+		ClassOf:    make([]Class, len(net.Channels)),
+	}
+
+	for v := range l.ParentChan {
+		l.ParentChan[v] = topology.None
+	}
+
+	// BFS over the switch graph.
+	bfs := net.SwitchGraph().BFS(int(root))
+	for sw := 0; sw < net.NumSwitches; sw++ {
+		if bfs.Dist[sw] < 0 {
+			return nil, fmt.Errorf("updown: switch %d unreachable from root %d", sw, root)
+		}
+		l.Level[sw] = bfs.Dist[sw]
+		l.Parent[sw] = topology.NodeID(bfs.Parent[sw])
+		l.ParentChan[sw] = topology.None
+	}
+	l.Parent[root] = -1
+	// Processors: leaves one level below their switch.
+	for p := net.NumSwitches; p < total; p++ {
+		pid := topology.NodeID(p)
+		sw := net.SwitchOf(pid)
+		l.Level[p] = l.Level[sw] + 1
+		l.Parent[p] = sw
+	}
+
+	// Classify channels.
+	isTreeEdge := func(u, v topology.NodeID) bool {
+		return l.Parent[u] == v || l.Parent[v] == u
+	}
+	for i := range net.Channels {
+		ch := &net.Channels[i]
+		src, dst := ch.Src, ch.Dst
+		switch {
+		case net.IsProcessor(src): // processor -> switch: up tree
+			l.ClassOf[i] = Up
+		case net.IsProcessor(dst): // switch -> processor: down tree
+			l.ClassOf[i] = DownTree
+		case isTreeEdge(src, dst):
+			if l.Parent[src] == dst { // toward root
+				l.ClassOf[i] = Up
+			} else {
+				l.ClassOf[i] = DownTree
+			}
+		default: // cross channel between switches
+			ls, ld := l.Level[src], l.Level[dst]
+			switch {
+			case ls > ld: // deeper -> shallower: toward root
+				l.ClassOf[i] = Up
+			case ls < ld:
+				l.ClassOf[i] = DownCross
+			case src > dst: // same level: larger ID -> smaller is up
+				l.ClassOf[i] = Up
+			default:
+				l.ClassOf[i] = DownCross
+			}
+		}
+	}
+
+	// Parent/child channel indexes.
+	for i := range net.Channels {
+		ch := &net.Channels[i]
+		if l.ClassOf[i] == DownTree && l.Parent[ch.Dst] == ch.Src {
+			l.ParentChan[ch.Dst] = ch.ID
+			l.ChildChans[ch.Src] = append(l.ChildChans[ch.Src], ch.ID)
+		}
+	}
+	for v := 0; v < total; v++ {
+		if topology.NodeID(v) != root && l.ParentChan[v] == topology.None {
+			return nil, fmt.Errorf("updown: node %d has no parent channel", v)
+		}
+	}
+
+	l.buildAncestors()
+	l.buildCrossReach()
+	l.buildExtendedAncestors()
+	l.SwitchDist = net.SwitchGraph().AllPairsDist()
+	return l, nil
+}
+
+func pickRoot(net *topology.Network, strategy RootStrategy) (topology.NodeID, error) {
+	g := net.SwitchGraph()
+	switch strategy {
+	case RootMinID:
+		return 0, nil
+	case RootMaxDegree:
+		best, bestDeg := 0, -1
+		for sw := 0; sw < net.NumSwitches; sw++ {
+			if d := g.Degree(sw); d > bestDeg {
+				best, bestDeg = sw, d
+			}
+		}
+		return topology.NodeID(best), nil
+	case RootCenter:
+		return topology.NodeID(g.Center()), nil
+	}
+	return 0, fmt.Errorf("updown: unknown root strategy %v", strategy)
+}
+
+func (l *Labeling) buildAncestors() {
+	total := l.Net.N()
+	l.anc = make([]*bitset.Set, total)
+	// Process in increasing level order; parents are always shallower.
+	order := make([]int, total)
+	for i := range order {
+		order[i] = i
+	}
+	// Counting sort by level (levels are small).
+	maxLevel := int32(0)
+	for _, lv := range l.Level {
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	buckets := make([][]int, maxLevel+1)
+	for v, lv := range l.Level {
+		buckets[lv] = append(buckets[lv], v)
+	}
+	for _, bucket := range buckets {
+		for _, v := range bucket {
+			s := bitset.New(total)
+			s.Set(v)
+			if p := l.Parent[v]; p >= 0 {
+				s.Or(l.anc[p])
+			}
+			l.anc[v] = s
+		}
+	}
+}
+
+// buildCrossReach computes, for every switch w, the set of switches that can
+// reach w using only down-cross channels. The down-cross relation is acyclic
+// (it strictly decreases (−level, −ID) lexicographically going backwards), so
+// a reverse topological sweep suffices: process switches from shallowest to
+// deepest so that when we process w, every predecessor u with a down-cross
+// channel u→w has... (we need successors, so we sweep deepest-first over the
+// *reverse* relation). Concretely: crossReach[w] = {w} ∪ ⋃ crossReach over
+// incoming... we instead compute forward: reach[u] accumulates from its
+// down-cross successors, then crossReach[w] is derived by transposition-free
+// accumulation: we compute reachTo[w] directly by processing nodes in
+// decreasing topological order of the down-cross DAG and propagating
+// "reaches w" backwards — implemented as: for each down-cross channel u→v,
+// crossReach[x] for all x... To keep it simple and O(V·E/64), we iterate to
+// a fixed point, which converges in at most diameter steps.
+func (l *Labeling) buildCrossReach() {
+	total := l.Net.N()
+	l.crossReach = make([]*bitset.Set, total)
+	for v := 0; v < total; v++ {
+		s := bitset.New(total)
+		s.Set(v)
+		l.crossReach[v] = s
+	}
+	// crossReach[w] ⊇ crossReach[u] whenever there is a down-cross channel
+	// u→w is wrong direction: u reaches w, so anything reaching u also
+	// reaches w: crossReach[w] |= crossReach[u] for each down-cross u→w.
+	// Iterate to fixed point (the DAG is shallow; this is fast).
+	for changed := true; changed; {
+		changed = false
+		for i := range l.Net.Channels {
+			if l.ClassOf[i] != DownCross {
+				continue
+			}
+			ch := &l.Net.Channels[i]
+			before := l.crossReach[ch.Dst].Count()
+			l.crossReach[ch.Dst].Or(l.crossReach[ch.Src])
+			if l.crossReach[ch.Dst].Count() != before {
+				changed = true
+			}
+		}
+	}
+}
+
+// buildExtendedAncestors computes extAnc[v] = ⋃_{w ∈ anc[v]} crossReach[w]:
+// u is an extended ancestor of v iff u reaches some tree ancestor w of v via
+// down-cross channels only, then w reaches v via down-tree channels.
+func (l *Labeling) buildExtendedAncestors() {
+	total := l.Net.N()
+	l.extAnc = make([]*bitset.Set, total)
+	for v := 0; v < total; v++ {
+		s := bitset.New(total)
+		l.anc[v].ForEach(func(w int) bool {
+			s.Or(l.crossReach[w])
+			return true
+		})
+		l.extAnc[v] = s
+	}
+}
+
+// IsAncestor reports whether u is a (reflexive) tree ancestor of v: there is
+// a path of zero or more down-tree channels from u to v.
+func (l *Labeling) IsAncestor(u, v topology.NodeID) bool {
+	return l.anc[v].Test(int(u))
+}
+
+// IsExtendedAncestor reports whether u is a (reflexive) extended ancestor of
+// v: a path of zero or more down-cross channels followed by zero or more
+// down-tree channels leads from u to v.
+func (l *Labeling) IsExtendedAncestor(u, v topology.NodeID) bool {
+	return l.extAnc[v].Test(int(u))
+}
+
+// Ancestors returns the (reflexive) ancestor set of v. Shared; do not mutate.
+func (l *Labeling) Ancestors(v topology.NodeID) *bitset.Set { return l.anc[v] }
+
+// ExtendedAncestors returns the (reflexive) extended-ancestor set of v.
+func (l *Labeling) ExtendedAncestors(v topology.NodeID) *bitset.Set { return l.extAnc[v] }
+
+// LCA returns the least (deepest) common tree ancestor of a and b.
+func (l *Labeling) LCA(a, b topology.NodeID) topology.NodeID {
+	for l.Level[a] > l.Level[b] {
+		a = l.Parent[a]
+	}
+	for l.Level[b] > l.Level[a] {
+		b = l.Parent[b]
+	}
+	for a != b {
+		a, b = l.Parent[a], l.Parent[b]
+	}
+	return a
+}
+
+// LCAOfSet returns the deepest common tree ancestor of all given nodes. For a
+// single processor destination this is the processor itself; callers that
+// need a switch should take SwitchOf/Parent as appropriate. It panics on an
+// empty slice.
+func (l *Labeling) LCAOfSet(nodes []topology.NodeID) topology.NodeID {
+	if len(nodes) == 0 {
+		panic("updown: LCAOfSet of empty set")
+	}
+	lca := nodes[0]
+	for _, v := range nodes[1:] {
+		lca = l.LCA(lca, v)
+	}
+	return lca
+}
+
+// LCASwitch returns the LCA of the destination set as a switch: if the LCA
+// is a processor (single-destination case), its attached switch is returned.
+func (l *Labeling) LCASwitch(nodes []topology.NodeID) topology.NodeID {
+	lca := l.LCAOfSet(nodes)
+	if l.Net.IsProcessor(lca) {
+		return l.Net.SwitchOf(lca)
+	}
+	return lca
+}
+
+// Depth returns the tree depth (level) of node v.
+func (l *Labeling) Depth(v topology.NodeID) int32 { return l.Level[v] }
+
+// Verify checks structural invariants of the labeling; it is used by tests
+// and cmd/deadlockcheck:
+//
+//  1. every channel has exactly one class;
+//  2. the up sub-network is acyclic;
+//  3. the combined down sub-network (down-tree ∪ down-cross) is acyclic;
+//  4. down-tree channels form the spanning tree (n-1 switch tree channels
+//     plus one per processor);
+//  5. ancestor implies extended ancestor.
+func (l *Labeling) Verify() error {
+	net := l.Net
+	// (2) and (3): topological order by (level, id) with direction checks.
+	for i := range net.Channels {
+		ch := &net.Channels[i]
+		ls, ld := l.Level[ch.Src], l.Level[ch.Dst]
+		switch l.ClassOf[i] {
+		case Up:
+			if ls < ld || (ls == ld && ch.Src < ch.Dst) {
+				return fmt.Errorf("updown: up channel %d (%d->%d) does not decrease (level,id)", i, ch.Src, ch.Dst)
+			}
+		case DownTree, DownCross:
+			if ls > ld || (ls == ld && ch.Src > ch.Dst) {
+				return fmt.Errorf("updown: down channel %d (%d->%d) does not increase (level,id)", i, ch.Src, ch.Dst)
+			}
+		default:
+			return fmt.Errorf("updown: channel %d has invalid class", i)
+		}
+	}
+	// (4) tree structure.
+	treeCount := 0
+	for i := range net.Channels {
+		if l.ClassOf[i] != DownTree {
+			continue
+		}
+		ch := &net.Channels[i]
+		if l.Parent[ch.Dst] == ch.Src {
+			treeCount++
+		}
+	}
+	want := net.NumSwitches - 1 + net.NumProcs
+	if treeCount != want {
+		return fmt.Errorf("updown: %d tree-parent channels, want %d", treeCount, want)
+	}
+	// (5) anc ⊆ extAnc.
+	for v := 0; v < net.N(); v++ {
+		if !l.extAnc[v].Contains(l.anc[v]) {
+			return fmt.Errorf("updown: node %d: ancestors not contained in extended ancestors", v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+// Package viz renders simple ASCII line charts so the CLI can show the
+// regenerated figures as plots (like the paper's), not only as tables.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample.
+type Point struct{ X, Y float64 }
+
+// Curve is one labeled series.
+type Curve struct {
+	Label  string
+	Points []Point
+}
+
+// markers cycle through the curves, echoing the paper's figure glyphs.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders the curves into a width×height character grid with axis
+// annotations. X and Y ranges are derived from the data; y starts at 0
+// unless data goes negative.
+func Chart(title string, width, height int, curves []Curve) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	var xs, ys []float64
+	for _, c := range curves {
+		for _, p := range c.Points {
+			xs = append(xs, p.X)
+			ys = append(ys, p.Y)
+		}
+	}
+	if len(xs) == 0 {
+		return title + "\n(no data)\n"
+	}
+	xmin, xmax := minMax(xs)
+	ymin, ymax := minMax(ys)
+	if ymin > 0 {
+		ymin = 0
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(p Point, mark byte) {
+		cx := int(math.Round((p.X - xmin) / (xmax - xmin) * float64(width-1)))
+		cy := int(math.Round((p.Y - ymin) / (ymax - ymin) * float64(height-1)))
+		row := height - 1 - cy
+		if row >= 0 && row < height && cx >= 0 && cx < width {
+			grid[row][cx] = mark
+		}
+	}
+	for ci, c := range curves {
+		mark := markers[ci%len(markers)]
+		pts := append([]Point(nil), c.Points...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		// Connect consecutive points with interpolated marks so curves
+		// read as lines.
+		for i, p := range pts {
+			plot(p, mark)
+			if i+1 < len(pts) {
+				steps := 8
+				for s := 1; s < steps; s++ {
+					f := float64(s) / float64(steps)
+					plot(Point{
+						X: p.X + (pts[i+1].X-p.X)*f,
+						Y: p.Y + (pts[i+1].Y-p.Y)*f,
+					}, '.')
+				}
+			}
+		}
+		// Re-plot the real points so they win over interpolation dots.
+		for _, p := range pts {
+			plot(p, mark)
+		}
+	}
+
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	yLabelW := 10
+	for r, row := range grid {
+		yVal := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		fmt.Fprintf(&sb, "%*s |%s\n", yLabelW, trim(yVal), string(row))
+	}
+	fmt.Fprintf(&sb, "%*s +%s\n", yLabelW, "", strings.Repeat("-", width))
+	// X axis labels: min, mid, max.
+	lo, mid, hi := trim(xmin), trim((xmin+xmax)/2), trim(xmax)
+	pad := width - len(lo) - len(mid) - len(hi)
+	if pad < 2 {
+		pad = 2
+	}
+	fmt.Fprintf(&sb, "%*s  %s%s%s%s%s\n", yLabelW, "",
+		lo, strings.Repeat(" ", pad/2), mid, strings.Repeat(" ", pad-pad/2), hi)
+	for ci, c := range curves {
+		fmt.Fprintf(&sb, "%*s  %c = %s\n", yLabelW, "", markers[ci%len(markers)], c.Label)
+	}
+	return sb.String()
+}
+
+func minMax(v []float64) (float64, float64) {
+	lo, hi := v[0], v[0]
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func trim(x float64) string {
+	s := fmt.Sprintf("%.3f", x)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

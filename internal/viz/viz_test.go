@@ -1,0 +1,90 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	out := Chart("test chart", 40, 10, []Curve{
+		{Label: "flat", Points: []Point{{0, 12}, {64, 12}, {128, 12}}},
+		{Label: "rising", Points: []Point{{0, 10}, {64, 50}, {128, 100}}},
+	})
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* = flat") || !strings.Contains(out, "o = rising") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("missing markers")
+	}
+	// Axis labels include the extremes.
+	if !strings.Contains(out, "128") || !strings.Contains(out, "100") {
+		t.Fatalf("missing axis labels:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("empty", 40, 10, nil)
+	if !strings.Contains(out, "no data") {
+		t.Fatal("empty chart not flagged")
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	out := Chart("one", 30, 8, []Curve{{Label: "p", Points: []Point{{5, 5}}}})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestChartClampsTinyDimensions(t *testing.T) {
+	out := Chart("tiny", 1, 1, []Curve{{Label: "p", Points: []Point{{0, 1}, {1, 2}}}})
+	if len(strings.Split(out, "\n")) < 5 {
+		t.Fatal("dimensions not clamped")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	// Equal x or equal y must not divide by zero.
+	out := Chart("const", 30, 8, []Curve{{Label: "c", Points: []Point{{3, 7}, {3, 7}}}})
+	if out == "" {
+		t.Fatal("empty output")
+	}
+}
+
+func TestRisingCurveOrientation(t *testing.T) {
+	// The max of a rising curve must appear on an earlier (higher) line
+	// than its min: y axis grows upward.
+	out := Chart("", 30, 10, []Curve{{Label: "r", Points: []Point{{0, 0}, {10, 100}}}})
+	lines := strings.Split(out, "\n")
+	top, bottom := -1, -1
+	for i, ln := range lines {
+		if strings.Contains(ln, "*") {
+			if top == -1 {
+				top = i
+			}
+			bottom = i
+		}
+	}
+	if top == -1 || top == bottom {
+		t.Fatalf("curve not spread vertically:\n%s", out)
+	}
+	// The highest marker line must be near the top (value 100).
+	if top > 3 {
+		t.Fatalf("max plotted too low (line %d):\n%s", top, out)
+	}
+}
+
+func TestMarkerCycling(t *testing.T) {
+	var curves []Curve
+	for i := 0; i < 10; i++ {
+		curves = append(curves, Curve{Label: "c", Points: []Point{{float64(i), float64(i)}}})
+	}
+	out := Chart("", 40, 10, curves)
+	// 10 curves with 8 markers: the cycle repeats without panicking.
+	if !strings.Contains(out, "@") {
+		t.Fatalf("later markers unused:\n%s", out)
+	}
+}

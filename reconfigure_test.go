@@ -1,0 +1,134 @@
+package spamnet
+
+import (
+	"testing"
+
+	"repro/internal/deadlock"
+)
+
+func TestReconfigureAfterLinkFailure(t *testing.T) {
+	sys, err := NewLattice(32, WithSeed(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail the first spanning-tree link of the root — the most disruptive
+	// single failure — if the network survives it; otherwise fail a cross
+	// link. Find a removable link by trial.
+	var failed [2]int
+	found := false
+	for _, e := range sys.Topology().SwitchGraph().Edges() {
+		if _, err := sys.Topology().WithoutLink(e[0], e[1]); err == nil {
+			failed = e
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("every link is a bridge in this lattice")
+	}
+	sys2, err := sys.Reconfigure([][2]int{failed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys2.Topology().SwitchGraph().M() != sys.Topology().SwitchGraph().M()-1 {
+		t.Fatal("link not removed")
+	}
+	// The relabeled network must pass the full static battery.
+	if err := deadlock.VerifyStatic(sys2.Labeling()); err != nil {
+		t.Fatal(err)
+	}
+	// And traffic must still flow everywhere.
+	sess, err := sys2.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := sys2.Processors()
+	w, err := sess.Multicast(0, procs[0], procs[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Completed() {
+		t.Fatal("broadcast incomplete after reconfiguration")
+	}
+}
+
+func TestReconfigureRejectsDisconnection(t *testing.T) {
+	sys, err := NewLattice(16, WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a bridge: removing it must be rejected.
+	g := sys.Topology().SwitchGraph()
+	for _, e := range g.Edges() {
+		if _, err := sys.Topology().WithoutLink(e[0], e[1]); err != nil {
+			// Confirmed rejection path.
+			if _, err := sys.Reconfigure([][2]int{e}); err == nil {
+				t.Fatal("disconnecting reconfiguration accepted")
+			}
+			return
+		}
+	}
+	t.Skip("no bridge in this lattice")
+}
+
+func TestReconfigureRejectsBogusLink(t *testing.T) {
+	sys, err := NewLattice(8, WithSeed(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Reconfigure([][2]int{{0, 0}}); err == nil {
+		t.Fatal("self-link removal accepted")
+	}
+	if _, err := sys.Reconfigure([][2]int{{0, 999}}); err == nil {
+		t.Fatal("out-of-range link accepted")
+	}
+}
+
+func TestReconfigureSequence(t *testing.T) {
+	// Remove several links one after another; each step must stay valid.
+	sys, err := NewLattice(48, WithSeed(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := 0
+	for removed < 4 {
+		var next [2]int
+		found := false
+		for _, e := range sys.Topology().SwitchGraph().Edges() {
+			if _, err := sys.Topology().WithoutLink(e[0], e[1]); err == nil {
+				next = e
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+		sys, err = sys.Reconfigure([][2]int{next})
+		if err != nil {
+			t.Fatal(err)
+		}
+		removed++
+	}
+	if removed == 0 {
+		t.Skip("lattice is a tree already")
+	}
+	sess, err := sys.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := sys.Processors()
+	w, err := sess.Multicast(0, procs[3], procs[10:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Completed() {
+		t.Fatalf("multicast incomplete after %d removals", removed)
+	}
+}

@@ -1,0 +1,277 @@
+// Package spamnet is the public facade of the SPAM reproduction: tree-based
+// deadlock-free multicast wormhole routing for irregular (and regular)
+// switch networks, after Libeskind-Hadas, Mazzoni and Rajagopalan,
+// "Tree-Based Multicasting in Wormhole-Routed Irregular Topologies"
+// (IPPS/SPDP 1998).
+//
+// A System bundles a network topology with its up*/down* labeling and the
+// SPAM routing tables. Sessions are independent flit-level simulations over
+// one System; each Session is single-threaded and deterministic, and many
+// Sessions can run concurrently.
+//
+// Quickstart:
+//
+//	sys, _ := spamnet.NewLattice(128, 1, spamnet.WithSeed(42))
+//	sess, _ := sys.NewSession()
+//	msg, _ := sess.Multicast(0, sys.Processors()[5], sys.Processors()[:4])
+//	_ = sess.Run()
+//	fmt.Println(msg.Latency()) // nanoseconds, includes the 10 µs startup
+package spamnet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/updown"
+)
+
+// NodeID identifies a switch or processor in a System's network.
+type NodeID = topology.NodeID
+
+// LatencyParams are the timing constants of the simulated hardware.
+type LatencyParams = core.LatencyParams
+
+// Message is a multicast (or unicast) worm in flight or delivered.
+type Message = sim.Worm
+
+// RootStrategy selects the up*/down* spanning-tree root.
+type RootStrategy = updown.RootStrategy
+
+// Root strategies re-exported for option construction.
+const (
+	RootMinID     = updown.RootMinID
+	RootMaxDegree = updown.RootMaxDegree
+	RootCenter    = updown.RootCenter
+)
+
+// PaperParams returns the latency constants of the paper's Section 4:
+// 10 µs startup, 40 ns router setup, 10 ns channel propagation, 128 flits.
+func PaperParams() LatencyParams { return core.PaperParams() }
+
+type options struct {
+	root     RootStrategy
+	simCfg   sim.Config
+	seed     uint64
+	procsPer int
+}
+
+// Option customizes System construction.
+type Option func(*options)
+
+// WithRootStrategy selects how the spanning-tree root is chosen.
+func WithRootStrategy(s RootStrategy) Option { return func(o *options) { o.root = s } }
+
+// WithLatencyParams overrides the hardware timing constants.
+func WithLatencyParams(p LatencyParams) Option { return func(o *options) { o.simCfg.Params = p } }
+
+// WithInputBufferFlits sets the per-channel input buffer capacity (paper
+// default: a single flit).
+func WithInputBufferFlits(n int) Option { return func(o *options) { o.simCfg.InputBufFlits = n } }
+
+// WithSeed sets the topology generation seed.
+func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
+
+// WithProcessorsPerSwitch attaches n processors per switch (paper: 1).
+func WithProcessorsPerSwitch(n int) Option { return func(o *options) { o.procsPer = n } }
+
+// WithTrace routes a hop-by-hop routing trace of every session to logf.
+func WithTrace(logf func(format string, args ...any)) Option {
+	return func(o *options) { o.simCfg.Logf = logf }
+}
+
+func buildOptions(opts []Option) options {
+	o := options{simCfg: sim.DefaultConfig(), procsPer: 1}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// System is an immutable network + SPAM routing structure. Safe for
+// concurrent use; create Sessions for simulation.
+type System struct {
+	net    *topology.Network
+	lab    *updown.Labeling
+	router *core.Router
+	simCfg sim.Config
+	root   RootStrategy
+}
+
+// NewLattice builds the paper's experimental platform: `switches` 8-port
+// switches placed on an integer lattice (connected, adjacent points linked)
+// with one processor per switch (configurable).
+func NewLattice(switches int, opts ...Option) (*System, error) {
+	o := buildOptions(opts)
+	cfg := topology.DefaultLattice(switches, o.seed)
+	cfg.ProcsPerSwitch = o.procsPer
+	net, err := topology.RandomLattice(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newSystem(net, o)
+}
+
+// NewFigure1 builds the example network of the paper's Figure 1.
+func NewFigure1(opts ...Option) (*System, error) {
+	o := buildOptions(opts)
+	net, err := topology.Figure1()
+	if err != nil {
+		return nil, err
+	}
+	return newSystem(net, o)
+}
+
+// NewMesh builds a w×h mesh System (a regular topology, per the paper's
+// future-work discussion of spanning-tree selection on regular networks).
+func NewMesh(w, h int, opts ...Option) (*System, error) {
+	o := buildOptions(opts)
+	net, err := topology.Mesh(w, h, o.procsPer)
+	if err != nil {
+		return nil, err
+	}
+	return newSystem(net, o)
+}
+
+// FromParts wraps an existing network and labeling into a System with the
+// default simulator configuration — for callers that build topologies or
+// labelings directly (see examples/regular).
+func FromParts(net *topology.Network, lab *updown.Labeling, opts ...Option) (*System, error) {
+	o := buildOptions(opts)
+	return &System{
+		net:    net,
+		lab:    lab,
+		router: core.NewRouter(lab),
+		simCfg: o.simCfg,
+	}, nil
+}
+
+func newSystem(net *topology.Network, o options) (*System, error) {
+	lab, err := updown.New(net, o.root)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		net:    net,
+		lab:    lab,
+		router: core.NewRouter(lab),
+		simCfg: o.simCfg,
+		root:   o.root,
+	}, nil
+}
+
+// Reconfigure returns a new System with the given switch-switch links
+// removed and the up*/down* labeling recomputed from scratch — the
+// Autonet-style reaction to link failures (existing Sessions keep running
+// on the old System; new traffic uses the new one). Removing a link that
+// would disconnect the network is an error.
+func (s *System) Reconfigure(failedLinks [][2]int) (*System, error) {
+	net := s.net
+	var err error
+	for _, l := range failedLinks {
+		net, err = net.WithoutLink(l[0], l[1])
+		if err != nil {
+			return nil, fmt.Errorf("spamnet: %w", err)
+		}
+	}
+	lab, err := updown.New(net, s.root)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		net:    net,
+		lab:    lab,
+		router: core.NewRouter(lab),
+		simCfg: s.simCfg,
+		root:   s.root,
+	}, nil
+}
+
+// Switches returns the switch node IDs.
+func (s *System) Switches() []NodeID {
+	out := make([]NodeID, s.net.NumSwitches)
+	for i := range out {
+		out[i] = NodeID(i)
+	}
+	return out
+}
+
+// Processors returns the processor node IDs.
+func (s *System) Processors() []NodeID {
+	out := make([]NodeID, s.net.NumProcs)
+	for i := range out {
+		out[i] = NodeID(s.net.NumSwitches + i)
+	}
+	return out
+}
+
+// Root returns the spanning-tree root switch.
+func (s *System) Root() NodeID { return s.lab.Root }
+
+// Topology exposes the underlying network (read-only by convention).
+func (s *System) Topology() *topology.Network { return s.net }
+
+// Labeling exposes the up*/down* structure (read-only by convention).
+func (s *System) Labeling() *updown.Labeling { return s.lab }
+
+// Router exposes the SPAM routing tables (read-only by convention).
+func (s *System) Router() *core.Router { return s.router }
+
+// ZeroLoadLatency returns the closed-form contention-free latency in
+// nanoseconds of a multicast from src to dests.
+func (s *System) ZeroLoadLatency(src NodeID, dests []NodeID) (int64, error) {
+	return s.router.ZeroLoadLatency(s.simCfg.Params, src, dests)
+}
+
+// Session is one flit-level simulation over a System. Not safe for
+// concurrent use; run one Session per goroutine.
+type Session struct {
+	sim *sim.Simulator
+}
+
+// NewSession creates a fresh simulation at time zero.
+func (s *System) NewSession() (*Session, error) {
+	sm, err := sim.New(s.router, s.simCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{sim: sm}, nil
+}
+
+// Multicast submits a message from processor src to the destination
+// processors at simulated time `at` (ns). Unicast is len(dests) == 1.
+func (s *Session) Multicast(at int64, src NodeID, dests []NodeID) (*Message, error) {
+	return s.sim.Submit(at, src, dests)
+}
+
+// At schedules fn at simulated time t — the hook point for custom traffic.
+func (s *Session) At(t int64, fn func()) { s.sim.At(t, fn) }
+
+// Now returns the current simulated time in nanoseconds.
+func (s *Session) Now() int64 { return s.sim.Now() }
+
+// Run simulates until every submitted message is delivered. It fails on
+// deadlock (which Theorem 1 rules out — a failure here is a bug) or if the
+// simulation exceeds an hour of simulated time.
+func (s *Session) Run() error {
+	return s.sim.RunUntilIdle(3_600_000_000_000)
+}
+
+// RunUntil simulates events up to simulated time t.
+func (s *Session) RunUntil(t int64) error { return s.sim.Run(t) }
+
+// Counters returns aggregate simulator statistics.
+func (s *Session) Counters() sim.Counters { return s.sim.Counters() }
+
+// Simulator exposes the underlying engine for advanced use (baselines,
+// partitioned multicast, custom workloads).
+func (s *Session) Simulator() *sim.Simulator { return s.sim }
+
+// Validate re-checks all structural invariants of the System's labeling.
+func (s *System) Validate() error {
+	if err := s.lab.Verify(); err != nil {
+		return fmt.Errorf("spamnet: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package spamnet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sys, err := NewLattice(32, WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	procs := sys.Processors()
+	if len(procs) != 32 {
+		t.Fatalf("%d processors", len(procs))
+	}
+	sess, err := sys.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := sess.Multicast(0, procs[5], procs[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !msg.Completed() {
+		t.Fatal("message not delivered")
+	}
+	want, err := sys.ZeroLoadLatency(procs[5], procs[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Latency() != want {
+		t.Fatalf("latency %d != closed form %d", msg.Latency(), want)
+	}
+}
+
+func TestFigure1System(t *testing.T) {
+	sys, err := NewFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Switches()) != 6 || len(sys.Processors()) != 5 {
+		t.Fatal("figure-1 shape wrong")
+	}
+	if sys.Root() != 0 {
+		t.Fatalf("root=%d", sys.Root())
+	}
+}
+
+func TestMeshSystem(t *testing.T) {
+	sys, err := NewMesh(4, 4, WithRootStrategy(RootCenter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sys.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := sys.Processors()
+	msg, err := sess.Multicast(0, procs[0], procs[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !msg.Completed() {
+		t.Fatal("mesh broadcast incomplete")
+	}
+}
+
+func TestOptions(t *testing.T) {
+	p := PaperParams()
+	p.MessageFlits = 64
+	var traced []string
+	sys, err := NewLattice(16,
+		WithSeed(7),
+		WithLatencyParams(p),
+		WithInputBufferFlits(4),
+		WithRootStrategy(RootMaxDegree),
+		WithProcessorsPerSwitch(2),
+		WithTrace(func(f string, a ...any) { traced = append(traced, f) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Processors()) != 32 {
+		t.Fatalf("%d processors want 32", len(sys.Processors()))
+	}
+	sess, err := sys.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := sys.Processors()
+	if _, err := sess.Multicast(0, procs[0], procs[1:3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(traced) == 0 {
+		t.Fatal("trace option produced nothing")
+	}
+}
+
+func TestSessionAtAndNow(t *testing.T) {
+	sys, err := NewLattice(8, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sys.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen int64 = -1
+	sess.At(5000, func() { seen = sess.Now() })
+	if err := sess.RunUntil(10000); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 5000 {
+		t.Fatalf("At callback at %d", seen)
+	}
+}
+
+func TestCountersExposed(t *testing.T) {
+	sys, _ := NewLattice(8, WithSeed(2))
+	sess, _ := sys.NewSession()
+	procs := sys.Processors()
+	if _, err := sess.Multicast(0, procs[0], procs[1:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Counters().WormsCompleted != 1 {
+		t.Fatal("counters not wired")
+	}
+	if sess.Simulator() == nil {
+		t.Fatal("simulator accessor nil")
+	}
+}
+
+func TestBadInputsSurfaceErrors(t *testing.T) {
+	if _, err := NewLattice(0); err == nil {
+		t.Fatal("0-switch lattice accepted")
+	}
+	sys, _ := NewLattice(8, WithSeed(3))
+	sess, _ := sys.NewSession()
+	if _, err := sess.Multicast(0, sys.Switches()[0], sys.Processors()[:1]); err == nil {
+		t.Fatal("switch source accepted")
+	}
+	if _, err := sess.Multicast(0, sys.Processors()[0], nil); err == nil {
+		t.Fatal("empty dests accepted")
+	}
+	bad := PaperParams()
+	bad.MessageFlits = 1
+	sys2, err := NewLattice(8, WithSeed(3), WithLatencyParams(bad))
+	if err != nil {
+		t.Fatal(err) // system construction is fine...
+	}
+	if _, err := sys2.NewSession(); err == nil {
+		t.Fatal("...but sessions must reject 1-flit messages")
+	}
+}
+
+func TestDocExampleCompiles(t *testing.T) {
+	// Keep the doc-comment example honest.
+	sys, _ := NewLattice(128, WithSeed(42))
+	sess, _ := sys.NewSession()
+	msg, _ := sess.Multicast(0, sys.Processors()[5], sys.Processors()[:4])
+	if err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimSpace("ok")
+	if out != "ok" || msg.Latency() <= 0 {
+		t.Fatal("doc example broken")
+	}
+}
