@@ -52,6 +52,12 @@ func (p LatencyParams) Validate() error {
 // injection channel. If src's switch already is the LCA the path is just the
 // injection channel.
 func (r *Router) Phase1Path(src, lcaSwitch topology.NodeID) ([]topology.ChannelID, error) {
+	return r.appendPhase1Path(nil, src, lcaSwitch)
+}
+
+// appendPhase1Path appends the greedy phase-1 path to dst and returns the
+// extended slice (allocation-free given capacity).
+func (r *Router) appendPhase1Path(dst []topology.ChannelID, src, lcaSwitch topology.NodeID) ([]topology.ChannelID, error) {
 	if !r.Net.IsProcessor(src) {
 		return nil, fmt.Errorf("core: source %d is not a processor", src)
 	}
@@ -62,24 +68,56 @@ func (r *Router) Phase1Path(src, lcaSwitch topology.NodeID) ([]topology.ChannelI
 	if inj == topology.None {
 		return nil, fmt.Errorf("core: processor %d has no injection channel", src)
 	}
-	path := []topology.ChannelID{inj}
+	dst = append(dst, inj)
 	at := r.Net.SwitchOf(src)
 	arrival := ArriveInjection
 	guard := 0
 	for at != lcaSwitch {
-		cands := r.CandidateOutputs(at, arrival, lcaSwitch)
+		cands := r.CandidateChannels(at, arrival, lcaSwitch)
 		if len(cands) == 0 {
 			return nil, fmt.Errorf("core: no legal output at switch %d toward LCA %d (arrival %v)", at, lcaSwitch, arrival)
 		}
-		c := cands[0].Channel
-		path = append(path, c)
+		c := cands[0]
+		dst = append(dst, c)
 		at = r.Net.Chan(c).Dst
 		arrival = ArrivalOf(r.Lab.ClassOf[c])
 		if guard++; guard > 4*r.Net.N() {
 			return nil, fmt.Errorf("core: phase-1 path from %d to %d does not terminate", src, lcaSwitch)
 		}
 	}
-	return path, nil
+	return dst, nil
+}
+
+// PathBuf is reusable storage for MulticastPathsInto. The zero value is
+// ready to use; reusing one buffer across calls retires the per-call map and
+// per-destination slice allocations of MulticastPaths once warm.
+type PathBuf struct {
+	paths map[topology.NodeID][]topology.ChannelID
+	pool  [][]topology.ChannelID // spare per-destination slices, len 0
+	p1    []topology.ChannelID
+	rev   []topology.ChannelID
+}
+
+// reset clears the map, recycling the value slices into the pool.
+func (b *PathBuf) reset() {
+	if b.paths == nil {
+		b.paths = make(map[topology.NodeID][]topology.ChannelID)
+		return
+	}
+	for d, p := range b.paths {
+		b.pool = append(b.pool, p[:0])
+		delete(b.paths, d)
+	}
+}
+
+// next returns an empty path slice, reusing pooled capacity when available.
+func (b *PathBuf) next() []topology.ChannelID {
+	if n := len(b.pool); n > 0 {
+		p := b.pool[n-1]
+		b.pool = b.pool[:n-1]
+		return p
+	}
+	return nil
 }
 
 // MulticastPaths returns, for every destination, the full contention-free
@@ -87,28 +125,39 @@ func (r *Router) Phase1Path(src, lcaSwitch topology.NodeID) ([]topology.ChannelI
 // LCA followed by the unique tree path from the LCA to the destination
 // (ending in the consumption channel).
 func (r *Router) MulticastPaths(src topology.NodeID, dests []topology.NodeID) (map[topology.NodeID][]topology.ChannelID, error) {
+	return r.MulticastPathsInto(new(PathBuf), src, dests)
+}
+
+// MulticastPathsInto is MulticastPaths writing into caller-provided storage:
+// the returned map and its value slices are owned by buf and are valid until
+// the next call with the same buf. Callers that evaluate many multicasts
+// (baselines, analytics sweeps) reuse one PathBuf to keep the per-call cost
+// at the path computation itself.
+func (r *Router) MulticastPathsInto(buf *PathBuf, src topology.NodeID, dests []topology.NodeID) (map[topology.NodeID][]topology.ChannelID, error) {
 	if _, err := r.DestSet(dests); err != nil {
 		return nil, err
 	}
 	lca := r.LCASwitch(dests)
-	p1, err := r.Phase1Path(src, lca)
+	p1, err := r.appendPhase1Path(buf.p1[:0], src, lca)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[topology.NodeID][]topology.ChannelID, len(dests))
+	buf.p1 = p1
+	buf.reset()
 	for _, d := range dests {
 		// Tree path LCA -> d via parent chain from d.
-		var rev []topology.ChannelID
+		rev := buf.rev[:0]
 		for v := d; v != lca; v = r.Lab.Parent[v] {
 			rev = append(rev, r.Lab.ParentChan[v])
 		}
-		path := append([]topology.ChannelID(nil), p1...)
+		buf.rev = rev
+		path := append(buf.next(), p1...)
 		for i := len(rev) - 1; i >= 0; i-- {
 			path = append(path, rev[i])
 		}
-		out[d] = path
+		buf.paths[d] = path
 	}
-	return out, nil
+	return buf.paths, nil
 }
 
 // ZeroLoadLatency computes the closed-form latency of a single multicast in

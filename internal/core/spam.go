@@ -83,15 +83,40 @@ func ArrivalOf(c updown.Class) ArrivalClass {
 
 // Router evaluates the SPAM routing and selection functions for one labeled
 // network. It is immutable after construction and safe for concurrent use.
+//
+// By default the routing function is table-driven: NewRouter compiles every
+// (switch, arrival class, LCA) decision into the shared candidate tables the
+// paper's hardware router would hold (see Tables), so the per-header cost is
+// an array lookup. NewReferenceRouter keeps the original compute-per-event
+// path, which tests cross-check the tables against and which serves as a
+// debugging fallback (spamnet.WithReferenceRouting).
 type Router struct {
 	Net *topology.Network
 	Lab *updown.Labeling
+	tab *Tables // nil in reference mode
 }
 
-// NewRouter builds a SPAM router over a labeling.
+// NewRouter builds a SPAM router over a labeling with compiled routing
+// tables.
 func NewRouter(lab *updown.Labeling) *Router {
+	return &Router{Net: lab.Net, Lab: lab, tab: compileTables(lab)}
+}
+
+// NewReferenceRouter builds a SPAM router that recomputes every routing
+// decision from the labeling instead of using compiled tables. Slower and
+// allocating, but with no precomputed state beyond the labeling — the
+// implementation the tables are verified against.
+func NewReferenceRouter(lab *updown.Labeling) *Router {
 	return &Router{Net: lab.Net, Lab: lab}
 }
+
+// TableDriven reports whether this router answers routing queries from
+// compiled tables (NewRouter) rather than by recomputation
+// (NewReferenceRouter).
+func (r *Router) TableDriven() bool { return r.tab != nil }
+
+// Tables exposes the compiled decision structure (nil in reference mode).
+func (r *Router) Tables() *Tables { return r.tab }
 
 // Candidate is one legal output channel for a header in phase 1, with the
 // selection key the paper describes (distance from the channel endpoint to
@@ -110,7 +135,49 @@ type Candidate struct {
 // channel ID as the deterministic tiebreak. The list is never empty while
 // at != lcaSwitch (reachability is guaranteed by the up*/down* structure);
 // at == lcaSwitch is the caller's signal to switch to distribution.
+//
+// The returned slice is freshly allocated; the allocation-free hot-path
+// variant is CandidateChannels.
 func (r *Router) CandidateOutputs(at topology.NodeID, arrival ArrivalClass, lcaSwitch topology.NodeID) []Candidate {
+	if r.tab == nil {
+		return r.ReferenceCandidateOutputs(at, arrival, lcaSwitch)
+	}
+	if !r.Net.IsSwitch(at) {
+		panic(fmt.Sprintf("core: CandidateOutputs at non-switch %d", at))
+	}
+	row := r.tab.candidates(arrival, at, lcaSwitch)
+	out := make([]Candidate, len(row))
+	for i, c := range row {
+		out[i] = Candidate{Channel: c, DistToLCA: r.Lab.SwitchDist[r.Net.Chan(c).Dst][lcaSwitch]}
+	}
+	return out
+}
+
+// CandidateChannels is the zero-allocation form of CandidateOutputs: the
+// channels of the candidate list in selection order, without the distance
+// keys (the order already encodes them). With tables the returned slice
+// aliases the compiled arena and MUST NOT be mutated; in reference mode it is
+// freshly computed (and allocates — reference mode is the debug path).
+func (r *Router) CandidateChannels(at topology.NodeID, arrival ArrivalClass, lcaSwitch topology.NodeID) []topology.ChannelID {
+	if r.tab != nil {
+		if !r.Net.IsSwitch(at) {
+			panic(fmt.Sprintf("core: CandidateChannels at non-switch %d", at))
+		}
+		return r.tab.candidates(arrival, at, lcaSwitch)
+	}
+	cands := r.ReferenceCandidateOutputs(at, arrival, lcaSwitch)
+	out := make([]topology.ChannelID, len(cands))
+	for i, cand := range cands {
+		out[i] = cand.Channel
+	}
+	return out
+}
+
+// ReferenceCandidateOutputs is the original compute-per-event routing
+// function: it filters the switch's output channels through the up*/down*
+// legality rules and sorts by the selection priority on every call. It is the
+// specification the compiled tables are tested against.
+func (r *Router) ReferenceCandidateOutputs(at topology.NodeID, arrival ArrivalClass, lcaSwitch topology.NodeID) []Candidate {
 	if !r.Net.IsSwitch(at) {
 		panic(fmt.Sprintf("core: CandidateOutputs at non-switch %d", at))
 	}
@@ -146,12 +213,7 @@ func (r *Router) CandidateOutputs(at topology.NodeID, arrival ArrivalClass, lcaS
 		}
 		out = append(out, Candidate{Channel: c, DistToLCA: r.Lab.SwitchDist[ch.Dst][lcaSwitch]})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].DistToLCA != out[j].DistToLCA {
-			return out[i].DistToLCA < out[j].DistToLCA
-		}
-		return out[i].Channel < out[j].Channel
-	})
+	sortCandidates(out)
 	return out
 }
 
@@ -161,7 +223,49 @@ func (r *Router) CandidateOutputs(at topology.NodeID, arrival ArrivalClass, lcaS
 // a destination, including consumption channels to locally attached
 // destination processors. The result is sorted by channel ID; the request
 // for this set must be enqueued atomically by the router model.
+//
+// The returned slice is freshly allocated; the allocation-free hot-path
+// variant is AppendDistributionOutputs.
 func (r *Router) DistributionOutputs(at topology.NodeID, dests *bitset.Set) []topology.ChannelID {
+	if r.tab == nil {
+		return r.ReferenceDistributionOutputs(at, dests)
+	}
+	return r.AppendDistributionOutputs(nil, at, dests)
+}
+
+// AppendDistributionOutputs appends the distribution output set of switch
+// `at` to dst and returns the extended slice. The subtree test is a
+// word-level intersection against the labeling's precomputed descendant
+// bitsets, and child channels are scanned in their fixed ascending-ID order,
+// so the call performs no sort and (given capacity in dst) no allocation. In
+// reference mode it delegates to the original per-destination ancestor walk.
+func (r *Router) AppendDistributionOutputs(dst []topology.ChannelID, at topology.NodeID, dests *bitset.Set) []topology.ChannelID {
+	if r.tab == nil {
+		return append(dst, r.ReferenceDistributionOutputs(at, dests)...)
+	}
+	if !r.Net.IsSwitch(at) {
+		panic(fmt.Sprintf("core: DistributionOutputs at non-switch %d", at))
+	}
+	for _, c := range r.Lab.ChildChans[at] {
+		child := r.Net.Chan(c).Dst
+		if r.Net.IsProcessor(child) {
+			if dests.Test(int(child)) {
+				dst = append(dst, c)
+			}
+			continue
+		}
+		if r.Lab.SubtreeIntersects(child, dests) {
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// ReferenceDistributionOutputs is the original compute-per-event
+// distribution function: a per-destination ancestor walk per child subtree
+// followed by a sort. It is the specification AppendDistributionOutputs is
+// tested against.
+func (r *Router) ReferenceDistributionOutputs(at topology.NodeID, dests *bitset.Set) []topology.ChannelID {
 	if !r.Net.IsSwitch(at) {
 		panic(fmt.Sprintf("core: DistributionOutputs at non-switch %d", at))
 	}
@@ -224,6 +328,10 @@ func (r *Router) DestSet(dests []topology.NodeID) (*bitset.Set, error) {
 // TreeReach counts the channels of the distribution subtree for a
 // destination set rooted at the LCA: the exact number of down-tree channels
 // a SPAM worm will traverse in phase 2. Used by analytics and tests.
+//
+// The walk is iterative and tests subtrees directly against the labeling's
+// descendant bitsets, so it performs no per-switch DistributionOutputs
+// allocation (only the destination bitset and one traversal stack).
 func (r *Router) TreeReach(dests []topology.NodeID) (int, error) {
 	ds, err := r.DestSet(dests)
 	if err != nil {
@@ -231,16 +339,24 @@ func (r *Router) TreeReach(dests []topology.NodeID) (int, error) {
 	}
 	lca := r.LCASwitch(dests)
 	count := 0
-	var walk func(sw topology.NodeID)
-	walk = func(sw topology.NodeID) {
-		for _, c := range r.DistributionOutputs(sw, ds) {
-			count++
-			dst := r.Net.Chan(c).Dst
-			if r.Net.IsSwitch(dst) {
-				walk(dst)
+	stack := make([]topology.NodeID, 0, r.Net.NumSwitches)
+	stack = append(stack, lca)
+	for len(stack) > 0 {
+		sw := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range r.Lab.ChildChans[sw] {
+			child := r.Net.Chan(c).Dst
+			if r.Net.IsProcessor(child) {
+				if ds.Test(int(child)) {
+					count++
+				}
+				continue
+			}
+			if r.Lab.SubtreeIntersects(child, ds) {
+				count++
+				stack = append(stack, child)
 			}
 		}
 	}
-	walk(lca)
 	return count, nil
 }

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/topology"
+	"repro/internal/updown"
+)
+
+// Tables is the compiled, table-driven form of the SPAM routing and selection
+// functions — the software analogue of the routing tables the paper's
+// hardware router would hold. Where the reference implementation filters,
+// allocates and sorts a fresh candidate list on every header arrival, Tables
+// answers the same query with one index computation and a slice of a shared
+// arena: candidates(class, at, lca) is the exact slice ReferenceCandidate-
+// Outputs would produce (same channels, same (DistToLCA, ChannelID) order).
+//
+// Memory model. The row *index* is a dense numClasses × switches × switches
+// array of 8-byte (offset, length) references — O(3·S²) and unavoidable for
+// O(1) lookup. The candidate *contents* live in one flat arena deduplicated
+// across rows: two (class, at, lca) cells whose candidate lists are
+// byte-identical share one arena range. Rows repeat heavily in practice
+// (e.g. a down-tree arrival at switch s yields the same short list for every
+// LCA in the same child subtree), so the arena stays near O(S · degree)
+// rather than the naive O(S² · degree) of storing every row separately.
+type Tables struct {
+	numSwitches int
+	// rows is indexed by (class*numSwitches + at)*numSwitches + lca.
+	rows []tableRow
+	// arena backs every row; rows with identical contents share a range.
+	arena []topology.ChannelID
+}
+
+// tableRow is one (offset, length) reference into the shared arena.
+type tableRow struct {
+	off uint32
+	n   uint32
+}
+
+// numClasses counts the distinct arrival behaviours. ArriveInjection is
+// legality-equivalent to ArriveUp (the first hop of every route behaves like
+// an up arrival), so the two share the class-0 rows.
+const numClasses = 3
+
+// classIndex collapses the four arrival classes onto the three distinct
+// legality behaviours.
+func classIndex(a ArrivalClass) int {
+	switch a {
+	case ArriveInjection, ArriveUp:
+		return 0
+	case ArriveDownCross:
+		return 1
+	default: // ArriveDownTree
+		return 2
+	}
+}
+
+// compileTables builds the full candidate table for a labeling by evaluating
+// the reference routing function once per (class, at, lca) cell at
+// construction time. Every row is produced in the paper's selection order —
+// ascending distance from the channel endpoint to the LCA, channel ID as the
+// tiebreak — so lookups need no per-event sort.
+func compileTables(lab *updown.Labeling) *Tables {
+	net := lab.Net
+	s := net.NumSwitches
+	t := &Tables{
+		numSwitches: s,
+		rows:        make([]tableRow, numClasses*s*s),
+	}
+
+	// Per-switch inter-switch output channels (consumption channels are
+	// distribution-only and never candidates), collected once.
+	switchOuts := make([][]topology.ChannelID, s)
+	for at := 0; at < s; at++ {
+		for _, c := range net.Out(topology.NodeID(at)) {
+			if net.IsSwitch(net.Chan(c).Dst) {
+				switchOuts[at] = append(switchOuts[at], c)
+			}
+		}
+	}
+
+	arrivalOfClass := [numClasses]ArrivalClass{ArriveUp, ArriveDownCross, ArriveDownTree}
+	seen := make(map[string]tableRow)
+	row := make([]Candidate, 0, 16)
+	key := make([]byte, 0, 64)
+	for class := 0; class < numClasses; class++ {
+		arrival := arrivalOfClass[class]
+		for at := 0; at < s; at++ {
+			for lca := 0; lca < s; lca++ {
+				row = appendLegalCandidates(row[:0], lab, switchOuts[at], arrival, topology.NodeID(lca))
+				sortCandidates(row)
+
+				key = key[:0]
+				for _, cand := range row {
+					key = binary.LittleEndian.AppendUint32(key, uint32(cand.Channel))
+				}
+				ref, ok := seen[string(key)]
+				if !ok {
+					ref = tableRow{off: uint32(len(t.arena)), n: uint32(len(row))}
+					for _, cand := range row {
+						t.arena = append(t.arena, cand.Channel)
+					}
+					seen[string(key)] = ref
+				}
+				t.rows[(class*s+at)*s+lca] = ref
+			}
+		}
+	}
+	return t
+}
+
+// appendLegalCandidates applies the up*/down* legality rules (identical to
+// ReferenceCandidateOutputs) to a pre-filtered inter-switch channel list.
+func appendLegalCandidates(dst []Candidate, lab *updown.Labeling, outs []topology.ChannelID, arrival ArrivalClass, lcaSwitch topology.NodeID) []Candidate {
+	for _, c := range outs {
+		end := lab.Net.Chan(c).Dst
+		switch lab.ClassOf[c] {
+		case updown.Up:
+			if arrival != ArriveUp && arrival != ArriveInjection {
+				continue
+			}
+		case updown.DownCross:
+			if arrival == ArriveDownTree {
+				continue
+			}
+			if !lab.IsExtendedAncestor(end, lcaSwitch) {
+				continue
+			}
+		case updown.DownTree:
+			if !lab.IsAncestor(end, lcaSwitch) {
+				continue
+			}
+		}
+		dst = append(dst, Candidate{Channel: c, DistToLCA: lab.SwitchDist[end][lcaSwitch]})
+	}
+	return dst
+}
+
+// sortCandidates orders candidates by the paper's selection priority.
+func sortCandidates(cands []Candidate) {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].DistToLCA != cands[j].DistToLCA {
+			return cands[i].DistToLCA < cands[j].DistToLCA
+		}
+		return cands[i].Channel < cands[j].Channel
+	})
+}
+
+// candidates returns the precompiled row for (arrival, at, lca). The slice
+// aliases the shared arena: callers must treat it as immutable.
+func (t *Tables) candidates(arrival ArrivalClass, at, lcaSwitch topology.NodeID) []topology.ChannelID {
+	ref := t.rows[(classIndex(arrival)*t.numSwitches+int(at))*t.numSwitches+int(lcaSwitch)]
+	return t.arena[ref.off : ref.off+ref.n : ref.off+ref.n]
+}
+
+// MemoryFootprint reports the compiled table sizes: the number of index
+// cells, the arena length in channel IDs, and the number of channel IDs a
+// non-deduplicated arena would hold. Exposed for diagnostics and tests.
+func (t *Tables) MemoryFootprint() (indexCells, arenaLen, naiveArenaLen int) {
+	for _, r := range t.rows {
+		naiveArenaLen += int(r.n)
+	}
+	return len(t.rows), len(t.arena), naiveArenaLen
+}

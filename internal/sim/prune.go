@@ -18,19 +18,26 @@ import (
 // flits (the branch dies here; the destinations are retried from the
 // source). Phase 1 (to the LCA) still uses SPAM's waiting — the pruning
 // scheme concerns the distribution tree.
+// The free prefix is compacted into outs in place; blocked channels are
+// collected in a simulator-owned scratch buffer, so the steady-state call
+// allocates nothing.
 func (s *Simulator) pruneBlocked(w *Worm, at topology.NodeID, outs []topology.ChannelID) []topology.ChannelID {
-	var free, blocked []topology.ChannelID
+	blocked := s.pruneScratch[:0]
+	k := 0
 	for _, o := range outs {
 		cs := &s.chans[o]
 		if cs.reserved == nil && !cs.outOcc && len(cs.ocrq) == 0 {
-			free = append(free, o)
+			outs[k] = o
+			k++
 		} else {
 			blocked = append(blocked, o)
 		}
 	}
+	s.pruneScratch = blocked
 	if len(blocked) == 0 {
 		return outs
 	}
+	free := outs[:k]
 	for _, b := range blocked {
 		sub := s.net.Chan(b).Dst
 		if s.net.IsProcessor(sub) {
@@ -46,7 +53,9 @@ func (s *Simulator) pruneBlocked(w *Worm, at topology.NodeID, outs []topology.Ch
 			return true
 		})
 	}
-	s.logf("t=%d worm %d: pruned %d branch(es) at switch %d", s.now, w.ID, len(blocked), at)
+	if s.cfg.Logf != nil {
+		s.logf("t=%d worm %d: pruned %d branch(es) at switch %d", s.now, w.ID, len(blocked), at)
+	}
 	s.emit(TraceEvent{Kind: TracePruned, Worm: w.ID, Node: at, Channels: blocked, Remaining: w.remaining})
 	return free
 }

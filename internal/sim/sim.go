@@ -9,6 +9,13 @@ import (
 
 // Simulator is a deterministic, single-threaded flit-level wormhole
 // simulator over one labeled network.
+//
+// The inner loop is allocation-free in steady state: routing decisions come
+// from the router's compiled tables (or are appended into per-segment scratch
+// buffers), segments are recycled through a free list, scheduled closures
+// live in a slot-recycled call table, and every queue (event heap, OCRQs,
+// input buffers, injection queues) reuses its backing storage. Per-worm
+// bookkeeping (the Worm struct itself) is the only steady-state allocation.
 type Simulator struct {
 	router *core.Router
 	net    *topology.Network
@@ -16,13 +23,21 @@ type Simulator struct {
 
 	now  int64
 	seq  uint64
-	heap eventHeap
+	heap eventQueue
 
 	chans []chanState
 	procs []procState
 	// segAtInput[c] is the segment currently consuming input channel c at
 	// its destination router.
 	segAtInput []*segment
+
+	// calls stores evCall closures by slot; callFree recycles slots.
+	calls    []func()
+	callFree []int32
+	// segFree recycles dead segments (and their outs/copied buffers).
+	segFree []*segment
+	// pruneScratch collects blocked channels during pruneBlocked.
+	pruneScratch []topology.ChannelID
 
 	nextWormID  int64
 	outstanding int
@@ -55,8 +70,15 @@ func New(router *core.Router, cfg Config) (*Simulator, error) {
 		procs:      make([]procState, router.Net.NumProcs),
 		segAtInput: make([]*segment, len(router.Net.Channels)),
 	}
+	// Credits bound each input FIFO to InputBufFlits, so its capacity
+	// never needs to grow: one shared arena, sliced with hard capacity
+	// limits, keeps arrivals allocation-free from the first flit and
+	// session construction at O(1) allocations for the FIFOs.
+	k := cfg.InputBufFlits
+	arena := make([]flit, len(s.chans)*k)
 	for i := range s.chans {
-		s.chans[i].credits = cfg.InputBufFlits
+		s.chans[i].credits = k
+		s.chans[i].inBuf = arena[i*k : i*k : (i+1)*k]
 	}
 	return s, nil
 }
@@ -73,12 +95,55 @@ func (s *Simulator) Outstanding() int { return s.outstanding }
 // Err returns the sticky simulator error (deadlock/stall detection).
 func (s *Simulator) Err() error { return s.err }
 
-func (s *Simulator) schedule(t int64, kind evKind, a int32, fl flit) {
+func (s *Simulator) schedule(t int64, kind evKind, a int32) {
 	s.seq++
 	if kind != evWatchdog {
 		s.pendingWork++
 	}
-	s.heap.Push(event{t: t, seq: s.seq, kind: kind, a: a, fl: fl})
+	s.heap.Push(event{t: t, seq: s.seq, kind: kind, a: a})
+}
+
+// scheduleCall schedules fn at time t via the slot-recycled call table.
+func (s *Simulator) scheduleCall(t int64, fn func()) {
+	var idx int32
+	if n := len(s.callFree); n > 0 {
+		idx = s.callFree[n-1]
+		s.callFree = s.callFree[:n-1]
+		s.calls[idx] = fn
+	} else {
+		idx = int32(len(s.calls))
+		s.calls = append(s.calls, fn)
+	}
+	s.seq++
+	s.pendingWork++
+	s.heap.Push(event{t: t, seq: s.seq, kind: evCall, a: idx})
+}
+
+// newSegment returns a reset segment, reusing a recycled one when available.
+func (s *Simulator) newSegment() *segment {
+	if n := len(s.segFree); n > 0 {
+		seg := s.segFree[n-1]
+		s.segFree = s.segFree[:n-1]
+		return seg
+	}
+	return &segment{in: topology.None}
+}
+
+// freeSegment recycles a dead segment. Callers must guarantee no reference
+// to seg survives: it must be done, released from every channel reservation,
+// absent from every OCRQ, and detached from segAtInput.
+func (s *Simulator) freeSegment(seg *segment) {
+	seg.worm = nil
+	seg.router = 0
+	seg.in = topology.None
+	seg.outs = seg.outs[:0]
+	seg.copied = seg.copied[:0]
+	seg.dist = false
+	seg.acquired = false
+	seg.done = false
+	seg.nextFlit = 0
+	seg.source = false
+	s.segFree = append(s.segFree, seg)
 }
 
 // At schedules fn to run at simulated time t (>= now). Traffic generators
@@ -87,9 +152,7 @@ func (s *Simulator) At(t int64, fn func()) {
 	if t < s.now {
 		t = s.now
 	}
-	s.seq++
-	s.pendingWork++
-	s.heap.Push(event{t: t, seq: s.seq, kind: evCall, call: fn})
+	s.scheduleCall(t, fn)
 }
 
 // Submit schedules a message for injection at simulated time `at`: the worm
@@ -139,7 +202,7 @@ func (s *Simulator) armWatchdog() {
 		return
 	}
 	s.watchdogOn = true
-	s.schedule(s.now+s.cfg.WatchdogNs, evWatchdog, 0, flit{})
+	s.schedule(s.now+s.cfg.WatchdogNs, evWatchdog, 0)
 }
 
 func (s *Simulator) procIndex(p topology.NodeID) int32 {
@@ -161,13 +224,13 @@ func (s *Simulator) startNextInjection(pi int32) {
 	ps.busy = true
 	w := ps.queue[0]
 	w.InjectStartNs = s.now
-	s.schedule(s.now+s.cfg.Params.StartupNs, evStartup, pi, flit{})
+	s.schedule(s.now+s.cfg.Params.StartupNs, evStartup, pi)
 }
 
 // Run processes events until the heap is exhausted, simulated time passes
 // `until`, or an error is detected. It returns the sticky error, if any.
 func (s *Simulator) Run(until int64) error {
-	for s.err == nil && s.heap.Len() > 0 && s.heap.Peek().t <= until {
+	for s.err == nil && s.heap.Len() > 0 && s.heap.PeekTime() <= until {
 		s.step()
 	}
 	return s.err
@@ -176,7 +239,7 @@ func (s *Simulator) Run(until int64) error {
 // RunUntilIdle processes events until no worms are outstanding (or the time
 // cap passes, which is reported as an error unless everything completed).
 func (s *Simulator) RunUntilIdle(cap int64) error {
-	for s.err == nil && s.outstanding > 0 && s.heap.Len() > 0 && s.heap.Peek().t <= cap {
+	for s.err == nil && s.outstanding > 0 && s.heap.Len() > 0 && s.heap.PeekTime() <= cap {
 		s.step()
 	}
 	if s.err != nil {
@@ -208,7 +271,7 @@ func (s *Simulator) step() {
 	}
 	switch ev.kind {
 	case evArrive:
-		s.onArrive(topology.ChannelID(ev.a), ev.fl)
+		s.onArrive(topology.ChannelID(ev.a))
 	case evRoute:
 		s.onRoute(topology.ChannelID(ev.a))
 	case evStartup:
@@ -216,7 +279,10 @@ func (s *Simulator) step() {
 	case evWatchdog:
 		s.onWatchdog()
 	case evCall:
-		ev.call()
+		fn := s.calls[ev.a]
+		s.calls[ev.a] = nil
+		s.callFree = append(s.callFree, ev.a)
+		fn()
 	}
 }
 
@@ -224,11 +290,20 @@ func (s *Simulator) step() {
 func (s *Simulator) onStartup(pi int32) {
 	ps := &s.procs[pi]
 	w := ps.queue[0]
-	ps.queue = ps.queue[1:]
+	n := len(ps.queue)
+	copy(ps.queue, ps.queue[1:])
+	ps.queue[n-1] = nil
+	ps.queue = ps.queue[:n-1]
 	src := topology.NodeID(int(pi) + s.net.NumSwitches)
 	inj := s.net.ChannelBetween(src, s.net.SwitchOf(src))
-	seg := &segment{worm: w, router: src, in: topology.None, outs: []topology.ChannelID{inj}, source: true}
-	s.logf("t=%d worm %d: startup done at proc %d, requesting injection channel", s.now, w.ID, src)
+	seg := s.newSegment()
+	seg.worm = w
+	seg.router = src
+	seg.outs = append(seg.outs, inj)
+	seg.source = true
+	if s.cfg.Logf != nil {
+		s.logf("t=%d worm %d: startup done at proc %d, requesting injection channel", s.now, w.ID, src)
+	}
 	s.emit(TraceEvent{Kind: TraceStartup, Worm: w.ID, Node: src})
 	s.enqueueRequests(seg)
 }
@@ -262,13 +337,18 @@ func (s *Simulator) tryAcquire(seg *segment) {
 	}
 	for _, o := range seg.outs {
 		cs := &s.chans[o]
-		cs.ocrq = cs.ocrq[1:]
+		n := len(cs.ocrq)
+		copy(cs.ocrq, cs.ocrq[1:])
+		cs.ocrq[n-1] = nil
+		cs.ocrq = cs.ocrq[:n-1]
 		cs.reserved = seg
 		cs.reservationCount++
 	}
 	seg.acquired = true
 	if seg.source {
-		s.logf("t=%d worm %d: injection channel acquired at proc %d", s.now, seg.worm.ID, seg.router)
+		if s.cfg.Logf != nil {
+			s.logf("t=%d worm %d: injection channel acquired at proc %d", s.now, seg.worm.ID, seg.router)
+		}
 		s.sourceAdvance(seg)
 		return
 	}
@@ -284,7 +364,9 @@ func (s *Simulator) tryAcquire(seg *segment) {
 	for _, o := range seg.outs {
 		s.putOutBuf(o, hdr)
 	}
-	s.logf("t=%d worm %d: acquired %d channel(s) at switch %d", s.now, seg.worm.ID, len(seg.outs), seg.router)
+	if s.cfg.Logf != nil {
+		s.logf("t=%d worm %d: acquired %d channel(s) at switch %d", s.now, seg.worm.ID, len(seg.outs), seg.router)
+	}
 	s.emit(TraceEvent{Kind: TraceAcquired, Worm: seg.worm.ID, Node: seg.router, Channels: seg.outs})
 	s.popInput(seg.in)
 }
@@ -315,6 +397,7 @@ func (s *Simulator) sourceAdvance(seg *segment) {
 		pi := s.procIndex(w.Src)
 		s.procs[pi].busy = false
 		s.startNextInjection(pi)
+		s.freeSegment(seg)
 	}
 }
 
@@ -332,7 +415,9 @@ func (s *Simulator) putOutBuf(o topology.ChannelID, fl flit) {
 }
 
 // trySend launches the output-buffer flit onto the wire when the wire is
-// idle and the destination input buffer has a free slot (a credit).
+// idle and the destination input buffer has a free slot (a credit). The
+// arrival event carries no payload: the output buffer is immutable while the
+// wire is busy, so the receiver reads the flit from there.
 func (s *Simulator) trySend(o topology.ChannelID) {
 	cs := &s.chans[o]
 	if !cs.outOcc || cs.inFlight || cs.credits == 0 {
@@ -340,13 +425,14 @@ func (s *Simulator) trySend(o topology.ChannelID) {
 	}
 	cs.inFlight = true
 	cs.credits--
-	s.schedule(s.now+s.cfg.Params.ChanPropNs, evArrive, int32(o), cs.outBuf)
+	s.schedule(s.now+s.cfg.Params.ChanPropNs, evArrive, int32(o))
 }
 
 // onArrive completes a flit's flight over channel c: deliver it to the
 // destination node, then let the upstream segment refill the output buffer.
-func (s *Simulator) onArrive(c topology.ChannelID, fl flit) {
+func (s *Simulator) onArrive(c topology.ChannelID) {
 	cs := &s.chans[c]
+	fl := cs.outBuf
 	cs.outOcc = false
 	cs.inFlight = false
 	if fl.kind == Bubble {
@@ -372,7 +458,7 @@ func (s *Simulator) onArrive(c topology.ChannelID, fl flit) {
 		} else if s.cfg.StoreAndForward && fl.kind == Tail &&
 			cs.inBuf[0].kind == Header && cs.inBuf[0].w == fl.w {
 			// IBR: the packet is now fully buffered; route it.
-			s.schedule(s.now+s.cfg.Params.RouterSetupNs, evRoute, int32(c), flit{})
+			s.schedule(s.now+s.cfg.Params.RouterSetupNs, evRoute, int32(c))
 		}
 	}
 
@@ -407,7 +493,9 @@ func (s *Simulator) consume(proc topology.NodeID, fl flit) {
 		}
 	}
 	w.remaining--
-	s.logf("t=%d worm %d: tail delivered at proc %d (%d remaining)", s.now, w.ID, proc, w.remaining)
+	if s.cfg.Logf != nil {
+		s.logf("t=%d worm %d: tail delivered at proc %d (%d remaining)", s.now, w.ID, proc, w.remaining)
+	}
 	s.emit(TraceEvent{Kind: TraceDelivered, Worm: w.ID, Node: proc, Remaining: w.remaining})
 	if w.OnDelivered != nil {
 		w.OnDelivered(w, proc, s.now)
@@ -438,13 +526,13 @@ func (s *Simulator) dispatchHead(c topology.ChannelID) {
 			// tail's arrival triggers routing.
 			for _, fl := range cs.inBuf[1:] {
 				if fl.kind == Tail && fl.w == head.w {
-					s.schedule(s.now+s.cfg.Params.RouterSetupNs, evRoute, int32(c), flit{})
+					s.schedule(s.now+s.cfg.Params.RouterSetupNs, evRoute, int32(c))
 					break
 				}
 			}
 			return
 		}
-		s.schedule(s.now+s.cfg.Params.RouterSetupNs, evRoute, int32(c), flit{})
+		s.schedule(s.now+s.cfg.Params.RouterSetupNs, evRoute, int32(c))
 		return
 	}
 	seg := s.segAtInput[c]
@@ -456,7 +544,10 @@ func (s *Simulator) dispatchHead(c topology.ChannelID) {
 }
 
 // onRoute makes the routing decision for the header at the head of input
-// buffer c and enqueues its output-channel requests atomically.
+// buffer c and enqueues its output-channel requests atomically. The decision
+// itself is a table lookup (phase 1) or a bitset scan appended into the
+// segment's reusable output buffer (distribution), allocating nothing in
+// steady state.
 func (s *Simulator) onRoute(c topology.ChannelID) {
 	cs := &s.chans[c]
 	if len(cs.inBuf) == 0 || cs.inBuf[0].kind != Header {
@@ -468,42 +559,57 @@ func (s *Simulator) onRoute(c topology.ChannelID) {
 	at := s.net.Chan(c).Dst
 	dist := head.dist || at == w.LCA
 
-	var outs []topology.ChannelID
+	seg := s.newSegment()
+	seg.worm = w
+	seg.router = at
+	seg.in = c
+	seg.dist = dist
 	if dist {
-		outs = s.router.DistributionOutputs(at, w.DestSet)
-		if len(outs) == 0 {
+		seg.outs = s.router.AppendDistributionOutputs(seg.outs, at, w.DestSet)
+		if len(seg.outs) == 0 {
+			s.freeSegment(seg)
 			s.fail("worm %d: no distribution outputs at switch %d", w.ID, at)
 			return
 		}
 		if w.Prune {
-			outs = s.pruneBlocked(w, at, outs)
+			seg.outs = s.pruneBlocked(w, at, seg.outs)
 			// All branches pruned: the segment becomes a sink that
 			// absorbs the incoming worm (empty outs acquire
 			// trivially and every flit is consumed on pop).
 		}
 	} else {
 		arrival := core.ArrivalOf(s.router.Lab.ClassOf[c])
-		cands := s.router.CandidateOutputs(at, arrival, w.LCA)
+		cands := s.router.CandidateChannels(at, arrival, w.LCA)
 		if len(cands) == 0 {
+			s.freeSegment(seg)
 			s.fail("worm %d: no route at switch %d toward LCA %d", w.ID, at, w.LCA)
 			return
 		}
-		pick := cands[0].Channel
+		pick := cands[0]
 		// Adaptive selection: prefer the highest-priority channel that
 		// is immediately acquirable.
 		for _, cand := range cands {
-			ocs := &s.chans[cand.Channel]
+			ocs := &s.chans[cand]
 			if ocs.reserved == nil && !ocs.outOcc && len(ocs.ocrq) == 0 {
-				pick = cand.Channel
+				pick = cand
 				break
 			}
 		}
-		outs = []topology.ChannelID{pick}
+		seg.outs = append(seg.outs, pick)
 	}
-	seg := &segment{worm: w, router: at, in: c, outs: outs, dist: dist, copied: make([]bool, len(outs))}
+	if cap(seg.copied) < len(seg.outs) {
+		seg.copied = make([]bool, len(seg.outs))
+	} else {
+		seg.copied = seg.copied[:len(seg.outs)]
+		for i := range seg.copied {
+			seg.copied[i] = false
+		}
+	}
 	s.segAtInput[c] = seg
-	s.logf("t=%d worm %d: header at switch %d (dist=%v) requests %v", s.now, w.ID, at, dist, outs)
-	s.emit(TraceEvent{Kind: TraceRouted, Worm: w.ID, Node: at, Dist: dist, Channels: outs})
+	if s.cfg.Logf != nil {
+		s.logf("t=%d worm %d: header at switch %d (dist=%v) requests %v", s.now, w.ID, at, dist, seg.outs)
+	}
+	s.emit(TraceEvent{Kind: TraceRouted, Worm: w.ID, Node: at, Dist: dist, Channels: seg.outs})
 	s.enqueueRequests(seg)
 }
 
@@ -568,6 +674,10 @@ func (s *Simulator) segAdvance(seg *segment) {
 			s.releaseChannels(seg)
 			seg.done = true
 			s.segAtInput[seg.in] = nil
+			in := seg.in
+			s.freeSegment(seg)
+			s.popInput(in)
+			return
 		}
 		s.popInput(seg.in)
 		return
@@ -610,10 +720,10 @@ func (s *Simulator) popInput(c topology.ChannelID) {
 	}
 }
 
+// logf formats a trace line. Callers must guard with s.cfg.Logf != nil so
+// the variadic argument pack is never materialized on the hot path.
 func (s *Simulator) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
+	s.cfg.Logf(format, args...)
 }
 
 // onWatchdog checks for forward progress; on sustained stalls it inspects

@@ -60,6 +60,11 @@ func (s *Simulator) JSONLTracer(w io.Writer) func(TraceEvent) {
 func (s *Simulator) emit(ev TraceEvent) {
 	if s.tracer != nil {
 		ev.T = s.now
+		// Channel lists alias engine-owned scratch buffers (recycled
+		// segments, prune scratch); hand consumers a stable copy.
+		if ev.Channels != nil {
+			ev.Channels = append([]topology.ChannelID(nil), ev.Channels...)
+		}
 		s.tracer(ev)
 	}
 }

@@ -19,6 +19,7 @@ package updown
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/bitset"
 	"repro/internal/topology"
@@ -94,6 +95,11 @@ type Labeling struct {
 	// anc[v] is the set of tree ancestors of node v, v itself included
 	// (so anc is the reflexive ancestor relation over all nodes).
 	anc []*bitset.Set
+	// desc[v] is the transpose of anc: the set of tree descendants of v,
+	// v itself included. desc[v] ∩ D ≠ ∅ answers "does the subtree rooted
+	// at v contain a destination?" with a handful of word-level ANDs —
+	// the precomputed form of the distribution-phase subtree test.
+	desc []*bitset.Set
 	// extAnc[v] is the set of extended ancestors of v: nodes u with a path
 	// of zero or more down-cross channels followed by zero or more
 	// down-tree channels from u to v. Reflexive.
@@ -203,7 +209,17 @@ func NewWithRoot(net *topology.Network, root topology.NodeID) (*Labeling, error)
 		}
 	}
 
+	// ChildChans must be in ascending channel-ID order: the distribution
+	// fast path emits outputs by scanning them in place of the reference
+	// implementation's sort. Construction above appends in channel-index
+	// order, which is already ascending; sort defensively so the fast
+	// path's correctness is local to this file.
+	for _, chans := range l.ChildChans {
+		sort.Slice(chans, func(i, j int) bool { return chans[i] < chans[j] })
+	}
+
 	l.buildAncestors()
+	l.buildDescendants()
 	l.buildCrossReach()
 	l.buildExtendedAncestors()
 	l.SwitchDist = net.SwitchGraph().AllPairsDist()
@@ -257,6 +273,22 @@ func (l *Labeling) buildAncestors() {
 			}
 			l.anc[v] = s
 		}
+	}
+}
+
+// buildDescendants materializes the transpose of the ancestor relation:
+// desc[u] = {v : u ∈ anc[v]}. Cost is O(Σ|anc[v]|) = O(N · depth) set bits.
+func (l *Labeling) buildDescendants() {
+	total := l.Net.N()
+	l.desc = make([]*bitset.Set, total)
+	for v := 0; v < total; v++ {
+		l.desc[v] = bitset.New(total)
+	}
+	for v := 0; v < total; v++ {
+		l.anc[v].ForEach(func(u int) bool {
+			l.desc[u].Set(v)
+			return true
+		})
 	}
 }
 
@@ -334,6 +366,17 @@ func (l *Labeling) IsExtendedAncestor(u, v topology.NodeID) bool {
 // Ancestors returns the (reflexive) ancestor set of v. Shared; do not mutate.
 func (l *Labeling) Ancestors(v topology.NodeID) *bitset.Set { return l.anc[v] }
 
+// Descendants returns the (reflexive) descendant set of v — every node in the
+// tree subtree rooted at v. Shared; do not mutate.
+func (l *Labeling) Descendants(v topology.NodeID) *bitset.Set { return l.desc[v] }
+
+// SubtreeIntersects reports whether the tree subtree rooted at v contains any
+// member of set. It is the word-level form of "v is an ancestor of some
+// destination" and allocates nothing.
+func (l *Labeling) SubtreeIntersects(v topology.NodeID, set *bitset.Set) bool {
+	return l.desc[v].Intersects(set)
+}
+
 // ExtendedAncestors returns the (reflexive) extended-ancestor set of v.
 func (l *Labeling) ExtendedAncestors(v topology.NodeID) *bitset.Set { return l.extAnc[v] }
 
@@ -387,7 +430,8 @@ func (l *Labeling) Depth(v topology.NodeID) int32 { return l.Level[v] }
 //  3. the combined down sub-network (down-tree ∪ down-cross) is acyclic;
 //  4. down-tree channels form the spanning tree (n-1 switch tree channels
 //     plus one per processor);
-//  5. ancestor implies extended ancestor.
+//  5. ancestor implies extended ancestor;
+//  6. the descendant sets are the exact transpose of the ancestor sets.
 func (l *Labeling) Verify() error {
 	net := l.Net
 	// (2) and (3): topological order by (level, id) with direction checks.
@@ -426,6 +470,14 @@ func (l *Labeling) Verify() error {
 	for v := 0; v < net.N(); v++ {
 		if !l.extAnc[v].Contains(l.anc[v]) {
 			return fmt.Errorf("updown: node %d: ancestors not contained in extended ancestors", v)
+		}
+	}
+	// (6) desc is the exact transpose of anc.
+	for v := 0; v < net.N(); v++ {
+		for u := 0; u < net.N(); u++ {
+			if l.anc[v].Test(u) != l.desc[u].Test(v) {
+				return fmt.Errorf("updown: descendant sets are not the transpose of ancestor sets at (u=%d, v=%d)", u, v)
+			}
 		}
 	}
 	return nil

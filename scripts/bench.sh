@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# bench.sh — the PR perf-trajectory smoke target.
+#
+# Runs the reduced-effort benchmark suite (Figure 2, Figure 3 and the two
+# engine microbenchmarks) and writes a JSON snapshot with ns/op, B/op,
+# allocs/op and every custom reported metric (us/broadcast-256, us/msg-*,
+# events/broadcast, ...), next to the fixed pre-optimization baseline so the
+# speedup trajectory is tracked in-repo.
+#
+# Usage:
+#   scripts/bench.sh [out.json]      # default out: BENCH_PR1.json
+#   BENCHTIME=3x scripts/bench.sh    # steadier numbers (default 1x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR1.json}"
+BENCHTIME="${BENCHTIME:-1x}"
+
+# Pre-change baseline, measured on the seed tree (commit 343ef2f) plus the
+# go.mod this PR adds (the seed did not build at all), go1.24, linux/amd64,
+# benchtime 3x. These are historical constants: they pin the starting point
+# of the perf trajectory and let any machine compute its own relative
+# speedup from a fresh run below.
+BASE_FIG3_NS=2615347544
+BASE_FIG3_ALLOCS=1122147
+BASE_FIG3_BYTES=39104594
+BASE_ROUTING_NS=365.9
+BASE_ROUTING_ALLOCS=3
+BASE_SIMTP_NS=6802676
+BASE_SIMTP_ALLOCS=1939
+
+RAW=$(go test -run '^$' \
+	-bench 'BenchmarkFig2_SingleMulticast|BenchmarkFig3_MixedTraffic|BenchmarkRoutingDecision|BenchmarkRoutingDecisionReference|BenchmarkSimulatorThroughput' \
+	-benchmem -benchtime "$BENCHTIME" . 2>&1 | grep -E '^Benchmark' || true)
+
+if [ -z "$RAW" ]; then
+	echo "bench.sh: no benchmark output" >&2
+	exit 1
+fi
+
+{
+	printf '{\n'
+	printf '  "pr": 1,\n'
+	printf '  "benchtime": "%s",\n' "$BENCHTIME"
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "baseline": {\n'
+	printf '    "commit": "343ef2f (seed) + go.mod",\n'
+	printf '    "Fig3_MixedTraffic": {"ns_op": %s, "B_op": %s, "allocs_op": %s},\n' \
+		"$BASE_FIG3_NS" "$BASE_FIG3_BYTES" "$BASE_FIG3_ALLOCS"
+	printf '    "RoutingDecision": {"ns_op": %s, "allocs_op": %s},\n' \
+		"$BASE_ROUTING_NS" "$BASE_ROUTING_ALLOCS"
+	printf '    "SimulatorThroughput": {"ns_op": %s, "allocs_op": %s}\n' \
+		"$BASE_SIMTP_NS" "$BASE_SIMTP_ALLOCS"
+	printf '  },\n'
+	printf '  "current": {\n'
+	echo "$RAW" | awk '
+		{
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			sub(/^Benchmark/, "", name)
+			line = sprintf("    \"%s\": {", name)
+			sep = ""
+			for (i = 3; i < NF; i += 2) {
+				unit = $(i + 1)
+				gsub(/[\/-]/, "_", unit)
+				line = line sprintf("%s\"%s\": %s", sep, unit, $i)
+				sep = ", "
+			}
+			line = line "}"
+			lines[++n] = line
+		}
+		END {
+			for (i = 1; i <= n; i++)
+				printf("%s%s\n", lines[i], i < n ? "," : "")
+		}
+	'
+	printf '  },\n'
+	FIG3_NS=$(echo "$RAW" | awk '/^BenchmarkFig3_MixedTraffic/{print $3; exit}')
+	printf '  "derived": {\n'
+	printf '    "fig3_speedup_x": %s,\n' \
+		"$(awk -v b="$BASE_FIG3_NS" -v c="$FIG3_NS" 'BEGIN{printf("%.2f", b/c)}')"
+	FIG3_ALLOCS=$(echo "$RAW" | awk '/^BenchmarkFig3_MixedTraffic/{for(i=3;i<NF;i+=2) if($(i+1)=="allocs/op") print $i}')
+	printf '    "fig3_allocs_reduction_pct": %s\n' \
+		"$(awk -v b="$BASE_FIG3_ALLOCS" -v c="$FIG3_ALLOCS" 'BEGIN{printf("%.1f", 100*(1-c/b))}')"
+	printf '  }\n'
+	printf '}\n'
+} >"$OUT"
+
+echo "wrote $OUT"
+echo "$RAW"

@@ -51,10 +51,11 @@ const (
 func PaperParams() LatencyParams { return core.PaperParams() }
 
 type options struct {
-	root     RootStrategy
-	simCfg   sim.Config
-	seed     uint64
-	procsPer int
+	root       RootStrategy
+	simCfg     sim.Config
+	seed       uint64
+	procsPer   int
+	refRouting bool
 }
 
 // Option customizes System construction.
@@ -76,6 +77,14 @@ func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
 // WithProcessorsPerSwitch attaches n processors per switch (paper: 1).
 func WithProcessorsPerSwitch(n int) Option { return func(o *options) { o.procsPer = n } }
 
+// WithReferenceRouting disables the compiled routing tables: every routing
+// decision is recomputed from the up*/down* labeling the way the original
+// implementation did. This is the debugging escape hatch for suspected table
+// miscompilations — slower and allocating, but with no precomputed routing
+// state. Table-driven and reference routing produce identical decisions
+// (property tests cross-check them on random topologies).
+func WithReferenceRouting() Option { return func(o *options) { o.refRouting = true } }
+
 // WithTrace routes a hop-by-hop routing trace of every session to logf.
 func WithTrace(logf func(format string, args ...any)) Option {
 	return func(o *options) { o.simCfg.Logf = logf }
@@ -92,11 +101,19 @@ func buildOptions(opts []Option) options {
 // System is an immutable network + SPAM routing structure. Safe for
 // concurrent use; create Sessions for simulation.
 type System struct {
-	net    *topology.Network
-	lab    *updown.Labeling
-	router *core.Router
-	simCfg sim.Config
-	root   RootStrategy
+	net        *topology.Network
+	lab        *updown.Labeling
+	router     *core.Router
+	simCfg     sim.Config
+	root       RootStrategy
+	refRouting bool
+}
+
+func makeRouter(lab *updown.Labeling, reference bool) *core.Router {
+	if reference {
+		return core.NewReferenceRouter(lab)
+	}
+	return core.NewRouter(lab)
 }
 
 // NewLattice builds the paper's experimental platform: `switches` 8-port
@@ -140,10 +157,11 @@ func NewMesh(w, h int, opts ...Option) (*System, error) {
 func FromParts(net *topology.Network, lab *updown.Labeling, opts ...Option) (*System, error) {
 	o := buildOptions(opts)
 	return &System{
-		net:    net,
-		lab:    lab,
-		router: core.NewRouter(lab),
-		simCfg: o.simCfg,
+		net:        net,
+		lab:        lab,
+		router:     makeRouter(lab, o.refRouting),
+		simCfg:     o.simCfg,
+		refRouting: o.refRouting,
 	}, nil
 }
 
@@ -153,11 +171,12 @@ func newSystem(net *topology.Network, o options) (*System, error) {
 		return nil, err
 	}
 	return &System{
-		net:    net,
-		lab:    lab,
-		router: core.NewRouter(lab),
-		simCfg: o.simCfg,
-		root:   o.root,
+		net:        net,
+		lab:        lab,
+		router:     makeRouter(lab, o.refRouting),
+		simCfg:     o.simCfg,
+		root:       o.root,
+		refRouting: o.refRouting,
 	}, nil
 }
 
@@ -180,11 +199,12 @@ func (s *System) Reconfigure(failedLinks [][2]int) (*System, error) {
 		return nil, err
 	}
 	return &System{
-		net:    net,
-		lab:    lab,
-		router: core.NewRouter(lab),
-		simCfg: s.simCfg,
-		root:   s.root,
+		net:        net,
+		lab:        lab,
+		router:     makeRouter(lab, s.refRouting),
+		simCfg:     s.simCfg,
+		root:       s.root,
+		refRouting: s.refRouting,
 	}, nil
 }
 
