@@ -13,8 +13,12 @@ package spamnet
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/updown"
+	"repro/internal/workload"
 )
 
 // benchSim returns the paper's simulator configuration.
@@ -256,6 +260,133 @@ func BenchmarkIBRVsSPAM(b *testing.B) {
 	spam, ibr := series[0], series[1]
 	last := len(spam.Points) - 1
 	b.ReportMetric(ibr.Points[last].Mean/spam.Points[last].Mean, "x/ibr-overhead-512flit")
+}
+
+// sweepBenchRouter builds the 64-node platform for the sweep benchmarks.
+func sweepBenchRouter(b *testing.B) *core.Router {
+	b.Helper()
+	net, err := topology.RandomLattice(topology.DefaultLattice(64, 1998))
+	if err != nil {
+		b.Fatal(err)
+	}
+	lab, err := updown.New(net, updown.RootMinID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.NewRouter(lab)
+}
+
+// sweepBenchSim is the sweep-trial configuration: short 32-flit messages,
+// the same reduced effort the experiment tests use, so one op is one quick
+// Fig3-style trial rather than a multi-millisecond drain.
+func sweepBenchSim() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Params.MessageFlits = 32
+	return cfg
+}
+
+// sweepBenchWorkload is the Fig3-style trial both sweep benchmarks run: one
+// mixed-traffic point at the paper's headline 0.02 msg/µs/proc rate.
+func sweepBenchWorkload() workload.Workload {
+	return workload.Mixed{
+		RatePerProcPerUs:  0.02,
+		MulticastFraction: 0.1,
+		MulticastDests:    8,
+		Messages:          60,
+	}
+}
+
+// BenchmarkSweepTrialReset measures one Fig3-style sweep trial on a
+// reusable session: Reset + traffic generation + full drain + latency
+// collection, all on retained arenas. The trial loop runs at 0 allocs/op —
+// the number every experiment driver's inner loop now pays per trial.
+func BenchmarkSweepTrialReset(b *testing.B) {
+	runner, err := workload.NewRunner(sweepBenchRouter(b), sweepBenchSim())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := sweepBenchWorkload()
+	var lats []float64
+	trial := func() float64 {
+		if err := runner.Trial(w, 1998); err != nil {
+			b.Fatal(err)
+		}
+		lats = runner.AppendLatenciesUs(lats[:0], 10, nil)
+		var sum float64
+		for _, l := range lats {
+			sum += l
+		}
+		return sum / float64(len(lats))
+	}
+	// Warm every arena and stabilize the worm pool before measuring: the
+	// trial is deterministic, so epoch 3 onward reuses every capacity.
+	trial()
+	trial()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		mean = trial()
+	}
+	b.ReportMetric(mean, "us/msg")
+}
+
+// BenchmarkSweepTrialFresh is the pre-PR2 shape of the same trial: a brand
+// new simulator per trial, rebuilding every arena the reusable session
+// retains. The ns/op and allocs/op gap against BenchmarkSweepTrialReset is
+// the price each experiment trial used to pay.
+func BenchmarkSweepTrialFresh(b *testing.B) {
+	router := sweepBenchRouter(b)
+	w := sweepBenchWorkload()
+	var lats []float64
+	trial := func() float64 {
+		runner, err := workload.NewRunner(router, sweepBenchSim())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := runner.Trial(w, 1998); err != nil {
+			b.Fatal(err)
+		}
+		lats = runner.AppendLatenciesUs(lats[:0], 10, nil)
+		var sum float64
+		for _, l := range lats {
+			sum += l
+		}
+		return sum / float64(len(lats))
+	}
+	trial()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		mean = trial()
+	}
+	b.ReportMetric(mean, "us/msg")
+}
+
+// BenchmarkSessionReset measures the Reset call itself on a warm 128-node
+// session (sweeping channel state, recycling worms, rewinding queues).
+func BenchmarkSessionReset(b *testing.B) {
+	sys, err := NewLattice(128, WithSeed(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := sys.NewSession()
+	if err != nil {
+		b.Fatal(err)
+	}
+	procs := sys.Processors()
+	if _, err := sess.Multicast(0, procs[0], procs[1:]); err != nil {
+		b.Fatal(err)
+	}
+	if err := sess.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Reset()
+	}
 }
 
 // BenchmarkSimulatorThroughput measures raw engine speed: events per second

@@ -1,5 +1,6 @@
 // Command spamsim regenerates the paper's figures and the future-work
-// ablations at full scale, printing aligned tables (or CSV) to stdout.
+// ablations at full scale, printing aligned tables (or CSV) to stdout, and
+// runs ad-hoc scenarios from the workload registry on reusable sessions.
 //
 // Usage:
 //
@@ -8,8 +9,11 @@
 //	spamsim -experiment compare [-trials 10]
 //	spamsim -experiment ablate-buffer|ablate-root|ablate-partition
 //	spamsim -experiment all
+//	spamsim -list-scenarios
+//	spamsim -scenario hotspot -rate 0.02 [-nodes 128] [-trials 5]
+//	spamsim -scenario bcast-storm -sources 8
 //
-// Every experiment is deterministic for a given -seed.
+// Every experiment and scenario is deterministic for a given -seed.
 package main
 
 import (
@@ -17,28 +21,74 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/updown"
+	"repro/internal/workload"
 )
 
 func main() {
 	var (
 		exp      = flag.String("experiment", "all", "fig2 | fig3 | compare | hotspot | throughput | prune | ibr | ablate-buffer | ablate-root | ablate-partition | ablate-header | all")
 		plot     = flag.Bool("plot", false, "also render figures as ASCII charts")
-		trials   = flag.Int("trials", 20, "samples per data point (fig2, compare, ablations)")
-		messages = flag.Int("messages", 1500, "messages per data point (fig3)")
+		trials   = flag.Int("trials", 20, "samples per data point (fig2, compare, ablations) / scenario replications")
+		messages = flag.Int("messages", 1500, "messages per data point (fig3) or per scenario trial")
 		seed     = flag.Uint64("seed", 1998, "base random seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		bufFlits = flag.Int("inputbuf", 1, "input buffer size in flits")
 		flits    = flag.Int("flits", 128, "message length in flits")
 		workers  = flag.Int("workers", 0, "parallel replications (0 = GOMAXPROCS)")
 		report   = flag.String("report", "", "also write a consolidated Markdown report to this file")
+
+		scenario  = flag.String("scenario", "", "run a named workload scenario instead of an experiment (see -list-scenarios)")
+		listScen  = flag.Bool("list-scenarios", false, "list the registered workload scenarios and exit")
+		nodes     = flag.Int("nodes", 128, "scenario network size in switches")
+		rate      = flag.Float64("rate", 0, "scenario arrival rate (msg/us/processor; 0 = scenario default)")
+		mcastFrac = flag.Float64("mcast-frac", 0, "scenario multicast fraction (0 = scenario default)")
+		dests     = flag.Int("dests", 0, "scenario multicast destination count (0 = scenario default)")
+		window    = flag.Int("window", 0, "closed-loop outstanding window per processor")
+		sources   = flag.Int("sources", 0, "broadcast-storm source count")
+		hotFrac   = flag.Float64("hot-frac", 0, "hotspot traffic concentration (0 = scenario default)")
+		rounds    = flag.Int("rounds", 0, "permutation round count")
+		warmup    = flag.Int("warmup", -1, "scenario warmup messages excluded from measurement (-1 = messages/10)")
 	)
 	flag.Parse()
 
 	simCfg := sim.DefaultConfig()
 	simCfg.InputBufFlits = *bufFlits
 	simCfg.Params.MessageFlits = *flits
+
+	if *listScen {
+		t := &experiment.Table{
+			Title:   "Registered workload scenarios (run with -scenario <name>)",
+			Headers: []string{"name", "description"},
+		}
+		for _, sc := range workload.Scenarios() {
+			t.AddRow(sc.Name, sc.Description)
+		}
+		fmt.Println(t.Format())
+		return
+	}
+
+	if *scenario != "" {
+		params := workload.Params{
+			RatePerProcPerUs:  *rate,
+			Messages:          *messages,
+			MulticastFraction: *mcastFrac,
+			MulticastDests:    *dests,
+			Window:            *window,
+			Sources:           *sources,
+			HotFraction:       *hotFrac,
+			Rounds:            *rounds,
+		}
+		if err := runScenario(*scenario, params, simCfg, *nodes, *trials, *warmup, *seed, *csv); err != nil {
+			fmt.Fprintf(os.Stderr, "spamsim: scenario %s: %v\n", *scenario, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var sections []experiment.MarkdownSection
 	emit := func(t *experiment.Table) {
@@ -220,4 +270,64 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "report written to %s\n", *report)
 	}
+}
+
+// runScenario executes a registered workload scenario on one reusable
+// session: trials run back to back on the same simulator via Reset, and the
+// measured latencies are aggregated with the warmup + batch-means harness.
+func runScenario(name string, params workload.Params, simCfg sim.Config, nodes, trials, warmup int, seed uint64, csv bool) error {
+	sc, ok := workload.Lookup(name)
+	if !ok {
+		var names []string
+		for _, s := range workload.Scenarios() {
+			names = append(names, s.Name)
+		}
+		return fmt.Errorf("unknown scenario (have %v)", names)
+	}
+	net, err := topology.RandomLattice(topology.DefaultLattice(nodes, seed))
+	if err != nil {
+		return err
+	}
+	lab, err := updown.New(net, updown.RootMinID)
+	if err != nil {
+		return err
+	}
+	runner, err := workload.NewRunner(core.NewRouter(lab), simCfg)
+	if err != nil {
+		return err
+	}
+	w := sc.New(params)
+	if trials <= 0 {
+		trials = 1
+	}
+	if warmup < 0 {
+		warmup = params.Messages / 10
+	}
+	st, err := workload.Measure(runner, w, workload.MeasureOpts{
+		Trials:         trials,
+		WarmupMessages: warmup,
+		Seed:           seed,
+	})
+	if err != nil {
+		return err
+	}
+	c := runner.Sim().Counters()
+	t := &experiment.Table{
+		Title: fmt.Sprintf("Scenario %s (%d switches, %d trials on one reusable session, seed %d)",
+			sc.Name, nodes, trials, seed),
+		Headers: []string{"metric", "value"},
+	}
+	t.AddRow("mean latency (us)", fmt.Sprintf("%.3f", st.Mean()))
+	t.AddRow("ci95 (us)", fmt.Sprintf("%.3f", st.CI95()))
+	t.AddRow("min / max (us)", fmt.Sprintf("%.3f / %.3f", st.Min(), st.Max()))
+	t.AddRow("samples (batch means)", fmt.Sprintf("%d", st.N()))
+	t.AddRow("messages (last trial)", fmt.Sprintf("%d", c.WormsCompleted))
+	t.AddRow("events (last trial)", fmt.Sprintf("%d", c.Events))
+	t.AddRow("payload flit-hops (last trial)", fmt.Sprintf("%d", c.PayloadFlitHops))
+	if csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Println(t.Format())
+	}
+	return nil
 }

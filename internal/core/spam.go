@@ -309,20 +309,32 @@ func (r *Router) LCASwitch(dests []topology.NodeID) topology.NodeID {
 // DestSet builds the bitset form of a destination list, validating that all
 // destinations are distinct processors.
 func (r *Router) DestSet(dests []topology.NodeID) (*bitset.Set, error) {
-	if len(dests) == 0 {
-		return nil, fmt.Errorf("core: empty destination set")
-	}
 	s := bitset.New(r.Net.N())
-	for _, d := range dests {
-		if !r.Net.IsProcessor(d) {
-			return nil, fmt.Errorf("core: destination %d is not a processor", d)
-		}
-		if s.Test(int(d)) {
-			return nil, fmt.Errorf("core: duplicate destination %d", d)
-		}
-		s.Set(int(d))
+	if err := r.DestSetInto(s, dests); err != nil {
+		return nil, err
 	}
 	return s, nil
+}
+
+// DestSetInto is the allocation-free form of DestSet: it clears dst (which
+// must have capacity Net.N()) and fills it with the destination list,
+// validating that all destinations are distinct processors. Resettable
+// simulators use it to rebuild a recycled worm's destination set in place.
+func (r *Router) DestSetInto(dst *bitset.Set, dests []topology.NodeID) error {
+	if len(dests) == 0 {
+		return fmt.Errorf("core: empty destination set")
+	}
+	dst.Reset()
+	for _, d := range dests {
+		if !r.Net.IsProcessor(d) {
+			return fmt.Errorf("core: destination %d is not a processor", d)
+		}
+		if dst.Test(int(d)) {
+			return fmt.Errorf("core: duplicate destination %d", d)
+		}
+		dst.Set(int(d))
+	}
+	return nil
 }
 
 // TreeReach counts the channels of the distribution subtree for a

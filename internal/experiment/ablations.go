@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/partition"
-	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/updown"
@@ -39,39 +38,36 @@ func RunBufferAblation(cfg AblationConfig, bufSizes []int) (Series, error) {
 	}
 	jobs := make([]job, len(bufSizes))
 	for bi, buf := range bufSizes {
-		bi, buf := bi, buf
-		jobs[bi] = func() (*stats.Stream, error) {
-			st := &stats.Stream{}
-			rand := rng.New(cfg.Seed ^ uint64(buf)<<8)
-			simCfg := cfg.Sim
-			simCfg.InputBufFlits = buf
-			for trial := 0; trial < cfg.Trials; trial++ {
-				s, err := rg.newSim(simCfg)
-				if err != nil {
-					return nil, err
-				}
+		simCfg := cfg.Sim
+		simCfg.InputBufFlits = buf
+		jobs[bi] = sweepSpec{
+			rigs:   []*rig{rg},
+			cfg:    simCfg,
+			seed:   cfg.Seed ^ uint64(buf)<<8,
+			trials: cfg.Trials,
+			run: func(t *sweepTrial) error {
 				// Measured multicast plus 8 contending multicasts
 				// launched concurrently: buffering matters only when
 				// branches block.
-				src := rg.proc(rand.Intn(rg.net.NumProcs))
+				src := t.RandProc()
 				k := rg.net.NumProcs / 4
-				w, err := s.Submit(0, src, rg.pickDests(rand, src, k))
+				w, err := t.Sim.Submit(0, src, t.PickDests(src, k))
 				if err != nil {
-					return nil, err
+					return err
 				}
 				for i := 0; i < 8; i++ {
-					bsrc := rg.proc(rand.Intn(rg.net.NumProcs))
-					if _, err := s.Submit(int64(i)*200, bsrc, rg.pickDests(rand, bsrc, k)); err != nil {
-						return nil, err
+					bsrc := t.RandProc()
+					if _, err := t.Sim.Submit(int64(i)*200, bsrc, t.PickDests(bsrc, k)); err != nil {
+						return err
 					}
 				}
-				if err := s.RunUntilIdle(1e16); err != nil {
-					return nil, err
+				if err := t.Sim.RunUntilIdle(1e16); err != nil {
+					return err
 				}
-				st.Add(float64(w.Latency()) / nsPerUs)
-			}
-			return st, nil
-		}
+				t.AddNs(w.Latency())
+				return nil
+			},
+		}.job()
 	}
 	streams, err := runParallel(jobs, cfg.Workers)
 	if err != nil {
@@ -102,38 +98,35 @@ func RunRootAblation(cfg AblationConfig) ([]RootAblationRow, error) {
 	jobs := make([]job, len(strategies))
 	depths := make([]int, len(strategies))
 	for si, strat := range strategies {
-		si, strat := si, strat
-		jobs[si] = func() (*stats.Stream, error) {
-			rg, err := buildRig(cfg.Nodes, cfg.Seed, strat)
-			if err != nil {
-				return nil, err
-			}
-			depth := 0
-			for v := 0; v < rg.net.N(); v++ {
-				if int(rg.lab.Level[v]) > depth {
-					depth = int(rg.lab.Level[v])
-				}
-			}
-			depths[si] = depth
-			st := &stats.Stream{}
-			rand := rng.New(cfg.Seed ^ uint64(si)<<12)
-			for trial := 0; trial < cfg.Trials; trial++ {
-				s, err := rg.newSim(cfg.Sim)
-				if err != nil {
-					return nil, err
-				}
-				src := rg.proc(rand.Intn(rg.net.NumProcs))
-				w, err := s.Submit(0, src, rg.pickDests(rand, src, rg.net.NumProcs-1))
-				if err != nil {
-					return nil, err
-				}
-				if err := s.RunUntilIdle(1e16); err != nil {
-					return nil, err
-				}
-				st.Add(float64(w.Latency()) / nsPerUs)
-			}
-			return st, nil
+		rg, err := buildRig(cfg.Nodes, cfg.Seed, strat)
+		if err != nil {
+			return nil, err
 		}
+		depth := 0
+		for v := 0; v < rg.net.N(); v++ {
+			if int(rg.lab.Level[v]) > depth {
+				depth = int(rg.lab.Level[v])
+			}
+		}
+		depths[si] = depth
+		jobs[si] = sweepSpec{
+			rigs:   []*rig{rg},
+			cfg:    cfg.Sim,
+			seed:   cfg.Seed ^ uint64(si)<<12,
+			trials: cfg.Trials,
+			run: func(t *sweepTrial) error {
+				src := t.RandProc()
+				w, err := t.Sim.Submit(0, src, t.PickDests(src, t.Rig.net.NumProcs-1))
+				if err != nil {
+					return err
+				}
+				if err := t.Sim.RunUntilIdle(1e16); err != nil {
+					return err
+				}
+				t.AddNs(w.Latency())
+				return nil
+			},
+		}.job()
 	}
 	streams, err := runParallel(jobs, cfg.Workers)
 	if err != nil {
@@ -206,24 +199,23 @@ func RunPartitionAblation(cfg AblationConfig, concurrent int) ([]PartitionAblati
 	uniStreams := make([]*stats.Stream, len(variants))
 	for vi, v := range variants {
 		vi, v := vi, v
-		jobs[vi] = func() (*stats.Stream, error) {
-			st := &stats.Stream{}
-			uni := &stats.Stream{}
-			rand := rng.New(cfg.Seed ^ uint64(vi)<<10 ^ 0xabc)
-			totalGroups := 0
-			runsCount := 0
-			for trial := 0; trial < cfg.Trials; trial++ {
-				s, err := rg.newSim(cfg.Sim)
-				if err != nil {
-					return nil, err
-				}
+		uni := &stats.Stream{}
+		uniStreams[vi] = uni
+		totalGroups := 0
+		runsCount := 0
+		jobs[vi] = sweepSpec{
+			rigs:   []*rig{rg},
+			cfg:    cfg.Sim,
+			seed:   cfg.Seed ^ uint64(vi)<<10 ^ 0xabc,
+			trials: cfg.Trials,
+			run: func(t *sweepTrial) error {
 				var runs []*partition.Run
 				for c := 0; c < concurrent; c++ {
-					src := rg.proc(rand.Intn(rg.net.NumProcs))
-					dests := rg.pickDests(rand, src, rg.net.NumProcs-1)
-					run, err := partition.Send(s, rg.lab, v.strategy, v.k, int64(c)*100, src, dests)
+					src := t.RandProc()
+					dests := t.PickDests(src, rg.net.NumProcs-1)
+					run, err := partition.Send(t.Sim, rg.lab, v.strategy, v.k, int64(c)*100, src, dests)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					runs = append(runs, run)
 					totalGroups += len(run.Groups)
@@ -233,32 +225,31 @@ func RunPartitionAblation(cfg AblationConfig, concurrent int) ([]PartitionAblati
 				// worm through: the hot-spot victims.
 				var bg []*sim.Worm
 				for u := 0; u < 2*concurrent; u++ {
-					src := rg.proc(rand.Intn(rg.net.NumProcs))
-					dests := rg.pickDests(rand, src, 1)
-					at := int64(rand.Intn(15000))
-					w, err := s.Submit(at, src, dests)
+					src := t.RandProc()
+					dests := t.PickDests(src, 1)
+					at := int64(t.Rand.Intn(15000))
+					w, err := t.Sim.Submit(at, src, dests)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					bg = append(bg, w)
 				}
-				if err := s.RunUntilIdle(1e16); err != nil {
-					return nil, err
+				if err := t.Sim.RunUntilIdle(1e16); err != nil {
+					return err
 				}
 				for _, run := range runs {
 					if !run.Completed() {
-						return nil, fmt.Errorf("experiment: partition run incomplete")
+						return fmt.Errorf("experiment: partition run incomplete")
 					}
-					st.Add(float64(run.Latency()) / nsPerUs)
+					t.AddNs(run.Latency())
 				}
 				for _, w := range bg {
 					uni.Add(float64(w.Latency()) / nsPerUs)
 				}
-			}
-			groupCounts[vi] = float64(totalGroups) / float64(runsCount)
-			uniStreams[vi] = uni
-			return st, nil
-		}
+				groupCounts[vi] = float64(totalGroups) / float64(runsCount)
+				return nil
+			},
+		}.job()
 	}
 	streams, err := runParallel(jobs, cfg.Workers)
 	if err != nil {

@@ -4,11 +4,10 @@ import (
 	"fmt"
 
 	"repro/internal/baseline"
-	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/traffic"
 	"repro/internal/updown"
+	"repro/internal/workload"
 )
 
 // Fig2Config parameterizes Figure 2: latency of a single multicast versus
@@ -78,6 +77,10 @@ func RunFig2(cfg Fig2Config) ([]Series, error) {
 	if cfg.Topologies <= 0 {
 		cfg.Topologies = 1
 	}
+	maxTrials := cfg.MaxTrials
+	if maxTrials <= 0 {
+		maxTrials = 20 * cfg.Trials
+	}
 	var out []Series
 	for _, nodes := range cfg.Nodes {
 		dests := cfg.DestCounts
@@ -95,36 +98,27 @@ func RunFig2(cfg Fig2Config) ([]Series, error) {
 		}
 		jobs := make([]job, len(dests))
 		for di, d := range dests {
-			di, d := di, d
-			jobs[di] = func() (*stats.Stream, error) {
-				st := &stats.Stream{}
-				rand := rng.New(cfg.Seed ^ uint64(nodes)<<20 ^ uint64(d)<<4)
-				maxTrials := cfg.MaxTrials
-				if maxTrials <= 0 {
-					maxTrials = 20 * cfg.Trials
-				}
-				for trial := 0; trial < maxTrials; trial++ {
-					if trial >= cfg.Trials &&
-						(cfg.TargetRelCI <= 0 || st.CI95Relative() <= cfg.TargetRelCI) {
-						break
-					}
-					rg := rigs[trial%len(rigs)]
-					s, err := rg.newSim(cfg.Sim)
+			d := d
+			jobs[di] = sweepSpec{
+				rigs:        rigs,
+				cfg:         cfg.Sim,
+				seed:        cfg.Seed ^ uint64(nodes)<<20 ^ uint64(d)<<4,
+				trials:      cfg.Trials,
+				maxTrials:   maxTrials,
+				targetRelCI: cfg.TargetRelCI,
+				run: func(t *sweepTrial) error {
+					src := t.RandProc()
+					w, err := t.Sim.Submit(0, src, t.PickDests(src, d))
 					if err != nil {
-						return nil, err
+						return err
 					}
-					src := rg.proc(rand.Intn(rg.net.NumProcs))
-					w, err := s.Submit(0, src, rg.pickDests(rand, src, d))
-					if err != nil {
-						return nil, err
+					if err := t.Sim.RunUntilIdle(1e15); err != nil {
+						return err
 					}
-					if err := s.RunUntilIdle(1e15); err != nil {
-						return nil, err
-					}
-					st.Add(float64(w.Latency()) / nsPerUs)
-				}
-				return st, nil
-			}
+					t.AddNs(w.Latency())
+					return nil
+				},
+			}.job()
 		}
 		streams, err := runParallel(jobs, cfg.Workers)
 		if err != nil {
@@ -182,7 +176,30 @@ func DefaultFig3(messages int) Fig3Config {
 	}
 }
 
-// RunFig3 regenerates Figure 3: one series per multicast destination count.
+// metricFilter maps a Fig3 metric name to a worm filter (nil = all).
+func metricFilter(metric string) func(*sim.Worm) bool {
+	switch metric {
+	case "multicast":
+		return func(w *sim.Worm) bool { return len(w.Dests) > 1 }
+	case "unicast":
+		return func(w *sim.Worm) bool { return len(w.Dests) == 1 }
+	}
+	return nil
+}
+
+// mixedFor builds the Figure-3 workload for one (rate, dests) point.
+func (cfg Fig3Config) mixedFor(rate float64, d int) workload.Mixed {
+	return workload.Mixed{
+		RatePerProcPerUs:  rate,
+		MulticastFraction: cfg.MulticastFraction,
+		MulticastDests:    d,
+		Messages:          cfg.Messages,
+	}
+}
+
+// RunFig3 regenerates Figure 3 on the workload engine: one series per
+// multicast destination count, each point measured by the warmup +
+// batch-means harness over the worker's reusable simulator.
 func RunFig3(cfg Fig3Config) ([]Series, error) {
 	if cfg.Nodes <= 0 || cfg.Messages <= 0 {
 		return nil, fmt.Errorf("experiment: fig3 needs nodes and messages")
@@ -199,47 +216,21 @@ func RunFig3(cfg Fig3Config) ([]Series, error) {
 		ri int
 	}
 	jobs := make([]job, 0, len(cfg.DestCounts)*len(cfg.Rates))
-	keys := make([]key, 0, len(jobs))
+	keys := make([]key, 0, len(cfg.DestCounts)*len(cfg.Rates))
 	for _, d := range cfg.DestCounts {
 		for ri, rate := range cfg.Rates {
 			d, ri, rate := d, ri, rate
 			keys = append(keys, key{d: d, ri: ri})
-			jobs = append(jobs, func() (*stats.Stream, error) {
-				s, err := rg.newSim(cfg.Sim)
+			jobs = append(jobs, func(c *simCache) (*stats.Stream, error) {
+				runner, err := c.runner(rg, cfg.Sim)
 				if err != nil {
 					return nil, err
 				}
-				rand := rng.New(cfg.Seed ^ uint64(d)<<32 ^ uint64(ri)<<8 ^ 0x5bd1)
-				worms, err := traffic.Mixed(s, rand, traffic.NetworkAdapter{N: rg.net}, traffic.MixedConfig{
-					RatePerProcPerUs:  rate,
-					MulticastFraction: cfg.MulticastFraction,
-					MulticastDests:    d,
-					Messages:          cfg.Messages,
+				return workload.Measure(runner, cfg.mixedFor(rate, d), workload.MeasureOpts{
+					WarmupMessages: cfg.Warmup,
+					Seed:           cfg.Seed ^ uint64(d)<<32 ^ uint64(ri)<<8 ^ 0x5bd1,
+					Filter:         metricFilter(cfg.Metric),
 				})
-				if err != nil {
-					return nil, err
-				}
-				if err := s.RunUntilIdle(1e16); err != nil {
-					return nil, err
-				}
-				var series []float64
-				for i, w := range worms {
-					if i < cfg.Warmup {
-						continue
-					}
-					switch cfg.Metric {
-					case "multicast":
-						if len(w.Dests) == 1 {
-							continue
-						}
-					case "unicast":
-						if len(w.Dests) != 1 {
-							continue
-						}
-					}
-					series = append(series, float64(w.Latency())/nsPerUs)
-				}
-				return steadyStateStream(series), nil
 			})
 		}
 	}
@@ -320,17 +311,17 @@ func RunComparison(cfg ComparisonConfig) ([]ComparisonRow, error) {
 
 		type scheme struct {
 			name   string
-			run    func(s *sim.Simulator, rand *rng.Source) (int64, int, error)
+			run    func(t *sweepTrial) (int64, int, error)
 			phases int
 		}
 		schemes := []scheme{
-			{name: "SPAM", phases: 1, run: func(s *sim.Simulator, rand *rng.Source) (int64, int, error) {
-				src := rg.proc(rand.Intn(rg.net.NumProcs))
-				w, err := s.Submit(0, src, rg.pickDests(rand, src, d))
+			{name: "SPAM", phases: 1, run: func(t *sweepTrial) (int64, int, error) {
+				src := t.RandProc()
+				w, err := t.Sim.Submit(0, src, t.PickDests(src, d))
 				if err != nil {
 					return 0, 0, err
 				}
-				if err := s.RunUntilIdle(1e16); err != nil {
+				if err := t.Sim.RunUntilIdle(1e16); err != nil {
 					return 0, 0, err
 				}
 				return w.Latency(), 1, nil
@@ -338,13 +329,13 @@ func RunComparison(cfg ComparisonConfig) ([]ComparisonRow, error) {
 		}
 		for _, bs := range []baseline.Scheme{baseline.BinomialTree, baseline.SeparateWorms, baseline.Chain} {
 			bs := bs
-			schemes = append(schemes, scheme{name: bs.String(), run: func(s *sim.Simulator, rand *rng.Source) (int64, int, error) {
-				src := rg.proc(rand.Intn(rg.net.NumProcs))
-				run, err := baseline.Start(s, bs, 0, src, rg.pickDests(rand, src, d))
+			schemes = append(schemes, scheme{name: bs.String(), run: func(t *sweepTrial) (int64, int, error) {
+				src := t.RandProc()
+				run, err := baseline.Start(t.Sim, bs, 0, src, t.PickDests(src, d))
 				if err != nil {
 					return 0, 0, err
 				}
-				if err := s.RunUntilIdle(1e16); err != nil {
+				if err := t.Sim.RunUntilIdle(1e16); err != nil {
 					return 0, 0, err
 				}
 				if run.Err != nil {
@@ -355,28 +346,24 @@ func RunComparison(cfg ComparisonConfig) ([]ComparisonRow, error) {
 		}
 
 		jobs := make([]job, len(schemes))
-		wormsPer := make([]float64, len(schemes))
+		wormCounts := make([]int, len(schemes))
 		for si, sc := range schemes {
 			si, sc := si, sc
-			jobs[si] = func() (*stats.Stream, error) {
-				st := &stats.Stream{}
-				rand := rng.New(cfg.Seed ^ uint64(nodes)<<16 ^ uint64(si)<<2)
-				totalWorms := 0
-				for trial := 0; trial < cfg.Trials; trial++ {
-					s, err := rg.newSim(cfg.Sim)
+			jobs[si] = sweepSpec{
+				rigs:   []*rig{rg},
+				cfg:    cfg.Sim,
+				seed:   cfg.Seed ^ uint64(nodes)<<16 ^ uint64(si)<<2,
+				trials: cfg.Trials,
+				run: func(t *sweepTrial) error {
+					lat, worms, err := sc.run(t)
 					if err != nil {
-						return nil, err
+						return err
 					}
-					lat, worms, err := sc.run(s, rand)
-					if err != nil {
-						return nil, err
-					}
-					totalWorms += worms
-					st.Add(float64(lat) / nsPerUs)
-				}
-				wormsPer[si] = float64(totalWorms) / float64(cfg.Trials)
-				return st, nil
-			}
+					wormCounts[si] += worms
+					t.AddNs(lat)
+					return nil
+				},
+			}.job()
 		}
 		streams, err := runParallel(jobs, cfg.Workers)
 		if err != nil {
@@ -391,7 +378,7 @@ func RunComparison(cfg ComparisonConfig) ([]ComparisonRow, error) {
 				MeanUs:   streams[si].Mean(),
 				CI95Us:   streams[si].CI95(),
 				Trials:   streams[si].N(),
-				WormsPer: wormsPer[si],
+				WormsPer: float64(wormCounts[si]) / float64(cfg.Trials),
 				Speedup:  streams[si].Mean() / spamMean,
 			}
 			if sc.name == "SPAM" {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/updown"
+	"repro/internal/workload"
 )
 
 // Point is one data point of a series: x value, mean latency in µs and the
@@ -142,10 +143,14 @@ func trimFloat(x float64) string {
 	return strings.TrimRight(s, ".")
 }
 
-// job is one parallel work item producing a latency sample set.
-type job func() (*stats.Stream, error)
+// job is one parallel work item producing a latency sample set. The cache
+// hands it the worker goroutine's reusable simulators.
+type job func(c *simCache) (*stats.Stream, error)
 
 // runParallel executes the jobs on a bounded worker pool, preserving order.
+// Every worker goroutine owns a simCache, so jobs (and trials within jobs)
+// that share a (rig, config) pair reuse one resettable simulator instead of
+// rebuilding arenas per trial.
 func runParallel(jobs []job, workers int) ([]*stats.Stream, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -161,8 +166,9 @@ func runParallel(jobs []job, workers int) ([]*stats.Stream, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			cache := &simCache{}
 			for i := range next {
-				results[i], errs[i] = jobs[i]()
+				results[i], errs[i] = jobs[i](cache)
 			}
 		}()
 	}
@@ -199,10 +205,6 @@ func buildRig(switches int, seed uint64, strategy updown.RootStrategy) (*rig, er
 	return &rig{net: net, lab: lab, router: core.NewRouter(lab)}, nil
 }
 
-func (r *rig) newSim(cfg sim.Config) (*sim.Simulator, error) {
-	return sim.New(r.router, cfg)
-}
-
 // proc maps a processor index to its node ID.
 func (r *rig) proc(i int) topology.NodeID {
 	return topology.NodeID(r.net.NumSwitches + i)
@@ -225,25 +227,125 @@ func (r *rig) pickDests(rand *rng.Source, src topology.NodeID, k int) []topology
 
 const nsPerUs = 1000.0
 
-// steadyStateStream summarizes a correlated steady-state latency series:
-// the mean comes from every observation, while the confidence interval is
-// built from batch means (10 batches) so that autocorrelation between
-// consecutive messages does not shrink the CI dishonestly. Short series
-// fall back to the plain per-observation stream.
-func steadyStateStream(series []float64) *stats.Stream {
-	const batches = 10
-	if len(series) >= 2*batches {
-		if bm, err := stats.BatchMeans(series, batches); err == nil {
-			// Rebuild a stream whose mean reflects all observations
-			// but whose spread reflects the batch means: feed the
-			// batch means, which have the same grand mean up to the
-			// dropped remainder.
-			return bm
+// runnerKey identifies a reusable simulator: the rig plus every simulator
+// configuration field that shapes behaviour. Logf is deliberately excluded
+// (experiments never trace; a traced simulator must not be pooled).
+type runnerKey struct {
+	rig                *rig
+	params             core.LatencyParams
+	inputBufFlits      int
+	storeAndForward    bool
+	addrsPerHeaderFlit int
+	watchdogNs         int64
+	stallChecks        int
+	maxEvents          uint64
+}
+
+// simCache is a worker goroutine's pool of resettable simulators, keyed by
+// (rig, config). Single-goroutine use only.
+type simCache struct {
+	runners map[runnerKey]*workload.Runner
+}
+
+// runner returns the worker's reusable simulator for (rg, cfg), building it
+// on first use. The caller must Reset before driving it directly (the
+// workload harness resets internally).
+func (c *simCache) runner(rg *rig, cfg sim.Config) (*workload.Runner, error) {
+	key := runnerKey{
+		rig:                rg,
+		params:             cfg.Params,
+		inputBufFlits:      cfg.InputBufFlits,
+		storeAndForward:    cfg.StoreAndForward,
+		addrsPerHeaderFlit: cfg.AddrsPerHeaderFlit,
+		watchdogNs:         cfg.WatchdogNs,
+		stallChecks:        cfg.StallChecks,
+		maxEvents:          cfg.MaxEvents,
+	}
+	if r, ok := c.runners[key]; ok {
+		return r, nil
+	}
+	r, err := workload.NewRunner(rg.router, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if c.runners == nil {
+		c.runners = map[runnerKey]*workload.Runner{}
+	}
+	c.runners[key] = r
+	return r, nil
+}
+
+// sweepTrial is the context a sweep's run function executes one trial in:
+// a freshly Reset reusable simulator, the point's deterministic random
+// stream and the trial's rig.
+type sweepTrial struct {
+	Rig  *rig
+	Sim  *sim.Simulator
+	Rand *rng.Source
+	// T is the trial index within the point.
+	T  int
+	st *stats.Stream
+}
+
+// AddNs records one latency sample in nanoseconds.
+func (t *sweepTrial) AddNs(lat int64) { t.st.Add(float64(lat) / nsPerUs) }
+
+// AddUs records one sample already in microseconds (or any custom unit).
+func (t *sweepTrial) AddUs(v float64) { t.st.Add(v) }
+
+// RandProc draws a uniform source processor.
+func (t *sweepTrial) RandProc() topology.NodeID {
+	return t.Rig.proc(t.Rand.Intn(t.Rig.net.NumProcs))
+}
+
+// PickDests draws k uniform destinations excluding src.
+func (t *sweepTrial) PickDests(src topology.NodeID, k int) []topology.NodeID {
+	return t.Rig.pickDests(t.Rand, src, k)
+}
+
+// sweepSpec is the shared trial loop every single-shot experiment driver
+// runs on: repeated trials of `run` over per-goroutine reusable simulators
+// (rotating through rigs when several topologies are sampled), with the
+// paper's adaptive stopping rule layered on top — sample until the 95% CI
+// half-width falls below targetRelCI of the mean, bounded by [trials,
+// maxTrials].
+type sweepSpec struct {
+	rigs []*rig
+	cfg  sim.Config
+	seed uint64
+	// trials is the minimum trial count; maxTrials caps adaptive sampling
+	// (0 = trials, i.e. fixed effort).
+	trials      int
+	maxTrials   int
+	targetRelCI float64
+	run         func(t *sweepTrial) error
+}
+
+// job converts the spec into a parallel work item.
+func (sp sweepSpec) job() job {
+	return func(c *simCache) (*stats.Stream, error) {
+		st := &stats.Stream{}
+		rand := rng.New(sp.seed)
+		tr := sweepTrial{Rand: rand, st: st}
+		max := sp.maxTrials
+		if max <= 0 {
+			max = sp.trials
 		}
+		for trial := 0; trial < max; trial++ {
+			if trial >= sp.trials && (sp.targetRelCI <= 0 || st.CI95Relative() <= sp.targetRelCI) {
+				break
+			}
+			rg := sp.rigs[trial%len(sp.rigs)]
+			runner, err := c.runner(rg, sp.cfg)
+			if err != nil {
+				return nil, err
+			}
+			runner.Sim().Reset()
+			tr.Rig, tr.Sim, tr.T = rg, runner.Sim(), trial
+			if err := sp.run(&tr); err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
 	}
-	st := &stats.Stream{}
-	for _, x := range series {
-		st.Add(x)
-	}
-	return st
 }

@@ -1,8 +1,6 @@
 package experiment
 
 import (
-	"repro/internal/rng"
-	"repro/internal/stats"
 	"repro/internal/updown"
 	"repro/internal/viz"
 )
@@ -23,33 +21,31 @@ func RunRootShare(cfg AblationConfig, destCounts []int) (Series, error) {
 	}
 	jobs := make([]job, len(destCounts))
 	for di, d := range destCounts {
-		di, d := di, d
+		d := d
 		if d > rg.net.NumProcs-1 {
 			d = rg.net.NumProcs - 1
 		}
-		jobs[di] = func() (*stats.Stream, error) {
-			st := &stats.Stream{}
-			rand := rng.New(cfg.Seed ^ uint64(d)<<6 ^ 0x707)
-			for trial := 0; trial < cfg.Trials; trial++ {
-				s, err := rg.newSim(cfg.Sim)
-				if err != nil {
-					return nil, err
+		jobs[di] = sweepSpec{
+			rigs:   []*rig{rg},
+			cfg:    cfg.Sim,
+			seed:   cfg.Seed ^ uint64(d)<<6 ^ 0x707,
+			trials: cfg.Trials,
+			run: func(t *sweepTrial) error {
+				src := t.RandProc()
+				if _, err := t.Sim.Submit(0, src, t.PickDests(src, d)); err != nil {
+					return err
 				}
-				src := rg.proc(rand.Intn(rg.net.NumProcs))
-				if _, err := s.Submit(0, src, rg.pickDests(rand, src, d)); err != nil {
-					return nil, err
+				if err := t.Sim.RunUntilIdle(1e16); err != nil {
+					return err
 				}
-				if err := s.RunUntilIdle(1e16); err != nil {
-					return nil, err
-				}
-				if s.NodeThroughLoad(rg.lab.Root) > 0 {
-					st.Add(100)
+				if t.Sim.NodeThroughLoad(rg.lab.Root) > 0 {
+					t.AddUs(100)
 				} else {
-					st.Add(0)
+					t.AddUs(0)
 				}
-			}
-			return st, nil
-		}
+				return nil
+			},
+		}.job()
 	}
 	streams, err := runParallel(jobs, cfg.Workers)
 	if err != nil {
@@ -77,29 +73,26 @@ func RunHeaderAblation(cfg AblationConfig, addrsPerFlit []int) (Series, error) {
 	}
 	jobs := make([]job, len(addrsPerFlit))
 	for ai, a := range addrsPerFlit {
-		ai, a := ai, a
-		jobs[ai] = func() (*stats.Stream, error) {
-			st := &stats.Stream{}
-			rand := rng.New(cfg.Seed ^ uint64(a)<<5 ^ 0x909)
-			simCfg := cfg.Sim
-			simCfg.AddrsPerHeaderFlit = a
-			for trial := 0; trial < cfg.Trials; trial++ {
-				s, err := rg.newSim(simCfg)
+		simCfg := cfg.Sim
+		simCfg.AddrsPerHeaderFlit = a
+		jobs[ai] = sweepSpec{
+			rigs:   []*rig{rg},
+			cfg:    simCfg,
+			seed:   cfg.Seed ^ uint64(a)<<5 ^ 0x909,
+			trials: cfg.Trials,
+			run: func(t *sweepTrial) error {
+				src := t.RandProc()
+				w, err := t.Sim.Submit(0, src, t.PickDests(src, rg.net.NumProcs-1))
 				if err != nil {
-					return nil, err
+					return err
 				}
-				src := rg.proc(rand.Intn(rg.net.NumProcs))
-				w, err := s.Submit(0, src, rg.pickDests(rand, src, rg.net.NumProcs-1))
-				if err != nil {
-					return nil, err
+				if err := t.Sim.RunUntilIdle(1e16); err != nil {
+					return err
 				}
-				if err := s.RunUntilIdle(1e16); err != nil {
-					return nil, err
-				}
-				st.Add(float64(w.Latency()) / nsPerUs)
-			}
-			return st, nil
-		}
+				t.AddNs(w.Latency())
+				return nil
+			},
+		}.job()
 	}
 	streams, err := runParallel(jobs, cfg.Workers)
 	if err != nil {

@@ -3,8 +3,6 @@ package experiment
 import (
 	"fmt"
 
-	"repro/internal/rng"
-	"repro/internal/stats"
 	"repro/internal/updown"
 )
 
@@ -40,36 +38,34 @@ func RunIBRComparison(cfg PruneComparisonConfig) ([]Series, error) {
 		for fi, flits := range cfg.Flits {
 			vi, fi, v, flits := vi, fi, v, flits
 			keys = append(keys, key{vi, fi})
-			jobs = append(jobs, func() (*stats.Stream, error) {
-				st := &stats.Stream{}
-				rand := rng.New(cfg.Seed ^ uint64(vi)<<36 ^ uint64(flits)<<2)
-				simCfg := cfg.Sim
-				simCfg.Params.MessageFlits = flits
-				simCfg.StoreAndForward = v.sf
-				if !v.sf {
-					simCfg.InputBufFlits = 1
-				}
-				d := cfg.Dests
-				if d <= 0 {
-					d = 16
-				}
-				for trial := 0; trial < cfg.Trials; trial++ {
-					s, err := rg.newSim(simCfg)
+			simCfg := cfg.Sim
+			simCfg.Params.MessageFlits = flits
+			simCfg.StoreAndForward = v.sf
+			if !v.sf {
+				simCfg.InputBufFlits = 1
+			}
+			d := cfg.Dests
+			if d <= 0 {
+				d = 16
+			}
+			jobs = append(jobs, sweepSpec{
+				rigs:   []*rig{rg},
+				cfg:    simCfg,
+				seed:   cfg.Seed ^ uint64(vi)<<36 ^ uint64(flits)<<2,
+				trials: cfg.Trials,
+				run: func(t *sweepTrial) error {
+					src := t.RandProc()
+					w, err := t.Sim.Submit(0, src, t.PickDests(src, d))
 					if err != nil {
-						return nil, err
+						return err
 					}
-					src := rg.proc(rand.Intn(rg.net.NumProcs))
-					w, err := s.Submit(0, src, rg.pickDests(rand, src, d))
-					if err != nil {
-						return nil, err
+					if err := t.Sim.RunUntilIdle(1e16); err != nil {
+						return err
 					}
-					if err := s.RunUntilIdle(1e16); err != nil {
-						return nil, err
-					}
-					st.Add(float64(w.Latency()) / nsPerUs)
-				}
-				return st, nil
-			})
+					t.AddNs(w.Latency())
+					return nil
+				},
+			}.job())
 		}
 	}
 	streams, err := runParallel(jobs, cfg.Workers)

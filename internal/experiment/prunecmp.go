@@ -4,9 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/prune"
-	"repro/internal/rng"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/updown"
 )
 
@@ -69,62 +67,60 @@ func RunPruneComparison(cfg PruneComparisonConfig) ([]Series, error) {
 		for fi, flits := range cfg.Flits {
 			vi, fi, v, flits := vi, fi, v, flits
 			keys = append(keys, key{vi, fi})
-			jobs = append(jobs, func() (*stats.Stream, error) {
-				st := &stats.Stream{}
-				rand := rng.New(cfg.Seed ^ uint64(vi)<<40 ^ uint64(flits)<<4)
-				simCfg := cfg.Sim
-				simCfg.Params.MessageFlits = flits
-				for trial := 0; trial < cfg.Trials; trial++ {
-					s, err := rg.newSim(simCfg)
-					if err != nil {
-						return nil, err
-					}
+			simCfg := cfg.Sim
+			simCfg.Params.MessageFlits = flits
+			jobs = append(jobs, sweepSpec{
+				rigs:   []*rig{rg},
+				cfg:    simCfg,
+				seed:   cfg.Seed ^ uint64(vi)<<40 ^ uint64(flits)<<4,
+				trials: cfg.Trials,
+				run: func(t *sweepTrial) error {
 					type pending struct {
 						spam *sim.Worm
 						pr   *prune.Run
 					}
 					var ps []pending
 					for c := 0; c < cfg.Concurrent; c++ {
-						src := rg.proc(rand.Intn(rg.net.NumProcs))
-						dests := rg.pickDests(rand, src, cfg.Dests)
+						src := t.RandProc()
+						dests := t.PickDests(src, cfg.Dests)
 						at := int64(c) * 150
 						if v.prune {
-							run, err := prune.Send(s, at, src, dests, 0)
+							run, err := prune.Send(t.Sim, at, src, dests, 0)
 							if err != nil {
-								return nil, err
+								return err
 							}
 							ps = append(ps, pending{pr: run})
 						} else {
-							w, err := s.Submit(at, src, dests)
+							w, err := t.Sim.Submit(at, src, dests)
 							if err != nil {
-								return nil, err
+								return err
 							}
 							ps = append(ps, pending{spam: w})
 						}
 					}
-					if err := s.RunUntilIdle(1e16); err != nil {
-						return nil, err
+					if err := t.Sim.RunUntilIdle(1e16); err != nil {
+						return err
 					}
 					for _, p := range ps {
 						switch {
 						case p.spam != nil:
 							if !p.spam.Completed() {
-								return nil, fmt.Errorf("experiment: SPAM worm incomplete")
+								return fmt.Errorf("experiment: SPAM worm incomplete")
 							}
-							st.Add(float64(p.spam.Latency()) / nsPerUs)
+							t.AddNs(p.spam.Latency())
 						case p.pr != nil:
 							if p.pr.Err != nil {
-								return nil, p.pr.Err
+								return p.pr.Err
 							}
 							if !p.pr.Completed() {
-								return nil, fmt.Errorf("experiment: prune run incomplete")
+								return fmt.Errorf("experiment: prune run incomplete")
 							}
-							st.Add(float64(p.pr.Latency()) / nsPerUs)
+							t.AddNs(p.pr.Latency())
 						}
 					}
-				}
-				return st, nil
-			})
+					return nil
+				},
+			}.job())
 		}
 	}
 	streams, err := runParallel(jobs, cfg.Workers)

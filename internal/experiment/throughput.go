@@ -3,9 +3,7 @@ package experiment
 import (
 	"fmt"
 
-	"repro/internal/rng"
 	"repro/internal/stats"
-	"repro/internal/traffic"
 )
 
 // RunThroughput complements Figure 3 with the classic saturation view:
@@ -30,26 +28,18 @@ func RunThroughput(cfg Fig3Config) ([]Series, error) {
 		for ri, rate := range cfg.Rates {
 			d, ri, rate := d, ri, rate
 			keys = append(keys, key{d: d, ri: ri})
-			jobs = append(jobs, func() (*stats.Stream, error) {
-				s, err := rg.newSim(cfg.Sim)
+			jobs = append(jobs, func(c *simCache) (*stats.Stream, error) {
+				runner, err := c.runner(rg, cfg.Sim)
 				if err != nil {
 					return nil, err
 				}
-				rand := rng.New(cfg.Seed ^ uint64(d)<<24 ^ uint64(ri)<<3 ^ 0x7f7f)
-				worms, err := traffic.Mixed(s, rand, traffic.NetworkAdapter{N: rg.net}, traffic.MixedConfig{
-					RatePerProcPerUs:  rate,
-					MulticastFraction: cfg.MulticastFraction,
-					MulticastDests:    d,
-					Messages:          cfg.Messages,
-				})
-				if err != nil {
-					return nil, err
-				}
-				if err := s.RunUntilIdle(1e16); err != nil {
+				seed := cfg.Seed ^ uint64(d)<<24 ^ uint64(ri)<<3 ^ 0x7f7f
+				if err := runner.Trial(cfg.mixedFor(rate, d), seed); err != nil {
 					return nil, err
 				}
 				// Accepted rate over the busy interval: messages
 				// delivered / span / processors, in msg/µs/proc.
+				worms := runner.Worms()
 				first, last := worms[0].SubmitNs, int64(0)
 				for _, w := range worms {
 					if w.SubmitNs < first {

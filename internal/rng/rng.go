@@ -23,15 +23,22 @@ type Source struct {
 // seed (including 0) yields a well-mixed state.
 func New(seed uint64) *Source {
 	var src Source
+	src.Seed(seed)
+	return &src
+}
+
+// Seed re-initializes the source in place to the exact state New(seed)
+// produces. Resettable trial loops use it to re-run a deterministic stream
+// without allocating a fresh Source.
+func (r *Source) Seed(seed uint64) {
 	sm := seed
-	for i := range src.s {
+	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
 		z := sm
 		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		src.s[i] = z ^ (z >> 31)
+		r.s[i] = z ^ (z >> 31)
 	}
-	return &src
 }
 
 // Split derives an independent child generator; the parent advances.
@@ -132,6 +139,33 @@ func (r *Source) Choose(n, k int) []int {
 		p[i], p[j] = p[j], p[i]
 	}
 	return p[:k:k]
+}
+
+// Chooser draws k-subsets like Choose but without per-call allocation: the
+// O(n) scratch permutation is retained across calls. Not safe for concurrent
+// use; give each goroutine (or each simulator) its own Chooser.
+type Chooser struct{ p []int }
+
+// AppendChoose appends k distinct integers drawn uniformly from [0, n), in
+// random order, to dst and returns the extended slice. It consumes exactly
+// the same random variates as Choose, so the two are stream-compatible.
+func (c *Chooser) AppendChoose(r *Source, dst []int, n, k int) []int {
+	if k < 0 || k > n {
+		panic(fmt.Sprintf("rng: AppendChoose(%d, %d) out of range", n, k))
+	}
+	if cap(c.p) < n {
+		c.p = make([]int, n)
+	}
+	p := c.p[:n]
+	for i := range p {
+		p[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		p[i], p[j] = p[j], p[i]
+		dst = append(dst, p[i])
+	}
+	return dst
 }
 
 // Geometric returns the number of Bernoulli(p) failures before the first

@@ -17,10 +17,13 @@ const (
 	// evWatchdog: periodic progress / deadlock check.
 	evWatchdog
 	// evCall: invoke the closure stored at Simulator.calls[a] (used by
-	// traffic generators and Submit scheduling; the slot index is recycled
-	// through a free list so steady-state scheduling does not grow the
-	// table).
+	// traffic generators via At; the slot index is recycled through a free
+	// list so steady-state scheduling does not grow the table).
 	evCall
+	// evInject: enqueue the worm stored at Simulator.worms[a] at its source
+	// processor. Submit scheduling is an index into the worm table rather
+	// than a closure, so the steady-state submit path allocates nothing.
+	evInject
 
 	numRingKinds = int(evCall) // evArrive..evWatchdog get monotone rings
 )
@@ -71,6 +74,20 @@ type eventQueue struct {
 }
 
 func (q *eventQueue) Len() int { return q.n }
+
+// Reset empties the queue while retaining every ring buffer and both heap
+// tiers at their grown capacity. Events are pointer-free, so stale entries
+// beyond the reset lengths hold nothing alive.
+func (q *eventQueue) Reset() {
+	for i := range q.rings {
+		r := &q.rings[i]
+		r.head, r.size, r.lastT = 0, 0, 0
+	}
+	q.heap.ev = q.heap.ev[:0]
+	q.heap.far = q.heap.far[:0]
+	q.heap.split = 0
+	q.n = 0
+}
 
 // Push inserts an event.
 func (q *eventQueue) Push(e event) {

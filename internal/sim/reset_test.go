@@ -1,0 +1,259 @@
+package sim
+
+// Tests for the resettable-session engine: Reset must rewind to time zero
+// while retaining every arena, a reset-then-run must be bit-identical to a
+// fresh simulator, and the steady-state trial loop must be allocation-free.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/updown"
+)
+
+// trialPlan is a precomputed deterministic submission sequence so trial
+// loops exercise Submit without allocating in the loop itself.
+type trialPlan struct {
+	at    []int64
+	src   []topology.NodeID
+	dests [][]topology.NodeID
+}
+
+func makeTrialPlan(r *core.Router, seed uint64, messages, maxDests int) *trialPlan {
+	rand := rng.New(seed)
+	n := r.Net.NumProcs
+	proc := func(i int) topology.NodeID { return topology.NodeID(r.Net.NumSwitches + i) }
+	p := &trialPlan{}
+	t := int64(0)
+	for m := 0; m < messages; m++ {
+		t += int64(rand.Intn(2000))
+		srcIdx := rand.Intn(n)
+		k := 1
+		if rand.Bool(0.1) {
+			k = 2 + rand.Intn(maxDests-1)
+		}
+		var dests []topology.NodeID
+		for _, v := range rand.Choose(n-1, k) {
+			if v >= srcIdx {
+				v++
+			}
+			dests = append(dests, proc(v))
+		}
+		p.at = append(p.at, t)
+		p.src = append(p.src, proc(srcIdx))
+		p.dests = append(p.dests, dests)
+	}
+	return p
+}
+
+// run submits the plan and drains the simulator, returning the worms.
+func (p *trialPlan) run(t testing.TB, s *Simulator) []*Worm {
+	t.Helper()
+	worms := make([]*Worm, len(p.at))
+	for m := range p.at {
+		w, err := s.Submit(p.at[m], p.src[m], p.dests[m])
+		if err != nil {
+			t.Fatal(err)
+		}
+		worms[m] = w
+	}
+	if err := s.RunUntilIdle(idleCap); err != nil {
+		t.Fatal(err)
+	}
+	return worms
+}
+
+// signature captures everything observable about a finished trial.
+func signature(s *Simulator, worms []*Worm) string {
+	out := fmt.Sprintf("now=%d counters=%+v\n", s.Now(), s.Counters())
+	for _, w := range worms {
+		out += fmt.Sprintf("worm %d src=%d lca=%d flits=%d submit=%d inject=%d done=%d arrivals=%v dests=%v\n",
+			w.ID, w.Src, w.LCA, w.Flits, w.SubmitNs, w.InjectStartNs, w.DoneNs, w.ArrivalNs, w.Dests)
+	}
+	return out
+}
+
+func randomRouter(t *testing.T, switches int, seed uint64) *core.Router {
+	t.Helper()
+	net, err := topology.RandomLattice(topology.DefaultLattice(switches, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := updown.New(net, updown.RootMinID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewRouter(lab)
+}
+
+// TestResetThenRunBitIdentical is the property test behind reusable
+// sessions: on ≥20 random topologies, running a trial on a freshly
+// constructed simulator and running the same trial on a simulator that
+// already executed a different workload and was Reset must produce
+// bit-identical timings, arrivals and counters.
+func TestResetThenRunBitIdentical(t *testing.T) {
+	for i := 0; i < 24; i++ {
+		seed := uint64(1000 + i*7)
+		switches := 12 + (i%5)*9
+		r := randomRouter(t, switches, seed)
+		plan := makeTrialPlan(r, seed^0xfeed, 30, 6)
+		perturb := makeTrialPlan(r, seed^0xdead, 17, 4)
+
+		fresh, err := New(r, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := signature(fresh, plan.run(t, fresh))
+
+		reused, err := New(r, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		perturb.run(t, reused) // grow arenas with unrelated traffic
+		reused.Reset()
+		got := signature(reused, plan.run(t, reused))
+		if got != want {
+			t.Fatalf("topology %d (seed %d): reset-then-run diverged from fresh run\nfresh:\n%s\nreset:\n%s", i, seed, want, got)
+		}
+
+		// Second epoch on the same simulator must again be identical.
+		reused.Reset()
+		if got := signature(reused, plan.run(t, reused)); got != want {
+			t.Fatalf("topology %d: second reset epoch diverged", i)
+		}
+	}
+}
+
+// TestResetMidRunRecovers: Reset in the middle of a run (worms in flight,
+// channels reserved, OCRQs populated, injections queued) must recycle the
+// live segments and still reproduce the fresh-run results exactly.
+func TestResetMidRunRecovers(t *testing.T) {
+	r := randomRouter(t, 32, 99)
+	plan := makeTrialPlan(r, 0xabcdef, 40, 8)
+
+	fresh, err := New(r, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := signature(fresh, plan.run(t, fresh))
+
+	s, err := New(r, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range plan.at {
+		if _, err := s.Submit(plan.at[m], plan.src[m], plan.dests[m]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stop partway: startup has elapsed, worms are mid-network.
+	if err := s.Run(15_000); err != nil {
+		t.Fatal(err)
+	}
+	if s.Outstanding() == 0 {
+		t.Fatal("test needs in-flight worms at the interruption point")
+	}
+	freeBefore := len(s.segFree)
+	s.Reset()
+	if len(s.segFree) < freeBefore {
+		t.Fatalf("reset lost free segments: %d -> %d", freeBefore, len(s.segFree))
+	}
+	if got := signature(s, plan.run(t, s)); got != want {
+		t.Fatalf("mid-run reset diverged from fresh run\nfresh:\n%s\nreset:\n%s", want, got)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResetTrialLoopAllocFree is the whitebox steady-state claim: once two
+// warm-up trials have sized every arena (worm pool assignment stabilizes on
+// the second epoch), a full Reset + submit + drain trial allocates nothing.
+func TestResetTrialLoopAllocFree(t *testing.T) {
+	r := randomRouter(t, 64, 5)
+	s, err := New(r, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := makeTrialPlan(r, 77, 60, 12)
+	trial := func() {
+		s.Reset()
+		for m := range plan.at {
+			if _, err := s.Submit(plan.at[m], plan.src[m], plan.dests[m]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.RunUntilIdle(idleCap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trial()
+	trial() // second epoch: pooled worms reach their per-slot capacity
+	// A few hundred runs amortize background runtime mallocs (GC worker
+	// wake-ups land in the measured window) that a short run misreads as
+	// per-trial cost; the engine itself must contribute exactly zero.
+	if n := testing.AllocsPerRun(300, trial); n != 0 {
+		t.Fatalf("steady-state trial loop allocated %v allocs/run, want 0", n)
+	}
+}
+
+// TestResetRestartsWormIDs: each epoch is a self-contained simulation.
+func TestResetRestartsWormIDs(t *testing.T) {
+	s, _ := fig1Sim(t, DefaultConfig())
+	w1, err := s.Submit(0, 6, []topology.NodeID{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilIdle(idleCap); err != nil {
+		t.Fatal(err)
+	}
+	if w1.ID != 1 {
+		t.Fatalf("first worm ID %d", w1.ID)
+	}
+	s.Reset()
+	if s.Now() != 0 || s.Outstanding() != 0 || s.Err() != nil {
+		t.Fatal("reset did not rewind clock/state")
+	}
+	if c := s.Counters(); c != (Counters{}) {
+		t.Fatalf("counters survived reset: %+v", c)
+	}
+	w2, err := s.Submit(0, 6, []topology.NodeID{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.ID != 1 {
+		t.Fatalf("worm ID after reset %d, want 1", w2.ID)
+	}
+	if w2 != w1 {
+		t.Fatal("worm struct was not recycled from the pool")
+	}
+	if err := s.RunUntilIdle(idleCap); err != nil {
+		t.Fatal(err)
+	}
+	if !w2.Completed() {
+		t.Fatal("post-reset worm incomplete")
+	}
+}
+
+// TestResetClearsStickyError: a deadlocked/failed epoch must not poison the
+// next one.
+func TestResetClearsStickyError(t *testing.T) {
+	s, _ := fig1Sim(t, DefaultConfig())
+	s.fail("staged failure")
+	if s.Err() == nil {
+		t.Fatal("staging failed")
+	}
+	s.Reset()
+	if s.Err() != nil {
+		t.Fatalf("error survived reset: %v", s.Err())
+	}
+	if _, err := s.Submit(0, 6, []topology.NodeID{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilIdle(idleCap); err != nil {
+		t.Fatal(err)
+	}
+}

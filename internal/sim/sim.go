@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/topology"
 )
@@ -38,6 +39,11 @@ type Simulator struct {
 	segFree []*segment
 	// pruneScratch collects blocked channels during pruneBlocked.
 	pruneScratch []topology.ChannelID
+	// worms holds every worm submitted this epoch in submit order; evInject
+	// events carry an index into it. wormPool recycles the structs (and
+	// their Dests/ArrivalNs/DestSet storage) across Reset epochs.
+	worms    []*Worm
+	wormPool []*Worm
 
 	nextWormID  int64
 	outstanding int
@@ -155,19 +161,42 @@ func (s *Simulator) At(t int64, fn func()) {
 	s.scheduleCall(t, fn)
 }
 
+// takeWorm returns a blank worm, recycling one released by Reset when
+// available. Fields not overwritten by Submit are cleared by recycleWorm.
+func (s *Simulator) takeWorm() *Worm {
+	if n := len(s.wormPool); n > 0 {
+		w := s.wormPool[n-1]
+		s.wormPool[n-1] = nil
+		s.wormPool = s.wormPool[:n-1]
+		return w
+	}
+	return &Worm{DestSet: bitset.New(s.net.N())}
+}
+
+// recycleWorm clears a worm's per-epoch state and returns it to the pool.
+// Dests, ArrivalNs, PrunedDests and DestSet keep their grown storage.
+func (s *Simulator) recycleWorm(w *Worm) {
+	w.InjectStartNs = 0
+	w.DoneNs = 0
+	w.OnDelivered = nil
+	w.OnComplete = nil
+	w.Prune = false
+	w.PrunedDests = w.PrunedDests[:0]
+	w.completed = false
+	s.wormPool = append(s.wormPool, w)
+}
+
 // Submit schedules a message for injection at simulated time `at`: the worm
 // joins the source processor's queue, serializes behind earlier messages,
 // pays the startup latency and then worms through the network. The returned
 // Worm's hooks (OnDelivered/OnComplete) may be set before the next Run call.
+//
+// The returned Worm is owned by the simulator and is valid until the next
+// Reset, which recycles it.
 func (s *Simulator) Submit(at int64, src topology.NodeID, dests []topology.NodeID) (*Worm, error) {
 	if !s.net.IsProcessor(src) {
 		return nil, fmt.Errorf("sim: source %d is not a processor", src)
 	}
-	ds, err := s.router.DestSet(dests)
-	if err != nil {
-		return nil, err
-	}
-	s.nextWormID++
 	flits := s.cfg.Params.MessageFlits
 	if a := s.cfg.AddrsPerHeaderFlit; a > 0 {
 		flits += (len(dests)+a-1)/a - 1
@@ -176,25 +205,108 @@ func (s *Simulator) Submit(at int64, src topology.NodeID, dests []topology.NodeI
 		return nil, fmt.Errorf("sim: store-and-forward packet of %d flits exceeds the %d-flit input buffers — the very limitation SPAM removes",
 			flits, s.cfg.InputBufFlits)
 	}
-	w := &Worm{
-		ID:        s.nextWormID,
-		Src:       src,
-		Dests:     append([]topology.NodeID(nil), dests...),
-		DestSet:   ds,
-		LCA:       s.router.LCASwitch(dests),
-		Flits:     flits,
-		SubmitNs:  at,
-		ArrivalNs: make([]int64, len(dests)),
-		remaining: len(dests),
+	w := s.takeWorm()
+	if err := s.router.DestSetInto(w.DestSet, dests); err != nil {
+		s.wormPool = append(s.wormPool, w)
+		return nil, err
 	}
+	s.nextWormID++
+	w.ID = s.nextWormID
+	w.Src = src
+	w.Dests = append(w.Dests[:0], dests...)
+	w.LCA = s.router.LCASwitch(dests)
+	w.Flits = flits
+	w.SubmitNs = at
 	if at < s.now {
 		w.SubmitNs = s.now
 	}
+	if cap(w.ArrivalNs) < len(dests) {
+		w.ArrivalNs = make([]int64, len(dests))
+	} else {
+		w.ArrivalNs = w.ArrivalNs[:len(dests)]
+		clear(w.ArrivalNs)
+	}
+	w.remaining = len(dests)
 	s.outstanding++
 	s.counters.WormsSubmitted++
 	s.armWatchdog()
-	s.At(w.SubmitNs, func() { s.enqueueWorm(w) })
+	s.schedule(w.SubmitNs, evInject, int32(len(s.worms)))
+	s.worms = append(s.worms, w)
 	return w, nil
+}
+
+// Reset rewinds the simulator to time zero for a fresh trial while retaining
+// every arena the engine has grown: the event rings and tiered heap, the
+// shared input-FIFO arena, the segment free list, the call table, the OCRQ
+// and injection-queue backing storage, and the worm structs themselves. A
+// Reset-then-run produces bit-identical results to a fresh simulator over
+// the same submission sequence, at zero steady-state allocations.
+//
+// Reset invalidates every *Worm returned by Submit since construction or the
+// previous Reset: the structs (including their Dests/ArrivalNs slices) are
+// recycled into the next epoch. Read results out before resetting.
+func (s *Simulator) Reset() {
+	// Live segments of an interrupted run are recycled too. Every routed
+	// segment is registered at segAtInput[seg.in] exactly once; source
+	// segments appear exactly once in the reservation or OCRQ of their
+	// injection channel (processor-sourced channels carry no other
+	// segments), so the two sweeps are disjoint and complete.
+	for c := range s.segAtInput {
+		if seg := s.segAtInput[c]; seg != nil {
+			s.segAtInput[c] = nil
+			s.freeSegment(seg)
+		}
+	}
+	for c := range s.chans {
+		cs := &s.chans[c]
+		if s.net.IsProcessor(s.net.Chan(topology.ChannelID(c)).Src) {
+			if cs.reserved != nil {
+				s.freeSegment(cs.reserved)
+			}
+			for _, seg := range cs.ocrq {
+				s.freeSegment(seg)
+			}
+		}
+		cs.outBuf = flit{}
+		cs.outOcc = false
+		cs.inFlight = false
+		cs.credits = s.cfg.InputBufFlits
+		cs.reserved = nil
+		clear(cs.ocrq)
+		cs.ocrq = cs.ocrq[:0]
+		cs.inBuf = cs.inBuf[:0]
+		cs.payloadCount = 0
+		cs.bubbleCount = 0
+		cs.reservationCount = 0
+		cs.queuePeak = 0
+	}
+	for i := range s.procs {
+		ps := &s.procs[i]
+		clear(ps.queue)
+		ps.queue = ps.queue[:0]
+		ps.busy = false
+	}
+	for _, w := range s.worms {
+		s.recycleWorm(w)
+	}
+	clear(s.worms)
+	s.worms = s.worms[:0]
+	clear(s.calls)
+	s.calls = s.calls[:0]
+	s.callFree = s.callFree[:0]
+	s.now = 0
+	s.seq = 0
+	s.heap.Reset()
+	s.nextWormID = 0
+	s.outstanding = 0
+	s.counters = Counters{}
+	s.lastProgress = 0
+	s.lastActivity = 0
+	s.stalledFor = 0
+	s.watchdogOn = false
+	s.pendingWork = 0
+	s.activity = 0
+	s.err = nil
 }
 
 func (s *Simulator) armWatchdog() {
@@ -283,6 +395,8 @@ func (s *Simulator) step() {
 		s.calls[ev.a] = nil
 		s.callFree = append(s.callFree, ev.a)
 		fn()
+	case evInject:
+		s.enqueueWorm(s.worms[ev.a])
 	}
 }
 

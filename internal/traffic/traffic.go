@@ -41,19 +41,33 @@ func (a NetworkAdapter) Processor(i int) topology.NodeID {
 
 // PickDests draws k distinct destination processors uniformly at random,
 // excluding the source. It panics if k exceeds the available processors.
+//
+// Locating the source's dense index costs an O(n) scan over the Net
+// interface; generators that already know the index (every open-loop
+// arrival loop iterates it) must use PickDestsIdx on the per-message path.
 func PickDests(r *rng.Source, net Net, src topology.NodeID, k int) []topology.NodeID {
-	n := net.NumProcessors()
-	if k < 1 || k > n-1 {
-		panic(fmt.Sprintf("traffic: cannot pick %d destinations among %d processors", k, n-1))
-	}
-	// Draw from the n-1 non-source processors by index remapping.
 	srcIdx := -1
-	for i := 0; i < n; i++ {
+	for i, n := 0, net.NumProcessors(); i < n; i++ {
 		if net.Processor(i) == src {
 			srcIdx = i
 			break
 		}
 	}
+	return PickDestsIdx(r, net, srcIdx, k)
+}
+
+// PickDestsIdx is PickDests with the source given by its dense processor
+// index in [0, NumProcessors): no scan, O(k) beyond the sampler. It panics
+// if k exceeds the available processors. (A negative srcIdx skips the
+// exclusion remap — PickDests' legacy behaviour for a source that is not a
+// processor of net — but then index n-1 is never drawn; don't rely on it
+// for uniform sampling.)
+func PickDestsIdx(r *rng.Source, net Net, srcIdx, k int) []topology.NodeID {
+	n := net.NumProcessors()
+	if k < 1 || k > n-1 {
+		panic(fmt.Sprintf("traffic: cannot pick %d destinations among %d processors", k, n-1))
+	}
+	// Draw from the n-1 non-source processors by index remapping.
 	idx := r.Choose(n-1, k)
 	out := make([]topology.NodeID, k)
 	for i, v := range idx {
@@ -164,8 +178,8 @@ func Mixed(s *sim.Simulator, r *rng.Source, net Net, cfg MixedConfig) ([]*sim.Wo
 	// depend on network state), which keeps the generator simple and the
 	// worm order deterministic.
 	type arrival struct {
-		t   int64
-		src topology.NodeID
+		t      int64
+		srcIdx int
 	}
 	var arrivals []arrival
 	perProc := (cfg.Messages + n - 1) / n
@@ -173,26 +187,28 @@ func Mixed(s *sim.Simulator, r *rng.Source, net Net, cfg MixedConfig) ([]*sim.Wo
 		t := int64(0)
 		for m := 0; m < perProc; m++ {
 			t += slot * (1 + r.NegBinomial(nbR, p))
-			arrivals = append(arrivals, arrival{t: t, src: net.Processor(i)})
+			arrivals = append(arrivals, arrival{t: t, srcIdx: i})
 		}
 	}
+	// The arrival loop already knows each source's dense index, so the
+	// per-message destination draw below uses PickDestsIdx directly
+	// instead of rediscovering the index with a linear scan.
 	sort.Slice(arrivals, func(i, j int) bool {
 		if arrivals[i].t != arrivals[j].t {
 			return arrivals[i].t < arrivals[j].t
 		}
-		return arrivals[i].src < arrivals[j].src
+		return arrivals[i].srcIdx < arrivals[j].srcIdx
 	})
 	if len(arrivals) > cfg.Messages {
 		arrivals = arrivals[:cfg.Messages]
 	}
 	for _, a := range arrivals {
-		var dests []topology.NodeID
+		k := 1
 		if r.Bool(cfg.MulticastFraction) {
-			dests = PickDests(r, net, a.src, cfg.MulticastDests)
-		} else {
-			dests = PickDests(r, net, a.src, 1)
+			k = cfg.MulticastDests
 		}
-		w, err := s.Submit(a.t, a.src, dests)
+		dests := PickDestsIdx(r, net, a.srcIdx, k)
+		w, err := s.Submit(a.t, net.Processor(a.srcIdx), dests)
 		if err != nil {
 			return nil, err
 		}

@@ -241,3 +241,29 @@ func TestHotSpot(t *testing.T) {
 		}
 	}
 }
+
+// TestPickDestsIdxMatchesPickDests: the index-accepting fast path must be
+// stream-compatible with the scanning variant.
+func TestPickDestsIdxMatchesPickDests(t *testing.T) {
+	_, net := testRig(t, 16, 1)
+	for srcIdx := 0; srcIdx < net.NumProcessors(); srcIdx += 5 {
+		for _, k := range []int{1, 3, 15} {
+			a := rng.New(77)
+			b := rng.New(77)
+			src := net.Processor(srcIdx)
+			want := PickDests(a, net, src, k)
+			got := PickDestsIdx(b, net, srcIdx, k)
+			if len(got) != len(want) {
+				t.Fatalf("len %d vs %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("srcIdx %d k %d: %v vs %v", srcIdx, k, got, want)
+				}
+				if got[i] == src {
+					t.Fatal("picked the source")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,436 @@
+package workload
+
+// The generator catalog. Open-loop generators precompute an arrival
+// schedule into the Gen's scratch and submit it in time order; permutation
+// generators submit one message per processor per round; the closed-loop
+// generator resubmits from completion hooks while the trial runs.
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Mixed is the paper's Figure-3 workload: every processor submits messages
+// with negative-binomial inter-arrival times at the configured average
+// rate; each message is a unicast to a uniform destination with probability
+// 1−MulticastFraction, otherwise a multicast to MulticastDests uniform
+// destinations.
+type Mixed struct {
+	// RatePerProcPerUs is the average arrival rate per processor in
+	// messages per microsecond (the paper sweeps ~0.005 to 0.04).
+	RatePerProcPerUs float64
+	// MulticastFraction is the probability a message is a multicast
+	// (paper: 0.1).
+	MulticastFraction float64
+	// MulticastDests is the destination count of each multicast (paper:
+	// 8, 16, 32 or 64).
+	MulticastDests int
+	// NegBinomialR is the r parameter of the inter-arrival distribution
+	// (0 selects 2). Inter-arrival times are slot·(1 + NegBinomial(r, p)).
+	NegBinomialR int
+	// SlotNs is the arrival-process granularity; 0 selects 10 ns (one
+	// flit time).
+	SlotNs int64
+	// Messages is the total message count of the trial.
+	Messages int
+}
+
+// Name implements Workload.
+func (m Mixed) Name() string { return "mixed" }
+
+func (m Mixed) validate(n int) error {
+	if m.RatePerProcPerUs <= 0 {
+		return fmt.Errorf("workload: rate %v must be positive", m.RatePerProcPerUs)
+	}
+	if m.MulticastFraction < 0 || m.MulticastFraction > 1 {
+		return fmt.Errorf("workload: multicast fraction %v out of [0,1]", m.MulticastFraction)
+	}
+	if m.MulticastFraction > 0 && (m.MulticastDests < 1 || m.MulticastDests > n-1) {
+		return fmt.Errorf("workload: %d multicast destinations infeasible with %d processors", m.MulticastDests, n)
+	}
+	if m.Messages <= 0 {
+		return fmt.Errorf("workload: message count %d must be positive", m.Messages)
+	}
+	return nil
+}
+
+// Generate implements Workload.
+func (m Mixed) Generate(g *Gen) error {
+	n := g.NumProcs()
+	if err := m.validate(n); err != nil {
+		return err
+	}
+	slot := m.SlotNs
+	if slot <= 0 {
+		slot = 10
+	}
+	nbR := m.NegBinomialR
+	if nbR == 0 {
+		nbR = 2
+	}
+	meanSlots := 1000.0 / m.RatePerProcPerUs / float64(slot)
+	if meanSlots <= 1 {
+		return fmt.Errorf("workload: rate %v too high for slot %d ns", m.RatePerProcPerUs, slot)
+	}
+	p := rng.NegBinomialP(nbR, meanSlots-1)
+	perProc := (m.Messages + n - 1) / n
+	for i := 0; i < n; i++ {
+		t := int64(0)
+		for j := 0; j < perProc; j++ {
+			t += slot * (1 + g.Rand.NegBinomial(nbR, p))
+			g.arrivals = append(g.arrivals, arrival{t: t, srcIdx: int32(i)})
+		}
+	}
+	sortArrivals(g.arrivals)
+	if len(g.arrivals) > m.Messages {
+		g.arrivals = g.arrivals[:m.Messages]
+	}
+	for i := range g.arrivals {
+		a := &g.arrivals[i]
+		a.k = 1
+		if g.Rand.Bool(m.MulticastFraction) {
+			a.k = int32(m.MulticastDests)
+		}
+	}
+	return g.submitArrivals(nil)
+}
+
+// HotSpot concentrates open-loop unicast traffic on one destination: each
+// message targets the hot processor with probability HotFraction, a uniform
+// destination otherwise — the paper's Section 5 root hot-spot discussion
+// turned into a workload.
+type HotSpot struct {
+	// RatePerProcPerUs is the average per-processor arrival rate.
+	RatePerProcPerUs float64
+	// HotFraction is the probability a message targets the hot processor
+	// (0 selects 0.5).
+	HotFraction float64
+	// HotIdx is the dense processor index of the hot destination.
+	HotIdx int
+	// Messages is the total message count of the trial.
+	Messages int
+}
+
+// Name implements Workload.
+func (h HotSpot) Name() string { return "hotspot" }
+
+// Generate implements Workload.
+func (h HotSpot) Generate(g *Gen) error {
+	n := g.NumProcs()
+	if h.RatePerProcPerUs <= 0 || h.Messages <= 0 {
+		return fmt.Errorf("workload: hotspot needs positive rate and messages")
+	}
+	if h.HotIdx < 0 || h.HotIdx >= n {
+		return fmt.Errorf("workload: hot index %d out of [0,%d)", h.HotIdx, n)
+	}
+	hot := h.HotFraction
+	if hot == 0 {
+		hot = 0.5
+	}
+	meanNs := 1000.0 / h.RatePerProcPerUs
+	perProc := (h.Messages + n - 1) / n
+	for i := 0; i < n; i++ {
+		t := int64(0)
+		for j := 0; j < perProc; j++ {
+			t += int64(g.Rand.Exp(meanNs)) + 1
+			g.arrivals = append(g.arrivals, arrival{t: t, srcIdx: int32(i), k: 1})
+		}
+	}
+	sortArrivals(g.arrivals)
+	if len(g.arrivals) > h.Messages {
+		g.arrivals = g.arrivals[:h.Messages]
+	}
+	return g.submitArrivals(func(a arrival) []topology.NodeID {
+		src := int(a.srcIdx)
+		if src != h.HotIdx && g.Rand.Bool(hot) {
+			g.dests = append(g.dests[:0], g.Proc(h.HotIdx))
+			return g.dests
+		}
+		return g.PickDests(src, 1)
+	})
+}
+
+// Transpose is the classic matrix-transpose permutation: processors are laid
+// on the largest w×w grid (w = ⌊√n⌋) and (row, col) sends to (col, row);
+// processors outside the grid, and diagonal self-maps, send to their
+// successor. Every round submits one message per processor simultaneously —
+// a structured saturation pattern with long-range pairwise contention.
+type Transpose struct {
+	// Rounds is how many back-to-back permutation rounds to submit (0
+	// selects 1).
+	Rounds int
+	// RoundGapNs separates round start times (0 selects one startup
+	// latency so rounds pipeline behind the injection queues).
+	RoundGapNs int64
+}
+
+// Name implements Workload.
+func (tr Transpose) Name() string { return "transpose" }
+
+// Generate implements Workload.
+func (tr Transpose) Generate(g *Gen) error {
+	return generatePermutation(g, tr.Rounds, tr.RoundGapNs, func(i, n int) int {
+		w := int(math.Sqrt(float64(n)))
+		if w < 2 {
+			return (i + 1) % n
+		}
+		if i >= w*w {
+			return (i + 1) % n
+		}
+		row, col := i/w, i%w
+		j := col*w + row
+		if j == i {
+			return (i + 1) % n
+		}
+		return j
+	})
+}
+
+// BitReverse pairs each processor with the bit-reversal of its index within
+// ⌈log₂ n⌉ bits (folded into range for non-power-of-two n) — the FFT
+// communication pattern, adversarial for tree-based routing because paired
+// nodes are maximally separated in index space.
+type BitReverse struct {
+	// Rounds is how many permutation rounds to submit (0 selects 1).
+	Rounds int
+	// RoundGapNs separates round start times (0 selects one startup
+	// latency).
+	RoundGapNs int64
+}
+
+// Name implements Workload.
+func (br BitReverse) Name() string { return "bitreverse" }
+
+// Generate implements Workload.
+func (br BitReverse) Generate(g *Gen) error {
+	return generatePermutation(g, br.Rounds, br.RoundGapNs, func(i, n int) int {
+		width := bits.Len(uint(n - 1))
+		if width == 0 {
+			return (i + 1) % n
+		}
+		j := int(bits.Reverse64(uint64(i)) >> (64 - width))
+		j %= n
+		if j == i {
+			return (i + 1) % n
+		}
+		return j
+	})
+}
+
+// generatePermutation submits rounds of one unicast per processor, with the
+// destination index given by perm(i, n).
+func generatePermutation(g *Gen, rounds int, gapNs int64, perm func(i, n int) int) error {
+	n := g.NumProcs()
+	if n < 2 {
+		return fmt.Errorf("workload: permutation needs >= 2 processors")
+	}
+	if rounds <= 0 {
+		rounds = 1
+	}
+	if gapNs <= 0 {
+		gapNs = 10_000
+	}
+	for r := 0; r < rounds; r++ {
+		at := int64(r) * gapNs
+		for i := 0; i < n; i++ {
+			g.dests = append(g.dests[:0], g.Proc(perm(i, n)))
+			if _, err := g.Submit(at, g.Proc(i), g.dests); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// BroadcastStorm launches staggered broadcasts from several uniformly
+// chosen sources — the worst case for spanning-tree root contention and the
+// scenario behind the paper's in-text software-multicast comparison at
+// scale.
+type BroadcastStorm struct {
+	// Sources is how many distinct processors broadcast (0 selects 4;
+	// capped at the processor count).
+	Sources int
+	// GapNs staggers successive broadcast submissions (0 selects 200 ns).
+	GapNs int64
+}
+
+// Name implements Workload.
+func (bs BroadcastStorm) Name() string { return "bcast-storm" }
+
+// Generate implements Workload.
+func (bs BroadcastStorm) Generate(g *Gen) error {
+	n := g.NumProcs()
+	if n < 2 {
+		return fmt.Errorf("workload: broadcast storm needs >= 2 processors")
+	}
+	k := bs.Sources
+	if k <= 0 {
+		k = 4
+	}
+	if k > n {
+		k = n
+	}
+	gap := bs.GapNs
+	if gap <= 0 {
+		gap = 200
+	}
+	g.idx = g.chooser.AppendChoose(g.Rand, g.idx[:0], n, k)
+	for si, srcIdx := range g.idx {
+		g.dests = g.dests[:0]
+		for i := 0; i < n; i++ {
+			if i != srcIdx {
+				g.dests = append(g.dests, g.Proc(i))
+			}
+		}
+		if _, err := g.Submit(int64(si)*gap, g.Proc(srcIdx), g.dests); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bursty is on/off modulated traffic: each processor alternates exponential
+// ON periods (during which it submits at the configured rate) and OFF
+// periods of silence. Bursts across processors are uncorrelated, producing
+// the transient congestion clusters smooth open-loop arrivals never show.
+type Bursty struct {
+	// RatePerProcPerUs is the arrival rate during ON periods.
+	RatePerProcPerUs float64
+	// MeanBurstNs is the mean ON duration (0 selects 50 µs).
+	MeanBurstNs int64
+	// MeanIdleNs is the mean OFF duration (0 selects 150 µs).
+	MeanIdleNs int64
+	// MulticastFraction and MulticastDests mix multicasts into the bursts.
+	MulticastFraction float64
+	MulticastDests    int
+	// Messages is the total message count of the trial.
+	Messages int
+}
+
+// Name implements Workload.
+func (bw Bursty) Name() string { return "bursty" }
+
+// Generate implements Workload.
+func (bw Bursty) Generate(g *Gen) error {
+	n := g.NumProcs()
+	if bw.RatePerProcPerUs <= 0 || bw.Messages <= 0 {
+		return fmt.Errorf("workload: bursty needs positive rate and messages")
+	}
+	if bw.MulticastFraction < 0 || bw.MulticastFraction > 1 {
+		return fmt.Errorf("workload: multicast fraction %v out of [0,1]", bw.MulticastFraction)
+	}
+	if bw.MulticastFraction > 0 && (bw.MulticastDests < 1 || bw.MulticastDests > n-1) {
+		return fmt.Errorf("workload: %d multicast destinations infeasible with %d processors", bw.MulticastDests, n)
+	}
+	burst := bw.MeanBurstNs
+	if burst <= 0 {
+		burst = 50_000
+	}
+	idle := bw.MeanIdleNs
+	if idle <= 0 {
+		idle = 150_000
+	}
+	meanNs := 1000.0 / bw.RatePerProcPerUs
+	perProc := (bw.Messages + n - 1) / n
+	for i := 0; i < n; i++ {
+		t := int64(0)
+		onUntil := int64(g.Rand.Exp(float64(burst))) + 1
+		for j := 0; j < perProc; j++ {
+			t += int64(g.Rand.Exp(meanNs)) + 1
+			for t > onUntil {
+				// The ON window closed before this arrival: skip the
+				// OFF period and open the next window.
+				t = onUntil + int64(g.Rand.Exp(float64(idle))) + 1
+				onUntil = t + int64(g.Rand.Exp(float64(burst))) + 1
+			}
+			g.arrivals = append(g.arrivals, arrival{t: t, srcIdx: int32(i)})
+		}
+	}
+	sortArrivals(g.arrivals)
+	if len(g.arrivals) > bw.Messages {
+		g.arrivals = g.arrivals[:bw.Messages]
+	}
+	for i := range g.arrivals {
+		a := &g.arrivals[i]
+		a.k = 1
+		if g.Rand.Bool(bw.MulticastFraction) {
+			a.k = int32(bw.MulticastDests)
+		}
+	}
+	return g.submitArrivals(nil)
+}
+
+// ClosedLoop keeps a fixed window of outstanding messages per processor:
+// each completion triggers the next submission after a think time, so the
+// offered load self-regulates to the network's accepted throughput — the
+// complement of the open-loop generators, which plow on regardless of
+// congestion.
+type ClosedLoop struct {
+	// Window is the outstanding-message window per processor (0 selects 1).
+	Window int
+	// ThinkNs delays each resubmission after a completion.
+	ThinkNs int64
+	// MulticastFraction and MulticastDests mix multicasts into the stream.
+	MulticastFraction float64
+	MulticastDests    int
+	// Messages is the total message budget of the trial.
+	Messages int
+}
+
+// Name implements Workload.
+func (cl ClosedLoop) Name() string { return "closed-loop" }
+
+// Generate implements Workload.
+func (cl ClosedLoop) Generate(g *Gen) error {
+	n := g.NumProcs()
+	if cl.Messages <= 0 {
+		return fmt.Errorf("workload: closed loop needs a positive message budget")
+	}
+	if cl.MulticastFraction < 0 || cl.MulticastFraction > 1 {
+		return fmt.Errorf("workload: multicast fraction %v out of [0,1]", cl.MulticastFraction)
+	}
+	if cl.MulticastFraction > 0 && (cl.MulticastDests < 1 || cl.MulticastDests > n-1) {
+		return fmt.Errorf("workload: %d multicast destinations infeasible with %d processors", cl.MulticastDests, n)
+	}
+	window := cl.Window
+	if window <= 0 {
+		window = 1
+	}
+	budget := cl.Messages
+	var launch func(srcIdx int, at int64) error
+	launch = func(srcIdx int, at int64) error {
+		if budget <= 0 {
+			return nil
+		}
+		budget--
+		k := 1
+		if g.Rand.Bool(cl.MulticastFraction) {
+			k = cl.MulticastDests
+		}
+		w, err := g.Submit(at, g.Proc(srcIdx), g.PickDests(srcIdx, k))
+		if err != nil {
+			return err
+		}
+		w.OnComplete = func(_ *sim.Worm, t int64) {
+			// There is no caller to return to inside a hook: record
+			// the error for Trial to surface after the run.
+			if err := launch(srcIdx, t+cl.ThinkNs); err != nil {
+				g.setHookErr(err)
+			}
+		}
+		return nil
+	}
+	for i := 0; i < n && budget > 0; i++ {
+		for j := 0; j < window && budget > 0; j++ {
+			if err := launch(i, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package workload
+
+// The scenario registry maps names to workload constructors so the CLI (and
+// future drivers) can select traffic patterns by flag instead of by code.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Params are the shared knobs a scenario constructor may consult. Zero
+// values select each scenario's documented default.
+type Params struct {
+	// RatePerProcPerUs is the open-loop arrival rate.
+	RatePerProcPerUs float64
+	// Messages is the per-trial message budget.
+	Messages int
+	// MulticastFraction is the multicast share of mixed streams.
+	MulticastFraction float64
+	// MulticastDests is the destination count per multicast.
+	MulticastDests int
+	// Window is the closed-loop outstanding window per processor.
+	Window int
+	// Sources is the broadcast-storm source count.
+	Sources int
+	// HotFraction is the hotspot traffic concentration.
+	HotFraction float64
+	// Rounds is the permutation round count.
+	Rounds int
+}
+
+// Scenario is one registered named workload.
+type Scenario struct {
+	Name        string
+	Description string
+	// New builds the workload from the given parameters.
+	New func(p Params) Workload
+}
+
+var registry = map[string]Scenario{}
+
+// Register adds a scenario to the registry; a duplicate name panics (the
+// registry is populated at init time).
+func Register(s Scenario) {
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("workload: duplicate scenario %q", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// Lookup returns the named scenario.
+func Lookup(name string) (Scenario, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Scenarios lists all registered scenarios sorted by name.
+func Scenarios() []Scenario {
+	out := make([]Scenario, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func orF(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+func orI(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+func init() {
+	Register(Scenario{
+		Name:        "mixed",
+		Description: "paper Fig-3 open-loop 90% unicast / 10% multicast, negative-binomial arrivals",
+		New: func(p Params) Workload {
+			return Mixed{
+				RatePerProcPerUs:  orF(p.RatePerProcPerUs, 0.02),
+				MulticastFraction: orF(p.MulticastFraction, 0.1),
+				MulticastDests:    orI(p.MulticastDests, 8),
+				Messages:          orI(p.Messages, 2000),
+			}
+		},
+	})
+	Register(Scenario{
+		Name:        "hotspot",
+		Description: "open-loop unicasts concentrated on one hot destination",
+		New: func(p Params) Workload {
+			return HotSpot{
+				RatePerProcPerUs: orF(p.RatePerProcPerUs, 0.02),
+				HotFraction:      orF(p.HotFraction, 0.5),
+				Messages:         orI(p.Messages, 2000),
+			}
+		},
+	})
+	Register(Scenario{
+		Name:        "transpose",
+		Description: "matrix-transpose permutation rounds (structured saturation)",
+		New: func(p Params) Workload {
+			return Transpose{Rounds: orI(p.Rounds, 1)}
+		},
+	})
+	Register(Scenario{
+		Name:        "bitreverse",
+		Description: "bit-reversal permutation rounds (FFT pattern, index-adversarial)",
+		New: func(p Params) Workload {
+			return BitReverse{Rounds: orI(p.Rounds, 1)}
+		},
+	})
+	Register(Scenario{
+		Name:        "bcast-storm",
+		Description: "staggered full broadcasts from several sources (root contention worst case)",
+		New: func(p Params) Workload {
+			return BroadcastStorm{Sources: orI(p.Sources, 4)}
+		},
+	})
+	Register(Scenario{
+		Name:        "bursty",
+		Description: "on/off modulated arrivals with uncorrelated per-processor bursts",
+		New: func(p Params) Workload {
+			return Bursty{
+				RatePerProcPerUs:  orF(p.RatePerProcPerUs, 0.05),
+				MulticastFraction: p.MulticastFraction,
+				MulticastDests:    orI(p.MulticastDests, 8),
+				Messages:          orI(p.Messages, 2000),
+			}
+		},
+	})
+	Register(Scenario{
+		Name:        "closed-loop",
+		Description: "fixed outstanding window per processor, self-regulating offered load",
+		New: func(p Params) Workload {
+			return ClosedLoop{
+				Window:            orI(p.Window, 1),
+				MulticastFraction: p.MulticastFraction,
+				MulticastDests:    orI(p.MulticastDests, 8),
+				Messages:          orI(p.Messages, 2000),
+			}
+		},
+	})
+}

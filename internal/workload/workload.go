@@ -1,0 +1,269 @@
+// Package workload is the unified traffic engine behind the experiment
+// drivers, the spamsim CLI scenarios and the benchmarks.
+//
+// A Workload describes one trial's message stream abstractly; a Runner owns
+// a resettable simulator plus all generation scratch and executes trials
+// back to back without rebuilding arenas. Open-loop workloads precompute an
+// arrival schedule and submit it up front; closed-loop workloads keep a
+// window of outstanding messages per processor and resubmit from completion
+// hooks while the simulation runs.
+//
+// The measurement harness (Measure) implements the paper's Section 4
+// methodology: warmup messages are excluded, and confidence intervals for
+// correlated steady-state series come from batch means rather than raw
+// observations.
+//
+// The open-loop generation path is allocation-free in steady state: dest
+// picks, arrival schedules and worm bookkeeping all live in scratch buffers
+// retained by the Runner across trials, matching the simulator's own
+// Reset-retained arenas.
+package workload
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Workload generates the message stream of one simulation trial.
+type Workload interface {
+	// Name identifies the workload in registries and reports.
+	Name() string
+	// Generate submits the trial's messages through g. Open-loop
+	// workloads schedule everything before returning; closed-loop
+	// workloads prime their windows and install completion hooks that
+	// keep submitting while the trial runs.
+	Generate(g *Gen) error
+}
+
+// arrival is one precomputed open-loop submission.
+type arrival struct {
+	t      int64
+	srcIdx int32
+	// k is the destination count (1 = unicast).
+	k int32
+}
+
+// Gen is the per-trial generation context a Workload runs against. All
+// slices it hands out are scratch owned by the Runner and are valid only
+// until the next call that touches them.
+type Gen struct {
+	// Sim is the simulator the trial runs on.
+	Sim *sim.Simulator
+	// Rand is the trial's deterministic random stream.
+	Rand *rng.Source
+
+	router   *core.Router
+	worms    []*sim.Worm
+	dests    []topology.NodeID
+	idx      []int
+	chooser  rng.Chooser
+	arrivals []arrival
+	// hookErr records the first submission error raised inside a
+	// completion hook (closed-loop resubmission), where there is no
+	// caller to return it to; Runner.Trial surfaces it after the run.
+	hookErr error
+}
+
+// setHookErr records an error raised inside a simulation hook.
+func (g *Gen) setHookErr(err error) {
+	if g.hookErr == nil {
+		g.hookErr = err
+	}
+}
+
+// NumProcs returns the processor count of the network under simulation.
+func (g *Gen) NumProcs() int { return g.router.Net.NumProcs }
+
+// Proc maps a dense processor index [0, NumProcs) to its node ID.
+func (g *Gen) Proc(i int) topology.NodeID {
+	return topology.NodeID(g.router.Net.NumSwitches + i)
+}
+
+// Submit submits one message and records the worm in trial order.
+func (g *Gen) Submit(at int64, src topology.NodeID, dests []topology.NodeID) (*sim.Worm, error) {
+	w, err := g.Sim.Submit(at, src, dests)
+	if err != nil {
+		return nil, err
+	}
+	g.worms = append(g.worms, w)
+	return w, nil
+}
+
+// PickDests draws k distinct destination processors uniformly at random,
+// excluding the source given by its dense index. The returned slice is
+// scratch, valid until the next PickDests call — Submit copies it.
+func (g *Gen) PickDests(srcIdx, k int) []topology.NodeID {
+	n := g.NumProcs()
+	if k < 1 || k > n-1 {
+		panic(fmt.Sprintf("workload: cannot pick %d destinations among %d processors", k, n-1))
+	}
+	g.idx = g.chooser.AppendChoose(g.Rand, g.idx[:0], n-1, k)
+	g.dests = g.dests[:0]
+	for _, v := range g.idx {
+		if v >= srcIdx {
+			v++
+		}
+		g.dests = append(g.dests, g.Proc(v))
+	}
+	return g.dests
+}
+
+// submitArrivals drains the precomputed g.arrivals schedule in time order,
+// drawing destinations per message. pick overrides destination selection
+// when non-nil (hotspot-style workloads); otherwise destinations are k
+// uniform picks excluding the source.
+func (g *Gen) submitArrivals(pick func(a arrival) []topology.NodeID) error {
+	sortArrivals(g.arrivals)
+	for _, a := range g.arrivals {
+		var dests []topology.NodeID
+		if pick != nil {
+			dests = pick(a)
+		} else {
+			dests = g.PickDests(int(a.srcIdx), int(a.k))
+		}
+		if _, err := g.Submit(a.t, g.Proc(int(a.srcIdx)), dests); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortArrivals orders the schedule by (time, source) — the same
+// deterministic tie-break the legacy traffic generator used. slices.Sort is
+// allocation-free, keeping the open-loop generation path zero-alloc.
+func sortArrivals(a []arrival) {
+	slices.SortFunc(a, func(x, y arrival) int {
+		if x.t != y.t {
+			return cmp.Compare(x.t, y.t)
+		}
+		return cmp.Compare(x.srcIdx, y.srcIdx)
+	})
+}
+
+// Runner executes trials of arbitrary workloads over one reusable
+// simulator. It retains the simulator's arenas and its own generation
+// scratch across trials, so steady-state sweep loops allocate nothing. Not
+// safe for concurrent use; run one Runner per goroutine.
+type Runner struct {
+	sim *sim.Simulator
+	gen Gen
+	// MaxSimTimeNs caps each trial's simulated time (deadlock insurance);
+	// exceeding it is reported as an error by Trial.
+	MaxSimTimeNs int64
+	series       []float64
+}
+
+// NewRunner builds a Runner over the given router with its own simulator.
+func NewRunner(router *core.Router, cfg sim.Config) (*Runner, error) {
+	s, err := sim.New(router, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{sim: s, MaxSimTimeNs: 1e16}
+	r.gen = Gen{Sim: s, Rand: rng.New(0), router: router}
+	return r, nil
+}
+
+// Sim exposes the underlying simulator (counters, channel loads).
+func (r *Runner) Sim() *sim.Simulator { return r.sim }
+
+// Trial resets the simulator, reseeds the random stream, generates the
+// workload and drains the simulation. The same (workload, seed) pair always
+// reproduces bit-identical results.
+func (r *Runner) Trial(w Workload, seed uint64) error {
+	r.sim.Reset()
+	r.gen.Rand.Seed(seed)
+	r.gen.worms = r.gen.worms[:0]
+	r.gen.arrivals = r.gen.arrivals[:0]
+	r.gen.hookErr = nil
+	if err := w.Generate(&r.gen); err != nil {
+		return err
+	}
+	if err := r.sim.RunUntilIdle(r.MaxSimTimeNs); err != nil {
+		return err
+	}
+	return r.gen.hookErr
+}
+
+// Worms returns the worms of the last trial in submission order. The slice
+// and the worms are invalidated by the next Trial call.
+func (r *Runner) Worms() []*sim.Worm { return r.gen.worms }
+
+// AppendLatenciesUs appends the latency (µs) of every worm past the first
+// `skip` submissions that passes the filter (nil = all) to dst.
+func (r *Runner) AppendLatenciesUs(dst []float64, skip int, filter func(*sim.Worm) bool) []float64 {
+	for i, w := range r.gen.worms {
+		if i < skip || (filter != nil && !filter(w)) {
+			continue
+		}
+		dst = append(dst, float64(w.Latency())/1000.0)
+	}
+	return dst
+}
+
+// MeasureOpts parameterizes the steady-state measurement harness.
+type MeasureOpts struct {
+	// Trials is the number of independent replications (default 1).
+	Trials int
+	// WarmupMessages per trial are excluded from measurement. It is
+	// clamped to half of each trial's submissions so sparse workloads
+	// (permutations, broadcast storms) still yield samples.
+	WarmupMessages int
+	// Batches is the batch-means count for the CI (default 10).
+	Batches int
+	// Seed is the base seed; trial i runs with a seed derived from it.
+	Seed uint64
+	// Filter restricts which worms enter the latency series (nil = all).
+	Filter func(*sim.Worm) bool
+}
+
+// Measure runs warmup + measured trials of w and aggregates the latency
+// series with batch-means confidence intervals: the paper's "each data
+// point within 1% of the mean or better, using 95% confidence intervals"
+// methodology, honest in the presence of autocorrelation.
+func Measure(r *Runner, w Workload, opts MeasureOpts) (*stats.Stream, error) {
+	trials := opts.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	r.series = r.series[:0]
+	for trial := 0; trial < trials; trial++ {
+		if err := r.Trial(w, opts.Seed+uint64(trial)*0x9e3779b97f4a7c15); err != nil {
+			return nil, fmt.Errorf("workload %s trial %d: %w", w.Name(), trial, err)
+		}
+		skip := opts.WarmupMessages
+		if max := len(r.Worms()) / 2; skip > max {
+			skip = max
+		}
+		r.series = r.AppendLatenciesUs(r.series, skip, opts.Filter)
+	}
+	return SteadyStream(r.series, opts.Batches), nil
+}
+
+// SteadyStream summarizes a correlated steady-state latency series: the
+// mean comes from every observation, while the confidence interval is built
+// from batch means so that autocorrelation between consecutive messages
+// does not shrink the CI dishonestly. Short series fall back to the plain
+// per-observation stream.
+func SteadyStream(series []float64, batches int) *stats.Stream {
+	if batches <= 0 {
+		batches = 10
+	}
+	if len(series) >= 2*batches {
+		if bm, err := stats.BatchMeans(series, batches); err == nil {
+			return bm
+		}
+	}
+	st := &stats.Stream{}
+	for _, x := range series {
+		st.Add(x)
+	}
+	return st
+}

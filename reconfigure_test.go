@@ -132,3 +132,189 @@ func TestReconfigureSequence(t *testing.T) {
 		t.Fatalf("multicast incomplete after %d removals", removed)
 	}
 }
+
+// removableLinks returns up to max switch-switch links that can be removed
+// one after another without disconnecting the network (each candidate is
+// checked against the network with the previous ones already gone).
+func removableLinks(t *testing.T, sys *System, max int) [][2]int {
+	t.Helper()
+	var out [][2]int
+	net := sys.Topology()
+	for len(out) < max {
+		found := false
+		for _, e := range net.SwitchGraph().Edges() {
+			if next, err := net.WithoutLink(e[0], e[1]); err == nil {
+				out = append(out, e)
+				net = next
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	return out
+}
+
+func TestReconfigureMultipleFailedLinks(t *testing.T) {
+	sys, err := NewLattice(48, WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := removableLinks(t, sys, 3)
+	if len(links) < 3 {
+		t.Skip("lattice too sparse for a 3-link failure")
+	}
+	sys2, err := sys.Reconfigure(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sys2.Topology().SwitchGraph().M(), sys.Topology().SwitchGraph().M()-3; got != want {
+		t.Fatalf("%d links after batch removal, want %d", got, want)
+	}
+	if err := sys2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Traffic still flows everywhere on the relabeled survivor network.
+	sess, err := sys2.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := sys2.Processors()
+	w, err := sess.Multicast(0, procs[1], procs[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Completed() {
+		t.Fatal("broadcast incomplete after multi-link reconfiguration")
+	}
+	// The original System is untouched.
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconfigureMultiLinkBatchWithDisconnectingLink(t *testing.T) {
+	sys, err := NewLattice(32, WithSeed(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := removableLinks(t, sys, 1)
+	if len(links) == 0 {
+		t.Skip("lattice is a tree already")
+	}
+	// After removing every removable link one by one, the survivor network
+	// is a spanning tree: any further removal disconnects. Build a batch
+	// whose prefix is fine but whose final link is a bridge.
+	all := removableLinks(t, sys, 1<<30)
+	survivor := sys.Topology()
+	for _, e := range all {
+		var err error
+		survivor, err = survivor.WithoutLink(e[0], e[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	bridge := survivor.SwitchGraph().Edges()[0]
+	batch := append(append([][2]int{}, all...), bridge)
+	if _, err := sys.Reconfigure(batch); err == nil {
+		t.Fatal("batch ending in a disconnecting link accepted")
+	}
+	// The failed batch must not have mutated the original System.
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sys.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := sys.Processors()
+	if _, err := sess.Multicast(0, procs[0], procs[1:4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconfigureInFlightSessionsFinishOnOldSystem(t *testing.T) {
+	sys, err := NewLattice(48, WithSeed(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := removableLinks(t, sys, 2)
+	if len(links) < 2 {
+		t.Skip("lattice too sparse")
+	}
+	// Start a session with traffic in flight: run only partway (startup
+	// has elapsed, worms are mid-network).
+	sess, err := sys.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := sys.Processors()
+	old, err := sess.Multicast(0, procs[0], procs[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RunUntil(10_500); err != nil {
+		t.Fatal(err)
+	}
+	if old.Completed() {
+		t.Fatal("test needs the old-system worm still in flight")
+	}
+
+	// Reconfigure while the session is mid-run.
+	sys2, err := sys.Reconfigure(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess2, err := sys2.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs2 := sys2.Processors()
+	w2, err := sess2.Multicast(0, procs2[3], procs2[4:12])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The in-flight session finishes on the old System's routing tables,
+	// unaffected by the new System's existence.
+	if err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !old.Completed() {
+		t.Fatal("in-flight worm lost by reconfiguration")
+	}
+	want, err := sys.ZeroLoadLatency(procs[0], procs[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Latency() != want {
+		t.Fatalf("old-session latency %d deviates from old-system closed form %d", old.Latency(), want)
+	}
+	if err := sess2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !w2.Completed() {
+		t.Fatal("new-system traffic incomplete")
+	}
+	// And the old session remains reusable after the old System was
+	// superseded.
+	sess.Reset()
+	again, err := sess.Multicast(0, procs[0], procs[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if again.Latency() != want {
+		t.Fatalf("reset old session latency %d want %d", again.Latency(), want)
+	}
+}

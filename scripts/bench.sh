@@ -1,23 +1,27 @@
 #!/usr/bin/env bash
 # bench.sh — the PR perf-trajectory smoke target.
 #
-# Runs the reduced-effort benchmark suite (Figure 2, Figure 3 and the two
-# engine microbenchmarks) and writes a JSON snapshot with ns/op, B/op,
-# allocs/op and every custom reported metric (us/broadcast-256, us/msg-*,
-# events/broadcast, ...), next to the fixed pre-optimization baseline so the
-# speedup trajectory is tracked in-repo.
+# Runs the reduced-effort benchmark suite (Figure 2, Figure 3, the two
+# engine microbenchmarks and the PR 2 reusable-session sweep pair) and
+# writes a JSON snapshot with ns/op, B/op, allocs/op and every custom
+# reported metric (us/broadcast-256, us/msg-*, events/broadcast, ...), next
+# to the fixed pre-optimization baselines so the speedup trajectory is
+# tracked in-repo.
 #
 # Usage:
-#   scripts/bench.sh [out.json]      # default out: BENCH_PR1.json
-#   BENCHTIME=3x scripts/bench.sh    # steadier numbers (default 1x)
+#   scripts/bench.sh [out.json]      # default out: BENCH_PR2.json
+#   BENCHTIME=3x scripts/bench.sh    # steadier figure numbers (default 1x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR1.json}"
+OUT="${1:-BENCH_PR2.json}"
 BENCHTIME="${BENCHTIME:-1x}"
+# The sweep pair runs many short trials per second; a fixed high iteration
+# count amortizes benchmark-framework overhead out of the allocs/op column.
+SWEEP_BENCHTIME="${SWEEP_BENCHTIME:-300x}"
 
 # Pre-change baseline, measured on the seed tree (commit 343ef2f) plus the
-# go.mod this PR adds (the seed did not build at all), go1.24, linux/amd64,
+# go.mod PR 1 added (the seed did not build at all), go1.24, linux/amd64,
 # benchtime 3x. These are historical constants: they pin the starting point
 # of the perf trajectory and let any machine compute its own relative
 # speedup from a fresh run below.
@@ -33,15 +37,25 @@ RAW=$(go test -run '^$' \
 	-bench 'BenchmarkFig2_SingleMulticast|BenchmarkFig3_MixedTraffic|BenchmarkRoutingDecision|BenchmarkRoutingDecisionReference|BenchmarkSimulatorThroughput' \
 	-benchmem -benchtime "$BENCHTIME" . 2>&1 | grep -E '^Benchmark' || true)
 
-if [ -z "$RAW" ]; then
+# PR 2: reusable-session sweep — fresh-simulator-per-trial vs Reset on the
+# same Fig3-style mixed-traffic trial, plus the Reset call itself.
+SWEEP_RAW=$(go test -run '^$' \
+	-bench 'BenchmarkSweepTrialReset|BenchmarkSweepTrialFresh|BenchmarkSessionReset' \
+	-benchmem -benchtime "$SWEEP_BENCHTIME" . 2>&1 | grep -E '^Benchmark' || true)
+
+if [ -z "$RAW" ] || [ -z "$SWEEP_RAW" ]; then
 	echo "bench.sh: no benchmark output" >&2
 	exit 1
 fi
 
+ALL_RAW="$RAW
+$SWEEP_RAW"
+
 {
 	printf '{\n'
-	printf '  "pr": 1,\n'
+	printf '  "pr": 2,\n'
 	printf '  "benchtime": "%s",\n' "$BENCHTIME"
+	printf '  "sweep_benchtime": "%s",\n' "$SWEEP_BENCHTIME"
 	printf '  "go": "%s",\n' "$(go env GOVERSION)"
 	printf '  "baseline": {\n'
 	printf '    "commit": "343ef2f (seed) + go.mod",\n'
@@ -53,7 +67,7 @@ fi
 		"$BASE_SIMTP_NS" "$BASE_SIMTP_ALLOCS"
 	printf '  },\n'
 	printf '  "current": {\n'
-	echo "$RAW" | awk '
+	echo "$ALL_RAW" | awk '
 		{
 			name = $1
 			sub(/-[0-9]+$/, "", name)
@@ -76,15 +90,23 @@ fi
 	'
 	printf '  },\n'
 	FIG3_NS=$(echo "$RAW" | awk '/^BenchmarkFig3_MixedTraffic/{print $3; exit}')
+	RESET_NS=$(echo "$SWEEP_RAW" | awk '/^BenchmarkSweepTrialReset/{print $3; exit}')
+	FRESH_NS=$(echo "$SWEEP_RAW" | awk '/^BenchmarkSweepTrialFresh/{print $3; exit}')
+	RESET_ALLOCS=$(echo "$SWEEP_RAW" | awk '/^BenchmarkSweepTrialReset/{for(i=3;i<NF;i+=2) if($(i+1)=="allocs/op") print $i}')
+	FRESH_ALLOCS=$(echo "$SWEEP_RAW" | awk '/^BenchmarkSweepTrialFresh/{for(i=3;i<NF;i+=2) if($(i+1)=="allocs/op") print $i}')
 	printf '  "derived": {\n'
 	printf '    "fig3_speedup_x": %s,\n' \
 		"$(awk -v b="$BASE_FIG3_NS" -v c="$FIG3_NS" 'BEGIN{printf("%.2f", b/c)}')"
 	FIG3_ALLOCS=$(echo "$RAW" | awk '/^BenchmarkFig3_MixedTraffic/{for(i=3;i<NF;i+=2) if($(i+1)=="allocs/op") print $i}')
-	printf '    "fig3_allocs_reduction_pct": %s\n' \
+	printf '    "fig3_allocs_reduction_pct": %s,\n' \
 		"$(awk -v b="$BASE_FIG3_ALLOCS" -v c="$FIG3_ALLOCS" 'BEGIN{printf("%.1f", 100*(1-c/b))}')"
+	printf '    "sweep_reset_vs_fresh_speedup_x": %s,\n' \
+		"$(awk -v f="$FRESH_NS" -v r="$RESET_NS" 'BEGIN{printf("%.3f", f/r)}')"
+	printf '    "sweep_reset_allocs_op": %s,\n' "${RESET_ALLOCS:-0}"
+	printf '    "sweep_fresh_allocs_op": %s\n' "${FRESH_ALLOCS:-0}"
 	printf '  }\n'
 	printf '}\n'
 } >"$OUT"
 
 echo "wrote $OUT"
-echo "$RAW"
+echo "$ALL_RAW"

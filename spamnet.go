@@ -20,6 +20,7 @@ package spamnet
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -56,7 +57,12 @@ type options struct {
 	seed       uint64
 	procsPer   int
 	refRouting bool
+	maxSimTime int64
 }
+
+// defaultMaxSimTimeNs is one hour of simulated time — the Session.Run
+// horizon unless WithMaxSimTime overrides it.
+const defaultMaxSimTimeNs = int64(3_600_000_000_000)
 
 // Option customizes System construction.
 type Option func(*options)
@@ -90,10 +96,20 @@ func WithTrace(logf func(format string, args ...any)) Option {
 	return func(o *options) { o.simCfg.Logf = logf }
 }
 
+// WithMaxSimTime caps the simulated time Session.Run may reach before
+// reporting an error (default: one hour of simulated time). Long-horizon
+// workloads raise it; latency-bound CI tests lower it to fail fast.
+func WithMaxSimTime(d time.Duration) Option {
+	return func(o *options) { o.maxSimTime = d.Nanoseconds() }
+}
+
 func buildOptions(opts []Option) options {
-	o := options{simCfg: sim.DefaultConfig(), procsPer: 1}
+	o := options{simCfg: sim.DefaultConfig(), procsPer: 1, maxSimTime: defaultMaxSimTimeNs}
 	for _, fn := range opts {
 		fn(&o)
+	}
+	if o.maxSimTime <= 0 {
+		o.maxSimTime = defaultMaxSimTimeNs
 	}
 	return o
 }
@@ -107,6 +123,7 @@ type System struct {
 	simCfg     sim.Config
 	root       RootStrategy
 	refRouting bool
+	maxSimTime int64
 }
 
 func makeRouter(lab *updown.Labeling, reference bool) *core.Router {
@@ -162,6 +179,7 @@ func FromParts(net *topology.Network, lab *updown.Labeling, opts ...Option) (*Sy
 		router:     makeRouter(lab, o.refRouting),
 		simCfg:     o.simCfg,
 		refRouting: o.refRouting,
+		maxSimTime: o.maxSimTime,
 	}, nil
 }
 
@@ -177,6 +195,7 @@ func newSystem(net *topology.Network, o options) (*System, error) {
 		simCfg:     o.simCfg,
 		root:       o.root,
 		refRouting: o.refRouting,
+		maxSimTime: o.maxSimTime,
 	}, nil
 }
 
@@ -205,6 +224,7 @@ func (s *System) Reconfigure(failedLinks [][2]int) (*System, error) {
 		simCfg:     s.simCfg,
 		root:       s.root,
 		refRouting: s.refRouting,
+		maxSimTime: s.maxSimTime,
 	}, nil
 }
 
@@ -245,9 +265,12 @@ func (s *System) ZeroLoadLatency(src NodeID, dests []NodeID) (int64, error) {
 }
 
 // Session is one flit-level simulation over a System. Not safe for
-// concurrent use; run one Session per goroutine.
+// concurrent use; run one Session per goroutine. Sessions are reusable:
+// Reset rewinds to time zero while retaining every internal arena, so sweep
+// loops can run thousands of trials on one Session without rebuilding it.
 type Session struct {
-	sim *sim.Simulator
+	sim        *sim.Simulator
+	maxSimTime int64
 }
 
 // NewSession creates a fresh simulation at time zero.
@@ -256,7 +279,11 @@ func (s *System) NewSession() (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{sim: sm}, nil
+	maxSimTime := s.maxSimTime
+	if maxSimTime <= 0 {
+		maxSimTime = defaultMaxSimTimeNs
+	}
+	return &Session{sim: sm, maxSimTime: maxSimTime}, nil
 }
 
 // Multicast submits a message from processor src to the destination
@@ -273,9 +300,21 @@ func (s *Session) Now() int64 { return s.sim.Now() }
 
 // Run simulates until every submitted message is delivered. It fails on
 // deadlock (which Theorem 1 rules out — a failure here is a bug) or if the
-// simulation exceeds an hour of simulated time.
+// simulation exceeds the System's maximum simulated time (one hour unless
+// WithMaxSimTime overrides it).
 func (s *Session) Run() error {
-	return s.sim.RunUntilIdle(3_600_000_000_000)
+	return s.sim.RunUntilIdle(s.maxSimTime)
+}
+
+// Reset rewinds the Session to time zero for a fresh trial, retaining every
+// internal arena (event queues, buffers, free lists, message slots) so
+// steady-state trial loops are allocation-free. A reset Session behaves
+// bit-identically to a newly created one.
+//
+// Reset invalidates every *Message the Session has returned: their storage
+// is recycled into the next epoch. Read latencies out before resetting.
+func (s *Session) Reset() {
+	s.sim.Reset()
 }
 
 // RunUntil simulates events up to simulated time t.

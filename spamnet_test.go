@@ -3,6 +3,7 @@ package spamnet
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestQuickstartFlow(t *testing.T) {
@@ -180,5 +181,109 @@ func TestDocExampleCompiles(t *testing.T) {
 	out := strings.TrimSpace("ok")
 	if out != "ok" || msg.Latency() <= 0 {
 		t.Fatal("doc example broken")
+	}
+}
+
+func TestSessionResetReplaysIdentically(t *testing.T) {
+	sys, err := NewLattice(48, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sys.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := sys.Processors()
+	run := func() (int64, uint64) {
+		w, err := sess.Multicast(0, procs[2], procs[5:25])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return w.Latency(), sess.Counters().Events
+	}
+	lat1, ev1 := run()
+	sess.Reset()
+	if sess.Now() != 0 || sess.Counters().Events != 0 {
+		t.Fatal("reset did not rewind the session")
+	}
+	lat2, ev2 := run()
+	if lat1 != lat2 || ev1 != ev2 {
+		t.Fatalf("reset session diverged: latency %d vs %d, events %d vs %d", lat1, lat2, ev1, ev2)
+	}
+	// A fresh session must agree too.
+	fresh, err := sys.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := fresh.Multicast(0, procs[2], procs[5:25])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Latency() != lat1 {
+		t.Fatalf("fresh session latency %d vs reset %d", w.Latency(), lat1)
+	}
+}
+
+func TestWithMaxSimTime(t *testing.T) {
+	// A cap shorter than the startup latency must abort the run with the
+	// worm still outstanding.
+	sys, err := NewLattice(16, WithSeed(4), WithMaxSimTime(time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sys.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := sys.Processors()
+	if _, err := sess.Multicast(0, procs[0], procs[1:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Run(); err == nil {
+		t.Fatal("1 us horizon did not abort a 10 us-startup message")
+	}
+	// The horizon survives Reconfigure.
+	g := sys.Topology().SwitchGraph()
+	for _, e := range g.Edges() {
+		if _, err := sys.Topology().WithoutLink(e[0], e[1]); err == nil {
+			sys2, err := sys.Reconfigure([][2]int{e})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess2, err := sys2.NewSession()
+			if err != nil {
+				t.Fatal(err)
+			}
+			procs2 := sys2.Processors()
+			if _, err := sess2.Multicast(0, procs2[0], procs2[1:2]); err != nil {
+				t.Fatal(err)
+			}
+			if err := sess2.Run(); err == nil {
+				t.Fatal("horizon lost across Reconfigure")
+			}
+			break
+		}
+	}
+	// An ample horizon behaves as before.
+	sysOK, err := NewLattice(16, WithSeed(4), WithMaxSimTime(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessOK, err := sysOK.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	procsOK := sysOK.Processors()
+	if _, err := sessOK.Multicast(0, procsOK[0], procsOK[1:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sessOK.Run(); err != nil {
+		t.Fatal(err)
 	}
 }
