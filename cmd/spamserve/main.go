@@ -1,0 +1,121 @@
+// Command spamserve serves SPAM sweep requests over HTTP: a bounded pool of
+// resettable simulators executes trials of named workload scenarios for many
+// concurrent clients, aggregating latencies with constant-memory streaming
+// statistics (mean, CI, log-histogram quantiles).
+//
+// Usage:
+//
+//	spamserve -addr :8080 -nodes 128 -seed 1998 -pool 8
+//
+// API:
+//
+//	POST /run        {"scenario":"mixed","trials":8,"seed":1,"params":{...}}
+//	GET  /scenarios  registered workload scenarios
+//	GET  /healthz    pool occupancy and service counters
+//
+// Every response is deterministic for a given request: trial seeds derive
+// from the request seed and per-trial shards merge in trial order, so the
+// numbers do not depend on pool size or scheduling.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	spamnet "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		nodes    = flag.Int("nodes", 128, "network size in switches (one processor each)")
+		seed     = flag.Uint64("seed", 1998, "topology generation seed")
+		root     = flag.String("root", "min-id", "spanning-tree root strategy: min-id | max-degree | center")
+		pool     = flag.Int("pool", 0, "simulator pool size (0 = GOMAXPROCS)")
+		bufFlits = flag.Int("inputbuf", 1, "input buffer size in flits")
+		flits    = flag.Int("flits", 128, "message length in flits")
+		trialCap = flag.Int("max-trials", 64, "per-request trial clamp")
+		msgCap   = flag.Int("max-messages", 20000, "per-trial message clamp")
+		horizon  = flag.Duration("max-sim-time", time.Hour, "simulated-time horizon per trial")
+	)
+	flag.Parse()
+
+	strategy, err := rootStrategy(*root)
+	if err != nil {
+		log.Fatalf("spamserve: %v", err)
+	}
+	params := spamnet.PaperParams()
+	params.MessageFlits = *flits
+	sys, err := spamnet.NewLattice(*nodes,
+		spamnet.WithSeed(*seed),
+		spamnet.WithRootStrategy(strategy),
+		spamnet.WithInputBufferFlits(*bufFlits),
+		spamnet.WithLatencyParams(params),
+		spamnet.WithMaxSimTime(*horizon),
+	)
+	if err != nil {
+		log.Fatalf("spamserve: building system: %v", err)
+	}
+	svc, err := serve.New(serve.Config{
+		System:      sys,
+		PoolSize:    *pool,
+		MaxTrials:   *trialCap,
+		MaxMessages: *msgCap,
+	})
+	if err != nil {
+		log.Fatalf("spamserve: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: svc.Handler(),
+		// Derive request contexts from the signal context: on SIGTERM every
+		// in-flight /run cancels its queued trials, so shutdown is bounded
+		// instead of waiting out the longest sweep.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("spamserve: %d-switch system (seed %d, root %s), pool of %d simulators, listening on %s",
+		*nodes, *seed, *root, svc.PoolSize(), *addr)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("spamserve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("spamserve: shutdown: %v", err)
+		}
+		svc.Close()
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("spamserve: %v", err)
+		}
+	}
+}
+
+func rootStrategy(name string) (spamnet.RootStrategy, error) {
+	switch name {
+	case "min-id":
+		return spamnet.RootMinID, nil
+	case "max-degree":
+		return spamnet.RootMaxDegree, nil
+	case "center":
+		return spamnet.RootCenter, nil
+	}
+	return 0, fmt.Errorf("unknown root strategy %q (min-id | max-degree | center)", name)
+}

@@ -320,6 +320,9 @@ func runScenario(name string, params workload.Params, simCfg sim.Config, nodes, 
 	t.AddRow("mean latency (us)", fmt.Sprintf("%.3f", st.Mean()))
 	t.AddRow("ci95 (us)", fmt.Sprintf("%.3f", st.CI95()))
 	t.AddRow("min / max (us)", fmt.Sprintf("%.3f / %.3f", st.Min(), st.Max()))
+	t.AddRow("p50 / p90 / p99 (us)", fmt.Sprintf("%.3f / %.3f / %.3f",
+		st.Quantile(0.5), st.Quantile(0.9), st.Quantile(0.99)))
+	t.AddRow("observations", fmt.Sprintf("%d", st.Count()))
 	t.AddRow("samples (batch means)", fmt.Sprintf("%d", st.N()))
 	t.AddRow("messages (last trial)", fmt.Sprintf("%d", c.WormsCompleted))
 	t.AddRow("events (last trial)", fmt.Sprintf("%d", c.Events))

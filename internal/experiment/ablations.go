@@ -196,10 +196,10 @@ func RunPartitionAblation(cfg AblationConfig, concurrent int) ([]PartitionAblati
 	}
 	jobs := make([]job, len(variants))
 	groupCounts := make([]float64, len(variants))
-	uniStreams := make([]*stats.Stream, len(variants))
+	uniStreams := make([]*stats.Summary, len(variants))
 	for vi, v := range variants {
 		vi, v := vi, v
-		uni := &stats.Stream{}
+		uni := stats.NewSummary()
 		uniStreams[vi] = uni
 		totalGroups := 0
 		runsCount := 0

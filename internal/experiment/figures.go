@@ -221,7 +221,7 @@ func RunFig3(cfg Fig3Config) ([]Series, error) {
 		for ri, rate := range cfg.Rates {
 			d, ri, rate := d, ri, rate
 			keys = append(keys, key{d: d, ri: ri})
-			jobs = append(jobs, func(c *simCache) (*stats.Stream, error) {
+			jobs = append(jobs, func(c *simCache) (*stats.Summary, error) {
 				runner, err := c.runner(rg, cfg.Sim)
 				if err != nil {
 					return nil, err

@@ -143,22 +143,27 @@ func trimFloat(x float64) string {
 	return strings.TrimRight(s, ".")
 }
 
-// job is one parallel work item producing a latency sample set. The cache
-// hands it the worker goroutine's reusable simulators.
-type job func(c *simCache) (*stats.Stream, error)
+// job is one parallel work item producing a streaming latency summary. The
+// cache hands it the worker goroutine's reusable simulators.
+type job func(c *simCache) (*stats.Summary, error)
 
 // runParallel executes the jobs on a bounded worker pool, preserving order.
 // Every worker goroutine owns a simCache, so jobs (and trials within jobs)
 // that share a (rig, config) pair reuse one resettable simulator instead of
 // rebuilding arenas per trial.
-func runParallel(jobs []job, workers int) ([]*stats.Stream, error) {
+//
+// Determinism: results are indexed by job, every job owns its random stream
+// and its summary, and no job reads shared mutable state — so the output is
+// bit-identical for any worker count or GOMAXPROCS setting (the serial-vs-
+// parallel golden test in determinism_test.go pins this).
+func runParallel(jobs []job, workers int) ([]*stats.Summary, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	results := make([]*stats.Stream, len(jobs))
+	results := make([]*stats.Summary, len(jobs))
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -284,7 +289,7 @@ type sweepTrial struct {
 	Rand *rng.Source
 	// T is the trial index within the point.
 	T  int
-	st *stats.Stream
+	st *stats.Summary
 }
 
 // AddNs records one latency sample in nanoseconds.
@@ -323,8 +328,8 @@ type sweepSpec struct {
 
 // job converts the spec into a parallel work item.
 func (sp sweepSpec) job() job {
-	return func(c *simCache) (*stats.Stream, error) {
-		st := &stats.Stream{}
+	return func(c *simCache) (*stats.Summary, error) {
+		st := stats.NewSummary()
 		rand := rng.New(sp.seed)
 		tr := sweepTrial{Rand: rand, st: st}
 		max := sp.maxTrials

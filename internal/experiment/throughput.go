@@ -28,7 +28,7 @@ func RunThroughput(cfg Fig3Config) ([]Series, error) {
 		for ri, rate := range cfg.Rates {
 			d, ri, rate := d, ri, rate
 			keys = append(keys, key{d: d, ri: ri})
-			jobs = append(jobs, func(c *simCache) (*stats.Stream, error) {
+			jobs = append(jobs, func(c *simCache) (*stats.Summary, error) {
 				runner, err := c.runner(rg, cfg.Sim)
 				if err != nil {
 					return nil, err
@@ -50,7 +50,7 @@ func RunThroughput(cfg Fig3Config) ([]Series, error) {
 					}
 				}
 				span := float64(last-first) / nsPerUs
-				st := &stats.Stream{}
+				st := stats.NewSummary()
 				if span > 0 {
 					st.Add(float64(len(worms)) / span / float64(rg.net.NumProcs))
 				}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// maxBodyBytes bounds /run request bodies.
+const maxBodyBytes = 1 << 20
+
+// ScenarioInfo is one /scenarios entry.
+type ScenarioInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// Health is the /healthz payload.
+type Health struct {
+	OK bool `json:"ok"`
+	// PoolSize is the simulator pool bound; Busy and HighWater report the
+	// current and maximum observed concurrent simulator use — HighWater
+	// never exceeds PoolSize.
+	PoolSize  int   `json:"pool_size"`
+	Busy      int64 `json:"busy"`
+	HighWater int64 `json:"high_water"`
+	// Inflight counts /run requests currently being served (they may far
+	// exceed PoolSize: trials queue for the bounded pool).
+	Inflight      int64 `json:"inflight_requests"`
+	Requests      int64 `json:"requests_total"`
+	TrialsRun     int64 `json:"trials_total"`
+	TrialsSkipped int64 `json:"trials_skipped"`
+	Scenarios     int   `json:"scenarios"`
+}
+
+// Handler returns the HTTP API: POST /run, GET /scenarios, GET /healthz.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/scenarios", s.handleScenarios)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// writeJSON encodes before touching the ResponseWriter, so an encoding
+// failure becomes a proper 500 instead of a 200 with a truncated body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(body, '\n'))
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var req RunRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	start := time.Now()
+	resp, err := s.Run(r.Context(), req)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// The client is gone; 499 in the nginx tradition.
+			writeJSON(w, 499, errorBody{Error: err.Error()})
+		case errors.Is(err, ErrUnknownScenario), errors.Is(err, workload.ErrInvalidWorkload):
+			// The client's fault: no such scenario, or parameters the
+			// generator rejects (validation fires inside the trial).
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		case errors.Is(err, ErrClosed):
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		default:
+			// Everything else — trial failures (TrialError), merge errors
+			// — is a server-side fault.
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		}
+		return
+	}
+	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000.0
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	scenarios := workload.Scenarios()
+	out := make([]ScenarioInfo, 0, len(scenarios))
+	for _, sc := range scenarios {
+		out = append(out, ScenarioInfo{Name: sc.Name, Description: sc.Description})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, Health{
+		OK:            true,
+		PoolSize:      s.cfg.PoolSize,
+		Busy:          s.busy.Load(),
+		HighWater:     s.highWater.Load(),
+		Inflight:      s.inflight.Load(),
+		Requests:      s.requests.Load(),
+		TrialsRun:     s.trialsRun.Load(),
+		TrialsSkipped: s.trialsSkip.Load(),
+		Scenarios:     len(workload.Scenarios()),
+	})
+}

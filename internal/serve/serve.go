@@ -1,0 +1,409 @@
+// Package serve is the concurrent sweep service: it multiplexes many
+// simultaneous sweep requests over a bounded pool of resettable simulators.
+//
+// Architecture. A Service owns PoolSize worker goroutines, each bound to one
+// reusable workload.Runner (the PR-2 resettable simulator, arenas retained
+// across trials). Requests decompose into independent trial tasks that feed
+// a shared queue; workers steal whatever trial is next, regardless of which
+// request produced it, so one slow sweep cannot monopolize the pool and a
+// burst of small requests interleaves with a long one. Per-request contexts
+// cancel queued trials without tearing down workers.
+//
+// Determinism. Trial t of a request with base seed S always runs with
+// workload.TrialSeed(S, t) on a freshly Reset simulator, records into its
+// own constant-memory shard (stats.Summary + stats.BatchStream), and shards
+// merge in trial order once the request completes. Results are therefore
+// bit-identical whatever the pool size, GOMAXPROCS or request interleaving —
+// the golden test battery pins serial == concurrent.
+//
+// Memory. No per-message sample is ever retained: shards are fixed-size
+// streaming accumulators, so a request costs O(trials) small shards and the
+// simulators themselves are the bounded pool.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	spamnet "repro"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// System is the immutable network + routing structure every simulator
+	// in the pool runs on.
+	System *spamnet.System
+	// PoolSize bounds the number of concurrently running simulators (and
+	// worker goroutines). 0 selects GOMAXPROCS.
+	PoolSize int
+	// MaxTrials clamps the per-request trial count (0 = 64).
+	MaxTrials int
+	// MaxMessages clamps the per-trial message *submission* budget
+	// (0 = 20000); permutation rounds and storm sources are clamped to the
+	// equivalent submission count. Deliveries can exceed it by the
+	// multicast fan-out — worst case messages × (procs-1) for broadcasts,
+	// which is the service's job to serve — so size it (with the
+	// simulated-time horizon) for the largest legitimate sweep.
+	MaxMessages int
+}
+
+const (
+	defaultMaxTrials   = 64
+	defaultMaxMessages = 20000
+)
+
+// task is one trial awaiting a pooled simulator.
+type task struct {
+	ctx context.Context
+	wg  *sync.WaitGroup
+	// run executes the trial on the worker's simulator; its error lands in
+	// the request's shard, never shared between tasks.
+	run func(r *workload.Runner) error
+	// err receives the outcome; each task owns exactly one slot.
+	err *error
+}
+
+// Service schedules sweep requests over the simulator pool. Safe for
+// concurrent use.
+type Service struct {
+	cfg   Config
+	tasks chan *task
+
+	mu     sync.Mutex
+	closed bool
+	reqWG  sync.WaitGroup // in-flight Run calls
+	workWG sync.WaitGroup // worker goroutines
+
+	busy       atomic.Int64 // workers currently running a trial
+	highWater  atomic.Int64 // max simultaneous busy workers observed
+	requests   atomic.Int64 // /run requests completed
+	trialsRun  atomic.Int64 // trials executed (not skipped)
+	inflight   atomic.Int64 // /run requests currently active
+	trialsSkip atomic.Int64 // trials skipped by cancellation
+}
+
+// New builds the Service and starts its worker pool: PoolSize resettable
+// simulators, each owned by one goroutine for its lifetime.
+func New(cfg Config) (*Service, error) {
+	if cfg.System == nil {
+		return nil, errors.New("serve: nil System")
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxTrials <= 0 {
+		cfg.MaxTrials = defaultMaxTrials
+	}
+	if cfg.MaxMessages <= 0 {
+		cfg.MaxMessages = defaultMaxMessages
+	}
+	// A traced simulator must not be pooled: concurrent workers would call
+	// one Logf callback from many goroutines and interleave unrelated
+	// requests' traces. Tracing stays a Session-level debugging tool.
+	simCfg := cfg.System.SimConfig()
+	simCfg.Logf = nil
+	s := &Service{cfg: cfg, tasks: make(chan *task)}
+	for i := 0; i < cfg.PoolSize; i++ {
+		r, err := workload.NewRunner(cfg.System.Router(), simCfg)
+		if err != nil {
+			close(s.tasks)
+			s.workWG.Wait()
+			return nil, fmt.Errorf("serve: building pooled simulator %d: %w", i, err)
+		}
+		r.MaxSimTimeNs = cfg.System.MaxSimTimeNs()
+		s.workWG.Add(1)
+		go s.worker(r)
+	}
+	return s, nil
+}
+
+// PoolSize returns the simulator pool bound.
+func (s *Service) PoolSize() int { return s.cfg.PoolSize }
+
+// worker drains the shared task queue on its private simulator.
+func (s *Service) worker(r *workload.Runner) {
+	defer s.workWG.Done()
+	for t := range s.tasks {
+		if t.ctx.Err() != nil {
+			*t.err = t.ctx.Err()
+			s.trialsSkip.Add(1)
+			t.wg.Done()
+			continue
+		}
+		n := s.busy.Add(1)
+		for {
+			hw := s.highWater.Load()
+			if n <= hw || s.highWater.CompareAndSwap(hw, n) {
+				break
+			}
+		}
+		*t.err = t.run(r)
+		s.trialsRun.Add(1)
+		s.busy.Add(-1)
+		t.wg.Done()
+	}
+}
+
+// Close drains in-flight requests and stops the worker pool. Subsequent Run
+// calls fail.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.reqWG.Wait()
+	close(s.tasks)
+	s.workWG.Wait()
+}
+
+// RunRequest names a registered workload scenario and its sweep shape.
+type RunRequest struct {
+	// Scenario is a name from the workload registry (see /scenarios).
+	Scenario string `json:"scenario"`
+	// Trials is the number of independent replications (0 = 1, clamped to
+	// the service's MaxTrials).
+	Trials int `json:"trials,omitempty"`
+	// WarmupMessages per trial are excluded from measurement; 0 selects
+	// the default of one tenth of the message budget, -1 disables warmup.
+	WarmupMessages int `json:"warmup_messages,omitempty"`
+	// Batches is the batch-means target for the within-trial CI (0 = 10).
+	// It only shapes single-trial requests: with 2+ trials the CI comes
+	// from the means of the independent replications instead.
+	Batches int `json:"batches,omitempty"`
+	// Seed is the base random seed (0 is a valid seed).
+	Seed uint64 `json:"seed,omitempty"`
+	// Params are the scenario knobs; zero values select scenario defaults.
+	Params workload.Params `json:"params,omitempty"`
+}
+
+// RunResponse is the streaming-statistics result of one sweep request.
+type RunResponse struct {
+	Scenario string `json:"scenario"`
+	Trials   int    `json:"trials"`
+	Seed     uint64 `json:"seed"`
+	Warmup   int    `json:"warmup_messages"`
+	// Count is the number of measured message latencies.
+	Count int64 `json:"count"`
+	// CISamples is the number of statistical samples behind CI95Us: trial
+	// means across replications, or batch means within a single trial.
+	CISamples int64   `json:"ci_samples"`
+	MeanUs    float64 `json:"mean_us"`
+	CI95Us    float64 `json:"ci95_us"`
+	MinUs     float64 `json:"min_us"`
+	MaxUs     float64 `json:"max_us"`
+	P50Us     float64 `json:"p50_us"`
+	P90Us     float64 `json:"p90_us"`
+	P99Us     float64 `json:"p99_us"`
+	// QuantileErrBound is the histogram's worst-case relative quantile
+	// error (half a log-scale bin).
+	QuantileErrBound float64 `json:"quantile_rel_err_bound"`
+	PoolSize         int     `json:"pool_size"`
+	// ElapsedMs is wall-clock service time; zeroed in golden comparisons.
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// shard is one trial's private result: a constant-memory summary plus an
+// error slot, owned exclusively by that trial's task.
+type shard struct {
+	sum *stats.Summary
+	err error
+}
+
+// ErrClosed reports a Run attempted after Close.
+var ErrClosed = errors.New("serve: service closed")
+
+// ErrUnknownScenario reports a request naming no registered scenario.
+var ErrUnknownScenario = errors.New("serve: unknown scenario")
+
+// Run executes one sweep request over the pool, blocking until every trial
+// completes or ctx cancels. See the package comment for the determinism and
+// memory guarantees.
+func (s *Service) Run(ctx context.Context, req RunRequest) (*RunResponse, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.reqWG.Add(1)
+	s.mu.Unlock()
+	defer s.reqWG.Done()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	sc, ok := workload.Lookup(req.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownScenario, req.Scenario)
+	}
+	trials := req.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	if trials > s.cfg.MaxTrials {
+		trials = s.cfg.MaxTrials
+	}
+	// Clamp every wire-exposed knob that scales per-trial work. The message
+	// budget is checked after scenario defaults resolve: an omitted
+	// "messages" param falls to the scenario default, which must not bypass
+	// the operator's cap either. Budget-less workloads scale differently —
+	// permutations submit rounds·procs messages and a storm one broadcast
+	// per source — so their knobs are clamped directly.
+	params := req.Params
+	procs := s.cfg.System.Topology().NumProcs
+	if maxRounds := max(1, s.cfg.MaxMessages/max(1, procs)); params.Rounds > maxRounds {
+		params.Rounds = maxRounds
+	}
+	if params.Sources > procs {
+		params.Sources = procs
+	}
+	if messageBudget(sc.New(params)) > s.cfg.MaxMessages {
+		params.Messages = s.cfg.MaxMessages
+	}
+	messages := messageBudget(sc.New(params))
+	warmup := req.WarmupMessages
+	switch {
+	case warmup < 0:
+		warmup = 0
+	case warmup == 0:
+		warmup = messages / 10
+	}
+
+	shards := make([]shard, trials)
+	var wg sync.WaitGroup
+	wg.Add(trials)
+	// entered counts loop-body iterations: each such trial's wg slot is
+	// settled either by a worker or by the cancellation select below; the
+	// cleanup loop settles the trials never reached.
+	entered := 0
+	for t := 0; t < trials && ctx.Err() == nil; t++ {
+		t := t
+		entered++
+		sh := &shards[t]
+		seed := workload.TrialSeed(req.Seed, t)
+		tk := &task{
+			ctx: ctx,
+			wg:  &wg,
+			err: &sh.err,
+			// One shard is exactly one single-trial Measure: the warmup
+			// clamp and the streaming accumulation live in the workload
+			// harness alone, on the worker's reused scratch. TrialSeed of
+			// a single-trial Measure is its base seed, so shard t is
+			// bit-identical to trial t of a serial trials-long Measure.
+			run: func(r *workload.Runner) error {
+				sum, err := workload.Measure(r, sc.New(params), workload.MeasureOpts{
+					Trials:         1,
+					WarmupMessages: warmup,
+					Batches:        req.Batches,
+					Seed:           seed,
+				})
+				if err != nil {
+					return err
+				}
+				sh.sum = sum
+				return nil
+			},
+		}
+		select {
+		case s.tasks <- tk:
+		case <-ctx.Done():
+			wg.Done() // this trial was never submitted
+		}
+	}
+	// Account for trials never reached after cancellation.
+	for t := entered; t < trials; t++ {
+		wg.Done()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for t := range shards {
+		if shards[t].err != nil {
+			return nil, &TrialError{Scenario: req.Scenario, Trial: t, Err: shards[t].err}
+		}
+	}
+
+	// Merge shards in trial order: fixed float-operation order makes the
+	// response bit-identical for any pool size.
+	merged := stats.NewSummary()
+	trialMeans := &stats.Stream{}
+	for t := range shards {
+		// Every shard is populated here: cancellation and trial errors
+		// return above, so each task ran Measure to completion.
+		if err := merged.Merge(shards[t].sum); err != nil {
+			return nil, err
+		}
+		if shards[t].sum.Count() > 0 {
+			trialMeans.Add(shards[t].sum.Mean())
+		}
+	}
+	if trials >= 2 {
+		merged.SetBatchCI(trialMeans)
+	} else if len(shards) == 1 {
+		// Single trial: the CI comes from Measure's within-trial batch
+		// means (Merge deliberately drops it, so reinstall).
+		merged.SetBatchCI(shards[0].sum.BatchCI())
+	}
+	s.requests.Add(1)
+
+	// With fewer than 2 CI samples the half-width is mathematically +Inf
+	// ("unknown"); JSON cannot carry Inf, so report 0 with ci_samples
+	// telling the client the CI is meaningless.
+	ci95 := merged.CI95()
+	if merged.N() < 2 {
+		ci95 = 0
+	}
+	return &RunResponse{
+		Scenario:         req.Scenario,
+		Trials:           trials,
+		Seed:             req.Seed,
+		Warmup:           warmup,
+		Count:            merged.Count(),
+		CISamples:        merged.N(),
+		MeanUs:           merged.Mean(),
+		CI95Us:           ci95,
+		MinUs:            merged.Min(),
+		MaxUs:            merged.Max(),
+		P50Us:            merged.Quantile(0.50),
+		P90Us:            merged.Quantile(0.90),
+		P99Us:            merged.Quantile(0.99),
+		QuantileErrBound: merged.Hist().QuantileErrorBound(),
+		PoolSize:         s.cfg.PoolSize,
+	}, nil
+}
+
+// TrialError reports a trial that failed inside the simulator pool — a
+// server-side fault, distinct from an invalid request.
+type TrialError struct {
+	Scenario string
+	Trial    int
+	Err      error
+}
+
+func (e *TrialError) Error() string {
+	return fmt.Sprintf("serve: scenario %s trial %d: %v", e.Scenario, e.Trial, e.Err)
+}
+
+func (e *TrialError) Unwrap() error { return e.Err }
+
+// messageBudget reports the per-trial message budget a workload will submit,
+// for warmup defaulting and the MaxMessages clamp. Workloads without an
+// explicit budget (permutations, storms) report 0, which disables the warmup
+// default; their per-trial work is bounded by the Rounds/Sources clamps in
+// Run instead.
+func messageBudget(w workload.Workload) int {
+	type budgeted interface{ MessageBudget() int }
+	if b, ok := w.(budgeted); ok {
+		return b.MessageBudget()
+	}
+	return 0
+}

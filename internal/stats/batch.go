@@ -1,0 +1,75 @@
+package stats
+
+// BatchStream is a constant-memory streaming batch-means accumulator
+// (Fishman-style batch-size doubling): observations accumulate into batches
+// of the current size m; whenever 2·target batches complete, adjacent pairs
+// collapse into target batches of size 2m. Memory is a fixed 2·target-slot
+// buffer no matter how long the series runs, the completed-batch count stays
+// in [target, 2·target), and for short series (fewer than 2·target
+// observations) batches of size one are exactly the raw observations — the
+// honest fallback. The whole process is deterministic in the input order.
+type BatchStream struct {
+	target int
+	size   int64
+	curN   int64
+	cur    float64
+	sums   []float64
+}
+
+// NewBatchStream builds an accumulator targeting the given completed-batch
+// count (minimum 2; <= 0 selects the default of 10).
+func NewBatchStream(batches int) *BatchStream {
+	if batches <= 0 {
+		batches = 10
+	}
+	if batches < 2 {
+		batches = 2
+	}
+	return &BatchStream{target: batches, size: 1, sums: make([]float64, 0, 2*batches)}
+}
+
+// Target returns the configured completed-batch target.
+func (b *BatchStream) Target() int { return b.target }
+
+// Add absorbs one observation. It never allocates: the batch buffer was
+// sized at construction and collapsing halves it in place.
+func (b *BatchStream) Add(x float64) {
+	b.cur += x
+	b.curN++
+	if b.curN < b.size {
+		return
+	}
+	b.sums = append(b.sums, b.cur)
+	b.cur, b.curN = 0, 0
+	if len(b.sums) == cap(b.sums) {
+		half := len(b.sums) / 2
+		for i := 0; i < half; i++ {
+			b.sums[i] = b.sums[2*i] + b.sums[2*i+1]
+		}
+		b.sums = b.sums[:half]
+		b.size *= 2
+	}
+}
+
+// Completed returns the number of full batches.
+func (b *BatchStream) Completed() int { return len(b.sums) }
+
+// BatchSize returns the current observations-per-batch count.
+func (b *BatchStream) BatchSize() int64 { return b.size }
+
+// Stream returns a Stream over the completed batch means — the input for
+// Student-t confidence intervals. Observations in the partial tail batch are
+// excluded (as in classical batch means).
+func (b *BatchStream) Stream() *Stream {
+	st := &Stream{}
+	for _, s := range b.sums {
+		st.Add(s / float64(b.size))
+	}
+	return st
+}
+
+// Reset empties the accumulator, retaining the batch buffer.
+func (b *BatchStream) Reset() {
+	b.size, b.cur, b.curN = 1, 0, 0
+	b.sums = b.sums[:0]
+}

@@ -1,0 +1,320 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// logUniform draws n values log-uniformly over [lo, hi).
+func logUniform(r *rng.Source, n int, lo, hi float64) []float64 {
+	out := make([]float64, n)
+	span := math.Log(hi / lo)
+	for i := range out {
+		out[i] = lo * math.Exp(r.Float64()*span)
+	}
+	return out
+}
+
+func TestLogHistBasics(t *testing.T) {
+	h, err := NewLogHist(1, 1000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumBins() != 48 {
+		t.Fatalf("3 decades x 16 bins = %d, want 48", h.NumBins())
+	}
+	for _, bad := range [][3]float64{{0, 10, 4}, {-1, 10, 4}, {10, 10, 4}, {1, 100, 0}} {
+		if _, err := NewLogHist(bad[0], bad[1], int(bad[2])); err == nil {
+			t.Fatalf("invalid geometry %v accepted", bad)
+		}
+	}
+	h.Add(0)    // underflow
+	h.Add(5)    // in range
+	h.Add(2000) // overflow
+	if h.Count() != 3 || h.Underflow() != 1 || h.Overflow() != 1 {
+		t.Fatalf("count=%d under=%d over=%d", h.Count(), h.Underflow(), h.Overflow())
+	}
+	if h.Min() != 0 || h.Max() != 2000 {
+		t.Fatalf("min=%v max=%v", h.Min(), h.Max())
+	}
+	if h.Sum() != 2005 {
+		t.Fatalf("sum=%v", h.Sum())
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("q0=%v want min", q)
+	}
+	if q := h.Quantile(1); q != 2000 {
+		t.Fatalf("q1=%v want max", q)
+	}
+	var empty LogHist
+	if (&empty).Count() != 0 {
+		t.Fatal("zero-value count")
+	}
+}
+
+// TestLogHistQuantileErrorBound checks the advertised accuracy: on random
+// in-range data the histogram quantile must stay within the log-bin error
+// bound of the exact Sample percentile. The sample is dense (20k points), so
+// interpolation between neighboring order statistics adds only a vanishing
+// extra error on top of the half-bin bound; a full-bin tolerance covers both.
+func TestLogHistQuantileErrorBound(t *testing.T) {
+	r := rng.New(11)
+	xs := logUniform(r, 20000, 1.0, 1000.0)
+	h := NewLatencyHist()
+	exact := &Sample{}
+	for _, x := range xs {
+		h.Add(x)
+		exact.Add(x)
+	}
+	bound := 2 * h.QuantileErrorBound() // full bin: rank slop + midpoint slop
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999} {
+		want := exact.Percentile(q * 100)
+		got := h.Quantile(q)
+		rel := math.Abs(got-want) / want
+		if rel > bound {
+			t.Fatalf("q=%v: hist %.6g vs exact %.6g, rel err %.4f > bound %.4f", q, got, want, rel, bound)
+		}
+	}
+}
+
+// dyadic returns random values whose sums are exact in float64 (small
+// dyadic rationals), so float addition over them is associative and the
+// merge-order properties below can demand bit-identical sums.
+func dyadic(r *rng.Source, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(1+r.Intn(1<<20)) / 1024.0
+	}
+	return out
+}
+
+func histsEqual(t *testing.T, a, b *LogHist, label string) {
+	t.Helper()
+	if a.Count() != b.Count() || a.Underflow() != b.Underflow() || a.Overflow() != b.Overflow() {
+		t.Fatalf("%s: counts differ", label)
+	}
+	if a.Sum() != b.Sum() || a.Min() != b.Min() || a.Max() != b.Max() {
+		t.Fatalf("%s: moments differ: sum %v vs %v", label, a.Sum(), b.Sum())
+	}
+	for i := range a.bins {
+		if a.bins[i] != b.bins[i] {
+			t.Fatalf("%s: bin %d differs", label, i)
+		}
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("%s: quantile %v differs", label, q)
+		}
+	}
+}
+
+// TestLogHistMergeAssociativeCommutative: (a⊕b)⊕c == a⊕(b⊕c) and a⊕b == b⊕a,
+// exactly — counts are integers and the dyadic test data keeps float sums
+// exact regardless of addition order.
+func TestLogHistMergeAssociativeCommutative(t *testing.T) {
+	r := rng.New(7)
+	parts := make([]*LogHist, 3)
+	for p := range parts {
+		parts[p] = NewLatencyHist()
+		for _, x := range dyadic(r, 500+137*p) {
+			parts[p].Add(x)
+		}
+	}
+	a, b, c := parts[0], parts[1], parts[2]
+
+	left := a.Clone()
+	if err := left.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := left.Merge(c); err != nil {
+		t.Fatal(err)
+	}
+	bc := b.Clone()
+	if err := bc.Merge(c); err != nil {
+		t.Fatal(err)
+	}
+	right := a.Clone()
+	if err := right.Merge(bc); err != nil {
+		t.Fatal(err)
+	}
+	histsEqual(t, left, right, "associativity")
+
+	ab := a.Clone()
+	if err := ab.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	ba := b.Clone()
+	if err := ba.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	histsEqual(t, ab, ba, "commutativity")
+
+	// Merging must equal single-stream accumulation.
+	all := NewLatencyHist()
+	// Rebuild the same data stream.
+	r2 := rng.New(7)
+	for p := 0; p < 3; p++ {
+		for _, x := range dyadic(r2, 500+137*p) {
+			all.Add(x)
+		}
+	}
+	histsEqual(t, left, all, "merge vs direct")
+
+	// Geometry mismatches are rejected.
+	other, err := NewLogHist(1, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Clone().Merge(other); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}
+
+// TestStreamMerge cross-checks the parallel Welford merge against direct
+// accumulation: exact on dyadic sums, near-exact variance.
+func TestStreamMerge(t *testing.T) {
+	r := rng.New(3)
+	xs := dyadic(r, 4000)
+	whole := &Stream{}
+	sa, sb := &Stream{}, &Stream{}
+	for i, x := range xs {
+		whole.Add(x)
+		if i < 1500 {
+			sa.Add(x)
+		} else {
+			sb.Add(x)
+		}
+	}
+	m := &Stream{}
+	m.Merge(sa)
+	m.Merge(sb)
+	if m.N() != whole.N() || m.Min() != whole.Min() || m.Max() != whole.Max() {
+		t.Fatalf("merged n/min/max differ: %v vs %v", m, whole)
+	}
+	if rel := math.Abs(m.Mean()-whole.Mean()) / whole.Mean(); rel > 1e-12 {
+		t.Fatalf("merged mean off by %v", rel)
+	}
+	if rel := math.Abs(m.Variance()-whole.Variance()) / whole.Variance(); rel > 1e-9 {
+		t.Fatalf("merged variance off by %v", rel)
+	}
+	// Merging into/with empty streams.
+	e := &Stream{}
+	e.Merge(whole)
+	if e.N() != whole.N() || e.Mean() != whole.Mean() {
+		t.Fatal("merge into empty lost data")
+	}
+	before := *e
+	e.Merge(&Stream{})
+	if *e != before {
+		t.Fatal("merging an empty stream changed the receiver")
+	}
+}
+
+// TestSummaryMergeDeterministic: merging per-shard Summaries in index order
+// must be bit-identical no matter how observations were sharded.
+func TestSummaryMergeDeterministic(t *testing.T) {
+	r := rng.New(9)
+	xs := logUniform(r, 3000, 0.5, 5000)
+	for _, shards := range []int{1, 3, 8} {
+		parts := make([]*Summary, shards)
+		for i := range parts {
+			parts[i] = NewSummary()
+		}
+		for i, x := range xs {
+			// Round-robin sharding scrambles the per-shard order relative
+			// to contiguous splits; the merged counts must still agree.
+			parts[i%shards].Add(x)
+		}
+		merged := NewSummary()
+		for _, p := range parts {
+			if err := merged.Merge(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if merged.Count() != int64(len(xs)) {
+			t.Fatalf("%d shards: count %d", shards, merged.Count())
+		}
+		direct := NewSummary()
+		for _, x := range xs {
+			direct.Add(x)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			if merged.Quantile(q) != direct.Quantile(q) {
+				t.Fatalf("%d shards: quantile %v differs", shards, q)
+			}
+		}
+		if merged.Min() != direct.Min() || merged.Max() != direct.Max() {
+			t.Fatalf("%d shards: min/max differ", shards)
+		}
+		if rel := math.Abs(merged.Mean()-direct.Mean()) / direct.Mean(); rel > 1e-12 {
+			t.Fatalf("%d shards: mean off by %v", shards, rel)
+		}
+	}
+}
+
+func TestBatchStreamDoubling(t *testing.T) {
+	b := NewBatchStream(10)
+	// Short series: batches of size one are the raw observations.
+	for i := 1; i <= 8; i++ {
+		b.Add(float64(i))
+	}
+	if b.Completed() != 8 || b.BatchSize() != 1 {
+		t.Fatalf("short series: %d batches of %d", b.Completed(), b.BatchSize())
+	}
+	st := b.Stream()
+	if st.N() != 8 || st.Mean() != 4.5 {
+		t.Fatalf("short stream %v", st)
+	}
+	// Long series: size doubles, completed count stays in [target, 2*target).
+	b.Reset()
+	n := 0
+	for i := 0; i < 100000; i++ {
+		b.Add(1.0)
+		n++
+		if c := b.Completed(); n >= 10 && (c < 10 || c >= 20) {
+			t.Fatalf("after %d adds: %d completed batches outside [10,20)", n, c)
+		}
+	}
+	if b.BatchSize() < 4096 {
+		t.Fatalf("batch size %d never doubled to scale", b.BatchSize())
+	}
+	if m := b.Stream().Mean(); m != 1.0 {
+		t.Fatalf("constant series batch mean %v", m)
+	}
+	// CI honesty on independent data: batch-means CI must be finite and
+	// bracket the true mean of a uniform stream.
+	b2 := NewBatchStream(10)
+	r := rng.New(5)
+	sum := 0.0
+	for i := 0; i < 5000; i++ {
+		x := r.Float64()
+		sum += x
+		b2.Add(x)
+	}
+	stm := b2.Stream()
+	if math.Abs(stm.Mean()-0.5) > 0.02 {
+		t.Fatalf("batch mean %v far from 0.5", stm.Mean())
+	}
+	if ci := stm.CI95(); ci <= 0 || ci > 0.1 {
+		t.Fatalf("implausible CI %v", ci)
+	}
+}
+
+// TestStreamingAddsAllocationFree pins the streaming hot path at zero
+// allocations: LogHist.Add, Summary.Add and BatchStream.Add never grow.
+func TestStreamingAddsAllocationFree(t *testing.T) {
+	h := NewLatencyHist()
+	s := NewSummary()
+	b := NewBatchStream(10)
+	x := 0.9
+	if n := testing.AllocsPerRun(1000, func() {
+		x = math.Mod(x*1.37+0.11, 1e5) + 1e-3
+		h.Add(x)
+		s.Add(x)
+		b.Add(x)
+	}); n != 0 {
+		t.Fatalf("streaming Add allocated %v allocs/run, want 0", n)
+	}
+}

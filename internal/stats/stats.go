@@ -1,7 +1,10 @@
-// Package stats provides the statistics the experiments need: streaming
-// mean/variance (Welford), Student-t 95% confidence intervals (the paper
-// reports every data point within 1% of the mean at 95% confidence),
-// histograms and percentile summaries.
+// Package stats provides the statistics the experiments and the serving
+// layer need: streaming mean/variance (Welford) with a deterministic
+// parallel merge, Student-t 95% confidence intervals (the paper reports
+// every data point within 1% of the mean at 95% confidence), mergeable
+// fixed-bin log-scale histograms with bounded-error quantiles (LogHist),
+// combined constant-memory summaries (Summary), streaming batch means with
+// size doubling (BatchStream), and in-memory percentile samples for tests.
 package stats
 
 import (
@@ -90,6 +93,31 @@ func (s *Stream) CI95Relative() float64 {
 // String renders "mean ± ci95 (n=…)".
 func (s *Stream) String() string {
 	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean(), s.CI95(), s.N())
+}
+
+// Merge folds o's observations into s using the parallel Welford/Chan
+// update: the merged moments are exactly those of the concatenated stream up
+// to floating-point rounding. Merging shards in a fixed order yields
+// bit-identical results regardless of how the shards were produced.
+func (s *Stream) Merge(o *Stream) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	n := s.n + o.n
+	delta := o.mean - s.mean
+	s.m2 += o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += delta * float64(o.n) / float64(n)
+	s.n = n
 }
 
 // tTable holds two-sided 97.5% (i.e. 95% CI) Student-t critical values for
@@ -254,27 +282,4 @@ func Autocorr(series []float64, lag int) (float64, error) {
 		return 0, fmt.Errorf("stats: zero-variance series")
 	}
 	return num / den, nil
-}
-
-// BatchMeans splits a correlated steady-state series into k batches and
-// returns a Stream over the batch means — the standard way to build
-// confidence intervals from a single long simulation run. It returns an
-// error if there are fewer than 2 observations per batch.
-func BatchMeans(series []float64, k int) (*Stream, error) {
-	if k < 2 {
-		return nil, fmt.Errorf("stats: need at least 2 batches, got %d", k)
-	}
-	if len(series) < 2*k {
-		return nil, fmt.Errorf("stats: %d observations too few for %d batches", len(series), k)
-	}
-	per := len(series) / k
-	out := &Stream{}
-	for b := 0; b < k; b++ {
-		sum := 0.0
-		for i := b * per; i < (b+1)*per; i++ {
-			sum += series[i]
-		}
-		out.Add(sum / float64(per))
-	}
-	return out, nil
 }

@@ -194,27 +194,23 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
-func TestBatchMeans(t *testing.T) {
-	series := make([]float64, 100)
-	for i := range series {
-		series[i] = float64(i % 10)
+// TestBatchStreamCyclicSeries is the cyclic-series sanity the array-based
+// BatchMeans (superseded by the streaming BatchStream) used to cover: once
+// the doubling batch size reaches a multiple of the cycle length, every
+// full batch has the cycle mean and the across-batch variance is zero.
+func TestBatchStreamCyclicSeries(t *testing.T) {
+	b := NewBatchStream(5)
+	for i := 0; i < 100; i++ {
+		b.Add(float64(i % 8)) // power-of-two cycle, mean 3.5
 	}
-	s, err := BatchMeans(series, 10)
-	if err != nil {
-		t.Fatal(err)
+	// 100 observations with target 5 collapse through 1,2,4,8 to size 16 —
+	// two full cycles per batch.
+	if b.BatchSize() != 16 {
+		t.Fatalf("batch size %d, want 16", b.BatchSize())
 	}
-	if s.N() != 10 {
-		t.Fatalf("batches=%d", s.N())
-	}
-	// Every batch of 10 consecutive values 0..9 has mean 4.5.
-	if s.Mean() != 4.5 || s.Variance() != 0 {
+	s := b.Stream()
+	if s.Mean() != 3.5 || s.Variance() != 0 {
 		t.Fatalf("batch means %v var %v", s.Mean(), s.Variance())
-	}
-	if _, err := BatchMeans(series, 1); err == nil {
-		t.Fatal("1 batch accepted")
-	}
-	if _, err := BatchMeans(series[:10], 10); err == nil {
-		t.Fatal("too-short series accepted")
 	}
 }
 

@@ -43,6 +43,9 @@ type Mixed struct {
 // Name implements Workload.
 func (m Mixed) Name() string { return "mixed" }
 
+// MessageBudget reports the per-trial submission count (for warmup sizing).
+func (m Mixed) MessageBudget() int { return m.Messages }
+
 func (m Mixed) validate(n int) error {
 	if m.RatePerProcPerUs <= 0 {
 		return fmt.Errorf("workload: rate %v must be positive", m.RatePerProcPerUs)
@@ -118,6 +121,9 @@ type HotSpot struct {
 
 // Name implements Workload.
 func (h HotSpot) Name() string { return "hotspot" }
+
+// MessageBudget reports the per-trial submission count (for warmup sizing).
+func (h HotSpot) MessageBudget() int { return h.Messages }
 
 // Generate implements Workload.
 func (h HotSpot) Generate(g *Gen) error {
@@ -315,6 +321,9 @@ type Bursty struct {
 // Name implements Workload.
 func (bw Bursty) Name() string { return "bursty" }
 
+// MessageBudget reports the per-trial submission count (for warmup sizing).
+func (bw Bursty) MessageBudget() int { return bw.Messages }
+
 // Generate implements Workload.
 func (bw Bursty) Generate(g *Gen) error {
 	n := g.NumProcs()
@@ -384,6 +393,9 @@ type ClosedLoop struct {
 
 // Name implements Workload.
 func (cl ClosedLoop) Name() string { return "closed-loop" }
+
+// MessageBudget reports the per-trial submission count (for warmup sizing).
+func (cl ClosedLoop) MessageBudget() int { return cl.Messages }
 
 // Generate implements Workload.
 func (cl ClosedLoop) Generate(g *Gen) error {

@@ -9,24 +9,25 @@ import (
 )
 
 // Params are the shared knobs a scenario constructor may consult. Zero
-// values select each scenario's documented default.
+// values select each scenario's documented default. The JSON tags are the
+// wire names the spamserve /run endpoint accepts.
 type Params struct {
 	// RatePerProcPerUs is the open-loop arrival rate.
-	RatePerProcPerUs float64
+	RatePerProcPerUs float64 `json:"rate_per_proc_per_us,omitempty"`
 	// Messages is the per-trial message budget.
-	Messages int
+	Messages int `json:"messages,omitempty"`
 	// MulticastFraction is the multicast share of mixed streams.
-	MulticastFraction float64
+	MulticastFraction float64 `json:"multicast_fraction,omitempty"`
 	// MulticastDests is the destination count per multicast.
-	MulticastDests int
+	MulticastDests int `json:"multicast_dests,omitempty"`
 	// Window is the closed-loop outstanding window per processor.
-	Window int
+	Window int `json:"window,omitempty"`
 	// Sources is the broadcast-storm source count.
-	Sources int
+	Sources int `json:"sources,omitempty"`
 	// HotFraction is the hotspot traffic concentration.
-	HotFraction float64
+	HotFraction float64 `json:"hot_fraction,omitempty"`
 	// Rounds is the permutation round count.
-	Rounds int
+	Rounds int `json:"rounds,omitempty"`
 }
 
 // Scenario is one registered named workload.

@@ -21,6 +21,7 @@ package workload
 
 import (
 	"cmp"
+	"errors"
 	"fmt"
 	"slices"
 
@@ -157,7 +158,10 @@ type Runner struct {
 	// MaxSimTimeNs caps each trial's simulated time (deadlock insurance);
 	// exceeding it is reported as an error by Trial.
 	MaxSimTimeNs int64
-	series       []float64
+	// Measurement scratch, reused across Measure calls: constant memory no
+	// matter how many messages a measurement absorbs.
+	summary *stats.Summary
+	batch   *stats.BatchStream
 }
 
 // NewRunner builds a Runner over the given router with its own simulator.
@@ -174,6 +178,11 @@ func NewRunner(router *core.Router, cfg sim.Config) (*Runner, error) {
 // Sim exposes the underlying simulator (counters, channel loads).
 func (r *Runner) Sim() *sim.Simulator { return r.sim }
 
+// ErrInvalidWorkload marks trial failures raised by workload generation —
+// bad parameters for the network under simulation — as opposed to failures
+// of the simulation itself. Serving layers map it to a client error.
+var ErrInvalidWorkload = errors.New("workload: invalid parameters")
+
 // Trial resets the simulator, reseeds the random stream, generates the
 // workload and drains the simulation. The same (workload, seed) pair always
 // reproduces bit-identical results.
@@ -184,7 +193,7 @@ func (r *Runner) Trial(w Workload, seed uint64) error {
 	r.gen.arrivals = r.gen.arrivals[:0]
 	r.gen.hookErr = nil
 	if err := w.Generate(&r.gen); err != nil {
-		return err
+		return fmt.Errorf("%w: %w", ErrInvalidWorkload, err)
 	}
 	if err := r.sim.RunUntilIdle(r.MaxSimTimeNs); err != nil {
 		return err
@@ -197,7 +206,9 @@ func (r *Runner) Trial(w Workload, seed uint64) error {
 func (r *Runner) Worms() []*sim.Worm { return r.gen.worms }
 
 // AppendLatenciesUs appends the latency (µs) of every worm past the first
-// `skip` submissions that passes the filter (nil = all) to dst.
+// `skip` submissions that passes the filter (nil = all) to dst. The loop
+// deliberately mirrors EachLatencyUs rather than wrapping it: an appending
+// closure would escape and break the 0 allocs/op sweep-trial benchmark.
 func (r *Runner) AppendLatenciesUs(dst []float64, skip int, filter func(*sim.Worm) bool) []float64 {
 	for i, w := range r.gen.worms {
 		if i < skip || (filter != nil && !filter(w)) {
@@ -206,6 +217,18 @@ func (r *Runner) AppendLatenciesUs(dst []float64, skip int, filter func(*sim.Wor
 		dst = append(dst, float64(w.Latency())/1000.0)
 	}
 	return dst
+}
+
+// EachLatencyUs streams the latency (µs) of every worm of the last trial
+// past the first `skip` submissions that passes the filter (nil = all) into
+// fn — the constant-memory alternative to AppendLatenciesUs.
+func (r *Runner) EachLatencyUs(skip int, filter func(*sim.Worm) bool, fn func(float64)) {
+	for i, w := range r.gen.worms {
+		if i < skip || (filter != nil && !filter(w)) {
+			continue
+		}
+		fn(float64(w.Latency()) / 1000.0)
+	}
 }
 
 // MeasureOpts parameterizes the steady-state measurement harness.
@@ -224,46 +247,61 @@ type MeasureOpts struct {
 	Filter func(*sim.Worm) bool
 }
 
-// Measure runs warmup + measured trials of w and aggregates the latency
-// series with batch-means confidence intervals: the paper's "each data
-// point within 1% of the mean or better, using 95% confidence intervals"
-// methodology, honest in the presence of autocorrelation.
-func Measure(r *Runner, w Workload, opts MeasureOpts) (*stats.Stream, error) {
+// TrialSeed derives the deterministic seed of trial i from a base seed —
+// shared by Measure and the concurrent sweep scheduler so that trial i
+// reproduces bit-identically no matter which simulator executes it.
+func TrialSeed(base uint64, trial int) uint64 {
+	return base + uint64(trial)*0x9e3779b97f4a7c15
+}
+
+// Measure runs warmup + measured trials of w and aggregates the latencies
+// with constant-memory streaming statistics: exact moments and log-scale
+// histogram quantiles over every observation, and confidence intervals from
+// streaming batch means — the paper's "each data point within 1% of the
+// mean or better, using 95% confidence intervals" methodology, honest in
+// the presence of autocorrelation. No per-message sample is retained; the
+// accumulators are fixed-size regardless of message count. For short series
+// the batches degenerate to single observations, i.e. the plain
+// per-observation CI.
+func Measure(r *Runner, w Workload, opts MeasureOpts) (*stats.Summary, error) {
 	trials := opts.Trials
 	if trials <= 0 {
 		trials = 1
 	}
-	r.series = r.series[:0]
+	batches := opts.Batches
+	if batches <= 0 {
+		batches = 10
+	}
+	if batches < 2 {
+		// Mirror NewBatchStream's floor so the scratch-reuse comparison
+		// below matches the stored Target.
+		batches = 2
+	}
+	if r.summary == nil {
+		r.summary = stats.NewSummary()
+	} else {
+		r.summary.Reset()
+	}
+	if r.batch == nil || r.batch.Target() != batches {
+		r.batch = stats.NewBatchStream(batches)
+	} else {
+		r.batch.Reset()
+	}
+	observe := func(x float64) {
+		r.summary.Add(x)
+		r.batch.Add(x)
+	}
 	for trial := 0; trial < trials; trial++ {
-		if err := r.Trial(w, opts.Seed+uint64(trial)*0x9e3779b97f4a7c15); err != nil {
+		if err := r.Trial(w, TrialSeed(opts.Seed, trial)); err != nil {
 			return nil, fmt.Errorf("workload %s trial %d: %w", w.Name(), trial, err)
 		}
 		skip := opts.WarmupMessages
 		if max := len(r.Worms()) / 2; skip > max {
 			skip = max
 		}
-		r.series = r.AppendLatenciesUs(r.series, skip, opts.Filter)
+		r.EachLatencyUs(skip, opts.Filter, observe)
 	}
-	return SteadyStream(r.series, opts.Batches), nil
-}
-
-// SteadyStream summarizes a correlated steady-state latency series: the
-// mean comes from every observation, while the confidence interval is built
-// from batch means so that autocorrelation between consecutive messages
-// does not shrink the CI dishonestly. Short series fall back to the plain
-// per-observation stream.
-func SteadyStream(series []float64, batches int) *stats.Stream {
-	if batches <= 0 {
-		batches = 10
-	}
-	if len(series) >= 2*batches {
-		if bm, err := stats.BatchMeans(series, batches); err == nil {
-			return bm
-		}
-	}
-	st := &stats.Stream{}
-	for _, x := range series {
-		st.Add(x)
-	}
-	return st
+	out := r.summary.Clone()
+	out.SetBatchCI(r.batch.Stream())
+	return out, nil
 }

@@ -246,12 +246,20 @@ func TestMeasureWarmupAndBatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 100 measured messages -> 10 batch means.
-	if st.N() != 10 {
-		t.Fatalf("N=%d want 10 batch means", st.N())
+	// 100 measured messages -> streaming batch means with size doubling:
+	// the completed-batch count lands in [10, 20) and every observation is
+	// still in the moment accumulators.
+	if st.N() < 10 || st.N() >= 20 {
+		t.Fatalf("N=%d want [10,20) batch means", st.N())
+	}
+	if st.Count() != 100 {
+		t.Fatalf("Count=%d want 100 observations", st.Count())
 	}
 	if st.Mean() < 10 {
 		t.Fatalf("mean %.2f below startup latency", st.Mean())
+	}
+	if p50 := st.Quantile(0.5); p50 < st.Min() || p50 > st.Max() {
+		t.Fatalf("p50 %.2f outside [min,max]", p50)
 	}
 	// Filters restrict the series.
 	uni, err := Measure(r, w, MeasureOpts{Trials: 1, WarmupMessages: 20, Seed: 6,
@@ -279,9 +287,12 @@ func TestMeasureMultiTrial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 3 trials x 30 measured messages -> batch means over 90.
-	if st.N() != 10 {
-		t.Fatalf("N=%d want 10 batch means", st.N())
+	// 3 trials x 30 measured messages -> streaming batch means over 90.
+	if st.N() < 10 || st.N() >= 20 {
+		t.Fatalf("N=%d want [10,20) batch means", st.N())
+	}
+	if st.Count() != 90 {
+		t.Fatalf("Count=%d want 90 observations", st.Count())
 	}
 }
 

@@ -249,6 +249,20 @@ func (s *System) Processors() []NodeID {
 // Root returns the spanning-tree root switch.
 func (s *System) Root() NodeID { return s.lab.Root }
 
+// SimConfig returns a copy of the simulator configuration Sessions run on —
+// the serving layer uses it to build pools of resettable simulators that
+// behave identically to Sessions.
+func (s *System) SimConfig() sim.Config { return s.simCfg }
+
+// MaxSimTimeNs returns the simulated-time horizon Session.Run enforces (see
+// WithMaxSimTime).
+func (s *System) MaxSimTimeNs() int64 {
+	if s.maxSimTime <= 0 {
+		return defaultMaxSimTimeNs
+	}
+	return s.maxSimTime
+}
+
 // Topology exposes the underlying network (read-only by convention).
 func (s *System) Topology() *topology.Network { return s.net }
 
@@ -279,11 +293,7 @@ func (s *System) NewSession() (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	maxSimTime := s.maxSimTime
-	if maxSimTime <= 0 {
-		maxSimTime = defaultMaxSimTimeNs
-	}
-	return &Session{sim: sm, maxSimTime: maxSimTime}, nil
+	return &Session{sim: sm, maxSimTime: s.MaxSimTimeNs()}, nil
 }
 
 // Multicast submits a message from processor src to the destination
