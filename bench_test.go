@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/updown"
@@ -460,6 +461,133 @@ func BenchmarkRoutingDecisionReference(b *testing.B) {
 func BenchmarkLabelingConstruction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := NewLattice(256, WithSeed(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecompileSwap measures the PR-4 live-reconfiguration hot path on
+// a 128-switch lattice: one LinkDown + one LinkUp, each of which drains,
+// relabels the masked topology in place and recompiles the routing tables
+// into their retained arenas (two full swaps per op, zero steady-state
+// allocations).
+func BenchmarkRecompileSwap(b *testing.B) {
+	net, err := topology.RandomLattice(topology.DefaultLattice(128, 1998))
+	if err != nil {
+		b.Fatal(err)
+	}
+	lab, err := updown.New(net, updown.RootMinID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sim.New(core.NewRouter(lab), benchSim())
+	if err != nil {
+		b.Fatal(err)
+	}
+	inj, err := faults.NewInjector(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := net.SwitchGraph().Edges()[0]
+	down := faults.Event{Kind: faults.LinkDown, U: int32(l[0]), V: int32(l[1])}
+	up := faults.Event{Kind: faults.LinkUp, U: int32(l[0]), V: int32(l[1])}
+	// Warm the arenas (first swap grows the masked-labeling scratch).
+	if _, err := inj.Apply(down); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := inj.Apply(up); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inj.Apply(down); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := inj.Apply(up); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullRebuild is the baseline RecompileSwap replaces: a from-
+// scratch labeling + router build over the same (mutated) topology — what
+// System.Reconfigure pays per event, without even counting its topology
+// copy.
+func BenchmarkFullRebuild(b *testing.B) {
+	net, err := topology.RandomLattice(topology.DefaultLattice(128, 1998))
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := updown.New(net, updown.RootMinID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mask := faults.NewMask(net)
+	l := net.SwitchGraph().Edges()[0]
+	mask.Apply(faults.Event{Kind: faults.LinkDown, U: int32(l[0]), V: int32(l[1])})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lab, err := updown.NewWithDown(net, base.Root, mask.Down())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := core.NewRouter(lab)
+		_ = r
+	}
+}
+
+// BenchmarkFullReconfigure measures the pre-PR-4 reaction to a link
+// failure: System.Reconfigure rebuilds the topology object, the labeling
+// and the tables, discarding every arena.
+func BenchmarkFullReconfigure(b *testing.B) {
+	sys, err := NewLattice(128, WithSeed(1998))
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := sys.Topology().SwitchGraph().Edges()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Reconfigure([][2]int{l}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFaultStormTrial runs a whole mixed-traffic trial with a Poisson
+// fault storm (drains, retries, relabels, table swaps) on one reusable
+// runner — the steady-state-under-faults loop, pinned at 0 allocs/op by
+// TestFaultTrialSteadyStateAllocs.
+func BenchmarkFaultStormTrial(b *testing.B) {
+	net, err := topology.RandomLattice(topology.DefaultLattice(64, 1998))
+	if err != nil {
+		b.Fatal(err)
+	}
+	lab, err := updown.New(net, updown.RootMinID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner, err := workload.NewRunner(core.NewRouter(lab), benchSim())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var w workload.Workload = workload.Faulty{
+		Inner: workload.Mixed{RatePerProcPerUs: 0.04, MulticastFraction: 0.1, MulticastDests: 8, Messages: 400},
+		Spec: faults.Spec{
+			Profile: faults.ProfilePoisson, Seed: 9,
+			HorizonNs: 400_000, MTBFNs: 6_000_000, MTTRNs: 100_000,
+		},
+		Policy: faults.Policy{Drain: faults.DrainAll, MaxRetries: 3},
+	}
+	if err := runner.Trial(w, 7); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := runner.Trial(w, 7); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -53,6 +53,15 @@ func main() {
 		hotFrac   = flag.Float64("hot-frac", 0, "hotspot traffic concentration (0 = scenario default)")
 		rounds    = flag.Int("rounds", 0, "permutation round count")
 		warmup    = flag.Int("warmup", -1, "scenario warmup messages excluded from measurement (-1 = messages/10)")
+
+		faultScript  = flag.String("faults", "", `fault timeline DSL, e.g. "50us down 3-7; 90us up 3-7; 120us switch-down 4"`)
+		faultProfile = flag.String("fault-profile", "", "generated fault profile: poisson | maintenance | regional")
+		faultSeed    = flag.Uint64("fault-seed", 0, "fault generator seed")
+		faultMTBF    = flag.Float64("fault-mtbf", 0, "per-link mean time between failures (us, poisson; 0 = default)")
+		faultMTTR    = flag.Float64("fault-mttr", 0, "per-link mean time to repair (us, poisson; 0 = default)")
+		faultHorizon = flag.Float64("fault-horizon", 0, "generated-timeline horizon (us; 0 = default)")
+		faultDrain   = flag.String("fault-drain", "", "drain policy on mutation: all (default) | crossing")
+		faultRetries = flag.Int("fault-retries", 0, "per-message retry cap (0 = default 3, -1 = none)")
 	)
 	flag.Parse()
 
@@ -82,6 +91,14 @@ func main() {
 			Sources:           *sources,
 			HotFraction:       *hotFrac,
 			Rounds:            *rounds,
+			FaultScript:       *faultScript,
+			FaultProfile:      *faultProfile,
+			FaultSeed:         *faultSeed,
+			FaultMTBFUs:       *faultMTBF,
+			FaultMTTRUs:       *faultMTTR,
+			FaultHorizonUs:    *faultHorizon,
+			FaultDrain:        *faultDrain,
+			FaultRetries:      *faultRetries,
 		}
 		if err := runScenario(*scenario, params, simCfg, *nodes, *trials, *warmup, *seed, *csv); err != nil {
 			fmt.Fprintf(os.Stderr, "spamsim: scenario %s: %v\n", *scenario, err)
@@ -136,6 +153,23 @@ func main() {
 				"Figure 3: latency vs arrival rate (90% unicast / 10% multicast, 128 nodes)",
 				"rate(msg/us/proc)", series))
 			maybePlot("Figure 3 (y: latency us, x: arrival rate msg/us/proc)", series)
+		case "faults":
+			cfg := experiment.DefaultFaultSweep(*messages)
+			cfg.Seed = *seed
+			cfg.Sim = simCfg
+			cfg.Workers = *workers
+			cfg.Trials = *trials
+			if *faultMTTR > 0 {
+				cfg.MTTRUs = *faultMTTR
+			}
+			series, err := experiment.RunFaultSweep(cfg)
+			if err != nil {
+				return err
+			}
+			emit(experiment.SeriesTable(
+				"Fault storms: latency/throughput vs per-link fault rate (live relabel + table hot-swap, 128 nodes)",
+				"failures/s/link", series))
+			maybePlot("Fault sweep (y: latency us, x: failures/s/link)", series[:1])
 		case "throughput":
 			cfg := experiment.DefaultFig3(*messages)
 			cfg.Seed = *seed
@@ -251,7 +285,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"fig2", "fig3", "compare", "hotspot", "throughput", "prune", "ibr",
+		names = []string{"fig2", "fig3", "compare", "hotspot", "throughput", "faults", "prune", "ibr",
 			"ablate-buffer", "ablate-root", "ablate-partition", "ablate-header"}
 	}
 	for _, name := range names {
@@ -284,6 +318,10 @@ func runScenario(name string, params workload.Params, simCfg sim.Config, nodes, 
 		}
 		return fmt.Errorf("unknown scenario (have %v)", names)
 	}
+	w, err := workload.ApplyFaults(sc.New(params), params)
+	if err != nil {
+		return err
+	}
 	net, err := topology.RandomLattice(topology.DefaultLattice(nodes, seed))
 	if err != nil {
 		return err
@@ -296,7 +334,6 @@ func runScenario(name string, params workload.Params, simCfg sim.Config, nodes, 
 	if err != nil {
 		return err
 	}
-	w := sc.New(params)
 	if trials <= 0 {
 		trials = 1
 	}
@@ -327,6 +364,17 @@ func runScenario(name string, params workload.Params, simCfg sim.Config, nodes, 
 	t.AddRow("messages (last trial)", fmt.Sprintf("%d", c.WormsCompleted))
 	t.AddRow("events (last trial)", fmt.Sprintf("%d", c.Events))
 	t.AddRow("payload flit-hops (last trial)", fmt.Sprintf("%d", c.PayloadFlitHops))
+	if inj := runner.FaultInjector(); inj != nil {
+		m := inj.Metrics()
+		t.AddRow("fault events applied/rejected (last trial)", fmt.Sprintf("%d / %d", m.EventsApplied, m.EventsRejected))
+		t.AddRow("table swaps (last trial)", fmt.Sprintf("%d", m.Swaps))
+		t.AddRow("aborted / retried / lost (last trial)", fmt.Sprintf("%d / %d / %d", m.WormsAborted, m.WormsRetried, m.MessagesLost))
+		t.AddRow("link availability (last trial)", fmt.Sprintf("%.4f", inj.Availability()))
+		if m.DisruptHist.Count() > 0 {
+			t.AddRow("disrupted-msg latency p50/p99 (us)", fmt.Sprintf("%.3f / %.3f",
+				m.DisruptHist.Quantile(0.5), m.DisruptHist.Quantile(0.99)))
+		}
+	}
 	if csv {
 		fmt.Print(t.CSV())
 	} else {

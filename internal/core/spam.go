@@ -82,7 +82,9 @@ func ArrivalOf(c updown.Class) ArrivalClass {
 }
 
 // Router evaluates the SPAM routing and selection functions for one labeled
-// network. It is immutable after construction and safe for concurrent use.
+// network. It is immutable after construction — and then safe for concurrent
+// use — unless it is explicitly reconfigured through Recompile, which only
+// the single-threaded fault-injection path does on private routers.
 //
 // By default the routing function is table-driven: NewRouter compiles every
 // (switch, arrival class, LCA) decision into the shared candidate tables the
@@ -94,6 +96,27 @@ type Router struct {
 	Net *topology.Network
 	Lab *updown.Labeling
 	tab *Tables // nil in reference mode
+}
+
+// Recompile points the router at a (new) labeling of the same network and
+// rebuilds the compiled tables in place, reusing their arenas — the
+// hot-swap half of live reconfiguration. The swap is atomic with respect to
+// a simulator's event loop: callers invoke it between events, and no
+// routing query retains slices across events (segment output sets copy the
+// chosen channels). In reference mode only the labeling pointer swaps.
+//
+// After Recompile the router answers every query exactly as a fresh
+// NewRouter over the same labeling would (the fault property tests pin
+// this bit-identically). NOT safe to call concurrently with queries;
+// fault-injecting sessions therefore own private routers.
+func (r *Router) Recompile(lab *updown.Labeling) {
+	if lab.Net != r.Net {
+		panic("core: Recompile with a labeling of a different network")
+	}
+	r.Lab = lab
+	if r.tab != nil {
+		r.tab.Recompile(lab)
+	}
 }
 
 // NewRouter builds a SPAM router over a labeling with compiled routing
@@ -186,6 +209,10 @@ func (r *Router) ReferenceCandidateOutputs(at topology.NodeID, arrival ArrivalCl
 		ch := r.Net.Chan(c)
 		if r.Net.IsProcessor(ch.Dst) {
 			// Consumption channels are used only in distribution.
+			continue
+		}
+		if r.Lab.IsDown(c) {
+			// Failed channels carry no traffic.
 			continue
 		}
 		switch r.Lab.ClassOf[c] {

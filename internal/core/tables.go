@@ -1,9 +1,6 @@
 package core
 
 import (
-	"encoding/binary"
-	"sort"
-
 	"repro/internal/topology"
 	"repro/internal/updown"
 )
@@ -20,16 +17,46 @@ import (
 // array of 8-byte (offset, length) references — O(3·S²) and unavoidable for
 // O(1) lookup. The candidate *contents* live in one flat arena deduplicated
 // across rows: two (class, at, lca) cells whose candidate lists are
-// byte-identical share one arena range. Rows repeat heavily in practice
+// identical share one arena range. Rows repeat heavily in practice
 // (e.g. a down-tree arrival at switch s yields the same short list for every
 // LCA in the same child subtree), so the arena stays near O(S · degree)
 // rather than the naive O(S² · degree) of storing every row separately.
+//
+// Reconfiguration. Recompile rebuilds the whole structure for a *new*
+// labeling of the same network into the retained rows, arena and dedup
+// scratch — zero allocations once the arena has grown to its high-water
+// mark. This is the hot half of live fault reconfiguration: relabel the
+// masked topology, recompile in place, and the router serves the new tables
+// from the next event on.
 type Tables struct {
 	numSwitches int
 	// rows is indexed by (class*numSwitches + at)*numSwitches + lca.
 	rows []tableRow
 	// arena backs every row; rows with identical contents share a range.
 	arena []topology.ChannelID
+	// switchOuts caches the inter-switch output channels per switch —
+	// static for the lifetime of the network (failed links are masked by
+	// the labeling, not removed from the hardware).
+	switchOuts [][]topology.ChannelID
+	// seen dedups rows across recompiles: FNV-1a hash of the row content
+	// to its first arena reference. A (vanishingly unlikely) hash
+	// collision is detected by content comparison and merely stores the
+	// row twice — correctness never depends on hash uniqueness. Keying by
+	// uint64 instead of string keeps Recompile allocation-free.
+	seen map[uint64]tableRow
+	// row is the per-cell candidate scratch.
+	row []Candidate
+	// live is the per-switch compile scratch: the current labeling's live
+	// channels of the switch split by class (indexed by the class-0/1/2
+	// scheme below), with endpoints cached.
+	live [numClasses][]liveChan
+}
+
+// liveChan caches a live (non-failed) inter-switch channel with its
+// endpoint for the compile inner loop.
+type liveChan struct {
+	c   topology.ChannelID
+	end topology.NodeID
 }
 
 // tableRow is one (offset, length) reference into the shared arena.
@@ -57,94 +84,163 @@ func classIndex(a ArrivalClass) int {
 }
 
 // compileTables builds the full candidate table for a labeling by evaluating
-// the reference routing function once per (class, at, lca) cell at
-// construction time. Every row is produced in the paper's selection order —
-// ascending distance from the channel endpoint to the LCA, channel ID as the
-// tiebreak — so lookups need no per-event sort.
+// the reference routing function once per (class, at, lca) cell.
 func compileTables(lab *updown.Labeling) *Tables {
 	net := lab.Net
 	s := net.NumSwitches
 	t := &Tables{
 		numSwitches: s,
 		rows:        make([]tableRow, numClasses*s*s),
+		switchOuts:  make([][]topology.ChannelID, s),
+		seen:        make(map[uint64]tableRow),
+		row:         make([]Candidate, 0, 16),
 	}
-
 	// Per-switch inter-switch output channels (consumption channels are
 	// distribution-only and never candidates), collected once.
-	switchOuts := make([][]topology.ChannelID, s)
 	for at := 0; at < s; at++ {
 		for _, c := range net.Out(topology.NodeID(at)) {
 			if net.IsSwitch(net.Chan(c).Dst) {
-				switchOuts[at] = append(switchOuts[at], c)
+				t.switchOuts[at] = append(t.switchOuts[at], c)
 			}
 		}
 	}
-
-	arrivalOfClass := [numClasses]ArrivalClass{ArriveUp, ArriveDownCross, ArriveDownTree}
-	seen := make(map[string]tableRow)
-	row := make([]Candidate, 0, 16)
-	key := make([]byte, 0, 64)
-	for class := 0; class < numClasses; class++ {
-		arrival := arrivalOfClass[class]
-		for at := 0; at < s; at++ {
-			for lca := 0; lca < s; lca++ {
-				row = appendLegalCandidates(row[:0], lab, switchOuts[at], arrival, topology.NodeID(lca))
-				sortCandidates(row)
-
-				key = key[:0]
-				for _, cand := range row {
-					key = binary.LittleEndian.AppendUint32(key, uint32(cand.Channel))
-				}
-				ref, ok := seen[string(key)]
-				if !ok {
-					ref = tableRow{off: uint32(len(t.arena)), n: uint32(len(row))}
-					for _, cand := range row {
-						t.arena = append(t.arena, cand.Channel)
-					}
-					seen[string(key)] = ref
-				}
-				t.rows[(class*s+at)*s+lca] = ref
-			}
-		}
-	}
+	t.Recompile(lab)
 	return t
 }
 
-// appendLegalCandidates applies the up*/down* legality rules (identical to
-// ReferenceCandidateOutputs) to a pre-filtered inter-switch channel list.
-func appendLegalCandidates(dst []Candidate, lab *updown.Labeling, outs []topology.ChannelID, arrival ArrivalClass, lcaSwitch topology.NodeID) []Candidate {
-	for _, c := range outs {
-		end := lab.Net.Chan(c).Dst
-		switch lab.ClassOf[c] {
-		case updown.Up:
-			if arrival != ArriveUp && arrival != ArriveInjection {
-				continue
-			}
-		case updown.DownCross:
-			if arrival == ArriveDownTree {
-				continue
-			}
-			if !lab.IsExtendedAncestor(end, lcaSwitch) {
-				continue
-			}
-		case updown.DownTree:
-			if !lab.IsAncestor(end, lcaSwitch) {
-				continue
-			}
+// Recompile rebuilds every row for a (new) labeling of the same network,
+// reusing the index, the arena and the dedup scratch. Every row is produced
+// in the paper's selection order — ascending distance from the channel
+// endpoint to the LCA, channel ID as the tiebreak — so lookups need no
+// per-event sort. After the arena has reached its high-water mark the call
+// performs no heap allocation.
+//
+// The compile loop is shaped for the live-reconfiguration hot path (a fault
+// event pays one Recompile): the switch's live channels are split by class
+// once per switch instead of re-testing failure and class per cell; empty
+// rows — the majority, since down arrivals are only routable toward LCAs in
+// the right subtree — bypass the dedup map entirely; and selection
+// distances read the LCA's row of the (symmetric) distance matrix so the
+// inner loop walks memory sequentially.
+func (t *Tables) Recompile(lab *updown.Labeling) {
+	s := t.numSwitches
+	t.arena = t.arena[:0]
+	clear(t.seen)
+	for at := 0; at < s; at++ {
+		// Split the switch's live inter-switch channels by class. The
+		// class-0 row of a cell is up ∪ legal(down-cross) ∪ legal(down-
+		// tree), class 1 drops the ups, class 2 keeps only down-tree; the
+		// final sort by (dist, channel) makes append order irrelevant.
+		for k := range t.live {
+			t.live[k] = t.live[k][:0]
 		}
-		dst = append(dst, Candidate{Channel: c, DistToLCA: lab.SwitchDist[end][lcaSwitch]})
+		for _, c := range t.switchOuts[at] {
+			if lab.IsDown(c) {
+				continue
+			}
+			end := lab.Net.Chan(c).Dst
+			var k int
+			switch lab.ClassOf[c] {
+			case updown.Up:
+				k = 0
+			case updown.DownCross:
+				k = 1
+			default:
+				k = 2
+			}
+			t.live[k] = append(t.live[k], liveChan{c: c, end: end})
+		}
+		for lca := 0; lca < s; lca++ {
+			lcaSwitch := topology.NodeID(lca)
+			// SwitchDist is symmetric (undirected hop counts), so the
+			// LCA's row serves every endpoint lookup of this cell.
+			distRow := lab.SwitchDist[lca]
+			row := t.row[:0]
+			for _, lc := range t.live[1] {
+				if lab.IsExtendedAncestor(lc.end, lcaSwitch) {
+					row = append(row, Candidate{Channel: lc.c, DistToLCA: distRow[lc.end]})
+				}
+			}
+			downCross := len(row)
+			for _, lc := range t.live[2] {
+				if lab.IsAncestor(lc.end, lcaSwitch) {
+					row = append(row, Candidate{Channel: lc.c, DistToLCA: distRow[lc.end]})
+				}
+			}
+			downAny := len(row)
+			// Class 2 (down-tree arrival): down-tree candidates only.
+			t.row = row
+			t.rows[(2*s+at)*s+lca] = t.internRow(row[downCross:downAny])
+			// Class 1 (down-cross arrival): down-cross ∪ down-tree.
+			t.rows[(1*s+at)*s+lca] = t.internRow(row[:downAny])
+			// Class 0 (up/injection arrival): everything plus the ups.
+			for _, lc := range t.live[0] {
+				row = append(row, Candidate{Channel: lc.c, DistToLCA: distRow[lc.end]})
+			}
+			t.row = row
+			t.rows[(0*s+at)*s+lca] = t.internRow(row)
+		}
 	}
-	return dst
 }
 
-// sortCandidates orders candidates by the paper's selection priority.
-func sortCandidates(cands []Candidate) {
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].DistToLCA != cands[j].DistToLCA {
-			return cands[i].DistToLCA < cands[j].DistToLCA
+// internRow sorts a candidate row into selection order and returns its
+// (deduplicated) arena reference. The row slice is scratch owned by the
+// caller; interning copies the channels out.
+func (t *Tables) internRow(row []Candidate) tableRow {
+	if len(row) == 0 {
+		return tableRow{}
+	}
+	sortCandidates(row)
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	for _, cand := range row {
+		h ^= uint64(uint32(cand.Channel))
+		h *= 1099511628211
+	}
+	ref, ok := t.seen[h]
+	if ok && !t.rowEqual(ref, row) {
+		ok = false // hash collision: store separately
+	}
+	if !ok {
+		ref = tableRow{off: uint32(len(t.arena)), n: uint32(len(row))}
+		for _, cand := range row {
+			t.arena = append(t.arena, cand.Channel)
 		}
-		return cands[i].Channel < cands[j].Channel
-	})
+		t.seen[h] = ref
+	}
+	return ref
+}
+
+// rowEqual reports whether the arena range ref holds exactly the channels of
+// row, in order.
+func (t *Tables) rowEqual(ref tableRow, row []Candidate) bool {
+	if int(ref.n) != len(row) {
+		return false
+	}
+	for i, cand := range row {
+		if t.arena[int(ref.off)+i] != cand.Channel {
+			return false
+		}
+	}
+	return true
+}
+
+// sortCandidates orders candidates by the paper's selection priority:
+// ascending (DistToLCA, ChannelID). The key is a total order (channel IDs
+// are unique), so the insertion sort — allocation-free, unlike sort.Slice —
+// produces the identical unique ordering on lists of any origin.
+func sortCandidates(cands []Candidate) {
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && less(cands[j], cands[j-1]); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+}
+
+func less(a, b Candidate) bool {
+	if a.DistToLCA != b.DistToLCA {
+		return a.DistToLCA < b.DistToLCA
+	}
+	return a.Channel < b.Channel
 }
 
 // candidates returns the precompiled row for (arrival, at, lca). The slice
@@ -162,4 +258,26 @@ func (t *Tables) MemoryFootprint() (indexCells, arenaLen, naiveArenaLen int) {
 		naiveArenaLen += int(r.n)
 	}
 	return len(t.rows), len(t.arena), naiveArenaLen
+}
+
+// EqualContent reports whether two tables answer every (class, at, lca)
+// query with the identical candidate list — the bit-identical hot-swap
+// criterion the fault property tests pin (arena layout may differ; contents
+// may not).
+func (t *Tables) EqualContent(o *Tables) bool {
+	if t.numSwitches != o.numSwitches {
+		return false
+	}
+	for i, ra := range t.rows {
+		rb := o.rows[i]
+		if ra.n != rb.n {
+			return false
+		}
+		for k := uint32(0); k < ra.n; k++ {
+			if t.arena[ra.off+k] != o.arena[rb.off+k] {
+				return false
+			}
+		}
+	}
+	return true
 }

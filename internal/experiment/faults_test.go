@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+// smallFaultSweep keeps the sweep CI-sized.
+func smallFaultSweep() FaultSweepConfig {
+	cfg := DefaultFaultSweep(200)
+	cfg.Nodes = 32
+	cfg.MTBFUs = []float64{0, 20_000, 4_000}
+	cfg.Trials = 2
+	cfg.Seed = 17
+	return cfg
+}
+
+func TestRunFaultSweep(t *testing.T) {
+	series, err := RunFaultSweep(smallFaultSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 5 {
+		t.Fatalf("got %d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 3 {
+			t.Fatalf("series %q has %d points", s.Label, len(s.Points))
+		}
+	}
+	// The fault-free baseline delivers everything at full availability.
+	if d := series[3].Points[0].Mean; d != 100 {
+		t.Fatalf("baseline delivered%% = %v", d)
+	}
+	if a := series[4].Points[0].Mean; a != 100 {
+		t.Fatalf("baseline availability%% = %v", a)
+	}
+	// The dense-fault end must actually be disturbed: availability below
+	// 100, and retried deliveries observed with higher latency than the
+	// undisturbed stream.
+	if a := series[4].Points[2].Mean; a >= 100 || a <= 0 {
+		t.Fatalf("dense-fault availability%% = %v, want (0, 100)", a)
+	}
+	if lat := series[0].Points[0].Mean; lat <= 0 {
+		t.Fatalf("baseline latency %v", lat)
+	}
+	if series[1].Points[0].N != 0 {
+		t.Fatalf("fault-free baseline has disrupted-latency samples")
+	}
+	if d, u := series[1].Points[2].Mean, series[0].Points[2].Mean; d <= u {
+		t.Fatalf("disrupted latency %v not above undisturbed %v at the dense-fault point", d, u)
+	}
+}
+
+// TestFaultSweepWorkersGolden pins serial == parallel for the fault sweep:
+// identical output for 1, 4 and 8 worker goroutines.
+func TestFaultSweepWorkersGolden(t *testing.T) {
+	cfg := smallFaultSweep()
+	cfg.Workers = 1
+	golden, err := RunFaultSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 8} {
+		cfg := smallFaultSweep()
+		cfg.Workers = workers
+		got, err := RunFaultSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, golden) {
+			t.Fatalf("fault sweep with %d workers drifts from serial golden", workers)
+		}
+	}
+}

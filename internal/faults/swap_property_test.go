@@ -1,0 +1,181 @@
+package faults
+
+// The hot-swap correctness property: after any sequence of applied
+// mutations, the injector's in-place relabeled labeling and recompiled
+// tables are bit-identical to a *fresh* NewRouter build over the mutated
+// topology — the same cross-check pattern WithReferenceRouting pins for the
+// base tables, extended over live reconfiguration.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/updown"
+)
+
+// buildNet builds topology t of the property sweep: lattices and G(n,m)
+// irregulars alternate.
+func buildNet(t *testing.T, i int) *topology.Network {
+	t.Helper()
+	seed := uint64(5000 + i*131)
+	if i%2 == 0 {
+		net, err := topology.RandomLattice(topology.DefaultLattice(12+(i%5)*4, seed))
+		if err != nil {
+			t.Fatalf("lattice %d: %v", i, err)
+		}
+		return net
+	}
+	net, err := topology.RandomIrregular(topology.GNMConfig{
+		Switches:   12 + (i%5)*4,
+		ExtraLinks: 6 + i%9,
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatalf("gnm %d: %v", i, err)
+	}
+	return net
+}
+
+// labelingsEqual compares every externally visible field of two labelings.
+func labelingsEqual(t *testing.T, ctx string, a, b *updown.Labeling) {
+	t.Helper()
+	if a.Root != b.Root {
+		t.Fatalf("%s: root %d != %d", ctx, a.Root, b.Root)
+	}
+	for v := range a.Level {
+		if a.Level[v] != b.Level[v] || a.Parent[v] != b.Parent[v] || a.ParentChan[v] != b.ParentChan[v] {
+			t.Fatalf("%s: node %d: level/parent mismatch", ctx, v)
+		}
+		if len(a.ChildChans[v]) != len(b.ChildChans[v]) {
+			t.Fatalf("%s: node %d: child count %d != %d", ctx, v, len(a.ChildChans[v]), len(b.ChildChans[v]))
+		}
+		for i := range a.ChildChans[v] {
+			if a.ChildChans[v][i] != b.ChildChans[v][i] {
+				t.Fatalf("%s: node %d: child chan %d mismatch", ctx, v, i)
+			}
+		}
+	}
+	for c := range a.ClassOf {
+		if a.ClassOf[c] != b.ClassOf[c] {
+			t.Fatalf("%s: channel %d: class %v != %v", ctx, c, a.ClassOf[c], b.ClassOf[c])
+		}
+	}
+	for u := range a.SwitchDist {
+		for v := range a.SwitchDist[u] {
+			if a.SwitchDist[u][v] != b.SwitchDist[u][v] {
+				t.Fatalf("%s: dist[%d][%d]: %d != %d", ctx, u, v, a.SwitchDist[u][v], b.SwitchDist[u][v])
+			}
+		}
+	}
+	if !a.DownChannels().Equal(b.DownChannels()) {
+		t.Fatalf("%s: down masks differ", ctx)
+	}
+}
+
+// TestHotSwapMatchesFreshRouter is the PR's headline property: ≥40 random
+// lattice/G(n,m) topologies × several multi-link fault/repair batches, and
+// after every batch the hot-swapped state equals a from-scratch build —
+// labeling, compiled tables (bit-identical content) and, cross-checked cell
+// by cell, the reference routing function over the masked labeling.
+func TestHotSwapMatchesFreshRouter(t *testing.T) {
+	const topologies = 44
+	for i := 0; i < topologies; i++ {
+		i := i
+		t.Run(fmt.Sprintf("topo%02d", i), func(t *testing.T) {
+			t.Parallel()
+			net := buildNet(t, i)
+			baseLab, err := updown.New(net, updown.RootStrategy(i%3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := sim.New(core.NewRouter(baseLab), sim.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			inj, err := NewInjector(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Sanity: the injector's private base build equals the shared one.
+			if !inj.Router().Tables().EqualContent(core.NewRouter(baseLab).Tables()) {
+				t.Fatal("private base tables differ from shared build")
+			}
+
+			r := rng.New(uint64(900 + i))
+			links := net.SwitchGraph().Edges()
+			for batch := 0; batch < 4; batch++ {
+				// A batch of random downs plus, from batch 1 on, random
+				// repair attempts — multi-link mutations in one step.
+				n := 1 + r.Intn(3)
+				for k := 0; k < n; k++ {
+					l := links[r.Intn(len(links))]
+					if _, err := inj.Apply(Event{Kind: LinkDown, U: int32(l[0]), V: int32(l[1])}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if batch > 0 {
+					l := links[r.Intn(len(links))]
+					if _, err := inj.Apply(Event{Kind: LinkUp, U: int32(l[0]), V: int32(l[1])}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				ctx := fmt.Sprintf("topo %d batch %d (links down %d)", i, batch, inj.DownLinks())
+
+				fresh, err := updown.NewWithDown(net, baseLab.Root, inj.DownChannels())
+				if err != nil {
+					t.Fatalf("%s: fresh relabel: %v", ctx, err)
+				}
+				if err := fresh.Verify(); err != nil {
+					t.Fatalf("%s: fresh verify: %v", ctx, err)
+				}
+				labelingsEqual(t, ctx, inj.Labeling(), fresh)
+
+				freshRouter := core.NewRouter(fresh)
+				if !inj.Router().Tables().EqualContent(freshRouter.Tables()) {
+					t.Fatalf("%s: hot-swapped tables != fresh NewRouter tables", ctx)
+				}
+
+				// Reference cross-check over every (arrival, at, lca) cell.
+				ref := core.NewReferenceRouter(fresh)
+				arrivals := []core.ArrivalClass{core.ArriveUp, core.ArriveDownCross, core.ArriveDownTree}
+				for at := 0; at < net.NumSwitches; at++ {
+					for lca := 0; lca < net.NumSwitches; lca++ {
+						for _, arr := range arrivals {
+							got := inj.Router().CandidateChannels(topology.NodeID(at), arr, topology.NodeID(lca))
+							want := ref.ReferenceCandidateOutputs(topology.NodeID(at), arr, topology.NodeID(lca))
+							if len(got) != len(want) {
+								t.Fatalf("%s: cell (%v,%d,%d): %d candidates, reference %d",
+									ctx, arr, at, lca, len(got), len(want))
+							}
+							for k := range got {
+								if got[k] != want[k].Channel {
+									t.Fatalf("%s: cell (%v,%d,%d) slot %d: %d != %d",
+										ctx, arr, at, lca, k, got[k], want[k].Channel)
+								}
+							}
+						}
+					}
+				}
+			}
+
+			// Full restore: repairing every failed link must reproduce the
+			// base tables bit-identically.
+			for _, l := range links {
+				if _, err := inj.Apply(Event{Kind: LinkUp, U: int32(l[0]), V: int32(l[1])}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if inj.DownLinks() != 0 {
+				t.Fatalf("restore left %d links down", inj.DownLinks())
+			}
+			if !inj.Router().Tables().EqualContent(core.NewRouter(baseLab).Tables()) {
+				t.Fatal("restored tables differ from base build")
+			}
+			labelingsEqual(t, "restored", inj.Labeling(), baseLab)
+		})
+	}
+}

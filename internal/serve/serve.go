@@ -268,6 +268,12 @@ func (s *Service) Run(ctx context.Context, req RunRequest) (*RunResponse, error)
 		params.Messages = s.cfg.MaxMessages
 	}
 	messages := messageBudget(sc.New(params))
+	// Validate the fault-injection parameters up front: bad drain/profile
+	// strings are a client error, not a trial failure — including for the
+	// pre-wired fault scenarios, whose constructors cannot surface errors.
+	if err := workload.ValidateFaultParams(params); err != nil {
+		return nil, fmt.Errorf("%w: %w", workload.ErrInvalidWorkload, err)
+	}
 	warmup := req.WarmupMessages
 	switch {
 	case warmup < 0:
@@ -298,7 +304,11 @@ func (s *Service) Run(ctx context.Context, req RunRequest) (*RunResponse, error)
 			// a single-trial Measure is its base seed, so shard t is
 			// bit-identical to trial t of a serial trials-long Measure.
 			run: func(r *workload.Runner) error {
-				sum, err := workload.Measure(r, sc.New(params), workload.MeasureOpts{
+				w, err := workload.ApplyFaults(sc.New(params), params)
+				if err != nil {
+					return err
+				}
+				sum, err := workload.Measure(r, w, workload.MeasureOpts{
 					Trials:         1,
 					WarmupMessages: warmup,
 					Batches:        req.Batches,

@@ -1,0 +1,302 @@
+package sim
+
+// Fault-injection support: live routing-table swaps and the drain semantics
+// of topology mutations.
+//
+// The simulator itself knows nothing about fault scripts or relabeling —
+// that lives in internal/faults. What it provides here is the mechanism:
+//
+//   - SwapRouter points the engine at a reconfigured router between events;
+//   - AbortWorms drains a set of in-flight worms from every buffer, queue
+//     and reservation instantly (flits already on a wire complete their
+//     flight and are dropped on arrival);
+//   - RecomputeQueuedLCAs re-evaluates the LCA of not-yet-launched worms
+//     under the swapped labeling;
+//   - a header that finds no legal route after a swap aborts its worm
+//     (fault mode) instead of failing the simulation.
+//
+// All of it is allocation-free in steady state: the sweeps reuse retained
+// scratch, and dropped flits recycle through the existing free lists.
+
+import (
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// Router returns the router the simulator currently routes with.
+func (s *Simulator) Router() *core.Router { return s.router }
+
+// SwapRouter atomically (with respect to the event loop) replaces the
+// simulator's router. The new router must be built over the same network:
+// channel IDs are baked into every queue and buffer. Routing decisions from
+// the next event on use the new tables; decisions already taken (segment
+// output sets) are unaffected, which is exactly the hardware semantics of
+// swapping routing tables under traffic.
+func (s *Simulator) SwapRouter(r *core.Router) {
+	if r.Net != s.net {
+		panic("sim: SwapRouter with a router over a different network")
+	}
+	s.router = r
+}
+
+// SetAbortHook installs the per-worm abort callback and enables fault mode.
+// The hook fires once for every worm AbortWorms (or a route loss) drains,
+// inside the event loop; it returns true if it takes responsibility for the
+// message (e.g. schedules a retry), in which case the worm's OnComplete is
+// NOT invoked. With a nil or false-returning hook, OnComplete fires at abort
+// time so closed-loop workloads keep flowing.
+//
+// In fault mode a header with no legal candidate channels aborts its worm
+// instead of failing the simulation: after a labeling swap, a worm routed
+// under the old labeling can legitimately find itself without a route.
+func (s *Simulator) SetAbortHook(fn func(*Worm) bool) {
+	s.onAbort = fn
+	s.faultMode = true
+}
+
+// SetResetHook installs a callback invoked at the end of every Reset — the
+// fault engine uses it to restore the base (no-faults) labeling so a reset
+// simulator is bit-identical to a fresh one.
+func (s *Simulator) SetResetHook(fn func()) { s.onReset = fn }
+
+// RecomputeQueuedLCAs re-derives the distribution LCA of every submitted but
+// not yet launched worm from the current router. Must be called after every
+// SwapRouter/Recompile: a queued worm's LCA was computed under the labeling
+// current at Submit time.
+func (s *Simulator) RecomputeQueuedLCAs() {
+	for _, w := range s.worms {
+		if !w.launched && !w.completed && !w.aborted {
+			w.LCA = s.router.LCASwitch(w.Dests)
+		}
+	}
+}
+
+// AbortWorms drains in-flight worms from the network at the current
+// simulated time and returns how many were aborted. With a nil channel list
+// every launched, incomplete worm is drained (the Autonet-faithful reaction
+// to any topology change: packets in flight during a reconfiguration are
+// discarded). With a non-nil list, only worms with a presence on one of the
+// given channels — a flit in a buffer or on the wire, a reservation, or a
+// queued request — are drained.
+//
+// Drain semantics, precisely:
+//
+//   - every flit of an aborted worm is removed from input buffers and
+//     parked output buffers, returning its credits; flits mid-flight on a
+//     wire complete the propagation delay and are dropped on arrival;
+//   - its segments leave every OCRQ and release every reservation; freed
+//     channels immediately wake waiting segments;
+//   - a mid-injection source segment frees its processor, which starts its
+//     next queued message;
+//   - destinations that already consumed the tail keep it (partial
+//     delivery is visible in Worm.ArrivalNs); the worm still counts as
+//     aborted, with Completed() false and AbortNs set;
+//   - not-yet-launched worms (waiting in a source queue or pre-startup)
+//     are never aborted by AbortWorms.
+//
+// For each drained worm the abort hook decides retry responsibility; see
+// SetAbortHook.
+func (s *Simulator) AbortWorms(channels []topology.ChannelID) int {
+	s.abortScratch = s.abortScratch[:0]
+	if channels == nil {
+		for _, w := range s.worms {
+			s.markAborted(w)
+		}
+	} else {
+		for _, c := range channels {
+			cs := &s.chans[c]
+			if cs.outOcc {
+				s.markAborted(cs.outBuf.w)
+			}
+			for _, fl := range cs.inBuf {
+				s.markAborted(fl.w)
+			}
+			if cs.reserved != nil {
+				s.markAborted(cs.reserved.worm)
+			}
+			for _, seg := range cs.ocrq {
+				s.markAborted(seg.worm)
+			}
+			if seg := s.segAtInput[c]; seg != nil {
+				s.markAborted(seg.worm)
+			}
+		}
+	}
+	if len(s.abortScratch) == 0 {
+		return 0
+	}
+	s.drainAborted()
+	return s.finishAborts()
+}
+
+// markAborted flags a worm for draining (idempotent; nil-safe).
+func (s *Simulator) markAborted(w *Worm) {
+	if w == nil || !w.launched || w.completed || w.aborted {
+		return
+	}
+	w.aborted = true
+	w.AbortNs = s.now
+	s.abortScratch = append(s.abortScratch, w)
+}
+
+// drainAborted removes every trace of the marked worms from the engine
+// state. The order of the sweeps matters; see the inline comments.
+func (s *Simulator) drainAborted() {
+	// 1. Input buffers, while segAtInput still reflects pre-drain state:
+	// a header flit removed from the head of a channel whose segment does
+	// not exist yet had a route event scheduled but not fired — that event
+	// is now stale and must be swallowed when it pops.
+	s.dispatchScratch = s.dispatchScratch[:0]
+	for c := range s.chans {
+		cs := &s.chans[c]
+		if len(cs.inBuf) == 0 {
+			continue
+		}
+		head := cs.inBuf[0]
+		k := 0
+		for _, fl := range cs.inBuf {
+			if fl.w != nil && fl.w.aborted {
+				continue
+			}
+			cs.inBuf[k] = fl
+			k++
+		}
+		removed := len(cs.inBuf) - k
+		if removed == 0 {
+			continue
+		}
+		for i := k; i < len(cs.inBuf); i++ {
+			cs.inBuf[i] = flit{}
+		}
+		cs.inBuf = cs.inBuf[:k]
+		cs.credits += removed
+		s.counters.FlitsDropped += uint64(removed)
+		if head.w != nil && head.w.aborted {
+			if head.kind == Header && s.segAtInput[c] == nil {
+				s.staleRoutes[c]++
+			}
+			if k > 0 {
+				// A live worm's header surfaced: route it once the
+				// segment sweeps below have cleared the channel.
+				s.dispatchScratch = append(s.dispatchScratch, topology.ChannelID(c))
+			}
+		}
+	}
+
+	// 2. Segments: OCRQ entries, reservations and input-side ownership.
+	// Routed segments are owned by segAtInput (freed there exactly once);
+	// source segments live in exactly one OCRQ slot or reservation of
+	// their injection channel and are freed where found.
+	for c := range s.chans {
+		cs := &s.chans[c]
+		k := 0
+		for _, seg := range cs.ocrq {
+			if seg.worm.aborted {
+				if seg.source {
+					s.releaseSource(seg)
+				}
+				continue
+			}
+			cs.ocrq[k] = seg
+			k++
+		}
+		for i := k; i < len(cs.ocrq); i++ {
+			cs.ocrq[i] = nil
+		}
+		cs.ocrq = cs.ocrq[:k]
+		if cs.reserved != nil && cs.reserved.worm.aborted {
+			if cs.reserved.source {
+				s.releaseSource(cs.reserved)
+			}
+			cs.reserved = nil
+		}
+	}
+	for c := range s.segAtInput {
+		if seg := s.segAtInput[c]; seg != nil && seg.worm.aborted {
+			s.segAtInput[c] = nil
+			s.freeSegment(seg)
+		}
+	}
+
+	// 3. Parked output-buffer flits (not on the wire) vanish; in-flight
+	// flits finish their propagation and are dropped by onArrive.
+	for c := range s.chans {
+		cs := &s.chans[c]
+		if cs.outOcc && !cs.inFlight && cs.outBuf.w != nil && cs.outBuf.w.aborted {
+			cs.outBuf = flit{}
+			cs.outOcc = false
+			s.counters.FlitsDropped++
+		}
+	}
+
+	// 4. Wake-up: freed credits let upstream senders fire, freed channels
+	// let waiting OCRQ heads acquire, surfaced headers get routed.
+	for c := range s.chans {
+		cs := &s.chans[c]
+		s.trySend(topology.ChannelID(c))
+		if cs.reserved == nil && !cs.outOcc && len(cs.ocrq) > 0 {
+			s.tryAcquire(cs.ocrq[0])
+		}
+	}
+	for _, c := range s.dispatchScratch {
+		if len(s.chans[c].inBuf) > 0 {
+			s.dispatchHead(c)
+		}
+	}
+	s.dispatchScratch = s.dispatchScratch[:0]
+}
+
+// releaseSource frees an aborted source segment and restarts injection at
+// its processor.
+func (s *Simulator) releaseSource(seg *segment) {
+	pi := s.procIndex(seg.worm.Src)
+	s.procs[pi].busy = false
+	s.freeSegment(seg)
+	s.startNextInjection(pi)
+}
+
+// finishAborts settles the accounting and hooks of the freshly drained
+// worms collected in abortScratch. Hooks may Submit (retries), which is safe
+// here: the engine state is consistent again.
+func (s *Simulator) finishAborts() int {
+	n := len(s.abortScratch)
+	for _, w := range s.abortScratch {
+		s.outstanding--
+		s.counters.WormsAborted++
+		if s.cfg.Logf != nil {
+			s.logf("t=%d worm %d: aborted by topology mutation (%d of %d dests delivered)",
+				s.now, w.ID, len(w.Dests)-w.remaining, len(w.Dests))
+		}
+		s.emit(TraceEvent{Kind: TraceAborted, Worm: w.ID, Node: w.Src, Remaining: w.remaining})
+		retried := false
+		if s.onAbort != nil {
+			retried = s.onAbort(w)
+		}
+		if !retried && w.OnComplete != nil {
+			w.OnComplete(w, s.now)
+		}
+	}
+	s.abortScratch = s.abortScratch[:0]
+	return n
+}
+
+// abortRouteLost drains a single worm whose header at the head of channel c
+// found no legal continuation after a routing-table swap (fault mode only).
+func (s *Simulator) abortRouteLost(w *Worm, c topology.ChannelID) {
+	s.abortScratch = s.abortScratch[:0]
+	s.markAborted(w)
+	if len(s.abortScratch) == 0 {
+		return
+	}
+	s.counters.RouteLostAborts++
+	s.drainAborted()
+	// The sweep saw this worm's header at the head of c with no segment and
+	// assumed a pending route event — but that event is the one executing
+	// right now. Undo the stale mark for exactly this channel (headers of
+	// the same worm at other switches, distribution phase, really do have
+	// pending events).
+	if s.staleRoutes[c] > 0 {
+		s.staleRoutes[c]--
+	}
+	s.finishAborts()
+}

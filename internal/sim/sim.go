@@ -45,6 +45,17 @@ type Simulator struct {
 	worms    []*Worm
 	wormPool []*Worm
 
+	// Fault-injection state (see faults.go). staleRoutes[c] counts route
+	// events whose header was drained before they fired; abortScratch and
+	// dispatchScratch are drain-sweep scratch; onAbort/onReset are the
+	// fault engine's hooks; faultMode turns route loss into an abort.
+	staleRoutes     []int32
+	abortScratch    []*Worm
+	dispatchScratch []topology.ChannelID
+	onAbort         func(*Worm) bool
+	onReset         func()
+	faultMode       bool
+
 	nextWormID  int64
 	outstanding int
 	counters    Counters
@@ -69,12 +80,13 @@ func New(router *core.Router, cfg Config) (*Simulator, error) {
 	}
 	cfg.normalize()
 	s := &Simulator{
-		router:     router,
-		net:        router.Net,
-		cfg:        cfg,
-		chans:      make([]chanState, len(router.Net.Channels)),
-		procs:      make([]procState, router.Net.NumProcs),
-		segAtInput: make([]*segment, len(router.Net.Channels)),
+		router:      router,
+		net:         router.Net,
+		cfg:         cfg,
+		chans:       make([]chanState, len(router.Net.Channels)),
+		procs:       make([]procState, router.Net.NumProcs),
+		segAtInput:  make([]*segment, len(router.Net.Channels)),
+		staleRoutes: make([]int32, len(router.Net.Channels)),
 	}
 	// Credits bound each input FIFO to InputBufFlits, so its capacity
 	// never needs to grow: one shared arena, sliced with hard capacity
@@ -94,6 +106,9 @@ func (s *Simulator) Now() int64 { return s.now }
 
 // Counters returns aggregate statistics so far.
 func (s *Simulator) Counters() Counters { return s.counters }
+
+// Config returns a copy of the simulator's normalized configuration.
+func (s *Simulator) Config() Config { return s.cfg }
 
 // Outstanding returns the number of submitted-but-incomplete worms.
 func (s *Simulator) Outstanding() int { return s.outstanding }
@@ -182,7 +197,11 @@ func (s *Simulator) recycleWorm(w *Worm) {
 	w.OnComplete = nil
 	w.Prune = false
 	w.PrunedDests = w.PrunedDests[:0]
+	w.AbortNs = 0
+	w.Retry = 0
 	w.completed = false
+	w.launched = false
+	w.aborted = false
 	s.wormPool = append(s.wormPool, w)
 }
 
@@ -307,6 +326,14 @@ func (s *Simulator) Reset() {
 	s.pendingWork = 0
 	s.activity = 0
 	s.err = nil
+	clear(s.staleRoutes)
+	s.abortScratch = s.abortScratch[:0]
+	s.dispatchScratch = s.dispatchScratch[:0]
+	if s.onReset != nil {
+		// The fault engine restores the base labeling and tables so a
+		// reset simulator routes bit-identically to a fresh one.
+		s.onReset()
+	}
 }
 
 func (s *Simulator) armWatchdog() {
@@ -410,6 +437,7 @@ func (s *Simulator) onStartup(pi int32) {
 	ps.queue = ps.queue[:n-1]
 	src := topology.NodeID(int(pi) + s.net.NumSwitches)
 	inj := s.net.ChannelBetween(src, s.net.SwitchOf(src))
+	w.launched = true
 	seg := s.newSegment()
 	seg.worm = w
 	seg.router = src
@@ -554,6 +582,27 @@ func (s *Simulator) onArrive(c topology.ChannelID) {
 	} else {
 		cs.payloadCount++
 	}
+	if fl.w != nil && fl.w.aborted {
+		// The worm was drained while this flit was on the wire: the flit
+		// completes its flight into nothing. Its input-buffer slot was
+		// never used, so the credit returns, and the freed output buffer
+		// wakes whoever waits on the channel. (No reservation of the
+		// aborted worm survives the drain sweep, so cs.reserved here is
+		// either nil or a live worm that could not refill the buffer
+		// while this flit occupied it.)
+		cs.credits++
+		s.counters.FlitsDropped++
+		if cs.reserved != nil {
+			if cs.reserved.source {
+				s.sourceAdvance(cs.reserved)
+			} else {
+				s.segAdvance(cs.reserved)
+			}
+		} else if len(cs.ocrq) > 0 {
+			s.tryAcquire(cs.ocrq[0])
+		}
+		return
+	}
 	dst := s.net.Chan(c).Dst
 
 	if s.net.IsProcessor(dst) {
@@ -663,6 +712,13 @@ func (s *Simulator) dispatchHead(c topology.ChannelID) {
 // segment's reusable output buffer (distribution), allocating nothing in
 // steady state.
 func (s *Simulator) onRoute(c topology.ChannelID) {
+	if s.staleRoutes[c] > 0 {
+		// The header this event was scheduled for was drained by a
+		// topology mutation before the router setup completed. Any header
+		// at the head now has its own (later) route event.
+		s.staleRoutes[c]--
+		return
+	}
 	cs := &s.chans[c]
 	if len(cs.inBuf) == 0 || cs.inBuf[0].kind != Header {
 		s.fail("route event on channel %d without header at head", c)
@@ -682,6 +738,12 @@ func (s *Simulator) onRoute(c topology.ChannelID) {
 		seg.outs = s.router.AppendDistributionOutputs(seg.outs, at, w.DestSet)
 		if len(seg.outs) == 0 {
 			s.freeSegment(seg)
+			if s.faultMode {
+				// A labeling swap moved the remaining destinations out
+				// of this switch's subtree: the worm lost its route.
+				s.abortRouteLost(w, c)
+				return
+			}
 			s.fail("worm %d: no distribution outputs at switch %d", w.ID, at)
 			return
 		}
@@ -696,6 +758,12 @@ func (s *Simulator) onRoute(c topology.ChannelID) {
 		cands := s.router.CandidateChannels(at, arrival, w.LCA)
 		if len(cands) == 0 {
 			s.freeSegment(seg)
+			if s.faultMode {
+				// Legal under the labeling the worm started with, routeless
+				// under the swapped one: drain it instead of failing.
+				s.abortRouteLost(w, c)
+				return
+			}
 			s.fail("worm %d: no route at switch %d toward LCA %d", w.ID, at, w.LCA)
 			return
 		}

@@ -24,6 +24,8 @@ const (
 	TraceDelivered TraceKind = "delivered"
 	// TraceCompleted: a worm finished (all destinations accounted for).
 	TraceCompleted TraceKind = "completed"
+	// TraceAborted: a topology mutation drained the worm from the network.
+	TraceAborted TraceKind = "aborted"
 )
 
 // TraceEvent is one structured milestone in a worm's life. Channel lists

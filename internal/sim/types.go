@@ -108,8 +108,21 @@ type Worm struct {
 	// PrunedDests lists destinations dropped by pruning (Prune only).
 	PrunedDests []topology.NodeID
 
+	// AbortNs is when the worm was aborted by a topology mutation (see
+	// AbortWorms); zero while alive.
+	AbortNs int64
+	// Retry counts how many times this message has been resubmitted by a
+	// fault-injection retry policy (0 for an original submission). The
+	// engine leaves it untouched; the faults package maintains it.
+	Retry int
+
 	remaining int
 	completed bool
+	// launched marks worms whose source segment exists: their flits are
+	// (or were) in the network, so a drain event aborts them rather than
+	// letting them reroute.
+	launched bool
+	aborted  bool
 }
 
 // Latency returns the paper's latency metric: total elapsed time from
@@ -130,6 +143,14 @@ func (w *Worm) NetworkNs(startupNs int64) int64 {
 
 // Completed reports whether every destination has received the tail.
 func (w *Worm) Completed() bool { return w.completed }
+
+// Aborted reports whether a topology mutation drained this worm from the
+// network before it could complete.
+func (w *Worm) Aborted() bool { return w.aborted }
+
+// Launched reports whether the worm's source segment has been created, i.e.
+// its flits have entered (or begun entering) the network.
+func (w *Worm) Launched() bool { return w.launched }
 
 // segment is a worm's presence at one router: it consumes one input channel
 // (or the source processor's injection logic) and owns a set of output
@@ -189,6 +210,13 @@ type Counters struct {
 	PayloadFlitHops   uint64
 	BubbleFlitHops    uint64
 	HeaderAcquireWait uint64 // acquisition attempts that had to wait
+	// WormsAborted counts worms drained by topology mutations (fault
+	// injection); RouteLostAborts is the subset that lost all legal routes
+	// after a routing-table swap rather than being drained at mutation
+	// time. FlitsDropped counts their flits removed from buffers and wires.
+	WormsAborted    uint64
+	RouteLostAborts uint64
+	FlitsDropped    uint64
 }
 
 // Config parameterizes a Simulator.

@@ -19,7 +19,7 @@ package updown
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/bitset"
 	"repro/internal/topology"
@@ -76,6 +76,13 @@ func (s RootStrategy) String() string {
 }
 
 // Labeling is the full up*/down* structure for a network.
+//
+// A Labeling can carry a *failed-channel mask* (Down): masked channels are
+// physically present in the network but excluded from the spanning tree,
+// from routing legality and from the selection distances — the Autonet-style
+// view of a network with links down. Relabel recomputes the whole structure
+// in place for a new mask, reusing every internal allocation, which is the
+// hot-reconfiguration path the fault-injection engine drives.
 type Labeling struct {
 	Net  *topology.Network
 	Root topology.NodeID
@@ -91,6 +98,11 @@ type Labeling struct {
 	ChildChans [][]topology.ChannelID
 	// ClassOf classifies every channel.
 	ClassOf []Class
+	// Down marks failed channels (nil or empty = none). Failed channels
+	// keep a nominal class from the level rules (so structural checks keep
+	// working) but are never tree channels, never legal routing candidates
+	// and never contribute to cross-reachability.
+	Down *bitset.Set
 
 	// anc[v] is the set of tree ancestors of node v, v itself included
 	// (so anc is the reflexive ancestor relation over all nodes).
@@ -109,9 +121,34 @@ type Labeling struct {
 	// stored for all nodes for uniform indexing.
 	crossReach []*bitset.Set
 
-	// SwitchDist is the hop-distance matrix over the switch graph, used by
-	// the selection function (distance from channel endpoint to LCA).
+	// SwitchDist is the hop-distance matrix over the live switch graph,
+	// used by the selection function (distance from channel endpoint to
+	// LCA along non-failed links).
 	SwitchDist [][]int32
+
+	// scratch holds the reusable working storage of Relabel.
+	scratch *relabelScratch
+}
+
+// maskedEdge is one inter-switch adjacency entry with the channel that
+// realizes it, so masked BFS can test the failure mask per hop.
+type maskedEdge struct {
+	sw int32
+	ch topology.ChannelID
+}
+
+// relabelScratch is the retained working storage of Relabel: a sorted
+// inter-switch adjacency (static per network) and BFS/counting-sort queues.
+type relabelScratch struct {
+	// nbrs[sw] lists the inter-switch neighbors of sw in ascending switch
+	// ID — the same exploration order graph.BFS uses, so an empty mask
+	// reproduces the base labeling bit-for-bit.
+	nbrs [][]maskedEdge
+	// queue is the BFS frontier.
+	queue []int32
+	// levelCount/order implement the counting sort of buildAncestors.
+	levelCount []int32
+	order      []int32
 }
 
 // New computes the labeling for a network with the given root strategy.
@@ -125,33 +162,82 @@ func New(net *topology.Network, strategy RootStrategy) (*Labeling, error) {
 
 // NewWithRoot computes the labeling with an explicit root switch.
 func NewWithRoot(net *topology.Network, root topology.NodeID) (*Labeling, error) {
+	return NewWithDown(net, root, nil)
+}
+
+// NewWithDown computes the labeling with an explicit root switch and a
+// failed-channel mask: channels marked in down (which must pair both
+// directions of each failed link and contain no processor channels) are
+// excluded from the spanning tree and from routing. A nil or empty mask
+// yields exactly NewWithRoot's labeling.
+func NewWithDown(net *topology.Network, root topology.NodeID, down *bitset.Set) (*Labeling, error) {
 	if !net.IsSwitch(root) {
 		return nil, fmt.Errorf("updown: root %d is not a switch", root)
 	}
-	total := net.N()
-	l := &Labeling{
-		Net:        net,
-		Root:       root,
-		Level:      make([]int32, total),
-		Parent:     make([]topology.NodeID, total),
-		ParentChan: make([]topology.ChannelID, total),
-		ChildChans: make([][]topology.ChannelID, total),
-		ClassOf:    make([]Class, len(net.Channels)),
+	l := &Labeling{Net: net, Root: root}
+	if err := l.Relabel(down); err != nil {
+		return nil, err
 	}
+	return l, nil
+}
 
-	for v := range l.ParentChan {
+// Relabel recomputes the entire labeling in place for a new failed-channel
+// mask, reusing every internal allocation (bitsets, child lists, distance
+// rows, BFS scratch). After the first call on a given Labeling it performs
+// no heap allocation, which makes it the hot path of live reconfiguration.
+// It fails — leaving the labeling in an unspecified but reusable state — if
+// the mask disconnects the switch graph.
+func (l *Labeling) Relabel(down *bitset.Set) error {
+	net := l.Net
+	total := net.N()
+	if down != nil && down.Len() != len(net.Channels) {
+		return fmt.Errorf("updown: down mask sized %d for %d channels", down.Len(), len(net.Channels))
+	}
+	l.ensureStorage()
+	l.Down.Reset()
+	if down != nil {
+		for c := down.NextSet(0); c >= 0; c = down.NextSet(c + 1) {
+			ch := net.Chan(topology.ChannelID(c))
+			if net.IsProcessor(ch.Src) || net.IsProcessor(ch.Dst) {
+				return fmt.Errorf("updown: processor channel %d cannot fail", c)
+			}
+			if !down.Test(int(ch.Reverse)) {
+				return fmt.Errorf("updown: down mask holds channel %d without its reverse %d", c, ch.Reverse)
+			}
+			l.Down.Set(c)
+		}
+	}
+	root := l.Root
+
+	// Masked BFS over the switch graph, neighbors in ascending switch ID
+	// (matching graph.BFS exploration order).
+	for v := 0; v < total; v++ {
+		l.Level[v] = -1
+		l.Parent[v] = -1
 		l.ParentChan[v] = topology.None
 	}
-
-	// BFS over the switch graph.
-	bfs := net.SwitchGraph().BFS(int(root))
-	for sw := 0; sw < net.NumSwitches; sw++ {
-		if bfs.Dist[sw] < 0 {
-			return nil, fmt.Errorf("updown: switch %d unreachable from root %d", sw, root)
+	sc := l.scratch
+	queue := sc.queue[:0]
+	l.Level[root] = 0
+	queue = append(queue, int32(root))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, e := range sc.nbrs[u] {
+			if l.Down.Test(int(e.ch)) {
+				continue
+			}
+			if l.Level[e.sw] == -1 {
+				l.Level[e.sw] = l.Level[u] + 1
+				l.Parent[e.sw] = topology.NodeID(u)
+				queue = append(queue, e.sw)
+			}
 		}
-		l.Level[sw] = bfs.Dist[sw]
-		l.Parent[sw] = topology.NodeID(bfs.Parent[sw])
-		l.ParentChan[sw] = topology.None
+	}
+	sc.queue = queue
+	for sw := 0; sw < net.NumSwitches; sw++ {
+		if l.Level[sw] < 0 {
+			return fmt.Errorf("updown: switch %d unreachable from root %d", sw, root)
+		}
 	}
 	l.Parent[root] = -1
 	// Processors: leaves one level below their switch.
@@ -162,10 +248,9 @@ func NewWithRoot(net *topology.Network, root topology.NodeID) (*Labeling, error)
 		l.Parent[p] = sw
 	}
 
-	// Classify channels.
-	isTreeEdge := func(u, v topology.NodeID) bool {
-		return l.Parent[u] == v || l.Parent[v] == u
-	}
+	// Classify channels. Failed channels cannot be tree edges (BFS never
+	// traverses them, and a simple graph has one edge per switch pair), so
+	// they fall through to the level rules of the cross branch.
 	for i := range net.Channels {
 		ch := &net.Channels[i]
 		src, dst := ch.Src, ch.Dst
@@ -174,7 +259,7 @@ func NewWithRoot(net *topology.Network, root topology.NodeID) (*Labeling, error)
 			l.ClassOf[i] = Up
 		case net.IsProcessor(dst): // switch -> processor: down tree
 			l.ClassOf[i] = DownTree
-		case isTreeEdge(src, dst):
+		case l.Parent[src] == dst || l.Parent[dst] == src: // tree edge
 			if l.Parent[src] == dst { // toward root
 				l.ClassOf[i] = Up
 			} else {
@@ -196,6 +281,9 @@ func NewWithRoot(net *topology.Network, root topology.NodeID) (*Labeling, error)
 	}
 
 	// Parent/child channel indexes.
+	for v := 0; v < total; v++ {
+		l.ChildChans[v] = l.ChildChans[v][:0]
+	}
 	for i := range net.Channels {
 		ch := &net.Channels[i]
 		if l.ClassOf[i] == DownTree && l.Parent[ch.Dst] == ch.Src {
@@ -205,25 +293,100 @@ func NewWithRoot(net *topology.Network, root topology.NodeID) (*Labeling, error)
 	}
 	for v := 0; v < total; v++ {
 		if topology.NodeID(v) != root && l.ParentChan[v] == topology.None {
-			return nil, fmt.Errorf("updown: node %d has no parent channel", v)
+			return fmt.Errorf("updown: node %d has no parent channel", v)
 		}
 	}
 
 	// ChildChans must be in ascending channel-ID order: the distribution
 	// fast path emits outputs by scanning them in place of the reference
 	// implementation's sort. Construction above appends in channel-index
-	// order, which is already ascending; sort defensively so the fast
-	// path's correctness is local to this file.
+	// order, which is already ascending; the sort (slices.Sort allocates
+	// nothing) is defensive so the fast path's correctness is local to
+	// this file.
 	for _, chans := range l.ChildChans {
-		sort.Slice(chans, func(i, j int) bool { return chans[i] < chans[j] })
+		slices.Sort(chans)
 	}
 
 	l.buildAncestors()
 	l.buildDescendants()
 	l.buildCrossReach()
 	l.buildExtendedAncestors()
-	l.SwitchDist = net.SwitchGraph().AllPairsDist()
-	return l, nil
+	l.buildSwitchDist()
+	return nil
+}
+
+// ensureStorage allocates (once) every array Relabel writes into.
+func (l *Labeling) ensureStorage() {
+	net := l.Net
+	total := net.N()
+	if l.scratch != nil {
+		return
+	}
+	l.Level = make([]int32, total)
+	l.Parent = make([]topology.NodeID, total)
+	l.ParentChan = make([]topology.ChannelID, total)
+	l.ChildChans = make([][]topology.ChannelID, total)
+	l.ClassOf = make([]Class, len(net.Channels))
+	l.Down = bitset.New(len(net.Channels))
+	l.anc = make([]*bitset.Set, total)
+	l.desc = make([]*bitset.Set, total)
+	l.extAnc = make([]*bitset.Set, total)
+	l.crossReach = make([]*bitset.Set, total)
+	for v := 0; v < total; v++ {
+		l.anc[v] = bitset.New(total)
+		l.desc[v] = bitset.New(total)
+		l.extAnc[v] = bitset.New(total)
+		l.crossReach[v] = bitset.New(total)
+	}
+	l.SwitchDist = make([][]int32, net.NumSwitches)
+	for sw := range l.SwitchDist {
+		l.SwitchDist[sw] = make([]int32, net.NumSwitches)
+	}
+	sc := &relabelScratch{
+		nbrs:       make([][]maskedEdge, net.NumSwitches),
+		queue:      make([]int32, 0, net.NumSwitches),
+		levelCount: make([]int32, total+2),
+		order:      make([]int32, total),
+	}
+	for sw := 0; sw < net.NumSwitches; sw++ {
+		for _, c := range net.Out(topology.NodeID(sw)) {
+			ch := net.Chan(c)
+			if net.IsSwitch(ch.Dst) {
+				sc.nbrs[sw] = append(sc.nbrs[sw], maskedEdge{sw: int32(ch.Dst), ch: c})
+			}
+		}
+		slices.SortFunc(sc.nbrs[sw], func(a, b maskedEdge) int { return int(a.sw) - int(b.sw) })
+	}
+	l.scratch = sc
+}
+
+// buildSwitchDist fills the hop-distance matrix of the live (non-failed)
+// switch graph by masked BFS from every switch, into the retained rows.
+func (l *Labeling) buildSwitchDist() {
+	net := l.Net
+	sc := l.scratch
+	for src := 0; src < net.NumSwitches; src++ {
+		dist := l.SwitchDist[src]
+		for i := range dist {
+			dist[i] = -1
+		}
+		queue := sc.queue[:0]
+		dist[src] = 0
+		queue = append(queue, int32(src))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, e := range sc.nbrs[u] {
+				if l.Down.Test(int(e.ch)) {
+					continue
+				}
+				if dist[e.sw] == -1 {
+					dist[e.sw] = dist[u] + 1
+					queue = append(queue, e.sw)
+				}
+			}
+		}
+		sc.queue = queue
+	}
 }
 
 func pickRoot(net *topology.Network, strategy RootStrategy) (topology.NodeID, error) {
@@ -247,31 +410,32 @@ func pickRoot(net *topology.Network, strategy RootStrategy) (topology.NodeID, er
 
 func (l *Labeling) buildAncestors() {
 	total := l.Net.N()
-	l.anc = make([]*bitset.Set, total)
-	// Process in increasing level order; parents are always shallower.
-	order := make([]int, total)
-	for i := range order {
-		order[i] = i
+	// Process in increasing level order (parents are always shallower) via
+	// a counting sort into the retained scratch: stable, so nodes within a
+	// level stay in ascending ID order.
+	sc := l.scratch
+	count := sc.levelCount
+	for i := range count {
+		count[i] = 0
 	}
-	// Counting sort by level (levels are small).
-	maxLevel := int32(0)
 	for _, lv := range l.Level {
-		if lv > maxLevel {
-			maxLevel = lv
-		}
+		count[lv+1]++
 	}
-	buckets := make([][]int, maxLevel+1)
-	for v, lv := range l.Level {
-		buckets[lv] = append(buckets[lv], v)
+	for i := 1; i < len(count); i++ {
+		count[i] += count[i-1]
 	}
-	for _, bucket := range buckets {
-		for _, v := range bucket {
-			s := bitset.New(total)
-			s.Set(v)
-			if p := l.Parent[v]; p >= 0 {
-				s.Or(l.anc[p])
-			}
-			l.anc[v] = s
+	for v := 0; v < total; v++ {
+		lv := l.Level[v]
+		sc.order[count[lv]] = int32(v)
+		count[lv]++
+	}
+	for _, v32 := range sc.order {
+		v := int(v32)
+		s := l.anc[v]
+		s.Reset()
+		s.Set(v)
+		if p := l.Parent[v]; p >= 0 {
+			s.Or(l.anc[p])
 		}
 	}
 }
@@ -280,15 +444,15 @@ func (l *Labeling) buildAncestors() {
 // desc[u] = {v : u ∈ anc[v]}. Cost is O(Σ|anc[v]|) = O(N · depth) set bits.
 func (l *Labeling) buildDescendants() {
 	total := l.Net.N()
-	l.desc = make([]*bitset.Set, total)
 	for v := 0; v < total; v++ {
-		l.desc[v] = bitset.New(total)
+		l.desc[v].Reset()
 	}
 	for v := 0; v < total; v++ {
-		l.anc[v].ForEach(func(u int) bool {
+		// NextSet iteration instead of ForEach: no closure, so Relabel
+		// stays allocation-free.
+		for u := l.anc[v].NextSet(0); u >= 0; u = l.anc[v].NextSet(u + 1) {
 			l.desc[u].Set(v)
-			return true
-		})
+		}
 	}
 }
 
@@ -308,20 +472,20 @@ func (l *Labeling) buildDescendants() {
 // a fixed point, which converges in at most diameter steps.
 func (l *Labeling) buildCrossReach() {
 	total := l.Net.N()
-	l.crossReach = make([]*bitset.Set, total)
 	for v := 0; v < total; v++ {
-		s := bitset.New(total)
+		s := l.crossReach[v]
+		s.Reset()
 		s.Set(v)
-		l.crossReach[v] = s
 	}
 	// crossReach[w] ⊇ crossReach[u] whenever there is a down-cross channel
 	// u→w is wrong direction: u reaches w, so anything reaching u also
 	// reaches w: crossReach[w] |= crossReach[u] for each down-cross u→w.
-	// Iterate to fixed point (the DAG is shallow; this is fast).
+	// Failed channels carry no traffic and are skipped. Iterate to fixed
+	// point (the DAG is shallow; this is fast).
 	for changed := true; changed; {
 		changed = false
 		for i := range l.Net.Channels {
-			if l.ClassOf[i] != DownCross {
+			if l.ClassOf[i] != DownCross || l.Down.Test(i) {
 				continue
 			}
 			ch := &l.Net.Channels[i]
@@ -339,16 +503,23 @@ func (l *Labeling) buildCrossReach() {
 // down-cross channels only, then w reaches v via down-tree channels.
 func (l *Labeling) buildExtendedAncestors() {
 	total := l.Net.N()
-	l.extAnc = make([]*bitset.Set, total)
 	for v := 0; v < total; v++ {
-		s := bitset.New(total)
-		l.anc[v].ForEach(func(w int) bool {
+		s := l.extAnc[v]
+		s.Reset()
+		for w := l.anc[v].NextSet(0); w >= 0; w = l.anc[v].NextSet(w + 1) {
 			s.Or(l.crossReach[w])
-			return true
-		})
-		l.extAnc[v] = s
+		}
 	}
 }
+
+// IsDown reports whether channel c is failed under this labeling's mask.
+func (l *Labeling) IsDown(c topology.ChannelID) bool {
+	return l.Down != nil && l.Down.Test(int(c))
+}
+
+// DownChannels exposes the failed-channel mask (never nil after Relabel).
+// Shared; do not mutate.
+func (l *Labeling) DownChannels() *bitset.Set { return l.Down }
 
 // IsAncestor reports whether u is a (reflexive) tree ancestor of v: there is
 // a path of zero or more down-tree channels from u to v.

@@ -6,6 +6,8 @@ package workload
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/faults"
 )
 
 // Params are the shared knobs a scenario constructor may consult. Zero
@@ -28,6 +30,36 @@ type Params struct {
 	HotFraction float64 `json:"hot_fraction,omitempty"`
 	// Rounds is the permutation round count.
 	Rounds int `json:"rounds,omitempty"`
+
+	// Fault injection (see workload.Faulty and internal/faults). A
+	// non-empty FaultScript (the faults DSL, e.g. "50us down 3-7; 90us up
+	// 3-7") or FaultProfile ("poisson" | "maintenance" | "regional")
+	// composes the scenario with a live fault timeline.
+	FaultScript  string `json:"fault_script,omitempty"`
+	FaultProfile string `json:"fault_profile,omitempty"`
+	FaultSeed    uint64 `json:"fault_seed,omitempty"`
+	// FaultMTBFUs/FaultMTTRUs are the per-link mean time between failures
+	// / to repair (poisson profile); FaultHorizonUs bounds generated
+	// timelines.
+	FaultMTBFUs    float64 `json:"fault_mtbf_us,omitempty"`
+	FaultMTTRUs    float64 `json:"fault_mttr_us,omitempty"`
+	FaultHorizonUs float64 `json:"fault_horizon_us,omitempty"`
+	// FaultStartUs/FaultWindowUs/FaultGapUs shape maintenance windows and
+	// the regional outage (window = outage duration).
+	FaultStartUs  float64 `json:"fault_start_us,omitempty"`
+	FaultWindowUs float64 `json:"fault_window_us,omitempty"`
+	FaultGapUs    float64 `json:"fault_gap_us,omitempty"`
+	// FaultCenter/FaultRadius select the regional outage ball.
+	FaultCenter int `json:"fault_center,omitempty"`
+	FaultRadius int `json:"fault_radius,omitempty"`
+	// FaultDrain is "all" (default: every in-flight message drains on any
+	// mutation, Autonet-style) or "crossing" (only messages crossing a
+	// failed link drain).
+	FaultDrain string `json:"fault_drain,omitempty"`
+	// FaultRetries caps per-message source resubmissions (0 = 3, -1 =
+	// none); FaultRetryDelayUs is the resubmission backoff.
+	FaultRetries      int     `json:"fault_retries,omitempty"`
+	FaultRetryDelayUs float64 `json:"fault_retry_delay_us,omitempty"`
 }
 
 // Scenario is one registered named workload.
@@ -135,6 +167,46 @@ func init() {
 				Messages:          orI(p.Messages, 2000),
 			}
 		},
+	})
+	// faultyMixed builds the pre-wired fault scenarios: paper mixed traffic
+	// under a forced fault profile. Constructors cannot return errors, so
+	// malformed fault strings fall back to the profile's defaults here —
+	// serving layers and CLIs reject them first via ValidateFaultParams, so
+	// the fallback is unreachable from the wire.
+	faultyMixed := func(profile string, fallback faults.Spec) func(Params) Workload {
+		return func(p Params) Workload {
+			if p.FaultProfile == "" {
+				p.FaultProfile = profile
+			}
+			spec, err := FaultSpec(p)
+			if err != nil {
+				spec = fallback
+			}
+			pol, err := FaultPolicy(p)
+			if err != nil {
+				pol = faultsDefaultPolicy
+			}
+			return Faulty{
+				Inner: Mixed{
+					RatePerProcPerUs:  orF(p.RatePerProcPerUs, 0.02),
+					MulticastFraction: orF(p.MulticastFraction, 0.1),
+					MulticastDests:    orI(p.MulticastDests, 8),
+					Messages:          orI(p.Messages, 2000),
+				},
+				Spec:   spec,
+				Policy: pol,
+			}
+		}
+	}
+	Register(Scenario{
+		Name:        "fault-storm",
+		Description: "paper mixed traffic under seeded Poisson link failure/repair with live relabeling",
+		New:         faultyMixed("poisson", faultsDefaultStorm),
+	})
+	Register(Scenario{
+		Name:        "maintenance",
+		Description: "paper mixed traffic under rolling switch-drain maintenance windows",
+		New:         faultyMixed("maintenance", faultsDefaultMaintenance),
 	})
 	Register(Scenario{
 		Name:        "closed-loop",

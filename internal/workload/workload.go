@@ -26,6 +26,7 @@ import (
 	"slices"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -66,10 +67,34 @@ type Gen struct {
 	idx      []int
 	chooser  rng.Chooser
 	arrivals []arrival
+	// injector is the lazily created fault-injection engine for this
+	// runner's simulator, retained across trials so its private labeling,
+	// tables and scripts reuse their arenas. errSinkFn is the bound
+	// hook-error sink, created once so per-trial installs allocate nothing.
+	injector  *faults.Injector
+	errSinkFn func(error)
 	// hookErr records the first submission error raised inside a
 	// completion hook (closed-loop resubmission), where there is no
 	// caller to return it to; Runner.Trial surfaces it after the run.
 	hookErr error
+}
+
+// FaultInjector returns this runner's fault-injection engine, creating it
+// (and hot-swapping the simulator onto a private router) on first use. The
+// injector persists across trials; a trial without faults behaves
+// bit-identically to one on a never-injected simulator (the private router
+// is an exact rebuild of the shared one, property-tested).
+func (g *Gen) FaultInjector() (*faults.Injector, error) {
+	if g.injector == nil {
+		inj, err := faults.NewInjector(g.Sim)
+		if err != nil {
+			return nil, err
+		}
+		g.injector = inj
+		g.errSinkFn = g.setHookErr
+		inj.SetErrorSink(g.errSinkFn)
+	}
+	return g.injector, nil
 }
 
 // setHookErr records an error raised inside a simulation hook.
@@ -205,13 +230,19 @@ func (r *Runner) Trial(w Workload, seed uint64) error {
 // and the worms are invalidated by the next Trial call.
 func (r *Runner) Worms() []*sim.Worm { return r.gen.worms }
 
-// AppendLatenciesUs appends the latency (µs) of every worm past the first
-// `skip` submissions that passes the filter (nil = all) to dst. The loop
-// deliberately mirrors EachLatencyUs rather than wrapping it: an appending
-// closure would escape and break the 0 allocs/op sweep-trial benchmark.
+// FaultInjector returns the runner's fault engine, or nil if no fault
+// workload has run on it. Read its Metrics after a Trial, before the next.
+func (r *Runner) FaultInjector() *faults.Injector { return r.gen.injector }
+
+// AppendLatenciesUs appends the latency (µs) of every completed worm past
+// the first `skip` submissions that passes the filter (nil = all) to dst.
+// Worms drained by fault injection never complete and are excluded (their
+// disruption is accounted by the injector's metrics). The loop deliberately
+// mirrors EachLatencyUs rather than wrapping it: an appending closure would
+// escape and break the 0 allocs/op sweep-trial benchmark.
 func (r *Runner) AppendLatenciesUs(dst []float64, skip int, filter func(*sim.Worm) bool) []float64 {
 	for i, w := range r.gen.worms {
-		if i < skip || (filter != nil && !filter(w)) {
+		if i < skip || !w.Completed() || (filter != nil && !filter(w)) {
 			continue
 		}
 		dst = append(dst, float64(w.Latency())/1000.0)
@@ -219,12 +250,13 @@ func (r *Runner) AppendLatenciesUs(dst []float64, skip int, filter func(*sim.Wor
 	return dst
 }
 
-// EachLatencyUs streams the latency (µs) of every worm of the last trial
-// past the first `skip` submissions that passes the filter (nil = all) into
-// fn — the constant-memory alternative to AppendLatenciesUs.
+// EachLatencyUs streams the latency (µs) of every completed worm of the
+// last trial past the first `skip` submissions that passes the filter
+// (nil = all) into fn — the constant-memory alternative to
+// AppendLatenciesUs.
 func (r *Runner) EachLatencyUs(skip int, filter func(*sim.Worm) bool, fn func(float64)) {
 	for i, w := range r.gen.worms {
-		if i < skip || (filter != nil && !filter(w)) {
+		if i < skip || !w.Completed() || (filter != nil && !filter(w)) {
 			continue
 		}
 		fn(float64(w.Latency()) / 1000.0)

@@ -2,19 +2,19 @@
 # bench.sh — the PR perf-trajectory smoke target.
 #
 # Runs the reduced-effort benchmark suite (Figure 2, Figure 3, the two
-# engine microbenchmarks and the PR 2 reusable-session sweep pair) and
-# writes a JSON snapshot with ns/op, B/op, allocs/op and every custom
-# reported metric (us/broadcast-256, us/msg-*, events/broadcast, ...), next
-# to the fixed pre-optimization baselines so the speedup trajectory is
-# tracked in-repo.
+# engine microbenchmarks, the PR 2 reusable-session sweep pair and the PR 4
+# fault-injection reconfiguration pair) and writes a JSON snapshot with
+# ns/op, B/op, allocs/op and every custom reported metric, next to the
+# fixed pre-optimization baselines so the speedup trajectory is tracked
+# in-repo.
 #
 # Usage:
-#   scripts/bench.sh [out.json]      # default out: BENCH_PR2.json
+#   scripts/bench.sh [out.json]      # default out: BENCH_PR4.json
 #   BENCHTIME=3x scripts/bench.sh    # steadier figure numbers (default 1x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR2.json}"
+OUT="${1:-BENCH_PR4.json}"
 BENCHTIME="${BENCHTIME:-1x}"
 # The sweep pair runs many short trials per second; a fixed high iteration
 # count amortizes benchmark-framework overhead out of the allocs/op column.
@@ -43,17 +43,25 @@ SWEEP_RAW=$(go test -run '^$' \
 	-bench 'BenchmarkSweepTrialReset|BenchmarkSweepTrialFresh|BenchmarkSessionReset' \
 	-benchmem -benchtime "$SWEEP_BENCHTIME" . 2>&1 | grep -E '^Benchmark' || true)
 
-if [ -z "$RAW" ] || [ -z "$SWEEP_RAW" ]; then
+# PR 4: live reconfiguration — in-place relabel + table recompile + swap
+# (two swap cycles per op, zero allocs) vs the full System.Reconfigure
+# rebuild, plus a whole fault-storm trial on a reusable runner.
+FAULT_RAW=$(go test -run '^$' \
+	-bench 'BenchmarkRecompileSwap|BenchmarkFullRebuild|BenchmarkFullReconfigure|BenchmarkFaultStormTrial' \
+	-benchmem -benchtime "${FAULT_BENCHTIME:-50x}" . 2>&1 | grep -E '^Benchmark' || true)
+
+if [ -z "$RAW" ] || [ -z "$SWEEP_RAW" ] || [ -z "$FAULT_RAW" ]; then
 	echo "bench.sh: no benchmark output" >&2
 	exit 1
 fi
 
 ALL_RAW="$RAW
-$SWEEP_RAW"
+$SWEEP_RAW
+$FAULT_RAW"
 
 {
 	printf '{\n'
-	printf '  "pr": 2,\n'
+	printf '  "pr": 4,\n'
 	printf '  "benchtime": "%s",\n' "$BENCHTIME"
 	printf '  "sweep_benchtime": "%s",\n' "$SWEEP_BENCHTIME"
 	printf '  "go": "%s",\n' "$(go env GOVERSION)"
@@ -103,7 +111,20 @@ $SWEEP_RAW"
 	printf '    "sweep_reset_vs_fresh_speedup_x": %s,\n' \
 		"$(awk -v f="$FRESH_NS" -v r="$RESET_NS" 'BEGIN{printf("%.3f", f/r)}')"
 	printf '    "sweep_reset_allocs_op": %s,\n' "${RESET_ALLOCS:-0}"
-	printf '    "sweep_fresh_allocs_op": %s\n' "${FRESH_ALLOCS:-0}"
+	printf '    "sweep_fresh_allocs_op": %s,\n' "${FRESH_ALLOCS:-0}"
+	SWAP_NS=$(echo "$FAULT_RAW" | awk '/^BenchmarkRecompileSwap/{print $3; exit}')
+	RECONF_NS=$(echo "$FAULT_RAW" | awk '/^BenchmarkFullReconfigure/{print $3; exit}')
+	SWAP_ALLOCS=$(echo "$FAULT_RAW" | awk '/^BenchmarkRecompileSwap/{for(i=3;i<NF;i+=2) if($(i+1)=="allocs/op") print $i}')
+	RECONF_ALLOCS=$(echo "$FAULT_RAW" | awk '/^BenchmarkFullReconfigure/{for(i=3;i<NF;i+=2) if($(i+1)=="allocs/op") print $i}')
+	STORM_ALLOCS=$(echo "$FAULT_RAW" | awk '/^BenchmarkFaultStormTrial/{for(i=3;i<NF;i+=2) if($(i+1)=="allocs/op") print $i}')
+	# RecompileSwap runs two swap cycles (down+up) per op.
+	printf '    "fault_swap_ns": %s,\n' \
+		"$(awk -v s="$SWAP_NS" 'BEGIN{printf("%.0f", s/2)}')"
+	printf '    "fault_swap_vs_reconfigure_speedup_x": %s,\n' \
+		"$(awk -v s="$SWAP_NS" -v r="$RECONF_NS" 'BEGIN{printf("%.2f", r/(s/2))}')"
+	printf '    "fault_swap_allocs_op": %s,\n' "${SWAP_ALLOCS:-0}"
+	printf '    "reconfigure_allocs_op": %s,\n' "${RECONF_ALLOCS:-0}"
+	printf '    "fault_storm_trial_allocs_op": %s\n' "${STORM_ALLOCS:-0}"
 	printf '  }\n'
 	printf '}\n'
 } >"$OUT"

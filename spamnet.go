@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/updown"
@@ -278,6 +279,34 @@ func (s *System) ZeroLoadLatency(src NodeID, dests []NodeID) (int64, error) {
 	return s.router.ZeroLoadLatency(s.simCfg.Params, src, dests)
 }
 
+// FaultScript is a time-ordered topology-mutation timeline (see the faults
+// package DSL: "50us down 3-7; 90us up 3-7; 120us switch-down 4").
+type FaultScript = faults.Script
+
+// FaultSpec declaratively describes a fault timeline: an explicit DSL
+// script or a seeded generator profile (Poisson failure/repair, rolling
+// maintenance, regional outage).
+type FaultSpec = faults.Spec
+
+// FaultPolicy selects the drain semantics and source retry behaviour of
+// fault injection.
+type FaultPolicy = faults.Policy
+
+// FaultInjector is the live fault-injection engine attached to a Session.
+type FaultInjector = faults.Injector
+
+// Fault profiles and drain policies re-exported for option construction.
+const (
+	FaultProfilePoisson     = faults.ProfilePoisson
+	FaultProfileMaintenance = faults.ProfileMaintenance
+	FaultProfileRegional    = faults.ProfileRegional
+	FaultDrainAll           = faults.DrainAll
+	FaultDrainCrossing      = faults.DrainCrossing
+)
+
+// ParseFaultScript parses the fault DSL.
+func ParseFaultScript(dsl string) (FaultScript, error) { return faults.Parse(dsl) }
+
 // Session is one flit-level simulation over a System. Not safe for
 // concurrent use; run one Session per goroutine. Sessions are reusable:
 // Reset rewinds to time zero while retaining every internal arena, so sweep
@@ -285,6 +314,7 @@ func (s *System) ZeroLoadLatency(src NodeID, dests []NodeID) (int64, error) {
 type Session struct {
 	sim        *sim.Simulator
 	maxSimTime int64
+	injector   *faults.Injector
 }
 
 // NewSession creates a fresh simulation at time zero.
@@ -308,12 +338,19 @@ func (s *Session) At(t int64, fn func()) { s.sim.At(t, fn) }
 // Now returns the current simulated time in nanoseconds.
 func (s *Session) Now() int64 { return s.sim.Now() }
 
-// Run simulates until every submitted message is delivered. It fails on
-// deadlock (which Theorem 1 rules out — a failure here is a bug) or if the
-// simulation exceeds the System's maximum simulated time (one hour unless
-// WithMaxSimTime overrides it).
+// Run simulates until every submitted message is delivered (or, under fault
+// injection, drained). It fails on deadlock (which Theorem 1 rules out — a
+// failure here is a bug), if the simulation exceeds the System's maximum
+// simulated time (one hour unless WithMaxSimTime overrides it), or on an
+// internal fault-engine failure.
 func (s *Session) Run() error {
-	return s.sim.RunUntilIdle(s.maxSimTime)
+	if err := s.sim.RunUntilIdle(s.maxSimTime); err != nil {
+		return err
+	}
+	if s.injector != nil {
+		return s.injector.Err()
+	}
+	return nil
 }
 
 // Reset rewinds the Session to time zero for a fresh trial, retaining every
@@ -325,6 +362,28 @@ func (s *Session) Run() error {
 // is recycled into the next epoch. Read latencies out before resetting.
 func (s *Session) Reset() {
 	s.sim.Reset()
+}
+
+// InstallFaults attaches a fault timeline to this Session: the described
+// topology mutations fire at their simulated times while traffic runs,
+// draining affected messages, re-deriving the up*/down* labeling on the
+// mutated topology and hot-swapping the routing tables in place (the
+// Session routes on a private router from the first InstallFaults on; the
+// System stays immutable and shared). Call after Reset for each new trial;
+// the returned injector exposes disruption metrics and is valid for the
+// Session's lifetime.
+func (s *Session) InstallFaults(spec FaultSpec, pol FaultPolicy) (*FaultInjector, error) {
+	if s.injector == nil {
+		inj, err := faults.NewInjector(s.sim)
+		if err != nil {
+			return nil, err
+		}
+		s.injector = inj
+	}
+	if err := s.injector.InstallSpec(spec, pol); err != nil {
+		return nil, err
+	}
+	return s.injector, nil
 }
 
 // RunUntil simulates events up to simulated time t.
