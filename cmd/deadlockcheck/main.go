@@ -15,9 +15,15 @@
 // acyclicity, emitting a topological-order certificate (a checksum over the
 // rank assignment, every dependency verified rank-increasing) per step.
 //
+// With -topo the checks run on any topology-zoo family instead of random
+// lattices: "torus:8x8", "fattree:4x3", "hypercube:6", "file:net.adj", ...
+// — the acyclicity certificate for the regular families the reproduction
+// contrasts with the paper's irregular networks.
+//
 // Usage:
 //
 //	deadlockcheck -topologies 50 -nodes 64 -stress 3 -messages 400
+//	deadlockcheck -topo fattree:4x3
 //	deadlockcheck -nodes 64 -faults "50us down 3-7; 90us switch-down 4; 150us up 3-7"
 package main
 
@@ -44,23 +50,51 @@ func main() {
 		messages   = flag.Int("messages", 400, "messages per stress simulation")
 		flits      = flag.Int("flits", 32, "message length during stress")
 		seed       = flag.Uint64("seed", 7, "base seed")
+		topoSpec   = flag.String("topo", "", `topology spec to check instead of random lattices (e.g. "torus:8x8", "fattree:4x3")`)
 		faultDSL   = flag.String("faults", "", "fault script (faults DSL); verifies CDG acyclicity after every mutation step")
 	)
 	flag.Parse()
 
+	buildNet := func(i uint64) (*topology.Network, error) {
+		if *topoSpec != "" {
+			sp, err := topology.ParseSpec(*topoSpec)
+			if err != nil {
+				return nil, err
+			}
+			return sp.Build(*seed + i)
+		}
+		return topology.RandomLattice(topology.DefaultLattice(*nodes, *seed+i))
+	}
+	if *topoSpec != "" {
+		if sp, err := topology.ParseSpec(*topoSpec); err != nil {
+			fail(err)
+		} else if sp.Family != "lattice" && sp.Family != "gnm" && *topologies > 1 {
+			// Regular families are seed-independent: one build suffices.
+			*topologies = 1
+		}
+	}
+
 	strategies := []updown.RootStrategy{updown.RootMinID, updown.RootMaxDegree, updown.RootCenter}
 
 	if *faultDSL != "" {
-		if err := checkFaultScript(*nodes, *seed, *faultDSL, strategies); err != nil {
+		net, err := buildNet(0)
+		if err != nil {
+			fail(err)
+		}
+		if err := checkFaultScript(net, *seed, *faultDSL, strategies); err != nil {
 			fail(err)
 		}
 		return
 	}
 
-	fmt.Printf("static check: %d topologies x %d root strategies (%d switches each)\n",
-		*topologies, len(strategies), *nodes)
+	what := fmt.Sprintf("%d switches each", *nodes)
+	if *topoSpec != "" {
+		what = *topoSpec
+	}
+	fmt.Printf("static check: %d topologies x %d root strategies (%s)\n",
+		*topologies, len(strategies), what)
 	for i := 0; i < *topologies; i++ {
-		net, err := topology.RandomLattice(topology.DefaultLattice(*nodes, *seed+uint64(i)))
+		net, err := buildNet(uint64(i))
 		if err != nil {
 			fail(err)
 		}
@@ -83,18 +117,18 @@ func main() {
 	fmt.Printf("dynamic check: %d stress runs x %d messages (%d-flit worms)\n",
 		*stressRuns, *messages, *flits)
 	for run := 0; run < *stressRuns; run++ {
-		if err := stress(*nodes, *seed+uint64(run)*977, *messages, *flits); err != nil {
+		net, err := buildNet(uint64(run) * 977)
+		if err != nil {
+			fail(err)
+		}
+		if err := stress(net, *seed+uint64(run)*977, *messages, *flits); err != nil {
 			fail(fmt.Errorf("stress run %d: %w", run, err))
 		}
 	}
 	fmt.Println("dynamic check: PASS (every worm delivered, no wait cycles)")
 }
 
-func stress(nodes int, seed uint64, messages, flits int) error {
-	net, err := topology.RandomLattice(topology.DefaultLattice(nodes, seed))
-	if err != nil {
-		return err
-	}
+func stress(net *topology.Network, seed uint64, messages, flits int) error {
 	lab, err := updown.New(net, updown.RootStrategy(seed%3))
 	if err != nil {
 		return err
@@ -150,17 +184,13 @@ func stress(nodes int, seed uint64, messages, flits int) error {
 // checkFaultScript replays a fault timeline against one topology per root
 // strategy and certifies, after every mutation step, that the relabeled
 // network's channel dependency graph is acyclic.
-func checkFaultScript(nodes int, seed uint64, dsl string, strategies []updown.RootStrategy) error {
+func checkFaultScript(net *topology.Network, seed uint64, dsl string, strategies []updown.RootStrategy) error {
 	script, err := faults.Parse(dsl)
 	if err != nil {
 		return err
 	}
-	net, err := topology.RandomLattice(topology.DefaultLattice(nodes, seed))
-	if err != nil {
-		return err
-	}
 	fmt.Printf("fault-script check: %d events x %d root strategies (%d switches, seed %d)\n",
-		len(script), len(strategies), nodes, seed)
+		len(script), len(strategies), net.NumSwitches, seed)
 	for _, strat := range strategies {
 		base, err := updown.New(net, strat)
 		if err != nil {

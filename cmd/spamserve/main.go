@@ -6,10 +6,15 @@
 // Usage:
 //
 //	spamserve -addr :8080 -nodes 128 -seed 1998 -pool 8
+//	spamserve -topo torus:16x16 -pool 8
 //
 // API:
 //
 //	POST /run        {"scenario":"mixed","trials":8,"seed":1,"params":{...}}
+//	                 params may carry "topology":"fattree:4x3" to run the
+//	                 sweep on a zoo family instead of the default system
+//	POST /campaign   {"name":"paper"} or {"manifest":{...}} — run a whole
+//	                 reproduction campaign, returning REPORT.md + SVG plots
 //	GET  /scenarios  registered workload scenarios
 //	GET  /healthz    pool occupancy and service counters
 //
@@ -38,7 +43,8 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
-		nodes    = flag.Int("nodes", 128, "network size in switches (one processor each)")
+		nodes    = flag.Int("nodes", 128, "network size in switches (one processor each; ignored when -topo is set)")
+		topoSpec = flag.String("topo", "", `default-system topology spec, e.g. "torus:16x16", "fattree:4x3" (default: lattice:<nodes>)`)
 		seed     = flag.Uint64("seed", 1998, "topology generation seed")
 		root     = flag.String("root", "min-id", "spanning-tree root strategy: min-id | max-degree | center")
 		pool     = flag.Int("pool", 0, "simulator pool size (0 = GOMAXPROCS)")
@@ -56,15 +62,22 @@ func main() {
 	}
 	params := spamnet.PaperParams()
 	params.MessageFlits = *flits
-	sys, err := spamnet.NewLattice(*nodes,
+	sysOpts := []spamnet.Option{
 		spamnet.WithSeed(*seed),
 		spamnet.WithRootStrategy(strategy),
 		spamnet.WithInputBufferFlits(*bufFlits),
 		spamnet.WithLatencyParams(params),
 		spamnet.WithMaxSimTime(*horizon),
-	)
-	if err != nil {
-		log.Fatalf("spamserve: building system: %v", err)
+	}
+	var sys *spamnet.System
+	var err2 error
+	if *topoSpec != "" {
+		sys, err2 = spamnet.NewFromSpec(*topoSpec, sysOpts...)
+	} else {
+		sys, err2 = spamnet.NewLattice(*nodes, sysOpts...)
+	}
+	if err2 != nil {
+		log.Fatalf("spamserve: building system: %v", err2)
 	}
 	svc, err := serve.New(serve.Config{
 		System:      sys,
@@ -89,8 +102,12 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("spamserve: %d-switch system (seed %d, root %s), pool of %d simulators, listening on %s",
-		*nodes, *seed, *root, svc.PoolSize(), *addr)
+	topoName := *topoSpec
+	if topoName == "" {
+		topoName = fmt.Sprintf("lattice:%d", *nodes)
+	}
+	log.Printf("spamserve: %s system (%d switches, seed %d, root %s), pool of %d simulators, listening on %s",
+		topoName, sys.Topology().NumSwitches, *seed, *root, svc.PoolSize(), *addr)
 
 	select {
 	case <-ctx.Done():

@@ -1,26 +1,38 @@
 // Command spamsim regenerates the paper's figures and the future-work
-// ablations at full scale, printing aligned tables (or CSV) to stdout, and
-// runs ad-hoc scenarios from the workload registry on reusable sessions.
+// ablations at full scale, printing aligned tables (or CSV) to stdout, runs
+// ad-hoc scenarios from the workload registry on reusable sessions, and
+// executes whole reproduction campaigns from declarative manifests.
 //
 // Usage:
 //
 //	spamsim -experiment fig2 [-trials 50]
 //	spamsim -experiment fig3 [-messages 2000]
-//	spamsim -experiment compare [-trials 10]
-//	spamsim -experiment ablate-buffer|ablate-root|ablate-partition
 //	spamsim -experiment all
 //	spamsim -list-scenarios
 //	spamsim -scenario hotspot -rate 0.02 [-nodes 128] [-trials 5]
-//	spamsim -scenario bcast-storm -sources 8
+//	spamsim -scenario mixed -topo torus:8x8
+//	spamsim -campaign paper [-out campaign-out]
+//	spamsim -campaign my-manifest.json
 //
-// Every experiment and scenario is deterministic for a given -seed.
+// A campaign writes REPORT.md plus SVG plots under -out and checkpoints
+// every completed cell in <out>/cells: re-running the same manifest skips
+// completed cells and reproduces the artifacts byte for byte; an
+// interrupted run resumes where it stopped.
+//
+// Every experiment, scenario and campaign is deterministic for a given
+// seed (-seed for experiments/scenarios; the manifest's seed for
+// campaigns).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/sim"
@@ -31,7 +43,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "fig2 | fig3 | compare | hotspot | throughput | prune | ibr | ablate-buffer | ablate-root | ablate-partition | ablate-header | all")
+		exp      = flag.String("experiment", "all", "experiment driver name or 'all' (see internal/experiment registry: fig2, fig3, compare, ...)")
 		plot     = flag.Bool("plot", false, "also render figures as ASCII charts")
 		trials   = flag.Int("trials", 20, "samples per data point (fig2, compare, ablations) / scenario replications")
 		messages = flag.Int("messages", 1500, "messages per data point (fig3) or per scenario trial")
@@ -42,9 +54,13 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel replications (0 = GOMAXPROCS)")
 		report   = flag.String("report", "", "also write a consolidated Markdown report to this file")
 
+		campaignArg = flag.String("campaign", "", "run a campaign manifest: built-in name (paper | smoke) or path to a JSON manifest")
+		outDir      = flag.String("out", "campaign-out", "campaign output directory (REPORT.md, plots/, cells/ checkpoints)")
+
 		scenario  = flag.String("scenario", "", "run a named workload scenario instead of an experiment (see -list-scenarios)")
 		listScen  = flag.Bool("list-scenarios", false, "list the registered workload scenarios and exit")
-		nodes     = flag.Int("nodes", 128, "scenario network size in switches")
+		nodes     = flag.Int("nodes", 128, "scenario network size in switches (ignored when -topo is set)")
+		topoSpec  = flag.String("topo", "", `scenario topology spec, e.g. "torus:8x8", "fattree:4x3", "file:net.adj" (default: lattice:<nodes>)`)
 		rate      = flag.Float64("rate", 0, "scenario arrival rate (msg/us/processor; 0 = scenario default)")
 		mcastFrac = flag.Float64("mcast-frac", 0, "scenario multicast fraction (0 = scenario default)")
 		dests     = flag.Int("dests", 0, "scenario multicast destination count (0 = scenario default)")
@@ -81,8 +97,17 @@ func main() {
 		return
 	}
 
+	if *campaignArg != "" {
+		if err := runCampaign(*campaignArg, *outDir, *workers, simCfg); err != nil {
+			fmt.Fprintf(os.Stderr, "spamsim: campaign: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *scenario != "" {
 		params := workload.Params{
+			Topology:          *topoSpec,
 			RatePerProcPerUs:  *rate,
 			Messages:          *messages,
 			MulticastFraction: *mcastFrac,
@@ -108,190 +133,35 @@ func main() {
 	}
 
 	var sections []experiment.MarkdownSection
-	emit := func(t *experiment.Table) {
-		if *csv {
-			fmt.Print(t.CSV())
-		} else {
-			fmt.Println(t.Format())
-		}
-		if *report != "" {
-			sections = append(sections, experiment.MarkdownSection{Title: t.Title, Table: t})
-		}
-	}
-
-	maybePlot := func(title string, series []experiment.Series) {
-		if *plot && !*csv {
-			fmt.Println(experiment.Plot(title, series))
-		}
-	}
-
-	run := func(name string) error {
-		switch name {
-		case "fig2":
-			cfg := experiment.DefaultFig2(*trials)
-			cfg.Seed = *seed
-			cfg.Sim = simCfg
-			cfg.Workers = *workers
-			series, err := experiment.RunFig2(cfg)
-			if err != nil {
-				return err
-			}
-			emit(experiment.SeriesTable(
-				"Figure 2: latency vs number of destinations (single multicast, 128/256 nodes)",
-				"destinations", series))
-			maybePlot("Figure 2 (y: latency us, x: destinations)", series)
-		case "fig3":
-			cfg := experiment.DefaultFig3(*messages)
-			cfg.Seed = *seed
-			cfg.Sim = simCfg
-			cfg.Workers = *workers
-			series, err := experiment.RunFig3(cfg)
-			if err != nil {
-				return err
-			}
-			emit(experiment.SeriesTable(
-				"Figure 3: latency vs arrival rate (90% unicast / 10% multicast, 128 nodes)",
-				"rate(msg/us/proc)", series))
-			maybePlot("Figure 3 (y: latency us, x: arrival rate msg/us/proc)", series)
-		case "faults":
-			cfg := experiment.DefaultFaultSweep(*messages)
-			cfg.Seed = *seed
-			cfg.Sim = simCfg
-			cfg.Workers = *workers
-			cfg.Trials = *trials
-			if *faultMTTR > 0 {
-				cfg.MTTRUs = *faultMTTR
-			}
-			series, err := experiment.RunFaultSweep(cfg)
-			if err != nil {
-				return err
-			}
-			emit(experiment.SeriesTable(
-				"Fault storms: latency/throughput vs per-link fault rate (live relabel + table hot-swap, 128 nodes)",
-				"failures/s/link", series))
-			maybePlot("Fault sweep (y: latency us, x: failures/s/link)", series[:1])
-		case "throughput":
-			cfg := experiment.DefaultFig3(*messages)
-			cfg.Seed = *seed
-			cfg.Sim = simCfg
-			cfg.Workers = *workers
-			series, err := experiment.RunThroughput(cfg)
-			if err != nil {
-				return err
-			}
-			emit(experiment.SeriesTable(
-				"Saturation: accepted vs offered throughput (msg/us/proc)",
-				"offered(msg/us/proc)", series))
-			maybePlot("Throughput (y: accepted msg/us/proc, x: offered)", series)
-		case "prune":
-			cfg := experiment.DefaultPruneComparison(*trials)
-			cfg.Seed = *seed
-			cfg.Sim = simCfg
-			cfg.Workers = *workers
-			series, err := experiment.RunPruneComparison(cfg)
-			if err != nil {
-				return err
-			}
-			emit(experiment.SeriesTable(
-				"SPAM vs pruning-based tree multicast (related work [9]) vs message length",
-				"flits", series))
-			maybePlot("SPAM vs pruning (y: latency us, x: message flits)", series)
-		case "ibr":
-			cfg := experiment.DefaultPruneComparison(*trials)
-			cfg.Seed = *seed
-			cfg.Sim = simCfg
-			cfg.Workers = *workers
-			series, err := experiment.RunIBRComparison(cfg)
-			if err != nil {
-				return err
-			}
-			emit(experiment.SeriesTable(
-				"SPAM vs input-buffer-based replication (related work [14,15]) vs message length",
-				"flits", series))
-			maybePlot("SPAM vs IBR (y: latency us, x: message flits)", series)
-		case "hotspot":
-			cfg := experiment.DefaultAblation(*trials)
-			cfg.Seed = *seed
-			cfg.Sim = simCfg
-			cfg.Workers = *workers
-			series, err := experiment.RunRootShare(cfg, nil)
-			if err != nil {
-				return err
-			}
-			all := []experiment.Series{series}
-			emit(experiment.SeriesTable(
-				"Root hot-spot: share of switch traffic entering the root vs destinations (Section 5)",
-				"destinations", all))
-			maybePlot("Root hot-spot (y: % of traffic, x: destinations)", all)
-		case "ablate-header":
-			cfg := experiment.DefaultAblation(*trials)
-			cfg.Seed = *seed
-			cfg.Sim = simCfg
-			cfg.Workers = *workers
-			series, err := experiment.RunHeaderAblation(cfg, nil)
-			if err != nil {
-				return err
-			}
-			emit(experiment.SeriesTable(
-				"Header-encoding cost: broadcast latency vs destination addresses per header flit (0 = ideal)",
-				"addrs/flit", []experiment.Series{series}))
-		case "compare":
-			cfg := experiment.DefaultComparison(*trials)
-			cfg.Seed = *seed
-			cfg.Sim = simCfg
-			cfg.Workers = *workers
-			rows, err := experiment.RunComparison(cfg)
-			if err != nil {
-				return err
-			}
-			emit(experiment.ComparisonTable(rows))
-		case "ablate-buffer":
-			cfg := experiment.DefaultAblation(*trials)
-			cfg.Seed = *seed
-			cfg.Sim = simCfg
-			cfg.Workers = *workers
-			series, err := experiment.RunBufferAblation(cfg, nil)
-			if err != nil {
-				return err
-			}
-			emit(experiment.SeriesTable(
-				"Ablation A: input buffer size (loaded multicast, Section 5 future work)",
-				"buffer(flits)", []experiment.Series{series}))
-		case "ablate-root":
-			cfg := experiment.DefaultAblation(*trials)
-			cfg.Seed = *seed
-			cfg.Sim = simCfg
-			cfg.Workers = *workers
-			rows, err := experiment.RunRootAblation(cfg)
-			if err != nil {
-				return err
-			}
-			emit(experiment.RootAblationTable(rows))
-		case "ablate-partition":
-			cfg := experiment.DefaultAblation(*trials)
-			cfg.Seed = *seed
-			cfg.Sim = simCfg
-			cfg.Workers = *workers
-			rows, err := experiment.RunPartitionAblation(cfg, 4)
-			if err != nil {
-				return err
-			}
-			emit(experiment.PartitionAblationTable(rows))
-		default:
-			return fmt.Errorf("unknown experiment %q", name)
-		}
-		return nil
-	}
-
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"fig2", "fig3", "compare", "hotspot", "throughput", "faults", "prune", "ibr",
-			"ablate-buffer", "ablate-root", "ablate-partition", "ablate-header"}
+		names = experiment.Drivers()
 	}
 	for _, name := range names {
-		if err := run(name); err != nil {
+		res, err := experiment.RunDriver(name, experiment.DriverOpts{
+			Trials:      *trials,
+			Messages:    *messages,
+			Workers:     *workers,
+			Seed:        *seed,
+			Sim:         simCfg,
+			FaultMTTRUs: *faultMTTR,
+		})
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "spamsim: %s: %v\n", name, err)
 			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(res.Table.CSV())
+		} else {
+			fmt.Println(res.Table.Format())
+		}
+		if *plot && !*csv && len(res.Series) > 0 {
+			fmt.Println(experiment.Plot(
+				fmt.Sprintf("%s (y: %s, x: %s)", res.Table.Title, res.YLabel, res.XLabel),
+				res.Series))
+		}
+		if *report != "" {
+			sections = append(sections, experiment.MarkdownSection{Title: res.Table.Title, Table: res.Table})
 		}
 	}
 	if *report != "" {
@@ -304,6 +174,75 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "report written to %s\n", *report)
 	}
+}
+
+// runCampaign resolves the manifest (built-in name or JSON file), executes
+// it with per-cell checkpointing under <out>/cells, and writes REPORT.md
+// plus plots/*.svg under <out>.
+func runCampaign(arg, out string, workers int, simCfg sim.Config) error {
+	m, ok := campaign.Builtin(arg)
+	if !ok {
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			return fmt.Errorf("%q is neither a built-in manifest (%s) nor a readable file: %w",
+				arg, strings.Join(campaign.BuiltinNames(), " | "), err)
+		}
+		if m, err = campaign.Parse(data); err != nil {
+			return err
+		}
+	}
+	res, err := campaign.Run(context.Background(), m, campaign.Options{
+		Workers:             workers,
+		CheckpointDir:       filepath.Join(out, "cells"),
+		Sim:                 simCfg,
+		AllowFileTopologies: true,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Join(out, "plots"), 0o755); err != nil {
+		return err
+	}
+	for name, svg := range res.SVGs {
+		if err := os.WriteFile(filepath.Join(out, filepath.FromSlash(name)), []byte(svg), 0o644); err != nil {
+			return err
+		}
+	}
+	reportPath := filepath.Join(out, "REPORT.md")
+	if err := os.WriteFile(reportPath, []byte(res.Report), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "campaign %s: %d unit(s) computed, %d from checkpoints; report at %s (%d plots)\n",
+		m.Name, res.Computed, res.Cached, reportPath, len(res.SVGs))
+	return nil
+}
+
+// buildScenarioSystem constructs the network + routing for a scenario run:
+// the -topo spec when given, else the paper lattice at -nodes switches.
+func buildScenarioSystem(topoSpec string, nodes int, seed uint64) (*core.Router, *topology.Network, error) {
+	var (
+		net *topology.Network
+		err error
+	)
+	if topoSpec != "" {
+		var sp topology.Spec
+		if sp, err = topology.ParseSpec(topoSpec); err == nil {
+			net, err = sp.Build(seed)
+		}
+	} else {
+		net, err = topology.RandomLattice(topology.DefaultLattice(nodes, seed))
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	lab, err := updown.New(net, updown.RootMinID)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.NewRouter(lab), net, nil
 }
 
 // runScenario executes a registered workload scenario on one reusable
@@ -322,15 +261,11 @@ func runScenario(name string, params workload.Params, simCfg sim.Config, nodes, 
 	if err != nil {
 		return err
 	}
-	net, err := topology.RandomLattice(topology.DefaultLattice(nodes, seed))
+	router, net, err := buildScenarioSystem(params.Topology, nodes, seed)
 	if err != nil {
 		return err
 	}
-	lab, err := updown.New(net, updown.RootMinID)
-	if err != nil {
-		return err
-	}
-	runner, err := workload.NewRunner(core.NewRouter(lab), simCfg)
+	runner, err := workload.NewRunner(router, simCfg)
 	if err != nil {
 		return err
 	}
@@ -349,9 +284,13 @@ func runScenario(name string, params workload.Params, simCfg sim.Config, nodes, 
 		return err
 	}
 	c := runner.Sim().Counters()
+	topoName := params.Topology
+	if topoName == "" {
+		topoName = fmt.Sprintf("lattice:%d", nodes)
+	}
 	t := &experiment.Table{
-		Title: fmt.Sprintf("Scenario %s (%d switches, %d trials on one reusable session, seed %d)",
-			sc.Name, nodes, trials, seed),
+		Title: fmt.Sprintf("Scenario %s (%s: %d switches / %d processors, %d trials on one reusable session, seed %d)",
+			sc.Name, topoName, net.NumSwitches, net.NumProcs, trials, seed),
 		Headers: []string{"metric", "value"},
 	}
 	t.AddRow("mean latency (us)", fmt.Sprintf("%.3f", st.Mean()))

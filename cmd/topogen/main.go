@@ -1,12 +1,19 @@
-// Command topogen generates and inspects the random irregular topologies of
-// the paper's experimental setup: switches on an integer lattice, adjacent
-// points connected, 8 ports per switch, one processor per switch.
+// Command topogen generates and inspects the topology zoo: the paper's
+// random irregular lattices plus the regular families (mesh, torus,
+// hypercube, fat-tree), G(n,m) irregular networks and adjacency files.
 //
 // Usage:
 //
 //	topogen -nodes 128 -seed 1 -format stats
+//	topogen -topo torus:8x8 -format stats
+//	topogen -topo fattree:4x3 -format svg > fattree.svg
 //	topogen -nodes 64 -seed 2 -format dot > net.dot
 //	topogen -nodes 32 -seed 3 -format updown
+//	topogen -topo hypercube:6 -format adj > cube.adj
+//	topogen -topo file:cube.adj -format stats
+//
+// The adj format is the loader round-trip: every network topogen can build
+// it can also dump as an adjacency file and reload with -topo file:<path>.
 package main
 
 import (
@@ -21,17 +28,29 @@ import (
 
 func main() {
 	var (
-		nodes  = flag.Int("nodes", 128, "number of switches (one processor each)")
-		seed   = flag.Uint64("seed", 1, "generator seed")
-		procs  = flag.Int("procs", 1, "processors per switch")
-		format = flag.String("format", "stats", "stats | dot | svg | updown")
-		root   = flag.Int("root", -1, "spanning-tree root switch (-1 = min-id strategy)")
+		nodes    = flag.Int("nodes", 128, "number of switches for the default lattice (ignored when -topo is set)")
+		seed     = flag.Uint64("seed", 1, "generator seed (random families)")
+		procs    = flag.Int("procs", 1, "processors per switch (default lattice only; use the /n spec suffix with -topo)")
+		topoSpec = flag.String("topo", "", `topology spec: lattice:<n> | gnm:<n>+<m> | mesh:<w>x<h> | torus:<w>x<h> | hypercube:<d> | fattree:<k>x<l> | file:<path>`)
+		format   = flag.String("format", "stats", "stats | dot | svg | updown | adj")
+		root     = flag.Int("root", -1, "spanning-tree root switch (-1 = min-id strategy)")
 	)
 	flag.Parse()
 
-	cfg := topology.DefaultLattice(*nodes, *seed)
-	cfg.ProcsPerSwitch = *procs
-	net, err := topology.RandomLattice(cfg)
+	var (
+		net *topology.Network
+		err error
+	)
+	if *topoSpec != "" {
+		var sp topology.Spec
+		if sp, err = topology.ParseSpec(*topoSpec); err == nil {
+			net, err = sp.Build(*seed)
+		}
+	} else {
+		cfg := topology.DefaultLattice(*nodes, *seed)
+		cfg.ProcsPerSwitch = *procs
+		net, err = topology.RandomLattice(cfg)
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -39,10 +58,15 @@ func main() {
 	switch *format {
 	case "stats":
 		fmt.Println(topology.ComputeStats(net))
+	case "adj":
+		fmt.Print(topology.FormatAdjacency(net))
 	case "dot":
 		fmt.Print(net.SwitchGraph().DOT("spamnet", func(v int) string {
-			c := net.Coords[v]
-			return fmt.Sprintf("s%d (%d,%d)", v, c[0], c[1])
+			if net.Coords != nil {
+				c := net.Coords[v]
+				return fmt.Sprintf("s%d (%d,%d)", v, c[0], c[1])
+			}
+			return fmt.Sprintf("s%d", v)
 		}))
 	case "svg":
 		lab, err := labelingFor(net, *root)

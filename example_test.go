@@ -70,6 +70,61 @@ func ExampleWithLatencyParams() {
 	// Output: 32 flits in 10.52 us
 }
 
+// Live fault injection: a scripted outage fires mid-traffic, the session
+// drains affected messages, relabels and hot-swaps its routing tables, and
+// sources retry. Deterministic: the same script and seed always produce
+// these numbers.
+func ExampleSession_InstallFaults() {
+	sys, err := spamnet.NewLattice(32, spamnet.WithSeed(42))
+	if err != nil {
+		panic(err)
+	}
+	sess, err := sys.NewSession()
+	if err != nil {
+		panic(err)
+	}
+	inj, err := sess.InstallFaults(
+		spamnet.FaultSpec{DSL: "40us down 0-1; 90us up 0-1"},
+		spamnet.FaultPolicy{Drain: spamnet.FaultDrainAll, MaxRetries: 3, RetryDelayNs: 10_000},
+	)
+	if err != nil {
+		panic(err)
+	}
+	procs := sys.Processors()
+	for t := int64(0); t < 150_000; t += 5_000 {
+		src := procs[int(t/5_000)%len(procs)]
+		dst := procs[(int(t/5_000)+7)%len(procs)]
+		if _, err := sess.Multicast(t, src, []spamnet.NodeID{dst}); err != nil {
+			panic(err)
+		}
+	}
+	if err := sess.Run(); err != nil {
+		panic(err)
+	}
+	m := inj.Metrics()
+	fmt.Printf("events applied: %d, table swaps: %d, aborted: %d, retried: %d, lost: %d\n",
+		m.EventsApplied, m.Swaps, m.WormsAborted, m.WormsRetried, m.MessagesLost)
+	// Output: events applied: 2, table swaps: 2, aborted: 0, retried: 0, lost: 0
+}
+
+// The topology zoo: every family is selectable by spec string — the same
+// grammar campaign manifests, the serve wire format and -topo flags use.
+func ExampleNewFromSpec() {
+	for _, spec := range []string{"torus:4x4", "hypercube:4", "fattree:2x3"} {
+		sys, err := spamnet.NewFromSpec(spec)
+		if err != nil {
+			panic(err)
+		}
+		net := sys.Topology()
+		fmt.Printf("%s: %d switches, %d processors, root %d\n",
+			spec, net.NumSwitches, net.NumProcs, sys.Root())
+	}
+	// Output:
+	// torus:4x4: 16 switches, 16 processors, root 0
+	// hypercube:4: 16 switches, 16 processors, root 0
+	// fattree:2x3: 12 switches, 8 processors, root 0
+}
+
 // Reconfiguration after a link failure keeps the network routable.
 func ExampleSystem_Reconfigure() {
 	sys, err := spamnet.NewFigure1()

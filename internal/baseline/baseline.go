@@ -1,14 +1,3 @@
-// Package baseline implements the software (unicast-based) multicast schemes
-// SPAM is compared against in Section 4 of the paper.
-//
-// The paper invokes the lower bound of McKinley et al.: distributing a
-// message to d destinations with unicasts takes at least ⌈log₂(d+1)⌉
-// communication phases, each paying the full startup latency. We implement
-// the binomial-tree schedule that achieves the bound, plus two weaker
-// comparators (d separate worms from the source, and a sequential forwarding
-// chain), all running on the same flit-level simulator and the same SPAM
-// unicast transport — so the comparison is measured end to end rather than
-// assumed from the bound.
 package baseline
 
 import (

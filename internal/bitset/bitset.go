@@ -1,8 +1,3 @@
-// Package bitset provides a dense, fixed-capacity bitset used throughout the
-// repository for ancestor sets, extended-ancestor sets and destination sets.
-//
-// The zero value of Set is an empty set of capacity zero; use New to allocate
-// capacity. All operations that combine two sets require equal word lengths.
 package bitset
 
 import (

@@ -1,0 +1,36 @@
+// Package campaign is the manifest-driven reproduction engine: a single
+// entry point that runs a declarative experiment campaign — experiment
+// drivers × topology families × workload scenarios × fault profiles ×
+// seeds — and renders a deterministic REPORT.md plus SVG plots.
+//
+// A Manifest lists two kinds of units:
+//
+//   - Experiments: named figure/table drivers from the experiment registry
+//     (fig2, fig3, compare, the ablations, ...). The built-in "paper"
+//     manifest names every registered driver, so one command regenerates
+//     everything the repository reproduces.
+//   - Grids: cross-product sweeps of topology specs (the topology zoo:
+//     lattice, gnm, mesh, torus, hypercube, fattree, adjacency files) ×
+//     scenario registry names × fault profiles × seeds, measured with the
+//     workload engine's warmup + batch-means harness.
+//
+// Execution. Grid cells run on the campaign's session pool: Workers
+// goroutines, each owning reusable simulators keyed by topology (the same
+// architecture as the experiment harness's per-goroutine sim caches).
+// Results land in per-cell slots and render in manifest order, so the
+// artifacts are independent of scheduling.
+//
+// Checkpointing. With Options.CheckpointDir set, every completed unit
+// persists as a JSON file keyed by a hash of its complete parameterization.
+// A re-run loads completed units instead of recomputing them; an
+// interrupted run resumes where it stopped; a changed knob changes the key
+// and recomputes. Checkpointed floats round-trip exactly (encoding/json
+// shortest-form float64), so a replayed campaign is bit-identical to a
+// computed one.
+//
+// Determinism. For a fixed (manifest, clamps) pair the report bytes, the
+// SVG bytes and every numeric value are identical on every run, for any
+// worker count — the same merge-in-trial-order discipline the serve layer
+// pins with its golden tests, plus viz.CurveSVG's byte-deterministic
+// rendering.
+package campaign

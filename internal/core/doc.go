@@ -1,0 +1,28 @@
+// Package core implements the paper's primary contribution: the SPAM
+// (Single Phase Adaptive Multicast) routing algorithm.
+//
+// SPAM routes a worm in two phases:
+//
+//  1. To the LCA. The header travels from the source processor to the least
+//     common ancestor (LCA) of the destination set in the up*/down* spanning
+//     tree, using one or more up channels, then zero or more down-cross
+//     channels, then zero or more down-tree channels — strictly in that
+//     order. A down-cross channel is permitted only if its endpoint is an
+//     *extended ancestor* of the LCA; a down-tree channel only if its
+//     endpoint is an *ancestor* of the LCA.
+//
+//  2. Distribution. From the LCA, routing is restricted to down-tree
+//     channels. The worm splits into a multi-head worm along the Steiner
+//     subtree spanning the destinations; at each switch, the set of
+//     required output channels is the set of child tree channels whose
+//     subtree contains at least one destination, plus the consumption
+//     channel when a local processor is a destination.
+//
+// Unicast is the special case |D| = 1: the LCA of a single processor is the
+// processor itself, so phase 1 routes to its switch and phase 2 degenerates
+// to the consumption channel.
+//
+// The routing function is partially adaptive in phase 1; the paper's
+// selection function prioritizes candidate channels by the hop distance from
+// the channel's endpoint to the LCA, which CandidateOutputs implements.
+package core

@@ -1,14 +1,3 @@
-// Package deadlock provides static evidence for SPAM's deadlock freedom
-// (Theorem 1) and a runtime checker over live simulators.
-//
-// Static check: build the channel dependency graph (CDG) of the unicast
-// relation — there is an arc from channel a to channel b when some legal
-// route can hold a while requesting b, i.e. when b is a legal next channel
-// after arriving on a for some destination. Duato/Dally theory: if the CDG
-// is acyclic, the routing function is deadlock-free for unicast worms. The
-// multicast distribution phase only adds down-tree channels acquired
-// root-to-leaf with atomic OCRQ requests, which cannot close a cycle either;
-// the dynamic stress tests in internal/sim exercise that part.
 package deadlock
 
 import (

@@ -1,0 +1,253 @@
+package experiment
+
+// The driver registry names every figure/table driver of the reproduction
+// so callers — cmd/spamsim, the campaign engine, the serve layer — can run
+// "the paper" by name instead of hard-coding a switch over config types.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// DriverOpts are the shared knobs a named driver consumes. Zero values
+// select each driver's documented default effort.
+type DriverOpts struct {
+	// Trials is samples per data point (single-shot drivers); 0 = 20.
+	Trials int
+	// Messages is the per-point message budget (steady-state drivers);
+	// 0 = 1500.
+	Messages int
+	// Workers bounds the parallel worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Seed is the base random seed (0 is a valid seed).
+	Seed uint64
+	// Sim is the simulator configuration; a zero value (detected by
+	// MessageFlits == 0) selects sim.DefaultConfig().
+	Sim sim.Config
+	// FaultMTTRUs overrides the fault sweep's per-link repair time (0 =
+	// driver default).
+	FaultMTTRUs float64
+}
+
+func (o DriverOpts) withDefaults() DriverOpts {
+	if o.Trials <= 0 {
+		o.Trials = 20
+	}
+	if o.Messages <= 0 {
+		o.Messages = 1500
+	}
+	if o.Sim.Params.MessageFlits == 0 {
+		o.Sim = sim.DefaultConfig()
+	}
+	return o
+}
+
+// DriverResult is the uniform output of a named driver: always a table,
+// plus the underlying series for drivers that produce curves (nil for
+// row-table drivers like the comparisons and categorical ablations).
+type DriverResult struct {
+	Driver string
+	Table  *Table
+	Series []Series
+	// XLabel/YLabel annotate plots of Series.
+	XLabel, YLabel string
+}
+
+// driverFn runs one registered driver.
+type driverFn struct {
+	run  func(o DriverOpts) (*DriverResult, error)
+	desc string
+}
+
+var drivers = map[string]driverFn{
+	"fig2": {desc: "Figure 2: latency vs destinations (single multicast, 128/256 nodes)", run: func(o DriverOpts) (*DriverResult, error) {
+		cfg := DefaultFig2(o.Trials)
+		cfg.Seed, cfg.Sim, cfg.Workers = o.Seed, o.Sim, o.Workers
+		series, err := RunFig2(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &DriverResult{
+			Table: SeriesTable(
+				"Figure 2: latency vs number of destinations (single multicast, 128/256 nodes)",
+				"destinations", series),
+			Series: series, XLabel: "destinations", YLabel: "latency (us)",
+		}, nil
+	}},
+	"fig3": {desc: "Figure 3: latency vs arrival rate (90/10 mixed traffic, 128 nodes)", run: func(o DriverOpts) (*DriverResult, error) {
+		cfg := DefaultFig3(o.Messages)
+		cfg.Seed, cfg.Sim, cfg.Workers = o.Seed, o.Sim, o.Workers
+		series, err := RunFig3(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &DriverResult{
+			Table: SeriesTable(
+				"Figure 3: latency vs arrival rate (90% unicast / 10% multicast, 128 nodes)",
+				"rate(msg/us/proc)", series),
+			Series: series, XLabel: "rate (msg/us/proc)", YLabel: "latency (us)",
+		}, nil
+	}},
+	"throughput": {desc: "accepted vs offered throughput saturation sweep", run: func(o DriverOpts) (*DriverResult, error) {
+		cfg := DefaultFig3(o.Messages)
+		cfg.Seed, cfg.Sim, cfg.Workers = o.Seed, o.Sim, o.Workers
+		series, err := RunThroughput(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &DriverResult{
+			Table: SeriesTable(
+				"Saturation: accepted vs offered throughput (msg/us/proc)",
+				"offered(msg/us/proc)", series),
+			Series: series, XLabel: "offered (msg/us/proc)", YLabel: "accepted (msg/us/proc)",
+		}, nil
+	}},
+	"faults": {desc: "latency/throughput/availability vs per-link fault rate", run: func(o DriverOpts) (*DriverResult, error) {
+		cfg := DefaultFaultSweep(o.Messages)
+		cfg.Seed, cfg.Sim, cfg.Workers, cfg.Trials = o.Seed, o.Sim, o.Workers, o.Trials
+		if o.FaultMTTRUs > 0 {
+			cfg.MTTRUs = o.FaultMTTRUs
+		}
+		series, err := RunFaultSweep(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &DriverResult{
+			Table: SeriesTable(
+				"Fault storms: latency/throughput vs per-link fault rate (live relabel + table hot-swap, 128 nodes)",
+				"failures/s/link", series),
+			Series: series, XLabel: "failures/s/link", YLabel: "latency (us) / rate / %",
+		}, nil
+	}},
+	"prune": {desc: "SPAM vs pruning-based tree multicast vs message length", run: func(o DriverOpts) (*DriverResult, error) {
+		cfg := DefaultPruneComparison(o.Trials)
+		cfg.Seed, cfg.Sim, cfg.Workers = o.Seed, o.Sim, o.Workers
+		series, err := RunPruneComparison(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &DriverResult{
+			Table: SeriesTable(
+				"SPAM vs pruning-based tree multicast (related work [9]) vs message length",
+				"flits", series),
+			Series: series, XLabel: "message length (flits)", YLabel: "latency (us)",
+		}, nil
+	}},
+	"ibr": {desc: "SPAM vs input-buffer-based replication vs message length", run: func(o DriverOpts) (*DriverResult, error) {
+		cfg := DefaultPruneComparison(o.Trials)
+		cfg.Seed, cfg.Sim, cfg.Workers = o.Seed, o.Sim, o.Workers
+		series, err := RunIBRComparison(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &DriverResult{
+			Table: SeriesTable(
+				"SPAM vs input-buffer-based replication (related work [14,15]) vs message length",
+				"flits", series),
+			Series: series, XLabel: "message length (flits)", YLabel: "latency (us)",
+		}, nil
+	}},
+	"hotspot": {desc: "share of switch traffic entering the root vs destinations", run: func(o DriverOpts) (*DriverResult, error) {
+		cfg := DefaultAblation(o.Trials)
+		cfg.Seed, cfg.Sim, cfg.Workers = o.Seed, o.Sim, o.Workers
+		series, err := RunRootShare(cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		all := []Series{series}
+		return &DriverResult{
+			Table: SeriesTable(
+				"Root hot-spot: share of switch traffic entering the root vs destinations (Section 5)",
+				"destinations", all),
+			Series: all, XLabel: "destinations", YLabel: "% of switch traffic",
+		}, nil
+	}},
+	"ablate-header": {desc: "broadcast latency vs destination addresses per header flit", run: func(o DriverOpts) (*DriverResult, error) {
+		cfg := DefaultAblation(o.Trials)
+		cfg.Seed, cfg.Sim, cfg.Workers = o.Seed, o.Sim, o.Workers
+		series, err := RunHeaderAblation(cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		all := []Series{series}
+		return &DriverResult{
+			Table: SeriesTable(
+				"Header-encoding cost: broadcast latency vs destination addresses per header flit (0 = ideal)",
+				"addrs/flit", all),
+			Series: all, XLabel: "addresses per header flit", YLabel: "latency (us)",
+		}, nil
+	}},
+	"ablate-buffer": {desc: "input buffer size ablation under loaded multicast", run: func(o DriverOpts) (*DriverResult, error) {
+		cfg := DefaultAblation(o.Trials)
+		cfg.Seed, cfg.Sim, cfg.Workers = o.Seed, o.Sim, o.Workers
+		series, err := RunBufferAblation(cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		all := []Series{series}
+		return &DriverResult{
+			Table: SeriesTable(
+				"Ablation A: input buffer size (loaded multicast, Section 5 future work)",
+				"buffer(flits)", all),
+			Series: all, XLabel: "input buffer (flits)", YLabel: "latency (us)",
+		}, nil
+	}},
+	"compare": {desc: "SPAM vs software multicast baselines", run: func(o DriverOpts) (*DriverResult, error) {
+		cfg := DefaultComparison(o.Trials)
+		cfg.Seed, cfg.Sim, cfg.Workers = o.Seed, o.Sim, o.Workers
+		rows, err := RunComparison(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &DriverResult{Table: ComparisonTable(rows)}, nil
+	}},
+	"ablate-root": {desc: "spanning-tree root strategy ablation", run: func(o DriverOpts) (*DriverResult, error) {
+		cfg := DefaultAblation(o.Trials)
+		cfg.Seed, cfg.Sim, cfg.Workers = o.Seed, o.Sim, o.Workers
+		rows, err := RunRootAblation(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &DriverResult{Table: RootAblationTable(rows)}, nil
+	}},
+	"ablate-partition": {desc: "destination partitioning ablation", run: func(o DriverOpts) (*DriverResult, error) {
+		cfg := DefaultAblation(o.Trials)
+		cfg.Seed, cfg.Sim, cfg.Workers = o.Seed, o.Sim, o.Workers
+		rows, err := RunPartitionAblation(cfg, 4)
+		if err != nil {
+			return nil, err
+		}
+		return &DriverResult{Table: PartitionAblationTable(rows)}, nil
+	}},
+}
+
+// Drivers returns the registered driver names, sorted.
+func Drivers() []string {
+	out := make([]string, 0, len(drivers))
+	for name := range drivers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DriverDescription returns the one-line description of a driver ("" if
+// unknown).
+func DriverDescription(name string) string { return drivers[name].desc }
+
+// RunDriver executes the named driver. Every driver is deterministic for a
+// given DriverOpts: same options, same table bytes and series values.
+func RunDriver(name string, o DriverOpts) (*DriverResult, error) {
+	d, ok := drivers[name]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown driver %q (have %v)", name, Drivers())
+	}
+	res, err := d.run(o.withDefaults())
+	if err != nil {
+		return nil, fmt.Errorf("experiment: driver %s: %w", name, err)
+	}
+	res.Driver = name
+	return res, nil
+}

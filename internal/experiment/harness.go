@@ -1,8 +1,3 @@
-// Package experiment contains the drivers that regenerate every figure and
-// in-text result of the paper's Section 4, plus the ablations suggested by
-// its future-work section. Each driver builds networks, runs replications in
-// parallel (one deterministic simulator per goroutine) and aggregates
-// latencies with 95% confidence intervals.
 package experiment
 
 import (

@@ -1,0 +1,28 @@
+// Package faults is the deterministic fault-injection engine: it drives
+// timed topology mutations — links failing and returning, switches drained
+// for maintenance — through a *running* simulation, re-deriving the
+// up*/down* labeling and hot-swapping the compiled routing tables at every
+// step, the way the Autonet-descended networks the paper targets keep
+// operating through failures.
+//
+// The package has four layers:
+//
+//   - a fault-script model (Event/Script, a compact text DSL, and seeded
+//     generators: Poisson failure/repair, rolling maintenance windows,
+//     correlated regional outages);
+//   - an Injector that owns a private mutable labeling + router for one
+//     simulator and applies script events inside the simulation's event
+//     loop, with defined drain semantics (see sim.AbortWorms) and an
+//     optional source retry policy;
+//   - the live reconfiguration path: updown.Labeling.Relabel recomputes the
+//     masked labeling in place and core.Router.Recompile rebuilds the
+//     candidate tables into their retained arenas — an atomic swap with no
+//     discarded storage, cross-checked bit-identically against a fresh
+//     NewRouter build by the property tests;
+//   - disruption metrics (availability, abort/retry counts, a
+//     latency-disruption histogram) streamed through internal/stats.
+//
+// Everything is deterministic: a (script, seed, policy) triple replays
+// bit-identically, and the engine allocates nothing in steady state between
+// fault events.
+package faults

@@ -1,0 +1,7 @@
+// Package graph implements the undirected-graph substrate used by the
+// topology generators and the up*/down* labeling: adjacency storage, BFS,
+// connectivity, spanning trees, all-pairs hop distances and graph centers.
+//
+// Vertices are dense integers [0, N). Self-loops and parallel edges are
+// rejected: the paper's network model is a simple graph of switches.
+package graph

@@ -1,10 +1,3 @@
-// Package partition implements the destination-partitioning strategies the
-// paper's Section 5 proposes as future work: because every SPAM worm to a
-// widely spread destination set must pass through (or near) the root of the
-// up*/down* spanning tree, the root becomes a hot spot. Partitioning the
-// destinations into groups of contiguous nodes and sending a separate
-// tree-based multicast to each group trades extra startups for reduced
-// root pressure.
 package partition
 
 import (

@@ -1,10 +1,3 @@
-// Package prune drives the pruning-based tree multicast of Malumbres, Duato
-// and Torrellas (the paper's reference [9]) end to end: each worm cuts
-// blocked branches instead of waiting (see sim's Prune mode) and the source
-// retries the pruned destinations with fresh worms — each retry paying the
-// full startup latency. The paper's related-work section observes the
-// scheme is "effective only for short messages"; the experiment driver in
-// internal/experiment measures exactly that crossover against SPAM.
 package prune
 
 import (

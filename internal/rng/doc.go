@@ -1,0 +1,8 @@
+// Package rng provides a small, deterministic pseudo-random number generator
+// (xoshiro256** seeded with splitmix64) plus the samplers the experiments
+// need: uniform integers and floats, permutations, k-subsets, geometric,
+// negative binomial and exponential variates.
+//
+// Every simulator instance owns its own *Source so that replications are
+// reproducible and can run in parallel without shared state.
+package rng

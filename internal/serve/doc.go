@@ -1,0 +1,22 @@
+// Package serve is the concurrent sweep service: it multiplexes many
+// simultaneous sweep requests over a bounded pool of resettable simulators.
+//
+// Architecture. A Service owns PoolSize worker goroutines, each bound to one
+// reusable workload.Runner (the PR-2 resettable simulator, arenas retained
+// across trials). Requests decompose into independent trial tasks that feed
+// a shared queue; workers steal whatever trial is next, regardless of which
+// request produced it, so one slow sweep cannot monopolize the pool and a
+// burst of small requests interleaves with a long one. Per-request contexts
+// cancel queued trials without tearing down workers.
+//
+// Determinism. Trial t of a request with base seed S always runs with
+// workload.TrialSeed(S, t) on a freshly Reset simulator, records into its
+// own constant-memory shard (stats.Summary + stats.BatchStream), and shards
+// merge in trial order once the request completes. Results are therefore
+// bit-identical whatever the pool size, GOMAXPROCS or request interleaving —
+// the golden test battery pins serial == concurrent.
+//
+// Memory. No per-message sample is ever retained: shards are fixed-size
+// streaming accumulators, so a request costs O(trials) small shards and the
+// simulators themselves are the bounded pool.
+package serve

@@ -41,6 +41,7 @@ type Health struct {
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/campaign", s.handleCampaign)
 	mux.HandleFunc("/scenarios", s.handleScenarios)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -83,15 +84,52 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			// The client is gone; 499 in the nginx tradition.
 			writeJSON(w, 499, errorBody{Error: err.Error()})
-		case errors.Is(err, ErrUnknownScenario), errors.Is(err, workload.ErrInvalidWorkload):
-			// The client's fault: no such scenario, or parameters the
-			// generator rejects (validation fires inside the trial).
+		case errors.Is(err, ErrUnknownScenario), errors.Is(err, ErrBadTopology), errors.Is(err, workload.ErrInvalidWorkload):
+			// The client's fault: no such scenario, a rejected topology
+			// spec, or parameters the generator rejects (validation fires
+			// inside the trial).
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		case errors.Is(err, ErrClosed):
 			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 		default:
 			// Everything else — trial failures (TrialError), merge errors
 			// — is a server-side fault.
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		}
+		return
+	}
+	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000.0
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxCampaignBodyBytes bounds /campaign request bodies (inline manifests
+// are small; the response carries the heavy artifacts).
+const maxCampaignBodyBytes = 1 << 20
+
+func (s *Service) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
+		return
+	}
+	var req CampaignRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxCampaignBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	start := time.Now()
+	resp, err := s.RunCampaign(r.Context(), req)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			writeJSON(w, 499, errorBody{Error: err.Error()})
+		case errors.Is(err, ErrBadCampaign):
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		case errors.Is(err, ErrClosed):
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		default:
 			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 		}
 		return

@@ -1,24 +1,3 @@
-// Package serve is the concurrent sweep service: it multiplexes many
-// simultaneous sweep requests over a bounded pool of resettable simulators.
-//
-// Architecture. A Service owns PoolSize worker goroutines, each bound to one
-// reusable workload.Runner (the PR-2 resettable simulator, arenas retained
-// across trials). Requests decompose into independent trial tasks that feed
-// a shared queue; workers steal whatever trial is next, regardless of which
-// request produced it, so one slow sweep cannot monopolize the pool and a
-// burst of small requests interleaves with a long one. Per-request contexts
-// cancel queued trials without tearing down workers.
-//
-// Determinism. Trial t of a request with base seed S always runs with
-// workload.TrialSeed(S, t) on a freshly Reset simulator, records into its
-// own constant-memory shard (stats.Summary + stats.BatchStream), and shards
-// merge in trial order once the request completes. Results are therefore
-// bit-identical whatever the pool size, GOMAXPROCS or request interleaving —
-// the golden test battery pins serial == concurrent.
-//
-// Memory. No per-message sample is ever retained: shards are fixed-size
-// streaming accumulators, so a request costs O(trials) small shards and the
-// simulators themselves are the bounded pool.
 package serve
 
 import (
@@ -30,7 +9,11 @@ import (
 	"sync/atomic"
 
 	spamnet "repro"
+	"repro/internal/campaign"
+	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/updown"
 	"repro/internal/workload"
 )
 
@@ -56,6 +39,10 @@ type Config struct {
 const (
 	defaultMaxTrials   = 64
 	defaultMaxMessages = 20000
+	// maxAltSwitches caps the size of a request-selected topology, and
+	// maxAltSystems bounds how many built alternates stay cached.
+	maxAltSwitches = 4096
+	maxAltSystems  = 8
 )
 
 // task is one trial awaiting a pooled simulator.
@@ -74,6 +61,19 @@ type task struct {
 type Service struct {
 	cfg   Config
 	tasks chan *task
+
+	// alternate systems built for topology-overriding requests, keyed by
+	// (spec, seed); immutable once built, FIFO-evicted at maxAltSystems.
+	altMu    sync.Mutex
+	alts     map[altKey]*altSystem
+	altOrder []altKey
+
+	// campaignSem admits one campaign at a time: each campaign already
+	// parallelizes to PoolSize workers of its own, so without this gate N
+	// concurrent /campaign requests would run N×PoolSize simulators and
+	// blow past the service's concurrency contract. Excess requests queue
+	// here (cancellable via their context).
+	campaignSem chan struct{}
 
 	mu     sync.Mutex
 	closed bool
@@ -108,7 +108,7 @@ func New(cfg Config) (*Service, error) {
 	// requests' traces. Tracing stays a Session-level debugging tool.
 	simCfg := cfg.System.SimConfig()
 	simCfg.Logf = nil
-	s := &Service{cfg: cfg, tasks: make(chan *task)}
+	s := &Service{cfg: cfg, tasks: make(chan *task), campaignSem: make(chan struct{}, 1)}
 	for i := 0; i < cfg.PoolSize; i++ {
 		r, err := workload.NewRunner(cfg.System.Router(), simCfg)
 		if err != nil {
@@ -188,6 +188,9 @@ type RunRequest struct {
 // RunResponse is the streaming-statistics result of one sweep request.
 type RunResponse struct {
 	Scenario string `json:"scenario"`
+	// Topology echoes the request-selected topology spec ("" = the
+	// service's default system).
+	Topology string `json:"topology,omitempty"`
 	Trials   int    `json:"trials"`
 	Seed     uint64 `json:"seed"`
 	Warmup   int    `json:"warmup_messages"`
@@ -224,6 +227,77 @@ var ErrClosed = errors.New("serve: service closed")
 // ErrUnknownScenario reports a request naming no registered scenario.
 var ErrUnknownScenario = errors.New("serve: unknown scenario")
 
+// ErrBadTopology reports a request-selected topology the service rejects:
+// unparseable spec, file: family (no server-side path reads on request), or
+// a size beyond the admission cap.
+var ErrBadTopology = errors.New("serve: bad topology")
+
+// altKey identifies a request-built alternate system.
+type altKey struct {
+	spec string
+	seed uint64
+}
+
+// altSystem is an immutable alternate network + routing structure built for
+// topology-overriding requests. Trials on it run in per-trial simulators
+// (created inside the bounded worker pool, so concurrency stays capped);
+// the routing tables and topology are shared.
+type altSystem struct {
+	router *core.Router
+	procs  int
+}
+
+// systemFor returns the alternate system for a topology spec, building and
+// caching it on first use. Spec validation happens before construction so
+// a hostile request cannot make the server do unbounded work.
+func (s *Service) systemFor(spec string, seed uint64) (*altSystem, error) {
+	sp, err := topology.ParseSpec(spec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadTopology, err)
+	}
+	if sp.Family == "file" {
+		return nil, fmt.Errorf("%w: file topologies are not servable", ErrBadTopology)
+	}
+	if n := sp.Switches(); n < 1 || n > maxAltSwitches {
+		return nil, fmt.Errorf("%w: %q expands to %d switches (cap %d)", ErrBadTopology, spec, n, maxAltSwitches)
+	}
+	k := altKey{spec: sp.String(), seed: seed}
+	s.altMu.Lock()
+	if alt, ok := s.alts[k]; ok {
+		s.altMu.Unlock()
+		return alt, nil
+	}
+	s.altMu.Unlock()
+	// Build outside the lock: a slow large-topology build must not block
+	// requests whose system is already cached. Construction is
+	// deterministic, so a rare concurrent duplicate build yields an
+	// identical system and the loser is simply dropped.
+	net, err := sp.Build(seed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadTopology, err)
+	}
+	lab, err := updown.New(net, updown.RootMinID)
+	if err != nil {
+		return nil, err
+	}
+	alt := &altSystem{router: core.NewRouter(lab), procs: net.NumProcs}
+	s.altMu.Lock()
+	defer s.altMu.Unlock()
+	if cached, ok := s.alts[k]; ok {
+		return cached, nil
+	}
+	if s.alts == nil {
+		s.alts = map[altKey]*altSystem{}
+	}
+	if len(s.altOrder) >= maxAltSystems {
+		delete(s.alts, s.altOrder[0])
+		s.altOrder = s.altOrder[1:]
+	}
+	s.alts[k] = alt
+	s.altOrder = append(s.altOrder, k)
+	return alt, nil
+}
+
 // Run executes one sweep request over the pool, blocking until every trial
 // completes or ctx cancels. See the package comment for the determinism and
 // memory guarantees.
@@ -250,19 +324,38 @@ func (s *Service) Run(ctx context.Context, req RunRequest) (*RunResponse, error)
 	if trials > s.cfg.MaxTrials {
 		trials = s.cfg.MaxTrials
 	}
+	// A request may select its own topology family ("topology" param); the
+	// alternate system is validated, built and cached up front, and its
+	// trials run in per-trial simulators inside the same bounded pool.
+	params := req.Params
+	var alt *altSystem
+	if params.Topology != "" {
+		var err error
+		if alt, err = s.systemFor(params.Topology, req.Seed); err != nil {
+			return nil, err
+		}
+	}
 	// Clamp every wire-exposed knob that scales per-trial work. The message
 	// budget is checked after scenario defaults resolve: an omitted
 	// "messages" param falls to the scenario default, which must not bypass
 	// the operator's cap either. Budget-less workloads scale differently —
 	// permutations submit rounds·procs messages and a storm one broadcast
 	// per source — so their knobs are clamped directly.
-	params := req.Params
 	procs := s.cfg.System.Topology().NumProcs
+	if alt != nil {
+		procs = alt.procs
+	}
 	if maxRounds := max(1, s.cfg.MaxMessages/max(1, procs)); params.Rounds > maxRounds {
 		params.Rounds = maxRounds
 	}
 	if params.Sources > procs {
 		params.Sources = procs
+	}
+	if alt != nil {
+		// A topology-selecting request shares scenario defaults sized for
+		// the 128-proc default system; clamp fan-out to what the selected
+		// network can express rather than failing the trial.
+		params = workload.ClampFanOut(params, procs)
 	}
 	if messageBudget(sc.New(params)) > s.cfg.MaxMessages {
 		params.Messages = s.cfg.MaxMessages
@@ -304,6 +397,21 @@ func (s *Service) Run(ctx context.Context, req RunRequest) (*RunResponse, error)
 			// a single-trial Measure is its base seed, so shard t is
 			// bit-identical to trial t of a serial trials-long Measure.
 			run: func(r *workload.Runner) error {
+				if alt != nil {
+					// The pooled simulator is bound to the default system;
+					// topology-overriding trials run on a fresh simulator
+					// for the alternate router. Worker occupancy still
+					// bounds concurrency, and Measure's TrialSeed contract
+					// keeps the result bit-identical to a serial run.
+					simCfg := s.cfg.System.SimConfig()
+					simCfg.Logf = nil
+					ar, err := workload.NewRunner(alt.router, simCfg)
+					if err != nil {
+						return err
+					}
+					ar.MaxSimTimeNs = s.cfg.System.MaxSimTimeNs()
+					r = ar
+				}
 				w, err := workload.ApplyFaults(sc.New(params), params)
 				if err != nil {
 					return err
@@ -374,6 +482,7 @@ func (s *Service) Run(ctx context.Context, req RunRequest) (*RunResponse, error)
 	}
 	return &RunResponse{
 		Scenario:         req.Scenario,
+		Topology:         params.Topology,
 		Trials:           trials,
 		Seed:             req.Seed,
 		Warmup:           warmup,
@@ -388,6 +497,108 @@ func (s *Service) Run(ctx context.Context, req RunRequest) (*RunResponse, error)
 		P99Us:            merged.Quantile(0.99),
 		QuantileErrBound: merged.Hist().QuantileErrorBound(),
 		PoolSize:         s.cfg.PoolSize,
+	}, nil
+}
+
+// CampaignRequest asks the service to execute a whole reproduction
+// campaign: either a built-in manifest by name ("paper", "smoke") or an
+// inline manifest. The campaign runs with the service's admission clamps
+// (MaxTrials, MaxMessages) and its worker count is bounded by the pool
+// size; file: topologies are rejected.
+type CampaignRequest struct {
+	// Name selects a built-in manifest; mutually exclusive with Manifest.
+	Name string `json:"name,omitempty"`
+	// Manifest is an inline campaign manifest.
+	Manifest *campaign.Manifest `json:"manifest,omitempty"`
+}
+
+// CampaignResponse carries the rendered campaign artifacts.
+type CampaignResponse struct {
+	Name        string            `json:"name"`
+	Experiments int               `json:"experiments"`
+	Cells       int               `json:"cells"`
+	Computed    int               `json:"computed"`
+	Report      string            `json:"report"`
+	SVGs        map[string]string `json:"svgs,omitempty"`
+	// ElapsedMs is wall-clock service time; zeroed in golden comparisons.
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// ErrBadCampaign reports an invalid campaign request (client error).
+var ErrBadCampaign = errors.New("serve: bad campaign")
+
+// maxCampaignCells bounds how many grid cells one campaign request may
+// expand to.
+const maxCampaignCells = 128
+
+// RunCampaign executes a campaign request. Campaign cells run on the
+// engine's own session pool, sized to this service's pool bound — one
+// campaign therefore consumes at most PoolSize cores, like any other
+// request mix. Determinism follows from the campaign engine's guarantee.
+func (s *Service) RunCampaign(ctx context.Context, req CampaignRequest) (*CampaignResponse, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.reqWG.Add(1)
+	s.mu.Unlock()
+	defer s.reqWG.Done()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	select {
+	case s.campaignSem <- struct{}{}:
+		defer func() { <-s.campaignSem }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+
+	m := req.Manifest
+	if req.Name != "" {
+		if m != nil {
+			return nil, fmt.Errorf("%w: name and manifest are mutually exclusive", ErrBadCampaign)
+		}
+		bm, ok := campaign.Builtin(req.Name)
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown built-in manifest %q (have %v)", ErrBadCampaign, req.Name, campaign.BuiltinNames())
+		}
+		m = bm
+	}
+	if m == nil {
+		return nil, fmt.Errorf("%w: need name or manifest", ErrBadCampaign)
+	}
+	// Client-side validation up front: manifest errors and oversize grids
+	// are the requester's fault, later failures are the server's.
+	if err := m.Validate(false); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadCampaign, err)
+	}
+	if n := m.NumCells(); n > maxCampaignCells {
+		return nil, fmt.Errorf("%w: manifest expands to %d cells (cap %d)", ErrBadCampaign, n, maxCampaignCells)
+	}
+	simCfg := s.cfg.System.SimConfig()
+	simCfg.Logf = nil
+	res, err := campaign.Run(ctx, m, campaign.Options{
+		Workers:     s.cfg.PoolSize,
+		Sim:         simCfg,
+		MaxTrials:   s.cfg.MaxTrials,
+		MaxMessages: s.cfg.MaxMessages,
+		MaxCells:    maxCampaignCells,
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+	s.requests.Add(1)
+	return &CampaignResponse{
+		Name:        m.Name,
+		Experiments: len(res.Experiments),
+		Cells:       len(res.Cells),
+		Computed:    res.Computed,
+		Report:      res.Report,
+		SVGs:        res.SVGs,
 	}, nil
 }
 

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/workload"
+)
+
+func topoRequest(topo string, trials int) RunRequest {
+	return RunRequest{
+		Scenario: "mixed",
+		Trials:   trials,
+		Seed:     42,
+		Params: workload.Params{
+			Topology:         topo,
+			RatePerProcPerUs: 0.01,
+			Messages:         60,
+			MulticastDests:   4,
+		},
+	}
+}
+
+// TestRunTopologyOverride drives /run against every non-file zoo family.
+func TestRunTopologyOverride(t *testing.T) {
+	svc := newService(t, testSystem(t, 16), 2)
+	for _, topo := range []string{"torus:4x4", "hypercube:4", "fattree:2x3", "mesh:4x4", "gnm:16+8", "lattice:16"} {
+		resp, err := svc.Run(context.Background(), topoRequest(topo, 2))
+		if err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+		if resp.Topology != topo {
+			t.Errorf("%s: response echoes %q", topo, resp.Topology)
+		}
+		if resp.Count == 0 || resp.MeanUs <= 0 {
+			t.Errorf("%s: empty result %+v", topo, resp)
+		}
+	}
+}
+
+// TestRunTopologyDeterministic pins bit-identical responses across pool
+// sizes and repeats for a topology-overriding request.
+func TestRunTopologyDeterministic(t *testing.T) {
+	var golden *RunResponse
+	for _, pool := range []int{1, 4} {
+		svc := newService(t, testSystem(t, 16), pool)
+		for rep := 0; rep < 2; rep++ {
+			resp, err := svc.Run(context.Background(), topoRequest("fattree:2x3", 3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.PoolSize, resp.ElapsedMs = 0, 0
+			if golden == nil {
+				golden = resp
+				continue
+			}
+			if !reflect.DeepEqual(resp, golden) {
+				t.Fatalf("pool %d rep %d: response differs from golden", pool, rep)
+			}
+		}
+	}
+}
+
+func TestRunTopologyRejected(t *testing.T) {
+	svc := newService(t, testSystem(t, 16), 1)
+	for _, topo := range []string{"file:/etc/passwd", "ring:9", "torus:4", "hypercube:30"} {
+		_, err := svc.Run(context.Background(), topoRequest(topo, 1))
+		if !errors.Is(err, ErrBadTopology) {
+			t.Errorf("%s: got %v, want ErrBadTopology", topo, err)
+		}
+	}
+}
+
+// TestRunTopologyCacheBounded: more distinct topologies than the cache cap
+// must still serve correctly.
+func TestRunTopologyCacheBounded(t *testing.T) {
+	svc := newService(t, testSystem(t, 16), 2)
+	topos := []string{
+		"torus:3x3", "torus:3x4", "torus:3x5", "torus:4x4", "torus:4x5",
+		"torus:3x6", "torus:4x6", "torus:5x5", "torus:5x6", "torus:3x7",
+	}
+	for _, topo := range topos {
+		if _, err := svc.Run(context.Background(), topoRequest(topo, 1)); err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+	}
+	svc.altMu.Lock()
+	n := len(svc.alts)
+	svc.altMu.Unlock()
+	if n > maxAltSystems {
+		t.Errorf("alt cache grew to %d (cap %d)", n, maxAltSystems)
+	}
+	// A cached spec still answers identically after evictions.
+	if _, err := svc.Run(context.Background(), topoRequest("torus:3x3", 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCampaignService(t *testing.T) {
+	svc := newService(t, testSystem(t, 16), 2)
+	resp, err := svc.RunCampaign(context.Background(), CampaignRequest{Name: "smoke"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cells != 2 || resp.Experiments != 1 {
+		t.Errorf("got %d cells, %d experiments", resp.Cells, resp.Experiments)
+	}
+	if !strings.Contains(resp.Report, "# Campaign smoke") || len(resp.SVGs) == 0 {
+		t.Error("campaign response missing report or plots")
+	}
+
+	// Determinism across pool sizes.
+	svc2 := newService(t, testSystem(t, 16), 4)
+	resp2, err := svc2.RunCampaign(context.Background(), CampaignRequest{Name: "smoke"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Report != resp.Report || !reflect.DeepEqual(resp2.SVGs, resp.SVGs) {
+		t.Error("campaign artifacts differ across pool sizes")
+	}
+}
+
+func TestRunCampaignRejects(t *testing.T) {
+	svc := newService(t, testSystem(t, 16), 1)
+	stub, _ := campaign.Builtin("smoke")
+	huge := &campaign.Manifest{Name: "huge", Seed: 1, Grids: []campaign.Grid{{
+		Name:       "g",
+		Topologies: []string{"torus:3x3"},
+		Scenarios:  []string{"mixed"},
+		Seeds:      make([]uint64, maxCampaignCells+1),
+	}}}
+	for i := range huge.Grids[0].Seeds {
+		huge.Grids[0].Seeds[i] = uint64(i + 1)
+	}
+	cases := []CampaignRequest{
+		{},                              // neither name nor manifest
+		{Name: "nonesuch"},              // unknown builtin
+		{Name: "smoke", Manifest: stub}, // both
+		{Manifest: huge},                // over the cell cap
+		{Manifest: &campaign.Manifest{Name: "f", Seed: 1, Grids: []campaign.Grid{{
+			Name: "g", Topologies: []string{"file:/etc/passwd"}, Scenarios: []string{"mixed"},
+		}}}}, // file topology
+	}
+	for i, req := range cases {
+		if _, err := svc.RunCampaign(context.Background(), req); !errors.Is(err, ErrBadCampaign) {
+			t.Errorf("case %d: got %v, want ErrBadCampaign", i, err)
+		}
+	}
+}
+
+func TestCampaignHTTPEndpoint(t *testing.T) {
+	svc := newService(t, testSystem(t, 16), 2)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Post(srv.URL+"/campaign", "application/json",
+		strings.NewReader(`{"name":"smoke"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	bad, err := srv.Client().Post(srv.URL+"/campaign", "application/json",
+		strings.NewReader(`{"name":"nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != 400 {
+		t.Errorf("unknown manifest: status %d, want 400", bad.StatusCode)
+	}
+
+	get, err := srv.Client().Get(srv.URL + "/campaign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != 405 {
+		t.Errorf("GET /campaign: status %d, want 405", get.StatusCode)
+	}
+}

@@ -1,27 +1,3 @@
-// Package sim is a flit-level event-driven wormhole-routing simulator — a
-// from-scratch substitute for the Harvey Mudd MARS simulator the paper used.
-//
-// It implements exactly the router architecture of Section 3:
-//
-//   - one output buffer and one output-channel request queue (OCRQ) per
-//     unidirectional channel;
-//   - input buffers of configurable flit capacity (default 1, the paper's
-//     headline configuration) with credit-based flow control;
-//   - atomic enqueueing of a message's full output-channel request set;
-//   - acquisition only when the message heads every requested OCRQ and all
-//     requested channels are free with empty output buffers;
-//   - asynchronous replication: a data flit advances from the input buffer
-//     only when all reserved output buffers are empty; bubble flits are
-//     inserted into the empty output buffers otherwise so that the heads of
-//     a multi-head worm progress independently;
-//   - channel reservations released when the tail flit is replicated to the
-//     output buffers.
-//
-// Timing follows the paper's Section 4 constants (configurable): startup
-// latency per message, router setup latency per header per router, and
-// channel propagation latency per flit per channel. Time is int64
-// nanoseconds. A simulator instance is single-threaded and deterministic;
-// run replications in parallel by creating one instance per goroutine.
 package sim
 
 import (

@@ -1,0 +1,8 @@
+// Package stats provides the statistics the experiments and the serving
+// layer need: streaming mean/variance (Welford) with a deterministic
+// parallel merge, Student-t 95% confidence intervals (the paper reports
+// every data point within 1% of the mean at 95% confidence), mergeable
+// fixed-bin log-scale histograms with bounded-error quantiles (LogHist),
+// combined constant-memory summaries (Summary), streaming batch means with
+// size doubling (BatchStream), and in-memory percentile samples for tests.
+package stats

@@ -1,0 +1,22 @@
+// Package topology models the switch-based networks of the paper: a set of
+// switches interconnected in an arbitrary (usually irregular) topology, with
+// each processor (workstation) attached to a single switch by a bidirectional
+// channel. Every bidirectional channel is a pair of opposed unidirectional
+// channels, which are the unit the wormhole simulator schedules.
+//
+// Following the paper's experimental setup, the default generator places
+// switches on an integer lattice (physical proximity), connects adjacent
+// lattice points (at most 4 inter-switch links per switch), gives every
+// switch 8 ports and attaches exactly one processor per switch.
+//
+// Beyond the paper's random lattices the package provides a topology zoo
+// for contrasting regular and irregular networks under the same routing:
+// RandomIrregular (spanning tree + extra links), Mesh, Torus, Hypercube,
+// FatTree (k-ary n-tree) and an adjacency-file loader (LoadAdjacency /
+// FormatAdjacency, a byte-stable round trip). Spec/ParseSpec give every
+// family a compact string form — "torus:8x8", "fattree:4x3/2",
+// "file:net.adj" — shared by the campaign manifests, the serve wire format
+// and the CLI -topo flags. All constructors are deterministic: equal
+// parameters (and, for the random families, equal seeds) build identical
+// networks.
+package topology

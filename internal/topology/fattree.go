@@ -1,0 +1,63 @@
+package topology
+
+import "fmt"
+
+// FatTree builds a k-ary n-tree fat-tree of switches: `levels` switch
+// stages of k^(levels-1) switches each, with full k-way connectivity between
+// adjacent stages (a switch at stage l connects to the k switches of stage
+// l+1 whose addresses agree with its own on every digit except digit l).
+// Processors attach to the leaf stage only, procsPerLeaf per leaf switch
+// (0 selects k, the canonical k-ary n-tree with k^levels processors).
+//
+// Switch IDs place the top stage first, so the RootMinID strategy picks a
+// top-stage switch and the up*/down* orientation coincides with the fat
+// tree's own up/down direction. Coordinates are set ((address, stage), top
+// stage at y=0) so the network renders with viz.NetworkSVG.
+func FatTree(k, levels, procsPerLeaf int) (*Network, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("topology: fat-tree arity %d < 2", k)
+	}
+	if levels < 2 {
+		return nil, fmt.Errorf("topology: fat-tree needs >= 2 levels, got %d", levels)
+	}
+	perLevel := 1
+	for i := 0; i < levels-1; i++ {
+		perLevel *= k
+		if perLevel*levels > 1<<20 {
+			return nil, fmt.Errorf("topology: fat-tree %d-ary %d-tree too large", k, levels)
+		}
+	}
+	if procsPerLeaf < 0 {
+		return nil, fmt.Errorf("topology: negative procsPerLeaf")
+	}
+	if procsPerLeaf == 0 {
+		procsPerLeaf = k
+	}
+	// l counts stages from the leaves; IDs count from the top.
+	id := func(l, w int) int { return (levels-1-l)*perLevel + w }
+	b := NewBuilder(levels*perLevel, 0)
+	coords := make([][2]int, levels*perLevel)
+	powl := 1 // k^l
+	for l := 0; l < levels-1; l++ {
+		for w := 0; w < perLevel; w++ {
+			digit := (w / powl) % k
+			base := w - digit*powl
+			for d := 0; d < k; d++ {
+				b.Link(id(l, w), id(l+1, base+d*powl))
+			}
+		}
+		powl *= k
+	}
+	for l := 0; l < levels; l++ {
+		for w := 0; w < perLevel; w++ {
+			coords[id(l, w)] = [2]int{w, levels - 1 - l}
+		}
+	}
+	b.SetCoords(coords)
+	for w := 0; w < perLevel; w++ {
+		for p := 0; p < procsPerLeaf; p++ {
+			b.AttachProcessor(id(0, w))
+		}
+	}
+	return b.Build()
+}

@@ -1,13 +1,3 @@
-// Package topology models the switch-based networks of the paper: a set of
-// switches interconnected in an arbitrary (usually irregular) topology, with
-// each processor (workstation) attached to a single switch by a bidirectional
-// channel. Every bidirectional channel is a pair of opposed unidirectional
-// channels, which are the unit the wormhole simulator schedules.
-//
-// Following the paper's experimental setup, the default generator places
-// switches on an integer lattice (physical proximity), connects adjacent
-// lattice points (at most 4 inter-switch links per switch), gives every
-// switch 8 ports and attaches exactly one processor per switch.
 package topology
 
 import (

@@ -1,13 +1,3 @@
-// Package traffic generates the workloads of the paper's Section 4:
-//
-//   - single multicasts with a varying number of uniformly chosen
-//     destinations (Figure 2);
-//   - mixed open-loop traffic, 90% unicast / 10% multicast, with
-//     negative-binomially distributed inter-arrival times and varying
-//     average arrival rates (Figure 3);
-//   - broadcasts (the in-text comparison with software multicast);
-//
-// plus permutation and hot-spot patterns used by the extended tests.
 package traffic
 
 import (

@@ -1,0 +1,166 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CurvePoint is one (x, y) sample with an optional symmetric error bar
+// (the experiment harness feeds 95% confidence half-widths).
+type CurvePoint struct {
+	X, Y float64
+	// Err is the half-width of the error bar (0 = none).
+	Err float64
+}
+
+// CurveSeries is one labeled curve of an SVG chart.
+type CurveSeries struct {
+	Label  string
+	Points []CurvePoint
+}
+
+// palette cycles through the curves. Colors are fixed so rendering is
+// byte-deterministic.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f"}
+
+// curveGeom is the fixed layout of CurveSVG.
+const (
+	curveW     = 640
+	curveH     = 420
+	marginL    = 70
+	marginR    = 20
+	marginTop  = 40
+	marginBot  = 70
+	legendLine = 18
+)
+
+// CurveSVG renders labeled series as a deterministic SVG line chart with
+// axes, tick labels, point markers, error bars and a legend — the vector
+// counterpart of the ASCII Chart, used by campaign reports. Identical input
+// yields byte-identical output (fixed layout, fixed palette, fixed number
+// formatting), which the campaign's bit-identical-replay guarantee relies
+// on.
+func CurveSVG(title, xLabel, yLabel string, series []CurveSeries) string {
+	var xs, ys []float64
+	for _, s := range series {
+		for _, p := range s.Points {
+			xs = append(xs, p.X)
+			ys = append(ys, p.Y-p.Err, p.Y+p.Err)
+		}
+	}
+	var sb strings.Builder
+	legendH := legendLine * len(series)
+	h := curveH + legendH
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		curveW, h, curveW, h)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&sb, `<text x="%d" y="24" font-size="15" text-anchor="middle">%s</text>`+"\n", curveW/2, escape(title))
+	if len(xs) == 0 {
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="13" text-anchor="middle">(no data)</text>`+"\n", curveW/2, curveH/2)
+		sb.WriteString("</svg>\n")
+		return sb.String()
+	}
+
+	xmin, xmax := minMax(xs)
+	ymin, ymax := minMax(ys)
+	if ymin > 0 {
+		ymin = 0
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	plotW := float64(curveW - marginL - marginR)
+	plotH := float64(curveH - marginTop - marginBot)
+	px := func(x float64) float64 { return float64(marginL) + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return float64(marginTop) + (1-(y-ymin)/(ymax-ymin))*plotH }
+
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginTop, marginL, curveH-marginBot)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, curveH-marginBot, curveW-marginR, curveH-marginBot)
+	// Ticks: 5 per axis, with light gridlines.
+	for i := 0; i <= 4; i++ {
+		f := float64(i) / 4
+		xv := xmin + (xmax-xmin)*f
+		yv := ymin + (ymax-ymin)*f
+		fmt.Fprintf(&sb, `<line x1="%s" y1="%d" x2="%s" y2="%d" stroke="#dddddd"/>`+"\n",
+			num(px(xv)), marginTop, num(px(xv)), curveH-marginBot)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%s" x2="%d" y2="%s" stroke="#dddddd"/>`+"\n",
+			marginL, num(py(yv)), curveW-marginR, num(py(yv)))
+		fmt.Fprintf(&sb, `<text x="%s" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			num(px(xv)), curveH-marginBot+16, num(xv))
+		fmt.Fprintf(&sb, `<text x="%d" y="%s" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, num(py(yv)+4), num(yv))
+	}
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="13" text-anchor="middle">%s</text>`+"\n",
+		marginL+int(plotW)/2, curveH-marginBot+40, escape(xLabel))
+	fmt.Fprintf(&sb, `<text x="18" y="%d" font-size="13" text-anchor="middle" transform="rotate(-90 18 %d)">%s</text>`+"\n",
+		marginTop+int(plotH)/2, marginTop+int(plotH)/2, escape(yLabel))
+
+	// Curves.
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		pts := append([]CurvePoint(nil), s.Points...)
+		sort.SliceStable(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		if len(pts) > 1 {
+			var path strings.Builder
+			for i, p := range pts {
+				if i == 0 {
+					path.WriteString("M")
+				} else {
+					path.WriteString(" L")
+				}
+				fmt.Fprintf(&path, "%s %s", num(px(p.X)), num(py(p.Y)))
+			}
+			fmt.Fprintf(&sb, `<path d="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n", path.String(), color)
+		}
+		for _, p := range pts {
+			if p.Err > 0 {
+				fmt.Fprintf(&sb, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="%s" stroke-width="1"/>`+"\n",
+					num(px(p.X)), num(py(p.Y-p.Err)), num(px(p.X)), num(py(p.Y+p.Err)), color)
+			}
+			fmt.Fprintf(&sb, `<circle cx="%s" cy="%s" r="3" fill="%s"/>`+"\n",
+				num(px(p.X)), num(py(p.Y)), color)
+		}
+	}
+
+	// Legend below the plot.
+	for si, s := range series {
+		y := curveH + legendLine*si + 4
+		color := palette[si%len(palette)]
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			marginL, y, marginL+24, y, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n",
+			marginL+30, y+4, escape(s.Label))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// num formats a coordinate or tick value compactly and deterministically:
+// fixed 3-decimal rounding with trailing zeros trimmed, so equal float64
+// inputs always render to equal bytes.
+func num(v float64) string {
+	if math.Abs(v) >= 1e7 || (v != 0 && math.Abs(v) < 1e-3) {
+		return fmt.Sprintf("%.3e", v)
+	}
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "-0" {
+		s = "0"
+	}
+	return s
+}
+
+// escape sanitizes text nodes for SVG.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,106 @@
+package viz
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/updown"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func testSeries() []CurveSeries {
+	return []CurveSeries{
+		{Label: "8 destinations", Points: []CurvePoint{
+			{X: 0.005, Y: 23.1, Err: 0.4}, {X: 0.01, Y: 24.9, Err: 0.6}, {X: 0.02, Y: 31.25, Err: 1.2},
+		}},
+		{Label: "64 destinations", Points: []CurvePoint{
+			{X: 0.005, Y: 31.7, Err: 0.9}, {X: 0.01, Y: 36.2, Err: 1.1}, {X: 0.02, Y: 55.4, Err: 3.7},
+		}},
+	}
+}
+
+// TestCurveSVGGolden pins the exact bytes CurveSVG renders for a fixed
+// campaign-style series — the campaign's bit-identical-report guarantee
+// depends on this renderer never drifting for equal inputs.
+func TestCurveSVGGolden(t *testing.T) {
+	got := CurveSVG("Figure 3 (reproduction)", "rate (msg/us/proc)", "latency (us)", testSeries())
+	golden := filepath.Join("testdata", "curve_golden.svg")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("CurveSVG output drifted from golden (len %d vs %d); run with -update and inspect the diff",
+			len(got), len(want))
+	}
+}
+
+func TestCurveSVGDeterministic(t *testing.T) {
+	a := CurveSVG("t", "x", "y", testSeries())
+	b := CurveSVG("t", "x", "y", testSeries())
+	if a != b {
+		t.Fatal("two renders of identical input differ")
+	}
+}
+
+func TestCurveSVGEmptyAndEscaping(t *testing.T) {
+	svg := CurveSVG(`a<b>&"c"`, "x", "y", nil)
+	if !strings.Contains(svg, "(no data)") {
+		t.Error("empty chart should say (no data)")
+	}
+	if strings.Contains(svg, "a<b>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b&gt;&amp;&quot;c&quot;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestCurveSVGWellFormed(t *testing.T) {
+	svg := CurveSVG("t", "x", "y", testSeries())
+	if !strings.HasPrefix(svg, "<svg ") || !strings.HasSuffix(svg, "</svg>\n") {
+		t.Error("not a closed svg document")
+	}
+	for _, tag := range []string{"<path ", "<circle ", "<line ", "<text "} {
+		if !strings.Contains(svg, tag) {
+			t.Errorf("missing %s element", tag)
+		}
+	}
+	// One marker circle per point, one error bar per nonzero Err.
+	if got := strings.Count(svg, "<circle"); got != 6 {
+		t.Errorf("%d circles, want 6", got)
+	}
+}
+
+// TestNetworkSVGFatTree confirms the new coordinate-bearing fat-tree
+// renders with the same visual language as the lattice.
+func TestNetworkSVGFatTree(t *testing.T) {
+	net, err := topology.FatTree(2, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := updown.New(net, updown.RootMinID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err := NetworkSVG(net, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(svg, "<circle") != net.NumProcs {
+		t.Errorf("%d circles want %d processors", strings.Count(svg, "<circle"), net.NumProcs)
+	}
+}

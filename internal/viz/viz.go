@@ -1,5 +1,3 @@
-// Package viz renders simple ASCII line charts so the CLI can show the
-// regenerated figures as plots (like the paper's), not only as tables.
 package viz
 
 import (

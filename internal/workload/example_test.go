@@ -1,0 +1,63 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/updown"
+	"repro/internal/workload"
+)
+
+// The scenario registry maps names to workload constructors: look one up,
+// build it with parameters, and measure it on a reusable Runner. The same
+// registry backs spamsim -scenario, the serve /run endpoint and campaign
+// grids.
+func ExampleLookup() {
+	sc, ok := workload.Lookup("hotspot")
+	if !ok {
+		panic("hotspot not registered")
+	}
+	w := sc.New(workload.Params{RatePerProcPerUs: 0.01, Messages: 300, HotFraction: 0.5})
+
+	net, err := topology.RandomLattice(topology.DefaultLattice(32, 1))
+	if err != nil {
+		panic(err)
+	}
+	lab, err := updown.New(net, updown.RootMinID)
+	if err != nil {
+		panic(err)
+	}
+	r, err := workload.NewRunner(core.NewRouter(lab), sim.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	st, err := workload.Measure(r, w, workload.MeasureOpts{
+		Trials:         2,
+		WarmupMessages: 30,
+		Seed:           9,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d observations, mean %.2f us\n", w.Name(), st.Count(), st.Mean())
+	// Output: hotspot: 540 observations, mean 12.27 us
+}
+
+// Scenarios enumerates every registered workload, sorted by name.
+func ExampleScenarios() {
+	for _, sc := range workload.Scenarios() {
+		fmt.Println(sc.Name)
+	}
+	// Output:
+	// bcast-storm
+	// bitreverse
+	// bursty
+	// closed-loop
+	// fault-storm
+	// hotspot
+	// maintenance
+	// mixed
+	// transpose
+}

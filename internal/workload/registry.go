@@ -14,6 +14,12 @@ import (
 // values select each scenario's documented default. The JSON tags are the
 // wire names the spamserve /run endpoint accepts.
 type Params struct {
+	// Topology selects the network the scenario runs on, as a topology
+	// spec string ("torus:8x8", "fattree:4x3", ...; see topology.ParseSpec).
+	// Scenario constructors ignore it — the serving layers and CLIs consume
+	// it to build the system before the workload runs. Empty selects the
+	// server's (or CLI's) default topology.
+	Topology string `json:"topology,omitempty"`
 	// RatePerProcPerUs is the open-loop arrival rate.
 	RatePerProcPerUs float64 `json:"rate_per_proc_per_us,omitempty"`
 	// Messages is the per-trial message budget.
@@ -97,6 +103,33 @@ func Scenarios() []Scenario {
 	return out
 }
 
+// ClampFanOut bounds the fan-out knobs of p to what a network with `procs`
+// processors can express: the multicast destination count (resolving the
+// registry-wide default of 8 first, so an omitted knob cannot exceed a
+// small network) and the storm source count. Serving layers and the
+// campaign engine share this so one surface never diverges from another.
+func ClampFanOut(p Params, procs int) Params {
+	if procs <= 1 {
+		return p
+	}
+	md := p.MulticastDests
+	if md == 0 {
+		md = defaultMulticastDests
+	}
+	if md > procs-1 {
+		md = procs - 1
+	}
+	p.MulticastDests = md
+	if p.Sources > procs {
+		p.Sources = procs
+	}
+	return p
+}
+
+// defaultMulticastDests is the registry-wide default multicast fan-out
+// every scenario constructor applies via orI.
+const defaultMulticastDests = 8
+
 func orF(v, def float64) float64 {
 	if v == 0 {
 		return def
@@ -119,7 +152,7 @@ func init() {
 			return Mixed{
 				RatePerProcPerUs:  orF(p.RatePerProcPerUs, 0.02),
 				MulticastFraction: orF(p.MulticastFraction, 0.1),
-				MulticastDests:    orI(p.MulticastDests, 8),
+				MulticastDests:    orI(p.MulticastDests, defaultMulticastDests),
 				Messages:          orI(p.Messages, 2000),
 			}
 		},
@@ -163,7 +196,7 @@ func init() {
 			return Bursty{
 				RatePerProcPerUs:  orF(p.RatePerProcPerUs, 0.05),
 				MulticastFraction: p.MulticastFraction,
-				MulticastDests:    orI(p.MulticastDests, 8),
+				MulticastDests:    orI(p.MulticastDests, defaultMulticastDests),
 				Messages:          orI(p.Messages, 2000),
 			}
 		},
@@ -190,7 +223,7 @@ func init() {
 				Inner: Mixed{
 					RatePerProcPerUs:  orF(p.RatePerProcPerUs, 0.02),
 					MulticastFraction: orF(p.MulticastFraction, 0.1),
-					MulticastDests:    orI(p.MulticastDests, 8),
+					MulticastDests:    orI(p.MulticastDests, defaultMulticastDests),
 					Messages:          orI(p.Messages, 2000),
 				},
 				Spec:   spec,
@@ -215,7 +248,7 @@ func init() {
 			return ClosedLoop{
 				Window:            orI(p.Window, 1),
 				MulticastFraction: p.MulticastFraction,
-				MulticastDests:    orI(p.MulticastDests, 8),
+				MulticastDests:    orI(p.MulticastDests, defaultMulticastDests),
 				Messages:          orI(p.Messages, 2000),
 			}
 		},

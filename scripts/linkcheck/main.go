@@ -1,0 +1,93 @@
+// Command linkcheck is the offline Markdown link checker CI runs over the
+// repo's documentation: every relative link target must exist on disk, and
+// every same-file #anchor must match a heading. External http(s) links are
+// not fetched (CI must not depend on the network).
+//
+// Usage:
+//
+//	go run ./scripts/linkcheck README.md ARCHITECTURE.md CHANGES.md
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches [text](target) Markdown links, including images.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// headingRE matches ATX headings.
+var headingRE = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+
+// slug approximates GitHub's heading-anchor algorithm: lowercase, drop
+// non-alphanumerics except spaces and dashes, spaces to dashes.
+func slug(h string) string {
+	// Strip inline code/formatting markers first.
+	h = strings.NewReplacer("`", "", "*", "", "_", " ").Replace(h)
+	var sb strings.Builder
+	for _, r := range strings.ToLower(h) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			sb.WriteRune(r)
+		case r == ' ':
+			sb.WriteByte('-')
+		}
+	}
+	return sb.String()
+}
+
+func checkFile(path string) []string {
+	var errs []string
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	text := string(data)
+	anchors := map[string]bool{}
+	for _, m := range headingRE.FindAllStringSubmatch(text, -1) {
+		anchors[slug(m[1])] = true
+	}
+	dir := filepath.Dir(path)
+	for _, m := range linkRE.FindAllStringSubmatch(text, -1) {
+		target := m[1]
+		switch {
+		case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"),
+			strings.HasPrefix(target, "mailto:"):
+			continue
+		case strings.HasPrefix(target, "#"):
+			if !anchors[strings.TrimPrefix(target, "#")] {
+				errs = append(errs, fmt.Sprintf("%s: broken anchor %s", path, target))
+			}
+		default:
+			file, _, _ := strings.Cut(target, "#")
+			if file == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(dir, file)); err != nil {
+				errs = append(errs, fmt.Sprintf("%s: broken link %s", path, target))
+			}
+		}
+	}
+	return errs
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file.md> [...]")
+		os.Exit(2)
+	}
+	var all []string
+	for _, path := range os.Args[1:] {
+		all = append(all, checkFile(path)...)
+	}
+	if len(all) > 0 {
+		for _, e := range all {
+			fmt.Fprintln(os.Stderr, e)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d file(s) OK\n", len(os.Args)-1)
+}

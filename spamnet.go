@@ -11,11 +11,17 @@
 //
 // Quickstart:
 //
-//	sys, _ := spamnet.NewLattice(128, 1, spamnet.WithSeed(42))
+//	sys, _ := spamnet.NewLattice(128, spamnet.WithSeed(42))
 //	sess, _ := sys.NewSession()
 //	msg, _ := sess.Multicast(0, sys.Processors()[5], sys.Processors()[:4])
 //	_ = sess.Run()
 //	fmt.Println(msg.Latency()) // nanoseconds, includes the 10 µs startup
+//
+// Beyond the paper's random lattices, NewFromSpec builds any topology-zoo
+// family from a spec string ("torus:8x8", "hypercube:6", "fattree:4x3",
+// "file:net.adj"); NewMesh, NewTorus, NewHypercube and NewFatTree are the
+// typed constructors. Session.InstallFaults attaches a deterministic fault
+// timeline to a running simulation.
 package spamnet
 
 import (
@@ -57,6 +63,7 @@ type options struct {
 	simCfg     sim.Config
 	seed       uint64
 	procsPer   int
+	procsSet   bool
 	refRouting bool
 	maxSimTime int64
 }
@@ -82,7 +89,9 @@ func WithInputBufferFlits(n int) Option { return func(o *options) { o.simCfg.Inp
 func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
 
 // WithProcessorsPerSwitch attaches n processors per switch (paper: 1).
-func WithProcessorsPerSwitch(n int) Option { return func(o *options) { o.procsPer = n } }
+func WithProcessorsPerSwitch(n int) Option {
+	return func(o *options) { o.procsPer, o.procsSet = n, true }
+}
 
 // WithReferenceRouting disables the compiled routing tables: every routing
 // decision is recomputed from the up*/down* labeling the way the original
@@ -163,6 +172,62 @@ func NewFigure1(opts ...Option) (*System, error) {
 func NewMesh(w, h int, opts ...Option) (*System, error) {
 	o := buildOptions(opts)
 	net, err := topology.Mesh(w, h, o.procsPer)
+	if err != nil {
+		return nil, err
+	}
+	return newSystem(net, o)
+}
+
+// NewTorus builds a w×h 2-D torus System (wraparound mesh; w, h >= 3).
+func NewTorus(w, h int, opts ...Option) (*System, error) {
+	o := buildOptions(opts)
+	net, err := topology.Torus(w, h, o.procsPer)
+	if err != nil {
+		return nil, err
+	}
+	return newSystem(net, o)
+}
+
+// NewHypercube builds a dim-dimensional hypercube System.
+func NewHypercube(dim int, opts ...Option) (*System, error) {
+	o := buildOptions(opts)
+	net, err := topology.Hypercube(dim, o.procsPer)
+	if err != nil {
+		return nil, err
+	}
+	return newSystem(net, o)
+}
+
+// NewFatTree builds a k-ary levels-tree fat-tree System. Processors attach
+// to the leaf stage only; WithProcessorsPerSwitch sets processors per leaf
+// switch (default 1, like every other constructor; pass k for the
+// canonical k-ary n-tree with k^levels processors).
+func NewFatTree(k, levels int, opts ...Option) (*System, error) {
+	o := buildOptions(opts)
+	net, err := topology.FatTree(k, levels, o.procsPer)
+	if err != nil {
+		return nil, err
+	}
+	return newSystem(net, o)
+}
+
+// NewFromSpec builds a System from a topology spec string — the same
+// grammar the campaign manifests, the serve wire format and the CLI -topo
+// flags share: "lattice:128", "gnm:64+32", "mesh:8x8", "torus:8x8",
+// "hypercube:6", "fattree:4x3", "file:net.adj", each with an optional
+// "/<procs>" suffix. Random families consume WithSeed.
+func NewFromSpec(spec string, opts ...Option) (*System, error) {
+	o := buildOptions(opts)
+	sp, err := topology.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	// An explicit WithProcessorsPerSwitch (even 1) overrides the spec's
+	// family default unless the spec itself carries a /n suffix.
+	if sp.Procs == 0 && o.procsSet {
+		sp.Procs = o.procsPer
+	}
+	net, err := sp.Build(o.seed)
 	if err != nil {
 		return nil, err
 	}
