@@ -8,6 +8,14 @@
 //	spamserve -addr :8080 -nodes 128 -seed 1998 -pool 8
 //	spamserve -topo torus:16x16 -pool 8
 //
+// Fleet mode — one coordinator scattering over identically configured
+// workers (same topology flags on every process, or the coordinator refuses
+// to dispatch to them):
+//
+//	spamserve -addr :8081 &
+//	spamserve -addr :8082 &
+//	spamserve -addr :8080 -coordinator -workers http://localhost:8081,http://localhost:8082
+//
 // API:
 //
 //	POST /run        {"scenario":"mixed","trials":8,"seed":1,"params":{...}}
@@ -15,12 +23,19 @@
 //	                 sweep on a zoo family instead of the default system
 //	POST /campaign   {"name":"paper"} or {"manifest":{...}} — run a whole
 //	                 reproduction campaign, returning REPORT.md + SVG plots
+//	POST /shard      fleet worker protocol: one trial range as exact
+//	                 per-trial accumulator state
+//	POST /cell       fleet worker protocol: one campaign grid cell
 //	GET  /scenarios  registered workload scenarios
-//	GET  /healthz    pool occupancy and service counters
+//	GET  /healthz    pool occupancy, admission and fleet counters, and the
+//	                 configuration fingerprint coordinators match against
 //
 // Every response is deterministic for a given request: trial seeds derive
 // from the request seed and per-trial shards merge in trial order, so the
-// numbers do not depend on pool size or scheduling.
+// numbers do not depend on pool size, scheduling, fleet size, retries, or
+// transport faults. Saturated services answer 429 with Retry-After instead
+// of queueing without bound, and shutdown drains in-flight requests for up
+// to -drain before exiting.
 package main
 
 import (
@@ -33,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,19 +58,37 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		nodes    = flag.Int("nodes", 128, "network size in switches (one processor each; ignored when -topo is set)")
-		topoSpec = flag.String("topo", "", `default-system topology spec, e.g. "torus:16x16", "fattree:4x3" (default: lattice:<nodes>)`)
-		seed     = flag.Uint64("seed", 1998, "topology generation seed")
-		root     = flag.String("root", "min-id", "spanning-tree root strategy: min-id | max-degree | center")
-		pool     = flag.Int("pool", 0, "simulator pool size (0 = GOMAXPROCS)")
-		bufFlits = flag.Int("inputbuf", 1, "input buffer size in flits")
-		flits    = flag.Int("flits", 128, "message length in flits")
-		trialCap = flag.Int("max-trials", 64, "per-request trial clamp")
-		msgCap   = flag.Int("max-messages", 20000, "per-trial message clamp")
-		horizon  = flag.Duration("max-sim-time", time.Hour, "simulated-time horizon per trial")
+		addr        = flag.String("addr", ":8080", "listen address")
+		nodes       = flag.Int("nodes", 128, "network size in switches (one processor each; ignored when -topo is set)")
+		topoSpec    = flag.String("topo", "", `default-system topology spec, e.g. "torus:16x16", "fattree:4x3" (default: lattice:<nodes>)`)
+		seed        = flag.Uint64("seed", 1998, "topology generation seed")
+		root        = flag.String("root", "min-id", "spanning-tree root strategy: min-id | max-degree | center")
+		pool        = flag.Int("pool", 0, "simulator pool size (0 = GOMAXPROCS)")
+		bufFlits    = flag.Int("inputbuf", 1, "input buffer size in flits")
+		flits       = flag.Int("flits", 128, "message length in flits")
+		trialCap    = flag.Int("max-trials", 64, "per-request trial clamp")
+		msgCap      = flag.Int("max-messages", 20000, "per-trial message clamp")
+		inflightCap = flag.Int("max-inflight", 0, "admitted-request bound before 429s (0 = 32×pool, negative = unlimited)")
+		horizon     = flag.Duration("max-sim-time", time.Hour, "simulated-time horizon per trial")
+		coordinator = flag.Bool("coordinator", false, "run as a scatter/gather coordinator over -workers")
+		workers     = flag.String("workers", "", "comma-separated worker base URLs (requires -coordinator)")
+		probeEvery  = flag.Duration("probe-interval", 250*time.Millisecond, "worker health probe cadence in coordinator mode")
+		drain       = flag.Duration("drain", 10*time.Second, "shutdown grace period for draining in-flight requests")
 	)
 	flag.Parse()
+
+	var workerURLs []string
+	for _, w := range strings.Split(*workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			workerURLs = append(workerURLs, w)
+		}
+	}
+	switch {
+	case *coordinator && len(workerURLs) == 0:
+		log.Fatal("spamserve: -coordinator requires -workers")
+	case !*coordinator && len(workerURLs) > 0:
+		log.Fatal("spamserve: -workers requires -coordinator")
+	}
 
 	strategy, err := rootStrategy(*root)
 	if err != nil {
@@ -84,6 +118,11 @@ func main() {
 		PoolSize:    *pool,
 		MaxTrials:   *trialCap,
 		MaxMessages: *msgCap,
+		MaxInflight: *inflightCap,
+		Fleet: serve.FleetConfig{
+			Workers:       workerURLs,
+			ProbeInterval: *probeEvery,
+		},
 	})
 	if err != nil {
 		log.Fatalf("spamserve: %v", err)
@@ -106,13 +145,17 @@ func main() {
 	if topoName == "" {
 		topoName = fmt.Sprintf("lattice:%d", *nodes)
 	}
-	log.Printf("spamserve: %s system (%d switches, seed %d, root %s), pool of %d simulators, listening on %s",
-		topoName, sys.Topology().NumSwitches, *seed, *root, svc.PoolSize(), *addr)
+	role := "worker/standalone"
+	if *coordinator {
+		role = fmt.Sprintf("coordinator over %d workers", len(workerURLs))
+	}
+	log.Printf("spamserve: %s system (%d switches, seed %d, root %s), pool of %d simulators, %s, listening on %s",
+		topoName, sys.Topology().NumSwitches, *seed, *root, svc.PoolSize(), role, *addr)
 
 	select {
 	case <-ctx.Done():
-		log.Printf("spamserve: shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		log.Printf("spamserve: shutting down (draining up to %v)", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("spamserve: shutdown: %v", err)

@@ -302,3 +302,108 @@ func TestBuiltinPaperCoversEveryDriver(t *testing.T) {
 		}
 	}
 }
+
+// TestMangledCheckpointRecomputes: a crash can leave a checkpoint file
+// truncated or corrupt. Resume must treat any unreadable cell as "never
+// computed" — recompute it (bit-identically) instead of failing the whole
+// campaign, and replace the damaged file.
+func TestMangledCheckpointRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Workers: 2, CheckpointDir: dir}
+	first, err := Run(context.Background(), testManifest(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := len(first.Experiments) + len(first.Cells)
+
+	var cellFiles []string
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "cell-") {
+			cellFiles = append(cellFiles, e.Name())
+		}
+	}
+	if len(cellFiles) < 2 {
+		t.Fatalf("need 2 cell checkpoints, have %d", len(cellFiles))
+	}
+
+	mangle := []struct {
+		name string
+		do   func(path string) error
+	}{
+		{"truncated", func(path string) error {
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(path, blob[:len(blob)/2], 0o644)
+		}},
+		{"garbage", func(path string) error {
+			return os.WriteFile(path, []byte("not json at all\x00\x7f"), 0o644)
+		}},
+		{"empty", func(path string) error {
+			return os.WriteFile(path, nil, 0o644)
+		}},
+		{"wrong-id", func(path string) error {
+			// Valid JSON, valid version — but it is another cell's
+			// checkpoint copied over this one. The embedded id mismatch
+			// must reject it, or the campaign would report one cell's
+			// numbers under another cell's coordinates.
+			other, err := os.ReadFile(filepath.Join(dir, cellFiles[1]))
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(path, other, 0o644)
+		}},
+	}
+	for _, mg := range mangle {
+		t.Run(mg.name, func(t *testing.T) {
+			victim := filepath.Join(dir, cellFiles[0])
+			if err := mg.do(victim); err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(context.Background(), testManifest(), opts)
+			if err != nil {
+				t.Fatalf("campaign failed on a mangled checkpoint: %v", err)
+			}
+			if res.Computed != 1 || res.Cached != units-1 {
+				t.Errorf("computed=%d cached=%d, want 1/%d", res.Computed, res.Cached, units-1)
+			}
+			if res.Report != first.Report {
+				t.Error("recovered run is not bit-identical")
+			}
+		})
+	}
+}
+
+// TestRunSingleCellMatchesEngine: the fleet worker entry point must return
+// exactly what the engine's local pool computes for the same cell.
+func TestRunSingleCellMatchesEngine(t *testing.T) {
+	m := testManifest()
+	m.Experiments = nil
+	opts := Options{Workers: 2}
+	res, err := Run(context.Background(), m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range res.Cells {
+		got, err := RunSingleCell(context.Background(), m.Grids[0], want.Cell, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("single-cell run diverged:\n got %+v\nwant %+v", got, want)
+		}
+	}
+	// Guard rails: foreign grid, file topology.
+	if _, err := RunSingleCell(context.Background(), Grid{Name: "other"}, res.Cells[0].Cell, opts); err == nil {
+		t.Fatal("cell from a different grid accepted")
+	}
+	fileCell := Cell{Grid: "zoo", Topology: "file:/etc/passwd", Scenario: "mixed"}
+	if _, err := RunSingleCell(context.Background(), m.Grids[0], fileCell, opts); err == nil {
+		t.Fatal("file topology accepted without AllowFileTopologies")
+	}
+}

@@ -46,6 +46,16 @@ type Options struct {
 	// AllowFileTopologies permits file: topology specs (CLI use only; the
 	// serving layer keeps it false).
 	AllowFileTopologies bool
+	// CellRunner, if non-nil, computes grid cells instead of the local
+	// session pool — the fleet coordinator's scatter hook. It must be
+	// deterministic: the engine slots its result by cell position and
+	// checkpoints it under the locally derived id, so a remote runner has
+	// to return exactly what the local pool would have computed (our
+	// workers do, by the pool-size-independence guarantee). Experiments
+	// always run locally. Resilience — retries, fallback to local
+	// execution — is the runner's responsibility; an error here fails the
+	// campaign.
+	CellRunner func(ctx context.Context, g Grid, cell Cell) (*CellResult, error)
 }
 
 // ExperimentResult is one completed experiment driver.
@@ -129,7 +139,11 @@ func cellID(kind, name string, spec any) string {
 	return fmt.Sprintf("%s-%s-%016x", kind, sanitize(name), h.Sum64())
 }
 
-// loadCheckpoint returns the stored unit for id, or nil.
+// loadCheckpoint returns the stored unit for id, or nil. A missing,
+// truncated, corrupt or mislabeled file is treated as "this unit was never
+// computed": the cell recomputes (deterministically, so the output is
+// unchanged) instead of the whole campaign failing on a half-written
+// checkpoint left by a crash.
 func loadCheckpoint(dir, id string) *checkpoint {
 	if dir == "" {
 		return nil
@@ -142,12 +156,25 @@ func loadCheckpoint(dir, id string) *checkpoint {
 	if err := json.Unmarshal(data, &cp); err != nil || cp.Version != checkpointVersion {
 		return nil
 	}
+	// The embedded id must match the file's name-derived id: a checkpoint
+	// copied or renamed across cells (or a hash-colliding stale file) must
+	// not impersonate a different unit.
+	if cp.Experiment != nil && cp.Experiment.ID != id {
+		return nil
+	}
+	if cp.Cell != nil && cp.Cell.ID != id {
+		return nil
+	}
 	return &cp
 }
 
-// saveCheckpoint persists a completed unit. Write errors are surfaced: a
-// checkpointed campaign that cannot checkpoint should fail loudly rather
-// than silently recompute forever.
+// saveCheckpoint persists a completed unit crash-safely: the JSON is
+// written to a temp file and renamed into place, so a crash mid-write
+// leaves either the old checkpoint or none — never a truncated one a
+// resume would have to distrust (loadCheckpoint rejects those anyway as a
+// second line of defense). Write errors are surfaced: a checkpointed
+// campaign that cannot checkpoint should fail loudly rather than silently
+// recompute forever.
 func saveCheckpoint(dir, id string, cp checkpoint) error {
 	if dir == "" {
 		return nil
@@ -321,7 +348,24 @@ func Run(ctx context.Context, m *Manifest, opts Options) (*Result, error) {
 					cellErrs[i] = ctx.Err()
 					continue
 				}
-				cr, err := runCell(cell, spec, id, opts, systemFor, runners)
+				var cr *CellResult
+				var err error
+				if opts.CellRunner != nil {
+					cr, err = opts.CellRunner(ctx, *g, cell)
+					if err == nil && cr.Cell != cell {
+						err = fmt.Errorf("cell runner returned result for %s", cr.Cell)
+					}
+					if err == nil {
+						// The checkpoint identity is coordinator-derived;
+						// a remote worker's id (equal under the fleet's
+						// matched-config contract) is not trusted.
+						c := *cr
+						c.ID = id
+						cr = &c
+					}
+				} else {
+					cr, err = runCell(cell, spec, id, opts, systemFor, runners)
+				}
 				if err != nil {
 					cellErrs[i] = fmt.Errorf("campaign: cell %s: %w", cell, err)
 					continue
@@ -354,6 +398,35 @@ func Run(ctx context.Context, m *Manifest, opts Options) (*Result, error) {
 
 	render(res)
 	return res, nil
+}
+
+// RunSingleCell measures exactly one grid cell — the worker half of the
+// fleet scatter: a coordinator ships (grid, cell) over the wire, the worker
+// computes the cell with its own clamps and returns the CellResult. It is a
+// pure function of (grid, cell, Options clamps, Options.Sim), so any worker
+// with matching configuration returns bit-identical floats to a local run;
+// Options.Workers, checkpointing and CellRunner are ignored.
+func RunSingleCell(ctx context.Context, g Grid, cell Cell, opts Options) (*CellResult, error) {
+	if cell.Grid != g.Name {
+		return nil, fmt.Errorf("campaign: cell %s does not belong to grid %q", cell, g.Name)
+	}
+	sp, err := topology.ParseSpec(cell.Topology)
+	if err != nil {
+		return nil, err
+	}
+	if sp.Family == "file" && !opts.AllowFileTopologies {
+		return nil, fmt.Errorf("campaign: file topology %q not allowed here", cell.Topology)
+	}
+	if opts.Sim.Params.MessageFlits == 0 {
+		opts.Sim = sim.DefaultConfig()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	spec := cellSpecFor(&g, cell, opts)
+	id := cellID("cell", cell.Grid+"-"+cell.Scenario, spec)
+	runners := map[*systemParts]*workload.Runner{}
+	return runCell(cell, spec, id, opts, buildSystem, runners)
 }
 
 // cellSpecFor resolves the complete checkpoint identity of a cell,

@@ -1,0 +1,180 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Plan is a seeded fault schedule for a Transport: per-request probabilities
+// of each fault kind, drawn from one deterministic stream. Probabilities are
+// evaluated in the order drop, delay, truncate, duplicate; a request can
+// suffer a delay *and* a truncation, but a dropped request suffers nothing
+// else (it never leaves the client).
+type Plan struct {
+	// Seed feeds the fault stream. The draw sequence is deterministic;
+	// which request sees which draw depends on arrival order, which is the
+	// point — the system under test must produce identical results anyway.
+	Seed uint64
+	// Drop is the probability a request is dropped before transmission
+	// (the client sees a transport error).
+	Drop float64
+	// Delay is the probability a request is held for a uniform duration in
+	// (0, MaxDelay] before transmission.
+	Delay    float64
+	MaxDelay time.Duration
+	// Truncate is the probability a response body is cut in half (the
+	// client sees a decode error mid-body).
+	Truncate float64
+	// Duplicate is the probability a request is transmitted twice — the
+	// first response is discarded — proving the receiver is idempotent.
+	Duplicate float64
+}
+
+// Counters reports how many faults a Transport has injected.
+type Counters struct {
+	Requests, Drops, Delays, Truncations, Duplicates int64
+}
+
+// Transport is a fault-injecting http.RoundTripper: it wraps a base
+// transport and perturbs traffic per a seeded Plan. Hosts can additionally
+// be taken down and brought back at runtime (SetDown), simulating a crashed
+// worker without touching real sockets. Safe for concurrent use.
+type Transport struct {
+	base http.RoundTripper
+	plan Plan
+
+	mu  sync.Mutex
+	rng *rng.Source
+
+	downMu sync.RWMutex
+	down   map[string]bool
+
+	requests, drops, delays, truncations, duplicates atomic.Int64
+}
+
+// New builds a Transport over base (nil = http.DefaultTransport).
+func New(plan Plan, base http.RoundTripper) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base, plan: plan, rng: rng.New(plan.Seed), down: map[string]bool{}}
+}
+
+// SetDown marks host (the URL's host:port) unreachable or reachable again.
+// Requests to a down host fail immediately with a transport error.
+func (t *Transport) SetDown(host string, down bool) {
+	t.downMu.Lock()
+	defer t.downMu.Unlock()
+	t.down[host] = down
+}
+
+// Counters snapshots the injected-fault counts.
+func (t *Transport) Counters() Counters {
+	return Counters{
+		Requests:    t.requests.Load(),
+		Drops:       t.drops.Load(),
+		Delays:      t.delays.Load(),
+		Truncations: t.truncations.Load(),
+		Duplicates:  t.duplicates.Load(),
+	}
+}
+
+// Faults reports the total number of injected faults of any kind.
+func (c Counters) Faults() int64 { return c.Drops + c.Delays + c.Truncations + c.Duplicates }
+
+// draw samples the fault decisions for one request under the lock, keeping
+// the stream deterministic in the number of draws per request.
+func (t *Transport) draw() (drop, delay, trunc, dup bool, delayFor time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	drop = t.rng.Bool(t.plan.Drop)
+	delay = t.rng.Bool(t.plan.Delay)
+	trunc = t.rng.Bool(t.plan.Truncate)
+	dup = t.rng.Bool(t.plan.Duplicate)
+	if t.plan.MaxDelay > 0 {
+		delayFor = time.Duration((1 - t.rng.Float64()) * float64(t.plan.MaxDelay))
+	}
+	return
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.requests.Add(1)
+	t.downMu.RLock()
+	down := t.down[req.URL.Host]
+	t.downMu.RUnlock()
+	if down {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		t.drops.Add(1)
+		return nil, fmt.Errorf("chaos: host %s is down", req.URL.Host)
+	}
+
+	drop, delay, trunc, dup, delayFor := t.draw()
+	if drop {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		t.drops.Add(1)
+		return nil, fmt.Errorf("chaos: dropped %s %s", req.Method, req.URL.Path)
+	}
+	if delay && delayFor > 0 {
+		t.delays.Add(1)
+		timer := time.NewTimer(delayFor)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, req.Context().Err()
+		}
+	}
+	if dup && req.GetBody != nil {
+		// Transmit a clone first and discard its response: the receiver
+		// must tolerate the duplicate (our workers are stateless and
+		// deterministic, so it merely recomputes).
+		t.duplicates.Add(1)
+		clone := req.Clone(req.Context())
+		body, err := req.GetBody()
+		if err == nil {
+			clone.Body = body
+			if res, err := t.base.RoundTrip(clone); err == nil {
+				io.Copy(io.Discard, res.Body)
+				res.Body.Close()
+			}
+			// The original request's body was not consumed by the clone:
+			// GetBody returns an independent reader.
+		}
+	}
+	res, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if trunc {
+		t.truncations.Add(1)
+		res.Body = truncateBody(res.Body)
+	}
+	return res, nil
+}
+
+// truncateBody reads the full response body and returns a reader over its
+// first half. Content-Length is left untouched, so clients observe a body
+// that ends mid-stream — exactly what a worker dying mid-response produces.
+func truncateBody(body io.ReadCloser) io.ReadCloser {
+	defer body.Close()
+	b, err := io.ReadAll(body)
+	if err != nil {
+		b = nil
+	}
+	return io.NopCloser(bytes.NewReader(b[:len(b)/2]))
+}

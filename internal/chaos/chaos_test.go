@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoServer counts hits and echoes the request body back.
+func echoServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		b, _ := io.ReadAll(r.Body)
+		w.Write(b)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func post(t *testing.T, c *http.Client, url, body string) (string, error) {
+	t.Helper()
+	res, err := c.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer res.Body.Close()
+	b, err := io.ReadAll(res.Body)
+	return string(b), err
+}
+
+func TestCleanPlanIsTransparent(t *testing.T) {
+	ts, hits := echoServer(t)
+	c := &http.Client{Transport: New(Plan{Seed: 1}, nil)}
+	got, err := post(t, c, ts.URL, `{"x":1}`)
+	if err != nil || got != `{"x":1}` {
+		t.Fatalf("clean transport perturbed traffic: %q, %v", got, err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("%d hits, want 1", hits.Load())
+	}
+}
+
+func TestDropAlways(t *testing.T) {
+	ts, hits := echoServer(t)
+	c := &http.Client{Transport: New(Plan{Seed: 1, Drop: 1}, nil)}
+	if _, err := post(t, c, ts.URL, "x"); err == nil {
+		t.Fatal("dropped request succeeded")
+	}
+	if hits.Load() != 0 {
+		t.Fatal("dropped request reached the server")
+	}
+}
+
+func TestTruncateBreaksDecoding(t *testing.T) {
+	ts, _ := echoServer(t)
+	c := &http.Client{Transport: New(Plan{Seed: 1, Truncate: 1}, nil)}
+	body := `{"key":"` + strings.Repeat("v", 256) + `"}`
+	res, err := c.Post(ts.URL, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var v map[string]string
+	if err := json.NewDecoder(res.Body).Decode(&v); err == nil {
+		t.Fatal("truncated body decoded cleanly")
+	}
+}
+
+func TestDuplicateHitsTwice(t *testing.T) {
+	ts, hits := echoServer(t)
+	c := &http.Client{Transport: New(Plan{Seed: 1, Duplicate: 1}, nil)}
+	// http.NewRequest over a bytes.Reader installs GetBody, which
+	// duplication needs to replay the payload.
+	req, err := http.NewRequest(http.MethodPost, ts.URL, bytes.NewReader([]byte(`{"x":2}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if string(b) != `{"x":2}` {
+		t.Fatalf("duplicate corrupted the surviving response: %q", b)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("%d hits, want 2 (duplicate + original)", hits.Load())
+	}
+	if c := New(Plan{}, nil).Counters(); c.Faults() != 0 {
+		t.Fatalf("fresh transport reports faults: %+v", c)
+	}
+}
+
+func TestDelayHolds(t *testing.T) {
+	ts, _ := echoServer(t)
+	tr := New(Plan{Seed: 1, Delay: 1, MaxDelay: 30 * time.Millisecond}, nil)
+	c := &http.Client{Transport: tr}
+	start := time.Now()
+	if _, err := post(t, c, ts.URL, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Counters().Delays != 1 {
+		t.Fatalf("counters %+v, want one delay", tr.Counters())
+	}
+	_ = start // delay duration is random in (0, MaxDelay]; the counter is the assertion
+}
+
+func TestSetDownAndRecover(t *testing.T) {
+	ts, hits := echoServer(t)
+	tr := New(Plan{Seed: 1}, nil)
+	c := &http.Client{Transport: tr}
+	host := strings.TrimPrefix(ts.URL, "http://")
+	tr.SetDown(host, true)
+	if _, err := post(t, c, ts.URL, "x"); err == nil {
+		t.Fatal("request to a down host succeeded")
+	}
+	if hits.Load() != 0 {
+		t.Fatal("down host was reached")
+	}
+	tr.SetDown(host, false)
+	if _, err := post(t, c, ts.URL, "x"); err != nil {
+		t.Fatalf("recovered host unreachable: %v", err)
+	}
+}
+
+// TestSeededMixIsDeterministic: with a serialized request stream, the fault
+// sequence is a pure function of the seed.
+func TestSeededMixIsDeterministic(t *testing.T) {
+	run := func() Counters {
+		ts, _ := echoServer(t)
+		tr := New(Plan{Seed: 99, Drop: 0.3, Truncate: 0.3, Duplicate: 0.2}, nil)
+		c := &http.Client{Transport: tr}
+		for i := 0; i < 40; i++ {
+			req, _ := http.NewRequest(http.MethodPost, ts.URL, bytes.NewReader([]byte("x")))
+			if res, err := c.Do(req); err == nil {
+				io.Copy(io.Discard, res.Body)
+				res.Body.Close()
+			}
+		}
+		return tr.Counters()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("fault mix not deterministic: %+v vs %+v", a, b)
+	}
+	if a.Faults() == 0 {
+		t.Fatal("no faults injected at 30/30/20% rates over 40 requests")
+	}
+}

@@ -1,0 +1,13 @@
+// Package chaos is the service-level fault harness for the serve fleet: a
+// fault-injecting http.RoundTripper that drops, delays, truncates and
+// duplicates traffic under a seeded schedule, plus runtime host-down
+// switches that simulate a crashed worker. The golden fleet tests install a
+// Transport between the coordinator and its workers and assert the campaign
+// artifacts stay byte-identical to a fault-free single-node run — the
+// repo-wide determinism contract extended over an unreliable network.
+//
+// The injected faults map onto real failure modes: Drop = connection
+// refused / packet loss, Delay = a slow or overloaded worker, Truncate = a
+// worker dying mid-response, Duplicate = a client retrying a request whose
+// response was lost (the receiver must be idempotent).
+package chaos

@@ -1,0 +1,12 @@
+// Package resilience implements the retry discipline the serve fleet wraps
+// around every remote dispatch: bounded attempts, a per-attempt deadline,
+// and exponential backoff with *deterministic* jitter — the jitter fraction
+// is a pure function of (Policy.Seed, dispatch key, attempt index), so a
+// chaos-harness run with a fixed fault schedule replays the same retry
+// timeline every time. Permanent wraps errors that retrying cannot fix
+// (client errors, validation failures); Do returns those immediately.
+//
+// The package is transport-agnostic: Do takes any attempt callback. The
+// serve coordinator uses it to re-dispatch timed-out shards to healthy
+// workers, switching targets on each retry via the attempt index.
+package resilience

@@ -1,0 +1,139 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Policy shapes a retry loop: how many attempts, how long each attempt may
+// run, and how the delay between attempts grows. The zero value selects the
+// defaults documented on each field.
+type Policy struct {
+	// Attempts is the total number of tries, first one included (0 = 4).
+	Attempts int
+	// BaseDelay is the backoff before the second attempt; it doubles per
+	// attempt (0 = 25ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (0 = 1s).
+	MaxDelay time.Duration
+	// PerAttempt is the deadline applied to each attempt's context
+	// (0 = 15s). The parent context still bounds the whole loop.
+	PerAttempt time.Duration
+	// Seed feeds the deterministic jitter; see Backoff.
+	Seed uint64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.PerAttempt <= 0 {
+		p.PerAttempt = 15 * time.Second
+	}
+	return p
+}
+
+// permanentError marks an error as not worth retrying.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Do returns it immediately instead of retrying —
+// client errors (4xx), validation failures, anything deterministic.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err carries the Permanent marker.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// mix64 is the SplitMix64 finalizer: a cheap, well-distributed hash.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Backoff returns the delay after attempt i (0-based) for the given key:
+// exponential growth from BaseDelay capped at MaxDelay, scaled by a
+// deterministic jitter fraction in [0.5, 1.0) derived from (Seed, key, i).
+// Determinism matters here: a retry schedule that replays identically for a
+// given request seed keeps chaos-harness runs reproducible.
+func Backoff(p Policy, key uint64, attempt int) time.Duration {
+	p = p.withDefaults()
+	d := p.MaxDelay
+	if attempt < 30 {
+		if exp := p.BaseDelay << uint(attempt); exp > 0 && exp < p.MaxDelay {
+			d = exp
+		}
+	}
+	u := mix64(p.Seed ^ mix64(key) ^ uint64(attempt)*0xd1342543de82ef95)
+	frac := 0.5 + 0.5*float64(u>>11)/float64(1<<53)
+	return time.Duration(float64(d) * frac)
+}
+
+// Do runs attempt up to Attempts times, each under a PerAttempt deadline
+// derived from ctx, sleeping the jittered Backoff between tries. It stops
+// early when attempt succeeds, returns a Permanent error, or ctx ends. The
+// attempt callback receives its per-attempt context and the 0-based attempt
+// index (so callers can switch targets on retries).
+func Do(ctx context.Context, p Policy, key uint64, attempt func(ctx context.Context, attempt int) error) error {
+	p = p.withDefaults()
+	var last error
+	for i := 0; i < p.Attempts; i++ {
+		if err := ctx.Err(); err != nil {
+			if last != nil {
+				return fmt.Errorf("%w (after attempt %d: %v)", err, i, last)
+			}
+			return err
+		}
+		actx, cancel := context.WithTimeout(ctx, p.PerAttempt)
+		err := attempt(actx, i)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if IsPermanent(err) {
+			return err
+		}
+		last = err
+		if i == p.Attempts-1 {
+			break
+		}
+		if serr := sleep(ctx, Backoff(p, key, i)); serr != nil {
+			return fmt.Errorf("%w (after attempt %d: %v)", serr, i+1, last)
+		}
+	}
+	return fmt.Errorf("resilience: %d attempt(s) exhausted: %w", p.Attempts, last)
+}
+
+// sleep waits d or until ctx ends, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,121 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Seed: 42}
+	for attempt := 0; attempt < 8; attempt++ {
+		a := Backoff(p, 7, attempt)
+		b := Backoff(p, 7, attempt)
+		if a != b {
+			t.Fatalf("attempt %d: backoff not deterministic: %v vs %v", attempt, a, b)
+		}
+		// Exponential cap: the undithered delay is min(base<<i, max), and
+		// jitter scales it into [0.5, 1.0).
+		ceil := p.BaseDelay << uint(attempt)
+		if ceil <= 0 || ceil > p.MaxDelay {
+			ceil = p.MaxDelay
+		}
+		if a < ceil/2 || a >= ceil {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v)", attempt, a, ceil/2, ceil)
+		}
+	}
+	// Different keys and seeds shift the jitter.
+	if Backoff(p, 1, 0) == Backoff(p, 2, 0) && Backoff(p, 1, 1) == Backoff(p, 2, 1) {
+		t.Fatal("jitter ignores the dispatch key")
+	}
+}
+
+func TestDoRetriesThenSucceeds(t *testing.T) {
+	p := Policy{Attempts: 5, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	calls := 0
+	err := Do(context.Background(), p, 1, func(ctx context.Context, attempt int) error {
+		calls++
+		if attempt != calls-1 {
+			t.Fatalf("attempt index %d on call %d", attempt, calls)
+		}
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err %v after %d calls", err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	p := Policy{Attempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	sentinel := errors.New("still broken")
+	calls := 0
+	err := Do(context.Background(), p, 1, func(context.Context, int) error {
+		calls++
+		return sentinel
+	})
+	if calls != 3 {
+		t.Fatalf("%d calls, want 3", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("exhausted error %v does not wrap the last attempt error", err)
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	sentinel := errors.New("bad request")
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 5}, 1, func(context.Context, int) error {
+		calls++
+		return Permanent(sentinel)
+	})
+	if calls != 1 {
+		t.Fatalf("%d calls, want 1 (permanent error must not retry)", calls)
+	}
+	if !errors.Is(err, sentinel) || !IsPermanent(err) {
+		t.Fatalf("permanent error lost its identity: %v", err)
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+}
+
+func TestDoPerAttemptDeadline(t *testing.T) {
+	p := Policy{Attempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond,
+		PerAttempt: 5 * time.Millisecond}
+	deadlines := 0
+	err := Do(context.Background(), p, 1, func(ctx context.Context, _ int) error {
+		<-ctx.Done() // a hung worker: only the per-attempt deadline frees us
+		deadlines++
+		return ctx.Err()
+	})
+	if deadlines != 2 {
+		t.Fatalf("%d attempts ran, want 2 (each freed by its own deadline)", deadlines)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestDoHonorsParentContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{Attempts: 100, BaseDelay: 50 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	calls := 0
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	err := Do(ctx, p, 1, func(context.Context, int) error {
+		calls++
+		return errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want Canceled", err)
+	}
+	if calls >= 100 {
+		t.Fatalf("cancellation did not stop the loop (%d calls)", calls)
+	}
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	spamnet "repro"
+	"repro/internal/chaos"
+	"repro/internal/workload"
+)
+
+// Fleet benchmarks: scatter/gather scaling vs local execution, and the
+// retry-path overhead under a fault-injecting transport. Driven by
+// scripts/bench.sh into BENCH_PR6.json.
+
+func benchSystem(b *testing.B) *spamnet.System {
+	b.Helper()
+	sys, err := spamnet.NewLattice(16, spamnet.WithSeed(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func benchRequest() RunRequest {
+	return RunRequest{
+		Scenario: "mixed",
+		Trials:   8,
+		Seed:     42,
+		Params:   workload.Params{RatePerProcPerUs: 0.01, Messages: 200, MulticastDests: 4},
+	}
+}
+
+// benchFleet builds a coordinator over n live workers and waits for the
+// probes to admit them. The cleanup tears the whole fleet down.
+func benchFleet(b *testing.B, sys *spamnet.System, n int, tr http.RoundTripper) *Service {
+	b.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		w, err := New(Config{System: sys, PoolSize: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(w.Handler())
+		b.Cleanup(func() { ts.Close(); w.Close() })
+		urls[i] = ts.URL
+	}
+	co, err := New(Config{System: sys, PoolSize: 2, Fleet: FleetConfig{
+		Workers:       urls,
+		Transport:     tr,
+		ProbeInterval: 20 * time.Millisecond,
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(co.Close)
+	deadline := time.Now().Add(5 * time.Second)
+	for co.fleet.healthyCount() < n && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	return co
+}
+
+func runBench(b *testing.B, svc *Service) {
+	req := benchRequest()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Run(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetRun measures one 8-trial /run through the local pool and
+// through coordinators of growing fleet size — the scatter/gather constant
+// factor and its scaling.
+func BenchmarkFleetRun(b *testing.B) {
+	sys := benchSystem(b)
+	b.Run("local", func(b *testing.B) {
+		svc, err := New(Config{System: sys, PoolSize: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(svc.Close)
+		runBench(b, svc)
+	})
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", n), func(b *testing.B) {
+			runBench(b, benchFleet(b, sys, n, nil))
+		})
+	}
+}
+
+// BenchmarkFleetRetryPath pins the cost of the resilience layer: the same
+// fleet-of-2 run over a clean transport and over one dropping/truncating a
+// quarter of the dispatches (forcing retries and re-dispatch).
+func BenchmarkFleetRetryPath(b *testing.B) {
+	sys := benchSystem(b)
+	b.Run("clean", func(b *testing.B) {
+		runBench(b, benchFleet(b, sys, 2, nil))
+	})
+	b.Run("faulty", func(b *testing.B) {
+		tr := chaos.New(chaos.Plan{Seed: 3, Drop: 0.15, Truncate: 0.1}, nil)
+		runBench(b, benchFleet(b, sys, 2, tr))
+	})
+}

@@ -19,4 +19,21 @@
 // Memory. No per-message sample is ever retained: shards are fixed-size
 // streaming accumulators, so a request costs O(trials) small shards and the
 // simulators themselves are the bounded pool.
+//
+// Fleet mode. A Service whose Config.Fleet lists worker URLs becomes a
+// scatter/gather coordinator: /run trial ranges and campaign grid cells are
+// dispatched to the workers (POST /shard, POST /cell) instead of the local
+// pool. Workers ship exact per-trial accumulator state (stats.SummaryWire;
+// Go's JSON float64 round trips are bit-exact), the coordinator merges in
+// trial order, and every dispatch runs under the resilience package's
+// retry/backoff policy with health-gated worker selection (/healthz
+// fingerprint matching) and graceful degradation to the local pool. The
+// fleet is therefore a throughput layer only: output is bit-identical for
+// any fleet size, retry schedule, or injected transport fault — pinned by
+// the chaos golden battery in fleet_test.go.
+//
+// Admission control. Config.MaxInflight bounds admitted requests across
+// /run, /campaign, /shard and /cell; beyond it the service answers
+// ErrSaturated (HTTP 429 with Retry-After) instead of queueing without
+// bound.
 package serve

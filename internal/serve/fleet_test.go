@@ -1,0 +1,613 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	spamnet "repro"
+	"repro/internal/campaign"
+	"repro/internal/chaos"
+	"repro/internal/resilience"
+	"repro/internal/workload"
+)
+
+// fastPolicy keeps fleet retries test-speed while leaving per-attempt
+// deadlines generous enough for race-detector builds.
+func fastPolicy() resilience.Policy {
+	return resilience.Policy{
+		Attempts:   6,
+		BaseDelay:  2 * time.Millisecond,
+		MaxDelay:   20 * time.Millisecond,
+		PerAttempt: 10 * time.Second,
+	}
+}
+
+// newWorkers starts n worker services over httptest servers.
+func newWorkers(t *testing.T, sys *spamnet.System, n, pool int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		w := newService(t, sys, pool)
+		ts := httptest.NewServer(w.Handler())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+// newCoordinator builds a coordinator over the given worker URLs.
+func newCoordinator(t *testing.T, sys *spamnet.System, pool int, urls []string, tr http.RoundTripper) *Service {
+	t.Helper()
+	svc, err := New(Config{System: sys, PoolSize: pool, Fleet: FleetConfig{
+		Workers:       urls,
+		Policy:        fastPolicy(),
+		Transport:     tr,
+		ProbeInterval: 25 * time.Millisecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+// waitHealthy blocks until the coordinator's probes mark want workers
+// healthy (or the deadline passes — fine under chaos, where health flaps).
+func waitHealthy(t *testing.T, svc *Service, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if svc.fleet.healthyCount() >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Logf("only %d/%d workers healthy before deadline", svc.fleet.healthyCount(), want)
+}
+
+func normalizeRun(r *RunResponse) RunResponse {
+	c := *r
+	c.ElapsedMs, c.PoolSize = 0, 0
+	return c
+}
+
+// TestFleetRunGolden is the scatter/gather determinism golden: a /run
+// answered locally and by coordinators over 1, 4 and 8 workers must be
+// bit-identical — the shards travel as exact accumulator state and merge in
+// trial order.
+func TestFleetRunGolden(t *testing.T) {
+	sys := testSystem(t, 16)
+	req := smallRequest(12)
+
+	local := newService(t, sys, 2)
+	golden, err := local.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := normalizeRun(golden)
+
+	for _, n := range []int{1, 4, 8} {
+		co := newCoordinator(t, sys, 2, newWorkers(t, sys, n, 2), nil)
+		waitHealthy(t, co, n)
+		resp, err := co.Run(context.Background(), req)
+		if err != nil {
+			t.Fatalf("fleet of %d: %v", n, err)
+		}
+		if got := normalizeRun(resp); !reflect.DeepEqual(got, want) {
+			t.Fatalf("fleet of %d diverged:\n got %+v\nwant %+v", n, got, want)
+		}
+		if co.fleet.remoteShards.Load() == 0 {
+			t.Fatalf("fleet of %d: no shards served remotely", n)
+		}
+	}
+}
+
+// TestFleetRunChaosGolden re-runs the golden under an adversarial
+// transport: dropped, delayed, truncated and duplicated dispatches must
+// change nothing but the retry count.
+func TestFleetRunChaosGolden(t *testing.T) {
+	sys := testSystem(t, 16)
+	req := smallRequest(12)
+
+	local := newService(t, sys, 2)
+	golden, err := local.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := normalizeRun(golden)
+
+	tr := chaos.New(chaos.Plan{
+		Seed:      99,
+		Drop:      0.2,
+		Delay:     0.2,
+		MaxDelay:  4 * time.Millisecond,
+		Truncate:  0.15,
+		Duplicate: 0.15,
+	}, nil)
+	co := newCoordinator(t, sys, 2, newWorkers(t, sys, 4, 2), tr)
+	waitHealthy(t, co, 1)
+	for rep := 0; rep < 3; rep++ {
+		resp, err := co.Run(context.Background(), req)
+		if err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+		if got := normalizeRun(resp); !reflect.DeepEqual(got, want) {
+			t.Fatalf("rep %d diverged under chaos:\n got %+v\nwant %+v", rep, got, want)
+		}
+	}
+	if tr.Counters().Faults() == 0 {
+		t.Fatal("chaos transport injected no faults — the test proved nothing")
+	}
+}
+
+// TestFleetCampaignGolden pins the campaign scatter: the rendered report
+// and plots from fleet coordinators (clean and under chaos) must be
+// byte-identical to a local run's.
+func TestFleetCampaignGolden(t *testing.T) {
+	sys := testSystem(t, 16)
+	req := CampaignRequest{Name: "smoke"}
+
+	local := newService(t, sys, 2)
+	golden, err := local.RunCampaign(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clean := newCoordinator(t, sys, 2, newWorkers(t, sys, 2, 2), nil)
+	waitHealthy(t, clean, 2)
+	got, err := clean.RunCampaign(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Report != golden.Report || !reflect.DeepEqual(got.SVGs, golden.SVGs) {
+		t.Fatal("fleet campaign artifacts diverged from local run")
+	}
+	if clean.fleet.remoteCells.Load() == 0 {
+		t.Fatal("no campaign cells served remotely")
+	}
+
+	tr := chaos.New(chaos.Plan{
+		Seed:      5,
+		Drop:      0.25,
+		Delay:     0.2,
+		MaxDelay:  4 * time.Millisecond,
+		Truncate:  0.2,
+		Duplicate: 0.2,
+	}, nil)
+	chaotic := newCoordinator(t, sys, 2, newWorkers(t, sys, 4, 2), tr)
+	waitHealthy(t, chaotic, 1)
+	got2, err := chaotic.RunCampaign(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Report != golden.Report || !reflect.DeepEqual(got2.SVGs, golden.SVGs) {
+		t.Fatal("fleet campaign artifacts diverged under chaos")
+	}
+	if tr.Counters().Faults() == 0 {
+		t.Fatal("chaos transport injected no faults")
+	}
+}
+
+// TestFleetWorkerKillRestart kills one of two workers mid-campaign and
+// restarts it at the same address: dispatches re-route, the restarted
+// worker is re-probed back into rotation, and the output stays identical.
+func TestFleetWorkerKillRestart(t *testing.T) {
+	sys := testSystem(t, 16)
+	req := CampaignRequest{Name: "smoke"}
+
+	local := newService(t, sys, 2)
+	golden, err := local.RunCampaign(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker A on a hand-managed listener so it can die and come back at
+	// the same address; worker B on a plain test server.
+	wsvcA := newService(t, sys, 2)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srvA := &http.Server{Handler: wsvcA.Handler()}
+	go srvA.Serve(ln)
+
+	urlB := newWorkers(t, sys, 1, 2)[0]
+	co := newCoordinator(t, sys, 2, []string{"http://" + addr, urlB}, nil)
+	waitHealthy(t, co, 2)
+
+	done := make(chan struct{})
+	var resp *CampaignResponse
+	var runErr error
+	go func() {
+		defer close(done)
+		resp, runErr = co.RunCampaign(context.Background(), req)
+	}()
+
+	// Kill A mid-flight, then bring a fresh service back on its address.
+	time.Sleep(30 * time.Millisecond)
+	srvA.Close()
+	time.Sleep(60 * time.Millisecond)
+	wsvcA2 := newService(t, sys, 2)
+	var ln2 net.Listener
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if ln2, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	srvA2 := &http.Server{Handler: wsvcA2.Handler()}
+	go srvA2.Serve(ln2)
+	t.Cleanup(func() { srvA2.Close() })
+
+	<-done
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if resp.Report != golden.Report || !reflect.DeepEqual(resp.SVGs, golden.SVGs) {
+		t.Fatal("campaign artifacts diverged across a worker kill/restart")
+	}
+
+	// The restarted worker rejoins the rotation and a follow-up /run still
+	// matches a local execution bit for bit.
+	waitHealthy(t, co, 2)
+	want, err := local.Run(context.Background(), smallRequest(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := co.Run(context.Background(), smallRequest(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeRun(got), normalizeRun(want)) {
+		t.Fatal("post-restart run diverged")
+	}
+}
+
+// TestFleetDegradesToLocal: with every worker unreachable the coordinator
+// must still answer — identically — from its own pool.
+func TestFleetDegradesToLocal(t *testing.T) {
+	sys := testSystem(t, 16)
+	req := smallRequest(6)
+
+	local := newService(t, sys, 2)
+	golden, err := local.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A listener opened and immediately closed yields an address that
+	// refuses connections.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+
+	co := newCoordinator(t, sys, 2, []string{dead, dead}, nil)
+	resp, err := co.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeRun(resp), normalizeRun(golden)) {
+		t.Fatal("degraded run diverged from local execution")
+	}
+	if co.fleet.localFallbacks.Load() == 0 {
+		t.Fatal("no local fallbacks recorded")
+	}
+	if co.fleet.healthyCount() != 0 {
+		t.Fatal("dead workers probed healthy")
+	}
+}
+
+// TestFleetRejectsMismatchedWorkers: a worker with a different system
+// fingerprint must never be marked healthy — it would resolve different
+// clamps and silently change results.
+func TestFleetRejectsMismatchedWorkers(t *testing.T) {
+	sys := testSystem(t, 16)
+	other := testSystem(t, 25) // different topology → different fingerprint
+	urls := newWorkers(t, other, 1, 2)
+	co := newCoordinator(t, sys, 2, urls, nil)
+
+	time.Sleep(150 * time.Millisecond) // several probe rounds
+	if co.fleet.healthyCount() != 0 {
+		t.Fatal("fingerprint-mismatched worker marked healthy")
+	}
+
+	// Requests still work (local fallback) and match local execution.
+	local := newService(t, sys, 2)
+	golden, err := local.Run(context.Background(), smallRequest(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := co.Run(context.Background(), smallRequest(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeRun(resp), normalizeRun(golden)) {
+		t.Fatal("mismatched-fleet run diverged from local execution")
+	}
+}
+
+// TestShardEndpoint covers the worker protocol directly: an in-range shard
+// returns exact per-trial summaries, an out-of-range one is the client's
+// fault.
+func TestShardEndpoint(t *testing.T) {
+	sys := testSystem(t, 16)
+	svc := newService(t, sys, 2)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(ShardRequest{Run: smallRequest(4), TrialLo: 1, TrialHi: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Post(ts.URL+"/shard", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr ShardResponse
+	err = json.NewDecoder(res.Body).Decode(&sr)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK || err != nil {
+		t.Fatalf("/shard -> %d, decode err %v", res.StatusCode, err)
+	}
+	if len(sr.Trials) != 2 {
+		t.Fatalf("got %d trials, want 2", len(sr.Trials))
+	}
+	for i, w := range sr.Trials {
+		if w.Stream.N == 0 {
+			t.Fatalf("trial %d came back empty", i)
+		}
+	}
+
+	// Out-of-range window -> 400 (trials clamp to MaxTrials=64 default).
+	bad, err := json.Marshal(ShardRequest{Run: smallRequest(4), TrialLo: 2, TrialHi: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = http.Post(ts.URL+"/shard", "application/json", strings.NewReader(string(bad)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad shard range -> %d, want 400", res.StatusCode)
+	}
+
+	// Direct API: range errors carry ErrBadShard.
+	if _, err := svc.RunShard(context.Background(), ShardRequest{Run: smallRequest(2), TrialLo: -1, TrialHi: 1}); !errors.Is(err, ErrBadShard) {
+		t.Fatalf("negative lo: %v, want ErrBadShard", err)
+	}
+}
+
+// TestSaturation429: beyond MaxInflight the HTTP surface answers 429 with a
+// Retry-After hint, and recovers once the queue drains.
+func TestSaturation429(t *testing.T) {
+	sys := testSystem(t, 16)
+	svc, err := New(Config{System: sys, PoolSize: 1, MaxInflight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	slow := smallRequest(8)
+	slow.Params.Messages = 2000
+	slowBody, err := json.Marshal(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		res, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(string(slowBody)))
+		if err == nil {
+			res.Body.Close()
+			if res.StatusCode != http.StatusOK {
+				err = errors.New("slow request not OK")
+			}
+		}
+		done <- err
+	}()
+
+	// Wait until the slow request holds the only admission slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.inflight.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	body, err := json.Marshal(smallRequest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated POST /run -> %d, want 429", res.StatusCode)
+	}
+	if res.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if svc.rejected.Load() == 0 {
+		t.Fatal("rejection not counted")
+	}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Slot released: the same request now succeeds.
+	res, err = http.Post(ts.URL+"/run", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain POST /run -> %d, want 200", res.StatusCode)
+	}
+}
+
+// TestCellEndpoint covers the campaign-cell worker protocol: a well-formed
+// cell computes, foreign grids and file topologies are client errors.
+func TestCellEndpoint(t *testing.T) {
+	sys := testSystem(t, 16)
+	svc := newService(t, sys, 2)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	g := campaign.Grid{
+		Name:       "g",
+		Topologies: []string{"torus:4x4"},
+		Scenarios:  []string{"mixed"},
+		Trials:     1,
+		Params:     workload.Params{Messages: 120},
+	}
+	cell := campaign.Cell{Grid: "g", Topology: "torus:4x4", Scenario: "mixed", Seed: 7}
+	post := func(req CellRequest) (*http.Response, error) {
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return http.Post(ts.URL+"/cell", "application/json", strings.NewReader(string(body)))
+	}
+
+	res, err := post(CellRequest{Grid: g, Cell: cell})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr campaign.CellResult
+	err = json.NewDecoder(res.Body).Decode(&cr)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK || err != nil {
+		t.Fatalf("/cell -> %d, decode err %v", res.StatusCode, err)
+	}
+	if cr.Count == 0 || cr.MeanUs <= 0 || cr.Cell != cell {
+		t.Fatalf("cell result %+v", cr)
+	}
+
+	// File topologies and foreign grids are the client's fault.
+	bad := cell
+	bad.Topology = "file:/etc/passwd"
+	res, err = post(CellRequest{Grid: g, Cell: bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("file topology /cell -> %d, want 400", res.StatusCode)
+	}
+	foreign := cell
+	foreign.Grid = "other"
+	if _, err := svc.RunCell(context.Background(), CellRequest{Grid: g, Cell: foreign}); err == nil {
+		t.Fatal("foreign-grid cell accepted")
+	}
+}
+
+// TestBodyLimits413: oversized request bodies are refused with 413, not
+// read to completion.
+func TestBodyLimits413(t *testing.T) {
+	sys := testSystem(t, 16)
+	svc := newService(t, sys, 1)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	huge := `{"scenario":"` + strings.Repeat("x", maxBodyBytes+1024) + `"}`
+	for _, ep := range []string{"/run", "/campaign", "/shard", "/cell"} {
+		res, err := http.Post(ts.URL+ep, "application/json", strings.NewReader(huge))
+		if err != nil {
+			t.Fatalf("%s: %v", ep, err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("oversized POST %s -> %d, want 413", ep, res.StatusCode)
+		}
+	}
+}
+
+// TestCampaignMalformedJSON: undecodable /campaign bodies are 400s.
+func TestCampaignMalformedJSON(t *testing.T) {
+	sys := testSystem(t, 16)
+	svc := newService(t, sys, 1)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	for _, body := range []string{`{"name":`, `{"bogus_field":1}`, `[]`} {
+		res, err := http.Post(ts.URL+"/campaign", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q -> %d, want 400", body, res.StatusCode)
+		}
+	}
+}
+
+// TestCampaignCancelMidRun: a context canceled mid-campaign surfaces as the
+// context error and leaves the service healthy.
+func TestCampaignCancelMidRun(t *testing.T) {
+	sys := testSystem(t, 16)
+	svc := newService(t, sys, 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := svc.RunCampaign(ctx, CampaignRequest{Name: "smoke"})
+	if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled campaign: %v, want context error", err)
+	}
+
+	// The pool survives and keeps serving.
+	resp, err := svc.Run(context.Background(), smallRequest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count == 0 {
+		t.Fatal("post-cancel request empty")
+	}
+}
+
+// TestCloseVsRunRace: concurrent Close and Run must never panic or hang —
+// every Run either completes normally or reports ErrClosed.
+func TestCloseVsRunRace(t *testing.T) {
+	sys := testSystem(t, 16)
+	svc, err := New(Config{System: sys, PoolSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := svc.Run(context.Background(), smallRequest(2))
+			if err != nil && !errors.Is(err, ErrClosed) {
+				t.Errorf("Run during Close: %v", err)
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	svc.Close()
+	wg.Wait()
+	if _, err := svc.Run(context.Background(), smallRequest(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run after Close: %v, want ErrClosed", err)
+	}
+}

@@ -5,12 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/workload"
 )
 
-// maxBodyBytes bounds /run request bodies.
+// maxBodyBytes bounds /run, /shard and /cell request bodies.
 const maxBodyBytes = 1 << 20
 
 // ScenarioInfo is one /scenarios entry.
@@ -19,29 +20,49 @@ type ScenarioInfo struct {
 	Description string `json:"description"`
 }
 
-// Health is the /healthz payload.
+// Health is the /healthz payload. It doubles as the fleet handshake: a
+// coordinator only dispatches to workers whose Fingerprint matches its own,
+// because the fingerprint covers everything that shapes a shard's bits —
+// topology, routing, simulator config, horizon, and the admission clamps.
 type Health struct {
 	OK bool `json:"ok"`
+	// Fingerprint identifies this service's (system, clamps) configuration.
+	Fingerprint uint64 `json:"fingerprint"`
 	// PoolSize is the simulator pool bound; Busy and HighWater report the
 	// current and maximum observed concurrent simulator use — HighWater
 	// never exceeds PoolSize.
 	PoolSize  int   `json:"pool_size"`
 	Busy      int64 `json:"busy"`
 	HighWater int64 `json:"high_water"`
-	// Inflight counts /run requests currently being served (they may far
-	// exceed PoolSize: trials queue for the bounded pool).
-	Inflight      int64 `json:"inflight_requests"`
+	// Inflight counts requests currently admitted (they may far exceed
+	// PoolSize: trials queue for the bounded pool). MaxInflight is the
+	// admission bound behind 429s and Rejected the running refusal count.
+	Inflight    int64 `json:"inflight_requests"`
+	MaxInflight int64 `json:"max_inflight"`
+	Rejected    int64 `json:"rejected_total"`
+
 	Requests      int64 `json:"requests_total"`
 	TrialsRun     int64 `json:"trials_total"`
 	TrialsSkipped int64 `json:"trials_skipped"`
 	Scenarios     int   `json:"scenarios"`
+
+	// Fleet gauges, present only in coordinator mode.
+	FleetWorkers   int   `json:"fleet_workers,omitempty"`
+	FleetHealthy   int   `json:"fleet_healthy,omitempty"`
+	RemoteShards   int64 `json:"fleet_remote_shards,omitempty"`
+	RemoteCells    int64 `json:"fleet_remote_cells,omitempty"`
+	LocalFallbacks int64 `json:"fleet_local_fallbacks,omitempty"`
+	Retries        int64 `json:"fleet_retries,omitempty"`
 }
 
-// Handler returns the HTTP API: POST /run, GET /scenarios, GET /healthz.
+// Handler returns the HTTP API: POST /run, /campaign, /shard, /cell; GET
+// /scenarios, /healthz.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/campaign", s.handleCampaign)
+	mux.HandleFunc("/shard", s.handleShard)
+	mux.HandleFunc("/cell", s.handleCell)
 	mux.HandleFunc("/scenarios", s.handleScenarios)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -64,77 +85,118 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
+// writeError maps service errors onto the HTTP surface — one switch shared
+// by every POST handler so the status contract stays uniform:
+//
+//	499 client gone, 429 saturated (with Retry-After), 413 oversized body,
+//	400 client's fault, 503 shutting down, 500 everything else.
+func (s *Service) writeError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client is gone; 499 in the nginx tradition.
+		writeJSON(w, 499, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrSaturated):
+		// Backpressure: tell the client when the queue should have
+		// drained instead of letting it hammer a saturated service.
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfter()))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.As(err, &mbe):
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrUnknownScenario), errors.Is(err, ErrBadTopology),
+		errors.Is(err, ErrBadShard), errors.Is(err, ErrBadCampaign),
+		errors.Is(err, workload.ErrInvalidWorkload):
+		// The client's fault: no such scenario, a rejected topology spec,
+		// an out-of-range trial window, a bad manifest, or parameters the
+		// generator rejects.
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	default:
+		// Everything else — trial failures (TrialError), merge errors —
+		// is a server-side fault.
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}
+
+// decodePost enforces the shared POST preamble: method, body size cap, and
+// strict JSON. Returns false after writing the error response.
+func (s *Service) decodePost(w http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
-		return
+		return false
 	}
-	var req RunRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: err.Error()})
+		} else {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		}
+		return false
+	}
+	return true
+}
+
+func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if !s.decodePost(w, r, &req) {
 		return
 	}
 	start := time.Now()
 	resp, err := s.Run(r.Context(), req)
 	if err != nil {
-		switch {
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			// The client is gone; 499 in the nginx tradition.
-			writeJSON(w, 499, errorBody{Error: err.Error()})
-		case errors.Is(err, ErrUnknownScenario), errors.Is(err, ErrBadTopology), errors.Is(err, workload.ErrInvalidWorkload):
-			// The client's fault: no such scenario, a rejected topology
-			// spec, or parameters the generator rejects (validation fires
-			// inside the trial).
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
-		case errors.Is(err, ErrClosed):
-			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
-		default:
-			// Everything else — trial failures (TrialError), merge errors
-			// — is a server-side fault.
-			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
-		}
+		s.writeError(w, err)
 		return
 	}
 	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000.0
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// maxCampaignBodyBytes bounds /campaign request bodies (inline manifests
-// are small; the response carries the heavy artifacts).
-const maxCampaignBodyBytes = 1 << 20
-
 func (s *Service) handleCampaign(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST only"})
-		return
-	}
 	var req CampaignRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxCampaignBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+	if !s.decodePost(w, r, &req) {
 		return
 	}
 	start := time.Now()
 	resp, err := s.RunCampaign(r.Context(), req)
 	if err != nil {
-		switch {
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			writeJSON(w, 499, errorBody{Error: err.Error()})
-		case errors.Is(err, ErrBadCampaign):
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
-		case errors.Is(err, ErrClosed):
-			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
-		default:
-			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
-		}
+		s.writeError(w, err)
 		return
 	}
 	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000.0
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleShard serves the fleet worker protocol: one trial range, returned
+// as exact per-trial accumulator state.
+func (s *Service) handleShard(w http.ResponseWriter, r *http.Request) {
+	var req ShardRequest
+	if !s.decodePost(w, r, &req) {
+		return
+	}
+	resp, err := s.RunShard(r.Context(), req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCell serves one campaign grid cell for a fleet coordinator.
+func (s *Service) handleCell(w http.ResponseWriter, r *http.Request) {
+	var req CellRequest
+	if !s.decodePost(w, r, &req) {
+		return
+	}
+	resp, err := s.RunCell(r.Context(), req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -158,15 +220,27 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
 		return
 	}
-	writeJSON(w, http.StatusOK, Health{
+	h := Health{
 		OK:            true,
+		Fingerprint:   s.fingerprint,
 		PoolSize:      s.cfg.PoolSize,
 		Busy:          s.busy.Load(),
 		HighWater:     s.highWater.Load(),
 		Inflight:      s.inflight.Load(),
+		MaxInflight:   s.maxInflight,
+		Rejected:      s.rejected.Load(),
 		Requests:      s.requests.Load(),
 		TrialsRun:     s.trialsRun.Load(),
 		TrialsSkipped: s.trialsSkip.Load(),
 		Scenarios:     len(workload.Scenarios()),
-	})
+	}
+	if s.fleet != nil {
+		h.FleetWorkers = len(s.fleet.workers)
+		h.FleetHealthy = s.fleet.healthyCount()
+		h.RemoteShards = s.fleet.remoteShards.Load()
+		h.RemoteCells = s.fleet.remoteCells.Load()
+		h.LocalFallbacks = s.fleet.localFallbacks.Load()
+		h.Retries = s.fleet.retries.Load()
+	}
+	writeJSON(w, http.StatusOK, h)
 }

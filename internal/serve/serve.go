@@ -34,6 +34,18 @@ type Config struct {
 	// which is the service's job to serve — so size it (with the
 	// simulated-time horizon) for the largest legitimate sweep.
 	MaxMessages int
+	// MaxInflight is the admission bound: how many requests (Run,
+	// RunCampaign, RunShard, RunCell) may be in flight at once before new
+	// ones are rejected with ErrSaturated (HTTP 429 + Retry-After). The
+	// gauge behind it is the same inflight counter /healthz reports, and
+	// the default is keyed off the pool gauge: 0 selects 32×PoolSize —
+	// deep enough that queueing for the bounded pool stays the normal
+	// regime, shallow enough that a stampede gets backpressure instead of
+	// an unbounded queue. Negative = unlimited.
+	MaxInflight int
+	// Fleet, when it lists workers, runs this service as a scatter/gather
+	// coordinator; see FleetConfig.
+	Fleet FleetConfig
 }
 
 const (
@@ -80,11 +92,19 @@ type Service struct {
 	reqWG  sync.WaitGroup // in-flight Run calls
 	workWG sync.WaitGroup // worker goroutines
 
+	// maxInflight is the resolved admission bound; fingerprint identifies
+	// this service's (system, clamps) configuration for fleet matching.
+	maxInflight int64
+	fingerprint uint64
+	// fleet is non-nil in coordinator mode.
+	fleet *fleet
+
 	busy       atomic.Int64 // workers currently running a trial
 	highWater  atomic.Int64 // max simultaneous busy workers observed
 	requests   atomic.Int64 // /run requests completed
 	trialsRun  atomic.Int64 // trials executed (not skipped)
-	inflight   atomic.Int64 // /run requests currently active
+	inflight   atomic.Int64 // requests currently admitted
+	rejected   atomic.Int64 // requests refused by admission control
 	trialsSkip atomic.Int64 // trials skipped by cancellation
 }
 
@@ -109,6 +129,22 @@ func New(cfg Config) (*Service, error) {
 	simCfg := cfg.System.SimConfig()
 	simCfg.Logf = nil
 	s := &Service{cfg: cfg, tasks: make(chan *task), campaignSem: make(chan struct{}, 1)}
+	switch {
+	case cfg.MaxInflight < 0:
+		s.maxInflight = int64(^uint64(0) >> 1) // unlimited
+	case cfg.MaxInflight == 0:
+		s.maxInflight = int64(32 * cfg.PoolSize)
+	default:
+		s.maxInflight = int64(cfg.MaxInflight)
+	}
+	// The fingerprint folds the admission clamps in on top of the system's
+	// own: fleet shards resolve their warmup and budget clamps worker-side,
+	// so a clamp mismatch would silently change results.
+	s.fingerprint = cfg.System.Fingerprint() ^
+		(uint64(cfg.MaxTrials)*0x9e3779b97f4a7c15 + uint64(cfg.MaxMessages)*0xd1342543de82ef95)
+	if len(cfg.Fleet.Workers) > 0 {
+		s.fleet = newFleet(s, cfg.Fleet)
+	}
 	for i := 0; i < cfg.PoolSize; i++ {
 		r, err := workload.NewRunner(cfg.System.Router(), simCfg)
 		if err != nil {
@@ -120,7 +156,42 @@ func New(cfg Config) (*Service, error) {
 		s.workWG.Add(1)
 		go s.worker(r)
 	}
+	if s.fleet != nil {
+		s.fleet.start()
+	}
 	return s, nil
+}
+
+// admit reserves an inflight slot or reports saturation. The counter it
+// checks is the same gauge /healthz exposes, so clients watching the health
+// endpoint see the pressure that produces their 429s.
+func (s *Service) admit() error {
+	for {
+		cur := s.inflight.Load()
+		if cur >= s.maxInflight {
+			s.rejected.Add(1)
+			return fmt.Errorf("%w: %d requests in flight (limit %d)", ErrSaturated, cur, s.maxInflight)
+		}
+		if s.inflight.CompareAndSwap(cur, cur+1) {
+			return nil
+		}
+	}
+}
+
+// release returns an admitted slot.
+func (s *Service) release() { s.inflight.Add(-1) }
+
+// RetryAfter estimates, in whole seconds, when a rejected client should
+// retry: one second per fully queued pool depth, capped at 30.
+func (s *Service) RetryAfter() int {
+	depth := s.inflight.Load() / int64(max(1, s.cfg.PoolSize))
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > 30 {
+		depth = 30
+	}
+	return int(depth)
 }
 
 // PoolSize returns the simulator pool bound.
@@ -160,6 +231,9 @@ func (s *Service) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	if s.fleet != nil {
+		s.fleet.stop()
+	}
 	s.reqWG.Wait()
 	close(s.tasks)
 	s.workWG.Wait()
@@ -298,9 +372,33 @@ func (s *Service) systemFor(spec string, seed uint64) (*altSystem, error) {
 	return alt, nil
 }
 
-// Run executes one sweep request over the pool, blocking until every trial
-// completes or ctx cancels. See the package comment for the determinism and
-// memory guarantees.
+// ErrSaturated reports a request rejected by admission control: the bounded
+// request queue (Config.MaxInflight) is full. HTTP maps it to 429 with a
+// Retry-After hint — backpressure instead of an unbounded queue.
+var ErrSaturated = errors.New("serve: saturated")
+
+// ErrBadShard reports a shard request whose trial range falls outside the
+// resolved run (client error).
+var ErrBadShard = errors.New("serve: bad shard")
+
+// resolvedRun is a RunRequest after validation and clamping: the exact
+// per-trial execution plan. Resolution is a pure function of (request,
+// service clamps), so a fleet worker with matching configuration resolves
+// the same plan and its shards are bit-identical to local ones.
+type resolvedRun struct {
+	req    RunRequest
+	sc     workload.Scenario
+	trials int
+	params workload.Params
+	warmup int
+	alt    *altSystem
+}
+
+// Run executes one sweep request, blocking until every trial completes or
+// ctx cancels. In coordinator mode the trial range is scattered over the
+// worker fleet (gathering shards in trial order); otherwise — and as the
+// fallback whenever workers fail — trials run on the local pool. See the
+// package comment for the determinism and memory guarantees.
 func (s *Service) Run(ctx context.Context, req RunRequest) (*RunResponse, error) {
 	s.mu.Lock()
 	if s.closed {
@@ -310,9 +408,42 @@ func (s *Service) Run(ctx context.Context, req RunRequest) (*RunResponse, error)
 	s.reqWG.Add(1)
 	s.mu.Unlock()
 	defer s.reqWG.Done()
-	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
+	if err := s.admit(); err != nil {
+		return nil, err
+	}
+	defer s.release()
 
+	rv, err := s.resolveRun(req)
+	if err != nil {
+		return nil, err
+	}
+	var shards []shard
+	if s.fleet != nil {
+		shards, err = s.fleet.scatterRun(ctx, rv)
+	} else {
+		shards, err = s.runTrials(ctx, rv, 0, rv.trials)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for t := range shards {
+		if shards[t].err != nil {
+			return nil, &TrialError{Scenario: req.Scenario, Trial: t, Err: shards[t].err}
+		}
+	}
+	resp, err := s.mergeTrials(rv, shards)
+	if err != nil {
+		return nil, err
+	}
+	s.requests.Add(1)
+	return resp, nil
+}
+
+// resolveRun validates req and resolves every clamp and default.
+func (s *Service) resolveRun(req RunRequest) (*resolvedRun, error) {
 	sc, ok := workload.Lookup(req.Scenario)
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrUnknownScenario, req.Scenario)
@@ -374,19 +505,31 @@ func (s *Service) Run(ctx context.Context, req RunRequest) (*RunResponse, error)
 	case warmup == 0:
 		warmup = messages / 10
 	}
+	return &resolvedRun{req: req, sc: sc, trials: trials, params: params, warmup: warmup, alt: alt}, nil
+}
 
-	shards := make([]shard, trials)
+// runTrials executes trials [lo, hi) of rv on the local pool, returning
+// their shards in trial order (index 0 = trial lo). Trial t runs a
+// single-trial Measure seeded with TrialSeed(base, t), so the shard is
+// bit-identical to trial t of a serial trials-long Measure — and to the
+// same trial computed by any other pool or process.
+func (s *Service) runTrials(ctx context.Context, rv *resolvedRun, lo, hi int) ([]shard, error) {
+	if lo < 0 || hi < lo || hi > rv.trials {
+		return nil, fmt.Errorf("%w: trial range [%d,%d) outside [0,%d)", ErrBadShard, lo, hi, rv.trials)
+	}
+	n := hi - lo
+	shards := make([]shard, n)
 	var wg sync.WaitGroup
-	wg.Add(trials)
+	wg.Add(n)
 	// entered counts loop-body iterations: each such trial's wg slot is
 	// settled either by a worker or by the cancellation select below; the
 	// cleanup loop settles the trials never reached.
 	entered := 0
-	for t := 0; t < trials && ctx.Err() == nil; t++ {
+	for t := lo; t < hi && ctx.Err() == nil; t++ {
 		t := t
 		entered++
-		sh := &shards[t]
-		seed := workload.TrialSeed(req.Seed, t)
+		sh := &shards[t-lo]
+		seed := workload.TrialSeed(rv.req.Seed, t)
 		tk := &task{
 			ctx: ctx,
 			wg:  &wg,
@@ -397,7 +540,7 @@ func (s *Service) Run(ctx context.Context, req RunRequest) (*RunResponse, error)
 			// a single-trial Measure is its base seed, so shard t is
 			// bit-identical to trial t of a serial trials-long Measure.
 			run: func(r *workload.Runner) error {
-				if alt != nil {
+				if rv.alt != nil {
 					// The pooled simulator is bound to the default system;
 					// topology-overriding trials run on a fresh simulator
 					// for the alternate router. Worker occupancy still
@@ -405,21 +548,21 @@ func (s *Service) Run(ctx context.Context, req RunRequest) (*RunResponse, error)
 					// keeps the result bit-identical to a serial run.
 					simCfg := s.cfg.System.SimConfig()
 					simCfg.Logf = nil
-					ar, err := workload.NewRunner(alt.router, simCfg)
+					ar, err := workload.NewRunner(rv.alt.router, simCfg)
 					if err != nil {
 						return err
 					}
 					ar.MaxSimTimeNs = s.cfg.System.MaxSimTimeNs()
 					r = ar
 				}
-				w, err := workload.ApplyFaults(sc.New(params), params)
+				w, err := workload.ApplyFaults(rv.sc.New(rv.params), rv.params)
 				if err != nil {
 					return err
 				}
 				sum, err := workload.Measure(r, w, workload.MeasureOpts{
 					Trials:         1,
-					WarmupMessages: warmup,
-					Batches:        req.Batches,
+					WarmupMessages: rv.warmup,
+					Batches:        rv.req.Batches,
 					Seed:           seed,
 				})
 				if err != nil {
@@ -436,7 +579,7 @@ func (s *Service) Run(ctx context.Context, req RunRequest) (*RunResponse, error)
 		}
 	}
 	// Account for trials never reached after cancellation.
-	for t := entered; t < trials; t++ {
+	for i := entered; i < n; i++ {
 		wg.Done()
 	}
 	wg.Wait()
@@ -444,19 +587,19 @@ func (s *Service) Run(ctx context.Context, req RunRequest) (*RunResponse, error)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	for t := range shards {
-		if shards[t].err != nil {
-			return nil, &TrialError{Scenario: req.Scenario, Trial: t, Err: shards[t].err}
-		}
-	}
+	return shards, nil
+}
 
-	// Merge shards in trial order: fixed float-operation order makes the
-	// response bit-identical for any pool size.
+// mergeTrials merges one shard per trial (index 0 = trial 0) into the
+// response. Merging happens in trial order: the fixed float-operation order
+// makes the response bit-identical for any pool size, fleet size, or retry
+// schedule. Callers must have checked every shard's error slot already.
+func (s *Service) mergeTrials(rv *resolvedRun, shards []shard) (*RunResponse, error) {
 	merged := stats.NewSummary()
 	trialMeans := &stats.Stream{}
 	for t := range shards {
 		// Every shard is populated here: cancellation and trial errors
-		// return above, so each task ran Measure to completion.
+		// return in the callers, so each task ran Measure to completion.
 		if err := merged.Merge(shards[t].sum); err != nil {
 			return nil, err
 		}
@@ -464,14 +607,13 @@ func (s *Service) Run(ctx context.Context, req RunRequest) (*RunResponse, error)
 			trialMeans.Add(shards[t].sum.Mean())
 		}
 	}
-	if trials >= 2 {
+	if rv.trials >= 2 {
 		merged.SetBatchCI(trialMeans)
 	} else if len(shards) == 1 {
 		// Single trial: the CI comes from Measure's within-trial batch
 		// means (Merge deliberately drops it, so reinstall).
 		merged.SetBatchCI(shards[0].sum.BatchCI())
 	}
-	s.requests.Add(1)
 
 	// With fewer than 2 CI samples the half-width is mathematically +Inf
 	// ("unknown"); JSON cannot carry Inf, so report 0 with ci_samples
@@ -481,11 +623,11 @@ func (s *Service) Run(ctx context.Context, req RunRequest) (*RunResponse, error)
 		ci95 = 0
 	}
 	return &RunResponse{
-		Scenario:         req.Scenario,
-		Topology:         params.Topology,
-		Trials:           trials,
-		Seed:             req.Seed,
-		Warmup:           warmup,
+		Scenario:         rv.req.Scenario,
+		Topology:         rv.params.Topology,
+		Trials:           rv.trials,
+		Seed:             rv.req.Seed,
+		Warmup:           rv.warmup,
 		Count:            merged.Count(),
 		CISamples:        merged.N(),
 		MeanUs:           merged.Mean(),
@@ -544,8 +686,10 @@ func (s *Service) RunCampaign(ctx context.Context, req CampaignRequest) (*Campai
 	s.reqWG.Add(1)
 	s.mu.Unlock()
 	defer s.reqWG.Done()
-	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
+	if err := s.admit(); err != nil {
+		return nil, err
+	}
+	defer s.release()
 
 	select {
 	case s.campaignSem <- struct{}{}:
@@ -578,13 +722,21 @@ func (s *Service) RunCampaign(ctx context.Context, req CampaignRequest) (*Campai
 	}
 	simCfg := s.cfg.System.SimConfig()
 	simCfg.Logf = nil
-	res, err := campaign.Run(ctx, m, campaign.Options{
+	opts := campaign.Options{
 		Workers:     s.cfg.PoolSize,
 		Sim:         simCfg,
 		MaxTrials:   s.cfg.MaxTrials,
 		MaxMessages: s.cfg.MaxMessages,
 		MaxCells:    maxCampaignCells,
-	})
+	}
+	if s.fleet != nil {
+		// Coordinator mode: scatter grid cells over the worker fleet. The
+		// engine still owns checkpointing and result slotting, so the
+		// report is byte-identical to a local run by the CellRunner
+		// determinism contract (retries and local fallback included).
+		opts.CellRunner = s.fleet.runCell
+	}
+	res, err := campaign.Run(ctx, m, opts)
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
@@ -615,6 +767,138 @@ func (e *TrialError) Error() string {
 }
 
 func (e *TrialError) Unwrap() error { return e.Err }
+
+// ShardRequest asks a fleet worker for trials [TrialLo, TrialHi) of a run.
+// The worker re-resolves the request's clamps and defaults itself — safe
+// because resolution is a pure function of (request, service clamps) and
+// the coordinator only dispatches to fingerprint-matched workers.
+type ShardRequest struct {
+	Run     RunRequest `json:"run"`
+	TrialLo int        `json:"trial_lo"`
+	TrialHi int        `json:"trial_hi"`
+}
+
+// ShardResponse carries one exact per-trial summary per requested trial, in
+// trial order. The wire forms round-trip float bits exactly, so the
+// coordinator's merge is bit-identical to a local run's.
+type ShardResponse struct {
+	Trials []stats.SummaryWire `json:"trials"`
+}
+
+// RunShard executes one trial range on the local pool — the worker half of
+// the fleet scatter (POST /shard).
+func (s *Service) RunShard(ctx context.Context, req ShardRequest) (*ShardResponse, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.reqWG.Add(1)
+	s.mu.Unlock()
+	defer s.reqWG.Done()
+	if err := s.admit(); err != nil {
+		return nil, err
+	}
+	defer s.release()
+
+	rv, err := s.resolveRun(req.Run)
+	if err != nil {
+		return nil, err
+	}
+	shards, err := s.runTrials(ctx, rv, req.TrialLo, req.TrialHi)
+	if err != nil {
+		return nil, err
+	}
+	resp := &ShardResponse{Trials: make([]stats.SummaryWire, len(shards))}
+	for i := range shards {
+		if shards[i].err != nil {
+			return nil, &TrialError{Scenario: req.Run.Scenario, Trial: req.TrialLo + i, Err: shards[i].err}
+		}
+		resp.Trials[i] = shards[i].sum.Wire()
+	}
+	s.requests.Add(1)
+	return resp, nil
+}
+
+// CellRequest asks a fleet worker for one campaign grid cell (POST /cell).
+type CellRequest struct {
+	Grid campaign.Grid `json:"grid"`
+	Cell campaign.Cell `json:"cell"`
+}
+
+// RunCell computes one campaign grid cell — the worker half of the fleet
+// campaign scatter. The cell runs inside one pooled task slot, so cell
+// concurrency is bounded exactly like trial concurrency.
+func (s *Service) RunCell(ctx context.Context, req CellRequest) (*campaign.CellResult, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.reqWG.Add(1)
+	s.mu.Unlock()
+	defer s.reqWG.Done()
+	if err := s.admit(); err != nil {
+		return nil, err
+	}
+	defer s.release()
+
+	// The same admission screen request-selected topologies get: parse,
+	// reject file: specs, cap the size — before any build work happens.
+	sp, err := topology.ParseSpec(req.Cell.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadTopology, err)
+	}
+	if sp.Family == "file" {
+		return nil, fmt.Errorf("%w: file topologies are not servable", ErrBadTopology)
+	}
+	if n := sp.Switches(); n < 1 || n > maxAltSwitches {
+		return nil, fmt.Errorf("%w: %q expands to %d switches (cap %d)", ErrBadTopology, req.Cell.Topology, n, maxAltSwitches)
+	}
+
+	simCfg := s.cfg.System.SimConfig()
+	simCfg.Logf = nil
+	opts := campaign.Options{
+		Sim:         simCfg,
+		MaxTrials:   s.cfg.MaxTrials,
+		MaxMessages: s.cfg.MaxMessages,
+	}
+	var (
+		cr     *campaign.CellResult
+		runErr error
+		wg     sync.WaitGroup
+	)
+	wg.Add(1)
+	tk := &task{
+		ctx: ctx,
+		wg:  &wg,
+		err: &runErr,
+		// The pooled simulator is ignored: cells build their own systems.
+		// Occupying the slot is the point — it bounds concurrent work.
+		run: func(_ *workload.Runner) error {
+			res, err := campaign.RunSingleCell(ctx, req.Grid, req.Cell, opts)
+			if err != nil {
+				return err
+			}
+			cr = res
+			return nil
+		},
+	}
+	select {
+	case s.tasks <- tk:
+	case <-ctx.Done():
+		wg.Done() // never submitted
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	s.requests.Add(1)
+	return cr, nil
+}
 
 // messageBudget reports the per-trial message budget a workload will submit,
 // for warmup defaulting and the MaxMessages clamp. Workloads without an

@@ -1,0 +1,127 @@
+package stats
+
+import "fmt"
+
+// Wire forms for shipping accumulators between fleet processes. JSON float64
+// round-trips are exact in Go (encoding/json emits the shortest
+// representation that parses back to the same bits), so a Summary gathered
+// from a remote worker merges bit-identically to one computed in-process —
+// the property the scatter/gather serve tier's goldens pin.
+
+// StreamWire is the exact wire form of a Stream (Welford moments).
+type StreamWire struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// Wire captures the stream's exact state.
+func (s *Stream) Wire() StreamWire {
+	return StreamWire{N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max}
+}
+
+// Stream reconstructs the accumulator.
+func (w StreamWire) Stream() *Stream {
+	return &Stream{n: w.N, mean: w.Mean, m2: w.M2, min: w.Min, max: w.Max}
+}
+
+// HistWire is the exact wire form of a LogHist. Occupied bins travel as
+// parallel (index, count) arrays: latency histograms are sparse, and the
+// fixed order keeps the encoding deterministic.
+type HistWire struct {
+	Lo            float64 `json:"lo"`
+	Hi            float64 `json:"hi"`
+	BinsPerDecade int     `json:"bins_per_decade"`
+	Count         int64   `json:"count"`
+	Sum           float64 `json:"sum"`
+	Min           float64 `json:"min"`
+	Max           float64 `json:"max"`
+	Underflow     int64   `json:"underflow,omitempty"`
+	Overflow      int64   `json:"overflow,omitempty"`
+	BinIdx        []int   `json:"bin_idx,omitempty"`
+	BinN          []int64 `json:"bin_n,omitempty"`
+}
+
+// Wire captures the histogram's exact state.
+func (h *LogHist) Wire() HistWire {
+	w := HistWire{
+		Lo: h.lo, Hi: h.hi, BinsPerDecade: h.binsPerDecade,
+		Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+		Underflow: h.underflow, Overflow: h.overflow,
+	}
+	for i, n := range h.bins {
+		if n != 0 {
+			w.BinIdx = append(w.BinIdx, i)
+			w.BinN = append(w.BinN, n)
+		}
+	}
+	return w
+}
+
+// Hist reconstructs the histogram, validating the geometry and bin indices
+// so a truncated or corrupted payload surfaces as an error instead of a
+// silently wrong accumulator.
+func (w HistWire) Hist() (*LogHist, error) {
+	h, err := NewLogHist(w.Lo, w.Hi, w.BinsPerDecade)
+	if err != nil {
+		return nil, fmt.Errorf("stats: wire histogram: %w", err)
+	}
+	if len(w.BinIdx) != len(w.BinN) {
+		return nil, fmt.Errorf("stats: wire histogram: %d bin indices vs %d counts", len(w.BinIdx), len(w.BinN))
+	}
+	var binned int64
+	for i, idx := range w.BinIdx {
+		if idx < 0 || idx >= len(h.bins) {
+			return nil, fmt.Errorf("stats: wire histogram: bin index %d out of range [0,%d)", idx, len(h.bins))
+		}
+		if w.BinN[i] < 0 {
+			return nil, fmt.Errorf("stats: wire histogram: negative count %d in bin %d", w.BinN[i], idx)
+		}
+		h.bins[idx] = w.BinN[i]
+		binned += w.BinN[i]
+	}
+	if w.Underflow < 0 || w.Overflow < 0 || binned+w.Underflow+w.Overflow != w.Count {
+		return nil, fmt.Errorf("stats: wire histogram: bins sum to %d, count %d", binned+w.Underflow+w.Overflow, w.Count)
+	}
+	h.count, h.sum, h.min, h.max = w.Count, w.Sum, w.Min, w.Max
+	h.underflow, h.overflow = w.Underflow, w.Overflow
+	return h, nil
+}
+
+// SummaryWire is the exact wire form of a Summary.
+type SummaryWire struct {
+	Stream StreamWire  `json:"stream"`
+	Hist   HistWire    `json:"hist"`
+	Batch  *StreamWire `json:"batch,omitempty"`
+}
+
+// Wire captures the summary's exact state, including the batch-means CI
+// stream when installed.
+func (s *Summary) Wire() SummaryWire {
+	w := SummaryWire{Stream: s.stream.Wire(), Hist: s.hist.Wire()}
+	if s.batch != nil {
+		b := s.batch.Wire()
+		w.Batch = &b
+	}
+	return w
+}
+
+// SummaryFromWire reconstructs a Summary. The moments and histogram carry
+// their exact float bits, so merging reconstructed shards in trial order is
+// bit-identical to merging the originals.
+func SummaryFromWire(w SummaryWire) (*Summary, error) {
+	h, err := w.Hist.Hist()
+	if err != nil {
+		return nil, err
+	}
+	if w.Stream.N < 0 || w.Stream.N != w.Hist.Count {
+		return nil, fmt.Errorf("stats: wire summary: stream n %d vs histogram count %d", w.Stream.N, w.Hist.Count)
+	}
+	s := &Summary{stream: *w.Stream.Stream(), hist: h}
+	if w.Batch != nil {
+		s.batch = w.Batch.Stream()
+	}
+	return s, nil
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// roundTrip pushes a SummaryWire through JSON, as the fleet wire does.
+func roundTrip(t *testing.T, w SummaryWire) *Summary {
+	t.Helper()
+	blob, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SummaryWire
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	s, err := SummaryFromWire(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func fillSummary(seed uint64, n int) *Summary {
+	s := NewSummary()
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		// Log-uniform over ~9 decades, plus under/overflow outliers.
+		x := math.Pow(10, -3+8*r.Float64())
+		switch i % 50 {
+		case 13:
+			x = 1e-6 // underflow
+		case 37:
+			x = 1e9 // overflow
+		}
+		s.Add(x)
+	}
+	return s
+}
+
+func summariesExactlyEqual(t *testing.T, a, b *Summary) {
+	t.Helper()
+	type probe struct {
+		name string
+		f    func(*Summary) float64
+	}
+	probes := []probe{
+		{"mean", (*Summary).Mean}, {"min", (*Summary).Min}, {"max", (*Summary).Max},
+		{"stddev", (*Summary).StdDev}, {"ci95", (*Summary).CI95},
+		{"p50", func(s *Summary) float64 { return s.Quantile(0.50) }},
+		{"p90", func(s *Summary) float64 { return s.Quantile(0.90) }},
+		{"p99", func(s *Summary) float64 { return s.Quantile(0.99) }},
+	}
+	if a.Count() != b.Count() || a.N() != b.N() {
+		t.Fatalf("counts diverged: (%d,%d) vs (%d,%d)", a.Count(), a.N(), b.Count(), b.N())
+	}
+	for _, p := range probes {
+		av, bv := p.f(a), p.f(b)
+		if math.Float64bits(av) != math.Float64bits(bv) {
+			t.Fatalf("%s diverged after wire round trip: %v vs %v", p.name, av, bv)
+		}
+	}
+}
+
+func TestSummaryWireRoundTripExact(t *testing.T) {
+	s := fillSummary(7, 5000)
+	// Install a batch CI too: the wire must carry it.
+	batch := &Stream{}
+	for i := 0; i < 10; i++ {
+		batch.Add(float64(i) * 1.7)
+	}
+	s.SetBatchCI(batch)
+	back := roundTrip(t, s.Wire())
+	summariesExactlyEqual(t, s, back)
+	if back.BatchCI() == nil || back.BatchCI().N() != 10 {
+		t.Fatal("batch CI lost on the wire")
+	}
+	if math.Float64bits(back.CI95()) != math.Float64bits(s.CI95()) {
+		t.Fatal("batch-means CI diverged")
+	}
+}
+
+func TestEmptySummaryWire(t *testing.T) {
+	back := roundTrip(t, NewSummary().Wire())
+	if back.Count() != 0 {
+		t.Fatalf("empty summary came back with %d observations", back.Count())
+	}
+}
+
+// TestWireMergeBitIdentical is the fleet determinism kernel: merging
+// round-tripped shards in trial order must be bit-identical to merging the
+// in-process originals.
+func TestWireMergeBitIdentical(t *testing.T) {
+	const shards = 8
+	local := make([]*Summary, shards)
+	remote := make([]*Summary, shards)
+	for i := range local {
+		local[i] = fillSummary(uint64(100+i), 700+i*13)
+		remote[i] = roundTrip(t, local[i].Wire())
+	}
+	mergeAll := func(in []*Summary) *Summary {
+		out := NewSummary()
+		for _, s := range in {
+			if err := out.Merge(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out
+	}
+	summariesExactlyEqual(t, mergeAll(local), mergeAll(remote))
+}
+
+func TestWireRejectsCorruption(t *testing.T) {
+	base := fillSummary(3, 200).Wire()
+	mutate := []func(*SummaryWire){
+		func(w *SummaryWire) { w.Hist.BinsPerDecade = 0 },
+		func(w *SummaryWire) { w.Hist.BinIdx = []int{1 << 30}; w.Hist.BinN = []int64{1} },
+		func(w *SummaryWire) { w.Hist.BinN = w.Hist.BinN[:len(w.Hist.BinN)-1] },
+		func(w *SummaryWire) { w.Hist.Count += 5 },
+		func(w *SummaryWire) { w.Stream.N = 1 },
+		func(w *SummaryWire) { w.Hist.BinN[0] = -3 },
+	}
+	for i, m := range mutate {
+		// Deep-copy the bin slices before mutating.
+		w := base
+		w.Hist.BinIdx = append([]int(nil), base.Hist.BinIdx...)
+		w.Hist.BinN = append([]int64(nil), base.Hist.BinN...)
+		m(&w)
+		if _, err := SummaryFromWire(w); err == nil {
+			t.Fatalf("mutation %d: corrupted wire summary accepted", i)
+		}
+	}
+}

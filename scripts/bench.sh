@@ -9,12 +9,12 @@
 # in-repo.
 #
 # Usage:
-#   scripts/bench.sh [out.json]      # default out: BENCH_PR4.json
+#   scripts/bench.sh [out.json]      # default out: BENCH_PR6.json
 #   BENCHTIME=3x scripts/bench.sh    # steadier figure numbers (default 1x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR4.json}"
+OUT="${1:-BENCH_PR6.json}"
 BENCHTIME="${BENCHTIME:-1x}"
 # The sweep pair runs many short trials per second; a fixed high iteration
 # count amortizes benchmark-framework overhead out of the allocs/op column.
@@ -50,18 +50,26 @@ FAULT_RAW=$(go test -run '^$' \
 	-bench 'BenchmarkRecompileSwap|BenchmarkFullRebuild|BenchmarkFullReconfigure|BenchmarkFaultStormTrial' \
 	-benchmem -benchtime "${FAULT_BENCHTIME:-50x}" . 2>&1 | grep -E '^Benchmark' || true)
 
-if [ -z "$RAW" ] || [ -z "$SWEEP_RAW" ] || [ -z "$FAULT_RAW" ]; then
+# PR 6: fleet scatter/gather — one 8-trial /run through the local pool vs
+# coordinators over 1/2/4 workers, plus the retry-path overhead of a
+# fault-injecting transport (drops + truncations forcing re-dispatch).
+FLEET_RAW=$(go test -run '^$' \
+	-bench 'BenchmarkFleetRun|BenchmarkFleetRetryPath' \
+	-benchmem -benchtime "${FLEET_BENCHTIME:-5x}" ./internal/serve/ 2>&1 | grep -E '^Benchmark' || true)
+
+if [ -z "$RAW" ] || [ -z "$SWEEP_RAW" ] || [ -z "$FAULT_RAW" ] || [ -z "$FLEET_RAW" ]; then
 	echo "bench.sh: no benchmark output" >&2
 	exit 1
 fi
 
 ALL_RAW="$RAW
 $SWEEP_RAW
-$FAULT_RAW"
+$FAULT_RAW
+$FLEET_RAW"
 
 {
 	printf '{\n'
-	printf '  "pr": 4,\n'
+	printf '  "pr": 6,\n'
 	printf '  "benchtime": "%s",\n' "$BENCHTIME"
 	printf '  "sweep_benchtime": "%s",\n' "$SWEEP_BENCHTIME"
 	printf '  "go": "%s",\n' "$(go env GOVERSION)"
@@ -124,7 +132,15 @@ $FAULT_RAW"
 		"$(awk -v s="$SWAP_NS" -v r="$RECONF_NS" 'BEGIN{printf("%.2f", r/(s/2))}')"
 	printf '    "fault_swap_allocs_op": %s,\n' "${SWAP_ALLOCS:-0}"
 	printf '    "reconfigure_allocs_op": %s,\n' "${RECONF_ALLOCS:-0}"
-	printf '    "fault_storm_trial_allocs_op": %s\n' "${STORM_ALLOCS:-0}"
+	printf '    "fault_storm_trial_allocs_op": %s,\n' "${STORM_ALLOCS:-0}"
+	LOCAL_NS=$(echo "$FLEET_RAW" | awk '/^BenchmarkFleetRun\/local/{print $3; exit}')
+	FLEET4_NS=$(echo "$FLEET_RAW" | awk '/^BenchmarkFleetRun\/workers-4/{print $3; exit}')
+	CLEAN_NS=$(echo "$FLEET_RAW" | awk '/^BenchmarkFleetRetryPath\/clean/{print $3; exit}')
+	FAULTY_NS=$(echo "$FLEET_RAW" | awk '/^BenchmarkFleetRetryPath\/faulty/{print $3; exit}')
+	printf '    "fleet4_vs_local_ratio": %s,\n' \
+		"$(awk -v l="$LOCAL_NS" -v f="$FLEET4_NS" 'BEGIN{printf("%.3f", f/l)}')"
+	printf '    "fleet_retry_overhead_pct": %s\n' \
+		"$(awk -v c="$CLEAN_NS" -v f="$FAULTY_NS" 'BEGIN{printf("%.1f", 100*(f/c-1))}')"
 	printf '  }\n'
 	printf '}\n'
 } >"$OUT"

@@ -26,6 +26,8 @@ package spamnet
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"time"
 
 	"repro/internal/core"
@@ -327,6 +329,23 @@ func (s *System) MaxSimTimeNs() int64 {
 		return defaultMaxSimTimeNs
 	}
 	return s.maxSimTime
+}
+
+// Fingerprint returns a stable hash of everything that shapes this system's
+// simulation results: the exact network structure (canonical adjacency
+// text), the spanning-tree root, the latency parameters, the input buffer
+// depth and the simulated-time horizon. Two processes whose Systems share a
+// fingerprint produce bit-identical trial results for the same seeds — the
+// serve fleet uses it as the admission guard for scatter/gather workers, so
+// a worker launched with mismatched flags can never silently contribute
+// divergent shards.
+func (s *System) Fingerprint() uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, topology.FormatAdjacency(s.net))
+	cfg := s.simCfg
+	cfg.Logf = nil // function values have no stable representation (and no effect on results)
+	fmt.Fprintf(h, "|root=%d|ref=%t|cfg=%+v|horizon=%d", s.lab.Root, s.refRouting, cfg, s.MaxSimTimeNs())
+	return h.Sum64()
 }
 
 // Topology exposes the underlying network (read-only by convention).

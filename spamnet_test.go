@@ -287,3 +287,36 @@ func TestWithMaxSimTime(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFingerprint: the configuration fingerprint used by the serve fleet's
+// worker handshake must be stable across identically configured systems and
+// differ for anything that would change a trial's bits.
+func TestFingerprint(t *testing.T) {
+	build := func(opts ...Option) *System {
+		t.Helper()
+		sys, err := NewLattice(16, append([]Option{WithSeed(7)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	base := build()
+	if got := build().Fingerprint(); got != base.Fingerprint() {
+		t.Fatalf("identical systems disagree: %x vs %x", got, base.Fingerprint())
+	}
+	distinct := map[uint64]string{base.Fingerprint(): "base"}
+	longer := PaperParams()
+	longer.MessageFlits *= 2
+	for name, sys := range map[string]*System{
+		"other-seed":    build(WithSeed(8)),
+		"other-flits":   build(WithLatencyParams(longer)),
+		"other-horizon": build(WithMaxSimTime(time.Minute)),
+		"other-buffers": build(WithInputBufferFlits(4)),
+	} {
+		fp := sys.Fingerprint()
+		if prev, dup := distinct[fp]; dup {
+			t.Fatalf("%s collides with %s: %x", name, prev, fp)
+		}
+		distinct[fp] = name
+	}
+}
