@@ -64,6 +64,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1998, "topology generation seed")
 		root        = flag.String("root", "min-id", "spanning-tree root strategy: min-id | max-degree | center")
 		pool        = flag.Int("pool", 0, "simulator pool size (0 = GOMAXPROCS)")
+		shards      = flag.Int("shards", 0, "conservative-parallel event shards per trial (bit-identical to sequential; <=1 = sequential)")
 		bufFlits    = flag.Int("inputbuf", 1, "input buffer size in flits")
 		flits       = flag.Int("flits", 128, "message length in flits")
 		trialCap    = flag.Int("max-trials", 64, "per-request trial clamp")
@@ -102,6 +103,7 @@ func main() {
 		spamnet.WithInputBufferFlits(*bufFlits),
 		spamnet.WithLatencyParams(params),
 		spamnet.WithMaxSimTime(*horizon),
+		spamnet.WithShards(*shards),
 	}
 	var sys *spamnet.System
 	var err2 error

@@ -52,9 +52,10 @@ func main() {
 		bufFlits = flag.Int("inputbuf", 1, "input buffer size in flits")
 		flits    = flag.Int("flits", 128, "message length in flits")
 		workers  = flag.Int("workers", 0, "parallel replications (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "conservative-parallel event shards per trial (bit-identical to sequential; <=1 = sequential)")
 		report   = flag.String("report", "", "also write a consolidated Markdown report to this file")
 
-		campaignArg = flag.String("campaign", "", "run a campaign manifest: built-in name (paper | smoke) or path to a JSON manifest")
+		campaignArg = flag.String("campaign", "", "run a campaign manifest: built-in name (paper | smoke | scale) or path to a JSON manifest")
 		outDir      = flag.String("out", "campaign-out", "campaign output directory (REPORT.md, plots/, cells/ checkpoints)")
 
 		scenario  = flag.String("scenario", "", "run a named workload scenario instead of an experiment (see -list-scenarios)")
@@ -84,6 +85,7 @@ func main() {
 	simCfg := sim.DefaultConfig()
 	simCfg.InputBufFlits = *bufFlits
 	simCfg.Params.MessageFlits = *flits
+	simCfg.Shards = *shards
 
 	if *listScen {
 		t := &experiment.Table{

@@ -282,3 +282,40 @@ func intsEqual(a, b []int) bool {
 	}
 	return true
 }
+
+// TestQuickFusedKernels pins the fused AND family against the materializing
+// equivalents: AndCount(b) == Count(a∩b), AndAny(b) == Intersects(b), and
+// AndInto(a,b) == Clone(a).And(b), on random sets of awkward lengths.
+func TestQuickFusedKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(1998))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(300)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				a.Set(i)
+			}
+			if rng.Intn(3) == 0 {
+				b.Set(i)
+			}
+		}
+		want := a.Clone()
+		want.And(b)
+		if got := a.AndCount(b); got != want.Count() {
+			t.Fatalf("n=%d: AndCount=%d, materialized count=%d", n, got, want.Count())
+		}
+		if got := a.AndAny(b); got != a.Intersects(b) {
+			t.Fatalf("n=%d: AndAny=%v, Intersects=%v", n, got, a.Intersects(b))
+		}
+		dst := New(n)
+		dst.Set(0) // stale content must be overwritten
+		dst.AndInto(a, b)
+		if !dst.Equal(want) {
+			t.Fatalf("n=%d: AndInto != materialized And", n)
+		}
+		// Kernels must not mutate their operands.
+		if got := a.AndCount(b); got != want.Count() {
+			t.Fatalf("n=%d: AndCount mutated an operand", n)
+		}
+	}
+}

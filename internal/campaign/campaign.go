@@ -245,12 +245,34 @@ func Builtin(name string) (*Manifest, bool) {
 				Params:     workload.Params{Messages: 200},
 			}},
 		}, true
+	case "scale":
+		// The past-the-old-cap manifest: fat-trees at 16384 and 62500
+		// switches, sizes the compressed routing tables made admissible
+		// (the pre-PR7 cap was 4096). One trial per cell — the point is the
+		// per-cell TableMB/TableCompression columns in the report plus proof
+		// that a 64k-switch network labels, compiles and routes end to end.
+		// Expect hours of wall clock on one core, and ~30 GiB of RAM at the
+		// 62500-switch cell: the labeling's all-pairs switch-distance matrix
+		// is ~15 GiB and the compiled tables ~3.3 GiB (the dense table
+		// layout would need ~362 GiB).
+		return &Manifest{
+			Name:  "scale",
+			Title: "Large-network scaling campaign (past the 4096-switch cap)",
+			Seed:  1998,
+			Grids: []Grid{{
+				Name:       "fattree-scale",
+				Topologies: []string{"fattree:8x4", "fattree:16x4", "fattree:25x4"},
+				Scenarios:  []string{"mixed"},
+				Trials:     1,
+				Params:     workload.Params{Messages: 400},
+			}},
+		}, true
 	}
 	return nil, false
 }
 
 // BuiltinNames lists the built-in manifests.
-func BuiltinNames() []string { return []string{"paper", "smoke"} }
+func BuiltinNames() []string { return []string{"paper", "smoke", "scale"} }
 
 // sanitize converts a name into a filesystem- and markdown-safe slug.
 func sanitize(s string) string {

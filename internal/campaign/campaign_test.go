@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/experiment"
+	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
@@ -405,5 +406,39 @@ func TestRunSingleCellMatchesEngine(t *testing.T) {
 	fileCell := Cell{Grid: "zoo", Topology: "file:/etc/passwd", Scenario: "mixed"}
 	if _, err := RunSingleCell(context.Background(), m.Grids[0], fileCell, opts); err == nil {
 		t.Fatal("file topology accepted without AllowFileTopologies")
+	}
+}
+
+// TestBuiltinScaleManifest validates the large-network manifest without
+// running it (its cells compile 16k- and 62500-switch fat-trees): every
+// builtin must validate, and the headline 62500-switch cell must sit inside
+// the shared admission cap so serving layers accept it.
+func TestBuiltinScaleManifest(t *testing.T) {
+	m, ok := Builtin("scale")
+	if !ok {
+		t.Fatal("no scale manifest")
+	}
+	if err := m.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NumCells(); got != 3 {
+		t.Errorf("scale manifest: %d cells, want 3", got)
+	}
+	maxSwitches := 0
+	for _, tspec := range m.Grids[0].Topologies {
+		sp, err := topology.ParseSpec(tspec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := sp.Switches(); n > maxSwitches {
+			maxSwitches = n
+		}
+	}
+	if maxSwitches <= 16384 {
+		t.Errorf("scale manifest tops out at %d switches; want a past-16k headline cell", maxSwitches)
+	}
+	if maxSwitches > topology.MaxAdmittedSwitches {
+		t.Errorf("scale manifest cell (%d switches) exceeds the admission cap %d",
+			maxSwitches, topology.MaxAdmittedSwitches)
 	}
 }

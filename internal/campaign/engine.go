@@ -88,6 +88,12 @@ type CellResult struct {
 	P50Us      float64 `json:"p50_us"`
 	P90Us      float64 `json:"p90_us"`
 	P99Us      float64 `json:"p99_us"`
+	// TableMB and TableCompression report the cell system's compiled
+	// routing-table footprint: mebibytes after structural sharing, and the
+	// ratio of the dense (index + per-cell rows) structure to the
+	// compressed one. The report's zoo table surfaces both.
+	TableMB          float64 `json:"table_mb"`
+	TableCompression float64 `json:"table_compression_x"`
 }
 
 // Result is a completed campaign.
@@ -525,6 +531,7 @@ func runCell(cell Cell, spec cellSpec, id string, opts Options,
 		return nil, err
 	}
 	ts := topology.ComputeStats(sys.net)
+	ms := sys.router.TableMemStats()
 	return &CellResult{
 		ID:         id,
 		Cell:       cell,
@@ -541,6 +548,9 @@ func runCell(cell Cell, spec cellSpec, id string, opts Options,
 		P50Us:      st.Quantile(0.50),
 		P90Us:      st.Quantile(0.90),
 		P99Us:      st.Quantile(0.99),
+
+		TableMB:          float64(ms.TableBytes) / (1 << 20),
+		TableCompression: ms.CompressionX,
 	}, nil
 }
 

@@ -26,8 +26,8 @@ func render(res *Result) {
 
 	if len(res.Cells) > 0 {
 		sb.WriteString("## Topology zoo\n\n")
-		sb.WriteString("| topology | switches | processors | links | diameter |\n")
-		sb.WriteString("| --- | --- | --- | --- | --- |\n")
+		sb.WriteString("| topology | switches | processors | links | diameter | tables (MiB) | compression |\n")
+		sb.WriteString("| --- | --- | --- | --- | --- | --- | --- |\n")
 		seen := map[string]bool{}
 		for _, c := range res.Cells {
 			key := fmt.Sprintf("%s@%d", c.Topology, c.Seed)
@@ -35,8 +35,9 @@ func render(res *Result) {
 				continue
 			}
 			seen[key] = true
-			fmt.Fprintf(&sb, "| `%s` | %d | %d | %d | %d |\n",
-				c.Topology, c.Switches, c.Processors, c.Links, c.Diameter)
+			fmt.Fprintf(&sb, "| `%s` | %d | %d | %d | %d | %.2f | %.1fx |\n",
+				c.Topology, c.Switches, c.Processors, c.Links, c.Diameter,
+				c.TableMB, c.TableCompression)
 		}
 		sb.WriteString("\n")
 	}

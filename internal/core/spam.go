@@ -114,6 +114,15 @@ func (r *Router) TableDriven() bool { return r.tab != nil }
 // Tables exposes the compiled decision structure (nil in reference mode).
 func (r *Router) Tables() *Tables { return r.tab }
 
+// TableMemStats reports the compiled tables' memory accounting; the zero
+// value in reference mode (no tables are held).
+func (r *Router) TableMemStats() MemStats {
+	if r.tab == nil {
+		return MemStats{}
+	}
+	return r.tab.MemStats()
+}
+
 // Candidate is one legal output channel for a header in phase 1, with the
 // selection key the paper describes (distance from the channel endpoint to
 // the LCA).
@@ -234,11 +243,15 @@ func (r *Router) DistributionOutputs(at topology.NodeID, dests *bitset.Set) []to
 }
 
 // AppendDistributionOutputs appends the distribution output set of switch
-// `at` to dst and returns the extended slice. The subtree test is a
-// word-level intersection against the labeling's precomputed descendant
-// bitsets, and child channels are scanned in their fixed ascending-ID order,
-// so the call performs no sort and (given capacity in dst) no allocation. In
-// reference mode it delegates to the original per-destination ancestor walk.
+// `at` to dst and returns the extended slice. The subtree tests are fused
+// AND+popcount kernels over the labeling's precomputed descendant bitsets
+// (bitset.AndCount — no temporary set, one POPCNT per word): counting
+// instead of merely testing lets the scan stop as soon as every destination
+// below `at` has been attributed to a child, which on wide switches skips
+// the tail of the child list entirely. Child channels are scanned in their
+// fixed ascending-ID order, so the call performs no sort and (given capacity
+// in dst) no allocation. In reference mode it delegates to the original
+// per-destination ancestor walk.
 func (r *Router) AppendDistributionOutputs(dst []topology.ChannelID, at topology.NodeID, dests *bitset.Set) []topology.ChannelID {
 	if r.tab == nil {
 		return append(dst, r.ReferenceDistributionOutputs(at, dests)...)
@@ -246,16 +259,24 @@ func (r *Router) AppendDistributionOutputs(dst []topology.ChannelID, at topology
 	if !r.Net.IsSwitch(at) {
 		panic(fmt.Sprintf("core: DistributionOutputs at non-switch %d", at))
 	}
+	// Destinations still unattributed among at's descendants: child subtrees
+	// partition them (at itself is a switch, never a destination).
+	remaining := r.Lab.Descendants(at).AndCount(dests)
 	for _, c := range r.Lab.ChildChans[at] {
+		if remaining == 0 {
+			break
+		}
 		child := r.Net.Chan(c).Dst
 		if r.Net.IsProcessor(child) {
 			if dests.Test(int(child)) {
 				dst = append(dst, c)
+				remaining--
 			}
 			continue
 		}
-		if r.Lab.SubtreeIntersects(child, dests) {
+		if n := r.Lab.Descendants(child).AndCount(dests); n > 0 {
 			dst = append(dst, c)
+			remaining -= n
 		}
 	}
 	return dst

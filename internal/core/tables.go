@@ -9,47 +9,106 @@ import (
 // functions — the software analogue of the routing tables the paper's
 // hardware router would hold. Where the reference implementation filters,
 // allocates and sorts a fresh candidate list on every header arrival, Tables
-// answers the same query with one index computation and a slice of a shared
-// arena: candidates(class, at, lca) is the exact slice ReferenceCandidate-
-// Outputs would produce (same channels, same (DistToLCA, ChannelID) order).
+// answers the same query with a short chain of index loads and a slice of a
+// shared arena: candidates(class, at, lca) is the exact slice Reference-
+// CandidateOutputs would produce (same channels, same (DistToLCA, ChannelID)
+// order).
 //
-// Memory model. The row *index* is a dense numClasses × switches × switches
-// array of 8-byte (offset, length) references — O(3·S²) and unavoidable for
-// O(1) lookup. The candidate *contents* live in one flat arena deduplicated
-// across rows: two (class, at, lca) cells whose candidate lists are
-// identical share one arena range. Rows repeat heavily in practice
-// (e.g. a down-tree arrival at switch s yields the same short list for every
-// LCA in the same child subtree), so the arena stays near O(S · degree)
-// rather than the naive O(S² · degree) of storing every row separately.
+// Memory model. Earlier revisions indexed rows through a dense
+// numClasses × switches × switches array of 8-byte (offset, length)
+// references — O(3·S²), which at 64k switches is ~100 GB of index before a
+// single candidate is stored. The index is now compressed by structural
+// sharing at three levels, mirroring how decision diagrams collapse
+// redundant tabular functions:
+//
+//	colID[class*S + at] ── column ──▶ colPages[col .. col+S/64)
+//	                        page  ──▶ pages[pg .. pg+64)   (64 rowIDs)
+//	                        rowID ──▶ rowRefs[id] = (off, n) into arena
+//
+// Every level is deduplicated by FNV hash with content verification: rows
+// with identical candidate lists share one rowID (and one arena range),
+// 64-LCA pages with identical rowID vectors share one page, and switches
+// whose whole LCA→row column is identical for a class share one column.
+// Regular families collapse dramatically — in a fat-tree most (class, at)
+// pairs are LCA-equivalent to a handful of representatives — while a worst-
+// case irregular network degrades gracefully to one column per (class, at),
+// still far below the dense index because pages and rows keep sharing.
+// A lookup is four dependent loads (column base, page base, rowID, arena
+// ref); the offsets are stored directly so no multiply is needed.
+//
+// Compilation streams, rather than tests, the legality relations: for each
+// switch the live channels are split by class once, and then each block of
+// 64 LCAs reads one 64-bit word of the (extended-)descendant transpose per
+// channel endpoint plus the endpoint's row of the distance matrix. Each
+// LCA's packed legality/distance vector is hashed into a per-switch
+// signature memo, so LCA-equivalent columns pay one row construction for the
+// whole equivalence class — the fast path that makes regular families
+// compile in near-linear time.
 //
 // Reconfiguration. Recompile rebuilds the whole structure for a *new*
-// labeling of the same network into the retained rows, arena and dedup
-// scratch — zero allocations once the arena has grown to its high-water
-// mark. This is the hot half of live fault reconfiguration: relabel the
-// masked topology, recompile in place, and the router serves the new tables
-// from the next event on.
+// labeling of the same network into the retained pools and dedup scratch —
+// zero allocations once every pool has grown to its high-water mark. This is
+// the hot half of live fault reconfiguration: relabel the masked topology,
+// recompile in place, and the router serves the new tables from the next
+// event on.
 type Tables struct {
 	numSwitches int
-	// rows is indexed by (class*numSwitches + at)*numSwitches + lca.
-	rows []tableRow
+	// colID maps (class*numSwitches + at) to the start offset of the
+	// column's page vector inside colPages.
+	colID []uint32
+	// colPages is the flat pool of page vectors: ppc consecutive entries
+	// per distinct column, each the start offset of a page inside pages.
+	colPages []uint32
+	// pages is the flat pool of 64-entry pages of rowIDs (tail pages are
+	// padded with rowID 0, the empty row; the pad entries are never read).
+	pages []uint32
+	// rowRefs maps rowID to the row's arena range. rowID 0 is the empty
+	// row and survives every Recompile.
+	rowRefs []tableRow
 	// arena backs every row; rows with identical contents share a range.
 	arena []topology.ChannelID
 	// switchOuts caches the inter-switch output channels per switch —
 	// static for the lifetime of the network (failed links are masked by
 	// the labeling, not removed from the hardware).
 	switchOuts [][]topology.ChannelID
-	// seen dedups rows across recompiles: FNV-1a hash of the row content
-	// to its first arena reference. A (vanishingly unlikely) hash
-	// collision is detected by content comparison and merely stores the
-	// row twice — correctness never depends on hash uniqueness. Keying by
-	// uint64 instead of string keeps Recompile allocation-free.
-	seen map[uint64]tableRow
+	// rowSeen / pageSeen / colSeen dedup the three index levels across
+	// recompiles: FNV-1a hash of the content to its first pool reference.
+	// A (vanishingly unlikely) hash collision is detected by content
+	// comparison and merely stores the content twice — correctness never
+	// depends on hash uniqueness. Keying by uint64 keeps Recompile
+	// allocation-free.
+	rowSeen  map[uint64]uint32
+	pageSeen map[uint64]uint32
+	colSeen  map[uint64]uint32
+	// naiveArena counts the channel IDs a non-deduplicated arena would
+	// hold, accumulated during compilation so MemoryFootprint needs no
+	// O(S²) walk.
+	naiveArena int
+
+	// ---- compile scratch, retained across Recompiles ----
+
 	// row is the per-cell candidate scratch.
 	row []Candidate
 	// live is the per-switch compile scratch: the current labeling's live
 	// channels of the switch split by class (indexed by the class-0/1/2
 	// scheme below), with endpoints cached.
 	live [numClasses][]liveChan
+	// sigSeen memoizes LCA equivalence per switch: hash of an LCA's packed
+	// legality/distance vector to an index into triples. Cleared per
+	// switch (the live channel set changes).
+	sigSeen map[uint64]int32
+	// triples holds the memoized per-LCA results; packArena holds their
+	// packed vectors for collision-safe verification. Both reset per
+	// switch.
+	triples   []rowTriple
+	packArena []uint64
+	// packBuf stages one 64-LCA block of packed vectors, LCA-major.
+	packBuf []uint64
+	// colBuf accumulates the per-class rowID columns of the current
+	// switch, padded to a whole number of pages (pad entries stay 0).
+	colBuf [numClasses][]uint32
+	// colScratch stages one column's page-offset vector for interning.
+	colScratch []uint32
 }
 
 // liveChan caches a live (non-failed) inter-switch channel with its
@@ -65,10 +124,32 @@ type tableRow struct {
 	n   uint32
 }
 
+// rowTriple is the memoized compile result for one LCA-equivalence class at
+// a switch: the three class rowIDs, their lengths (for naive-size
+// accounting), and the packed vector's offset in packArena.
+type rowTriple struct {
+	id      [numClasses]uint32
+	n       [numClasses]uint32
+	packOff uint32
+}
+
 // numClasses counts the distinct arrival behaviours. ArriveInjection is
 // legality-equivalent to ArriveUp (the first hop of every route behaves like
 // an up arrival), so the two share the class-0 rows.
 const numClasses = 3
+
+// pageBits sizes the rowID pages at 64 LCAs — one word of the legality
+// bitsets, so the compile block loop and the page granularity coincide.
+const (
+	pageBits = 6
+	pageSize = 1 << pageBits
+)
+
+// FNV-1a parameters, shared by all three dedup levels.
+const (
+	fnvBasis = uint64(1469598103934665603)
+	fnvPrime = uint64(1099511628211)
+)
 
 // classIndex collapses the four arrival classes onto the three distinct
 // legality behaviours.
@@ -83,17 +164,31 @@ func classIndex(a ArrivalClass) int {
 	}
 }
 
+// pagesPerCol returns the number of 64-LCA pages in one column.
+func (t *Tables) pagesPerCol() int {
+	return (t.numSwitches + pageSize - 1) / pageSize
+}
+
 // compileTables builds the full candidate table for a labeling by evaluating
-// the reference routing function once per (class, at, lca) cell.
+// the routing legality relations once per LCA-equivalence class per switch.
 func compileTables(lab *updown.Labeling) *Tables {
 	net := lab.Net
 	s := net.NumSwitches
+	ppc := (s + pageSize - 1) / pageSize
 	t := &Tables{
 		numSwitches: s,
-		rows:        make([]tableRow, numClasses*s*s),
+		colID:       make([]uint32, numClasses*s),
+		rowRefs:     make([]tableRow, 1, 64), // rowRefs[0] = empty row
 		switchOuts:  make([][]topology.ChannelID, s),
-		seen:        make(map[uint64]tableRow),
+		rowSeen:     make(map[uint64]uint32),
+		pageSeen:    make(map[uint64]uint32),
+		colSeen:     make(map[uint64]uint32),
+		sigSeen:     make(map[uint64]int32),
 		row:         make([]Candidate, 0, 16),
+		colScratch:  make([]uint32, ppc),
+	}
+	for k := range t.colBuf {
+		t.colBuf[k] = make([]uint32, ppc*pageSize)
 	}
 	// Per-switch inter-switch output channels (consumption channels are
 	// distribution-only and never candidates), collected once.
@@ -109,23 +204,31 @@ func compileTables(lab *updown.Labeling) *Tables {
 }
 
 // Recompile rebuilds every row for a (new) labeling of the same network,
-// reusing the index, the arena and the dedup scratch. Every row is produced
-// in the paper's selection order — ascending distance from the channel
-// endpoint to the LCA, channel ID as the tiebreak — so lookups need no
-// per-event sort. After the arena has reached its high-water mark the call
-// performs no heap allocation.
+// reusing the compressed index pools, the arena and the dedup scratch. Every
+// row is produced in the paper's selection order — ascending distance from
+// the channel endpoint to the LCA, channel ID as the tiebreak — so lookups
+// need no per-event sort. After every pool has reached its high-water mark
+// the call performs no heap allocation.
 //
 // The compile loop is shaped for the live-reconfiguration hot path (a fault
 // event pays one Recompile): the switch's live channels are split by class
-// once per switch instead of re-testing failure and class per cell; empty
-// rows — the majority, since down arrivals are only routable toward LCAs in
-// the right subtree — bypass the dedup map entirely; and selection
-// distances read the LCA's row of the (symmetric) distance matrix so the
-// inner loop walks memory sequentially.
+// once per switch; legality is read word-at-a-time from the labeling's
+// descendant transposes (64 LCAs per load) with the distance matrix walked
+// sequentially; and each LCA's packed legality/distance vector is hashed
+// into a per-switch memo so LCA-equivalent cells pay one row construction
+// per equivalence class instead of one per LCA.
 func (t *Tables) Recompile(lab *updown.Labeling) {
 	s := t.numSwitches
+	ppc := t.pagesPerCol()
 	t.arena = t.arena[:0]
-	clear(t.seen)
+	t.pages = t.pages[:0]
+	t.colPages = t.colPages[:0]
+	t.rowRefs = t.rowRefs[:1]
+	t.naiveArena = 0
+	clear(t.rowSeen)
+	clear(t.pageSeen)
+	clear(t.colSeen)
+	var sigHash [pageSize]uint64
 	for at := 0; at < s; at++ {
 		// Split the switch's live inter-switch channels by class. The
 		// class-0 row of a cell is up ∪ legal(down-cross) ∪ legal(down-
@@ -150,64 +253,220 @@ func (t *Tables) Recompile(lab *updown.Labeling) {
 			}
 			t.live[k] = append(t.live[k], liveChan{c: c, end: end})
 		}
-		for lca := 0; lca < s; lca++ {
-			lcaSwitch := topology.NodeID(lca)
-			// SwitchDist is symmetric (undirected hop counts), so the
-			// LCA's row serves every endpoint lookup of this cell.
-			distRow := lab.SwitchDist[lca]
-			row := t.row[:0]
-			for _, lc := range t.live[1] {
-				if lab.IsExtendedAncestor(lc.end, lcaSwitch) {
-					row = append(row, Candidate{Channel: lc.c, DistToLCA: distRow[lc.end]})
-				}
+		nLive := len(t.live[0]) + len(t.live[1]) + len(t.live[2])
+		if need := pageSize * nLive; cap(t.packBuf) < need {
+			t.packBuf = make([]uint64, need)
+		} else {
+			t.packBuf = t.packBuf[:need]
+		}
+		clear(t.sigSeen)
+		t.triples = t.triples[:0]
+		t.packArena = t.packArena[:0]
+		for base := 0; base < s; base += pageSize {
+			lim := s - base
+			if lim > pageSize {
+				lim = pageSize
 			}
-			downCross := len(row)
-			for _, lc := range t.live[2] {
-				if lab.IsAncestor(lc.end, lcaSwitch) {
-					row = append(row, Candidate{Channel: lc.c, DistToLCA: distRow[lc.end]})
-				}
+			wb := base >> pageBits
+			for j := 0; j < lim; j++ {
+				sigHash[j] = fnvBasis
 			}
-			downAny := len(row)
-			// Class 2 (down-tree arrival): down-tree candidates only.
-			t.row = row
-			t.rows[(2*s+at)*s+lca] = t.internRow(row[downCross:downAny])
-			// Class 1 (down-cross arrival): down-cross ∪ down-tree.
-			t.rows[(1*s+at)*s+lca] = t.internRow(row[:downAny])
-			// Class 0 (up/injection arrival): everything plus the ups.
+			// Stream each live endpoint across the whole block: the
+			// packed value fuses the legality bit with the (symmetric)
+			// endpoint→LCA distance, biased so "illegal" (0) is distinct
+			// from every legal value. Ups are always legal; down-cross
+			// legality is one word of the extended-descendant transpose,
+			// down-tree one word of the descendant transpose.
+			ei := 0
 			for _, lc := range t.live[0] {
-				row = append(row, Candidate{Channel: lc.c, DistToLCA: distRow[lc.end]})
+				dr := lab.SwitchDist[lc.end][base : base+lim]
+				for j := 0; j < lim; j++ {
+					p := (uint64(uint32(dr[j]))+1)<<1 | 1
+					t.packBuf[j*nLive+ei] = p
+					sigHash[j] = (sigHash[j] ^ p) * fnvPrime
+				}
+				ei++
 			}
-			t.row = row
-			t.rows[(0*s+at)*s+lca] = t.internRow(row)
+			for _, lc := range t.live[1] {
+				w := lab.ExtendedDescendants(lc.end).Word(wb)
+				dr := lab.SwitchDist[lc.end][base : base+lim]
+				for j := 0; j < lim; j++ {
+					var p uint64
+					if w>>uint(j)&1 != 0 {
+						p = (uint64(uint32(dr[j]))+1)<<1 | 1
+					}
+					t.packBuf[j*nLive+ei] = p
+					sigHash[j] = (sigHash[j] ^ p) * fnvPrime
+				}
+				ei++
+			}
+			for _, lc := range t.live[2] {
+				w := lab.Descendants(lc.end).Word(wb)
+				dr := lab.SwitchDist[lc.end][base : base+lim]
+				for j := 0; j < lim; j++ {
+					var p uint64
+					if w>>uint(j)&1 != 0 {
+						p = (uint64(uint32(dr[j]))+1)<<1 | 1
+					}
+					t.packBuf[j*nLive+ei] = p
+					sigHash[j] = (sigHash[j] ^ p) * fnvPrime
+				}
+				ei++
+			}
+			for j := 0; j < lim; j++ {
+				tri := t.resolveTriple(sigHash[j], t.packBuf[j*nLive:(j+1)*nLive])
+				lca := base + j
+				for k := 0; k < numClasses; k++ {
+					t.colBuf[k][lca] = tri.id[k]
+					t.naiveArena += int(tri.n[k])
+				}
+			}
+		}
+		// Intern the three finished columns: pages first, then the
+		// page-offset vector. Two switches with identical columns for a
+		// class end up sharing one colPages range.
+		for k := 0; k < numClasses; k++ {
+			for p := 0; p < ppc; p++ {
+				t.colScratch[p] = t.internPage(t.colBuf[k][p*pageSize : (p+1)*pageSize])
+			}
+			t.colID[k*s+at] = t.internCol(t.colScratch)
 		}
 	}
 }
 
+// resolveTriple returns the memoized row triple for an LCA whose packed
+// legality/distance vector is pk (hash h), building and recording it on a
+// memo miss. Hash hits are verified against the stored packed vector, so a
+// collision only costs a rebuild, never a wrong row.
+func (t *Tables) resolveTriple(h uint64, pk []uint64) rowTriple {
+	if idx, ok := t.sigSeen[h]; ok {
+		tri := t.triples[idx]
+		stored := t.packArena[tri.packOff : int(tri.packOff)+len(pk)]
+		match := true
+		for i, v := range pk {
+			if stored[i] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return tri
+		}
+	}
+	tri := t.buildTriple(pk)
+	tri.packOff = uint32(len(t.packArena))
+	t.packArena = append(t.packArena, pk...)
+	t.sigSeen[h] = int32(len(t.triples))
+	t.triples = append(t.triples, tri)
+	return tri
+}
+
+// buildTriple constructs and interns the three class rows of one LCA-
+// equivalence class from its packed vector. The packed values replay the
+// legality tests and distance reads, so no labeling state is touched here.
+func (t *Tables) buildTriple(pk []uint64) rowTriple {
+	row := t.row[:0]
+	off1 := len(t.live[0])
+	off2 := off1 + len(t.live[1])
+	for i, lc := range t.live[1] {
+		if p := pk[off1+i]; p != 0 {
+			row = append(row, Candidate{Channel: lc.c, DistToLCA: int32(uint32(p>>1) - 1)})
+		}
+	}
+	downCross := len(row)
+	for i, lc := range t.live[2] {
+		if p := pk[off2+i]; p != 0 {
+			row = append(row, Candidate{Channel: lc.c, DistToLCA: int32(uint32(p>>1) - 1)})
+		}
+	}
+	downAny := len(row)
+	var tri rowTriple
+	// Class 2 (down-tree arrival): down-tree candidates only.
+	t.row = row
+	tri.id[2] = t.internRow(row[downCross:downAny])
+	tri.n[2] = uint32(downAny - downCross)
+	// Class 1 (down-cross arrival): down-cross ∪ down-tree.
+	tri.id[1] = t.internRow(row[:downAny])
+	tri.n[1] = uint32(downAny)
+	// Class 0 (up/injection arrival): everything plus the ups.
+	for i, lc := range t.live[0] {
+		p := pk[i]
+		row = append(row, Candidate{Channel: lc.c, DistToLCA: int32(uint32(p>>1) - 1)})
+	}
+	t.row = row
+	tri.id[0] = t.internRow(row)
+	tri.n[0] = uint32(len(row))
+	return tri
+}
+
 // internRow sorts a candidate row into selection order and returns its
-// (deduplicated) arena reference. The row slice is scratch owned by the
-// caller; interning copies the channels out.
-func (t *Tables) internRow(row []Candidate) tableRow {
+// (deduplicated) rowID. The row slice is scratch owned by the caller;
+// interning copies the channels out.
+func (t *Tables) internRow(row []Candidate) uint32 {
 	if len(row) == 0 {
-		return tableRow{}
+		return 0
 	}
 	sortCandidates(row)
-	h := uint64(1469598103934665603) // FNV-1a offset basis
+	h := fnvBasis
 	for _, cand := range row {
 		h ^= uint64(uint32(cand.Channel))
-		h *= 1099511628211
+		h *= fnvPrime
 	}
-	ref, ok := t.seen[h]
-	if ok && !t.rowEqual(ref, row) {
-		ok = false // hash collision: store separately
+	if id, ok := t.rowSeen[h]; ok && t.rowEqual(t.rowRefs[id], row) {
+		return id
 	}
-	if !ok {
-		ref = tableRow{off: uint32(len(t.arena)), n: uint32(len(row))}
-		for _, cand := range row {
-			t.arena = append(t.arena, cand.Channel)
+	// New row, or hash collision (store separately).
+	id := uint32(len(t.rowRefs))
+	t.rowRefs = append(t.rowRefs, tableRow{off: uint32(len(t.arena)), n: uint32(len(row))})
+	for _, cand := range row {
+		t.arena = append(t.arena, cand.Channel)
+	}
+	t.rowSeen[h] = id
+	return id
+}
+
+// internPage returns the pages-pool offset of a 64-entry rowID page,
+// deduplicated by content.
+func (t *Tables) internPage(pg []uint32) uint32 {
+	h := fnvBasis
+	for _, v := range pg {
+		h = (h ^ uint64(v)) * fnvPrime
+	}
+	if off, ok := t.pageSeen[h]; ok && u32Equal(t.pages[off:int(off)+pageSize], pg) {
+		return off
+	}
+	off := uint32(len(t.pages))
+	t.pages = append(t.pages, pg...)
+	t.pageSeen[h] = off
+	return off
+}
+
+// internCol returns the colPages-pool offset of a column's page-offset
+// vector, deduplicated by content.
+func (t *Tables) internCol(col []uint32) uint32 {
+	h := fnvBasis
+	for _, v := range col {
+		h = (h ^ uint64(v)) * fnvPrime
+	}
+	if off, ok := t.colSeen[h]; ok && u32Equal(t.colPages[off:int(off)+len(col)], col) {
+		return off
+	}
+	off := uint32(len(t.colPages))
+	t.colPages = append(t.colPages, col...)
+	t.colSeen[h] = off
+	return off
+}
+
+func u32Equal(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if b[i] != v {
+			return false
 		}
-		t.seen[h] = ref
 	}
-	return ref
+	return true
 }
 
 // rowEqual reports whether the arena range ref holds exactly the channels of
@@ -243,39 +502,94 @@ func less(a, b Candidate) bool {
 	return a.Channel < b.Channel
 }
 
+// rowAt resolves the compressed index for one (class, at, lca) cell: column
+// base, page base, rowID, arena reference — four dependent loads.
+func (t *Tables) rowAt(cls, at, lca int) tableRow {
+	col := t.colID[cls*t.numSwitches+at]
+	pb := t.colPages[int(col)+lca>>pageBits]
+	return t.rowRefs[t.pages[int(pb)+lca&(pageSize-1)]]
+}
+
 // candidates returns the precompiled row for (arrival, at, lca). The slice
 // aliases the shared arena: callers must treat it as immutable.
 func (t *Tables) candidates(arrival ArrivalClass, at, lcaSwitch topology.NodeID) []topology.ChannelID {
-	ref := t.rows[(classIndex(arrival)*t.numSwitches+int(at))*t.numSwitches+int(lcaSwitch)]
+	ref := t.rowAt(classIndex(arrival), int(at), int(lcaSwitch))
 	return t.arena[ref.off : ref.off+ref.n : ref.off+ref.n]
 }
 
-// MemoryFootprint reports the compiled table sizes: the number of index
-// cells, the arena length in channel IDs, and the number of channel IDs a
-// non-deduplicated arena would hold. Exposed for diagnostics and tests.
+// MemoryFootprint reports the compiled table sizes: the number of logical
+// index cells, the arena length in channel IDs, and the number of channel
+// IDs a non-deduplicated arena would hold. Exposed for diagnostics and
+// tests; MemStats gives the full byte-level accounting.
 func (t *Tables) MemoryFootprint() (indexCells, arenaLen, naiveArenaLen int) {
-	for _, r := range t.rows {
-		naiveArenaLen += int(r.n)
+	return numClasses * t.numSwitches * t.numSwitches, len(t.arena), t.naiveArena
+}
+
+// MemStats is the byte-level accounting of one compiled table set, exposed
+// through the facade, /healthz and campaign reports. NaiveIndexBytes is what
+// the pre-compression dense (offset, length) index would occupy;
+// CompressionX is the ratio of the naive structure (dense index + per-cell
+// arena) to the compressed one.
+type MemStats struct {
+	Switches        int     `json:"switches"`
+	Cells           int     `json:"cells"`
+	DistinctRows    int     `json:"distinct_rows"`
+	DistinctPages   int     `json:"distinct_pages"`
+	DistinctColumns int     `json:"distinct_columns"`
+	ArenaChannels   int     `json:"arena_channels"`
+	NaiveChannels   int     `json:"naive_channels"`
+	IndexBytes      int64   `json:"index_bytes"`
+	ArenaBytes      int64   `json:"arena_bytes"`
+	TableBytes      int64   `json:"table_bytes"`
+	NaiveIndexBytes int64   `json:"naive_index_bytes"`
+	CompressionX    float64 `json:"compression_x"`
+}
+
+// MemStats reports the compressed table memory accounting.
+func (t *Tables) MemStats() MemStats {
+	s := t.numSwitches
+	m := MemStats{
+		Switches:        s,
+		Cells:           numClasses * s * s,
+		DistinctRows:    len(t.rowRefs),
+		DistinctPages:   len(t.pages) / pageSize,
+		DistinctColumns: len(t.colPages) / t.pagesPerCol(),
+		ArenaChannels:   len(t.arena),
+		NaiveChannels:   t.naiveArena,
 	}
-	return len(t.rows), len(t.arena), naiveArenaLen
+	m.IndexBytes = 4*int64(len(t.colID)+len(t.colPages)+len(t.pages)) + 8*int64(len(t.rowRefs))
+	m.ArenaBytes = 4 * int64(len(t.arena))
+	m.TableBytes = m.IndexBytes + m.ArenaBytes
+	m.NaiveIndexBytes = 8 * int64(m.Cells)
+	naive := m.NaiveIndexBytes + 4*int64(t.naiveArena)
+	if m.TableBytes > 0 {
+		m.CompressionX = float64(naive) / float64(m.TableBytes)
+	}
+	return m
 }
 
 // EqualContent reports whether two tables answer every (class, at, lca)
 // query with the identical candidate list — the bit-identical hot-swap
-// criterion the fault property tests pin (arena layout may differ; contents
+// criterion the fault property tests pin (pool layout may differ; contents
 // may not).
 func (t *Tables) EqualContent(o *Tables) bool {
 	if t.numSwitches != o.numSwitches {
 		return false
 	}
-	for i, ra := range t.rows {
-		rb := o.rows[i]
-		if ra.n != rb.n {
-			return false
-		}
-		for k := uint32(0); k < ra.n; k++ {
-			if t.arena[ra.off+k] != o.arena[rb.off+k] {
-				return false
+	s := t.numSwitches
+	for cls := 0; cls < numClasses; cls++ {
+		for at := 0; at < s; at++ {
+			for lca := 0; lca < s; lca++ {
+				ra := t.rowAt(cls, at, lca)
+				rb := o.rowAt(cls, at, lca)
+				if ra.n != rb.n {
+					return false
+				}
+				for k := uint32(0); k < ra.n; k++ {
+					if t.arena[ra.off+k] != o.arena[rb.off+k] {
+						return false
+					}
+				}
 			}
 		}
 	}

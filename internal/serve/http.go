@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	spamnet "repro"
 	"repro/internal/workload"
 )
 
@@ -45,6 +46,12 @@ type Health struct {
 	TrialsRun     int64 `json:"trials_total"`
 	TrialsSkipped int64 `json:"trials_skipped"`
 	Scenarios     int   `json:"scenarios"`
+
+	// TableMem is the compiled routing-table memory accounting of the
+	// served system (zero under reference routing) — the operational
+	// visibility half of the compressed-index scaling work: a 64k-switch
+	// service proves its footprint here.
+	TableMem spamnet.TableMemStats `json:"table_mem"`
 
 	// Fleet gauges, present only in coordinator mode.
 	FleetWorkers   int   `json:"fleet_workers,omitempty"`
@@ -233,6 +240,7 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		TrialsRun:     s.trialsRun.Load(),
 		TrialsSkipped: s.trialsSkip.Load(),
 		Scenarios:     len(workload.Scenarios()),
+		TableMem:      s.cfg.System.TableMemStats(),
 	}
 	if s.fleet != nil {
 		h.FleetWorkers = len(s.fleet.workers)

@@ -52,8 +52,14 @@ const (
 	defaultMaxTrials   = 64
 	defaultMaxMessages = 20000
 	// maxAltSwitches caps the size of a request-selected topology, and
-	// maxAltSystems bounds how many built alternates stay cached.
-	maxAltSwitches = 4096
+	// maxAltSystems bounds how many built alternates stay cached. The cap is
+	// the shared admission bound (topology.MaxAdmittedSwitches, also enforced
+	// on file-loaded adjacency text) and tracks what the compressed routing
+	// tables make affordable: a 65536-switch fat-tree compiles in low
+	// single-digit GiB of table memory (Tables.MemStats reports the exact
+	// footprint via /healthz), where the dense pre-compression layout needed
+	// that much for 4096 switches.
+	maxAltSwitches = topology.MaxAdmittedSwitches
 	maxAltSystems  = 8
 )
 
@@ -643,7 +649,7 @@ func (s *Service) mergeTrials(rv *resolvedRun, shards []shard) (*RunResponse, er
 }
 
 // CampaignRequest asks the service to execute a whole reproduction
-// campaign: either a built-in manifest by name ("paper", "smoke") or an
+// campaign: either a built-in manifest by name ("paper", "smoke", "scale") or an
 // inline manifest. The campaign runs with the service's admission clamps
 // (MaxTrials, MaxMessages) and its worker count is bounded by the pool
 // size; file: topologies are rejected.

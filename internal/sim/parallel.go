@@ -1,0 +1,476 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/topology"
+)
+
+// This file implements conservative parallel execution of a single large
+// simulation run. The driver exploits the classic conservative-PDES
+// observation that every latency constant of the engine is a lower bound on
+// how far one event's effects can propagate in simulated time: an event at
+// time t can only schedule follow-up events at t + min(ChanPropNs,
+// RouterSetupNs, StartupNs) or later. Events inside one lookahead window are
+// therefore causally independent of each other's *scheduling* — only their
+// *state* can conflict — so the driver drains a window as a batch, proves
+// which events touch disjoint state, executes those on per-shard shadow
+// simulators concurrently, and replays their scheduling effects in exact
+// batch order.
+//
+// State-disjointness argument. A wire event (evArrive or evRoute) on channel
+// c touches only: node state (segments, OCRQs, processor injection state) at
+// the two endpoint switches F = {SwitchOf(src(c)), SwitchOf(dst(c))}, and
+// channel state of channels incident to F. The cascade cannot escape that
+// footprint: refills walk the reserved segment at src(c), acquisition and
+// release walk OCRQs of channels out of the endpoint switches, and
+// dispatchHead advances the segment at dst(c) — every touched segment lives
+// at an endpoint switch and every touched channel has an endpoint there.
+// Two events race only if some channel is incident to both footprints,
+// i.e. F1 ∩ N[F2] ≠ ∅ over the switch graph.
+//
+// The shard map is a static contiguous partition of the switches. An event
+// is parallel-eligible when the closed neighborhoods of both its endpoint
+// switches lie in one shard — then everything it touches stays inside that
+// shard. Everything else is a "sequential" event, executed on the real
+// simulator during the merge walk; its closed footprint poisons the
+// surrounding switches, and poisoning iterates to a fixed point so no
+// parallel event ever touches a channel a sequential event can reach.
+//
+// Windows containing anything whose effects cannot be bounded this way —
+// non-wire events (calls, injections, startups, watchdogs), tail deliveries
+// to processors (user completion hooks may touch arbitrary state), pruning
+// worms (shared scratch), fault mode, tracing — fall back to plain
+// sequential stepping for that window. Correctness never depends on the
+// classifier being smart, only on it being conservative.
+//
+// Bit-identity (ARCHITECTURE.md invariant 9). Shard executors run on
+// shallow copies of the Simulator with the staging flag set: handler
+// side-effects land in disjoint shared state, and scheduled events are
+// recorded per executed event instead of heaped. The merge walk then
+// processes the batch in (t, seq) order, replaying each parallel event's
+// staged events with freshly assigned global sequence numbers and executing
+// each sequential event inline — so the sequence numbers, heap contents,
+// counters and simulated clock after every window are exactly what
+// single-threaded execution would have produced. GOMAXPROCS and the shard
+// count are unobservable.
+
+// stagedEv is one event recorded by a staging shard executor, pending its
+// global sequence number.
+type stagedEv struct {
+	t    int64
+	a    int32
+	kind evKind
+}
+
+// parShard is one persistent shard executor. The shadow simulator, staged
+// buffer, marks and private segment free list are retained across windows
+// (and trials), so steady-state parallel windows allocate nothing beyond
+// goroutine bookkeeping.
+type parShard struct {
+	shadow Simulator
+	events []event
+	// staged accumulates events scheduled by this shard's handlers; marks
+	// holds the staged-buffer end offset after each executed event, so the
+	// merge walk can replay exactly the events each batch entry produced.
+	staged []stagedEv
+	marks  []int32
+	cursor int
+	// segFree is this shard's private segment free list: segments are
+	// allocated and recycled without touching the real simulator's list.
+	// Segments migrate freely between lists across windows; behavior never
+	// depends on which struct instance backs a segment.
+	segFree []*segment
+}
+
+// parDriver holds the static shard map and per-window scratch of
+// RunUntilIdleParallel.
+type parDriver struct {
+	shards int
+	// window is the lookahead: min(ChanPropNs, RouterSetupNs, StartupNs).
+	window int64
+	// minBatch gates fan-out: windows with fewer parallel events than this
+	// run sequentially.
+	minBatch int
+
+	// shardOf maps each switch to its shard; homog marks switches whose
+	// closed neighborhood lies entirely in their own shard.
+	shardOf []int32
+	homog   []bool
+	// nbrs is the inter-switch adjacency (both directions).
+	nbrs [][]int32
+
+	// Per-window scratch.
+	batch  []event
+	home   []int32 // shard per batch event, -1 = sequential
+	evU    []int32 // endpoint switches per batch event
+	evV    []int32
+	poison []uint64 // per-switch poison stamp
+	stamp  uint64
+	exec   []*parShard
+	active []*parShard
+
+	// parallelEvents counts events executed on shard shadows (whitebox
+	// visibility for tests: proves parallel windows actually ran).
+	parallelEvents uint64
+	// parallelWindows counts windows that fanned out.
+	parallelWindows uint64
+}
+
+// parallelDriver returns the cached driver for the given shard count,
+// building it on first use. It returns nil when parallel execution cannot
+// help (one shard, degenerate lookahead, or a single-switch network), in
+// which case callers fall back to sequential execution.
+func (s *Simulator) parallelDriver(shards int) *parDriver {
+	if shards > s.net.NumSwitches {
+		shards = s.net.NumSwitches
+	}
+	if shards <= 1 {
+		return nil
+	}
+	w := s.cfg.Params.ChanPropNs
+	if s.cfg.Params.RouterSetupNs < w {
+		w = s.cfg.Params.RouterSetupNs
+	}
+	if s.cfg.Params.StartupNs < w {
+		w = s.cfg.Params.StartupNs
+	}
+	if w <= 0 {
+		return nil
+	}
+	if s.par != nil && s.par.shards == shards {
+		return s.par
+	}
+	S := s.net.NumSwitches
+	d := &parDriver{
+		shards:   shards,
+		window:   w,
+		minBatch: s.cfg.ParallelMinBatch,
+		shardOf:  make([]int32, S),
+		homog:    make([]bool, S),
+		nbrs:     make([][]int32, S),
+		poison:   make([]uint64, S),
+		exec:     make([]*parShard, shards),
+	}
+	for _, ch := range s.net.Channels {
+		if s.net.IsSwitch(ch.Src) && s.net.IsSwitch(ch.Dst) {
+			d.nbrs[ch.Src] = append(d.nbrs[ch.Src], int32(ch.Dst))
+		}
+	}
+	d.partition(S)
+	for sw := 0; sw < S; sw++ {
+		d.homog[sw] = true
+		for _, nb := range d.nbrs[sw] {
+			if d.shardOf[nb] != d.shardOf[sw] {
+				d.homog[sw] = false
+				break
+			}
+		}
+	}
+	for i := range d.exec {
+		d.exec[i] = &parShard{}
+	}
+	s.par = d
+	return d
+}
+
+// partition fills shardOf with a balanced BFS-grown partition of the switch
+// graph: each shard is grown breadth-first from the lowest-numbered
+// unassigned switch until it reaches its size target. Connected, roughly
+// convex regions maximize the shard *interior* — the switches whose whole
+// neighborhood stays in-shard, the only places parallel execution is
+// provable — whereas slicing raw ID ranges leaves meshes and tori with no
+// interior at all once shards get thin. The construction is a pure function
+// of the topology and the shard count, so the shard map (and therefore the
+// classifier, though never the results) is deterministic.
+func (d *parDriver) partition(S int) {
+	for sw := range d.shardOf {
+		d.shardOf[sw] = -1
+	}
+	target := (S + d.shards - 1) / d.shards
+	queue := make([]int32, 0, S)
+	shard, size, seed := int32(0), 0, 0
+	for assigned := 0; assigned < S; {
+		if len(queue) == 0 {
+			for d.shardOf[seed] >= 0 {
+				seed++
+			}
+			d.shardOf[seed] = shard
+			queue = append(queue, int32(seed))
+			assigned++
+			size++
+		}
+		sw := queue[0]
+		queue = queue[1:]
+		for _, nb := range d.nbrs[sw] {
+			if d.shardOf[nb] >= 0 {
+				continue
+			}
+			if size >= target && int(shard) < d.shards-1 {
+				shard++
+				size = 0
+				queue = queue[:0]
+				break
+			}
+			d.shardOf[nb] = shard
+			queue = append(queue, nb)
+			assigned++
+			size++
+		}
+	}
+}
+
+// RunUntilIdleParallel behaves exactly like RunUntilIdle — same results,
+// same counters, same sticky errors, bit for bit — but executes
+// state-disjoint events of each lookahead window concurrently across the
+// given number of switch shards. shards <= 1 is plain RunUntilIdle.
+func (s *Simulator) RunUntilIdleParallel(cap int64, shards int) error {
+	d := s.parallelDriver(shards)
+	if d == nil {
+		return s.RunUntilIdle(cap)
+	}
+	for s.err == nil && s.outstanding > 0 && s.heap.Len() > 0 && s.heap.PeekTime() <= cap {
+		d.runWindow(s, cap)
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if s.outstanding > 0 {
+		return errOutstanding(s.outstanding, cap)
+	}
+	return nil
+}
+
+// runWindow drains one lookahead window and executes it — fanned out when
+// the classifier can prove disjointness, sequentially otherwise.
+func (d *parDriver) runWindow(s *Simulator, cap int64) {
+	tend := s.heap.PeekTime() + d.window
+	if cap+1 < tend {
+		tend = cap + 1
+	}
+	d.batch = d.batch[:0]
+	for s.heap.Len() > 0 && s.heap.PeekTime() < tend {
+		d.batch = append(d.batch, s.heap.Pop())
+	}
+	if !d.classify(s) {
+		// Sequential window: hand the batch back to the queue (re-pushed
+		// events keep their (t, seq) keys, so pop order is untouched; the
+		// ring monotonicity fallback routes them through the heap tier)
+		// and step through it with the standard loop conditions.
+		for _, ev := range d.batch {
+			s.heap.Push(ev)
+		}
+		for s.err == nil && s.outstanding > 0 && s.heap.Len() > 0 {
+			if t := s.heap.PeekTime(); t >= tend || t > cap {
+				break
+			}
+			s.step()
+		}
+		return
+	}
+	d.execute(s)
+	d.merge(s)
+}
+
+// classify decides whether the drained batch can fan out, and if so assigns
+// each event a home shard (or -1 for merge-walk execution). It returns
+// false when the window must run sequentially.
+func (d *parDriver) classify(s *Simulator) bool {
+	n := len(d.batch)
+	if n < d.minBatch || s.faultMode || s.tracer != nil || s.cfg.Logf != nil {
+		return false
+	}
+	if s.counters.Events+uint64(n) > s.cfg.MaxEvents {
+		// Let the sequential path exhaust the budget at the exact event a
+		// sequential run would have.
+		return false
+	}
+	d.home = d.home[:0]
+	d.evU = d.evU[:0]
+	d.evV = d.evV[:0]
+	d.stamp++
+	for _, ev := range d.batch {
+		c := topology.ChannelID(ev.a)
+		var w *Worm
+		switch ev.kind {
+		case evArrive:
+			fl := s.chans[c].outBuf
+			w = fl.w
+			if fl.kind == Tail && s.net.IsProcessor(s.net.Chan(c).Dst) {
+				// Tail delivery runs user completion hooks with unbounded
+				// footprint.
+				return false
+			}
+		case evRoute:
+			cs := &s.chans[c]
+			if len(cs.inBuf) == 0 || cs.inBuf[0].kind != Header {
+				// Engine-invariant violation: let step() report it.
+				return false
+			}
+			w = cs.inBuf[0].w
+		default:
+			// Calls, injections, startups and watchdogs reach worm queues,
+			// user closures and global progress state.
+			return false
+		}
+		if w == nil || w.Prune {
+			return false
+		}
+		ch := s.net.Chan(c)
+		u := int32(s.net.SwitchOf(ch.Src))
+		v := int32(s.net.SwitchOf(ch.Dst))
+		d.evU = append(d.evU, u)
+		d.evV = append(d.evV, v)
+		if d.shardOf[u] == d.shardOf[v] && d.homog[u] && d.homog[v] {
+			d.home = append(d.home, d.shardOf[u])
+		} else {
+			d.home = append(d.home, -1)
+			d.poisonAround(u)
+			d.poisonAround(v)
+		}
+	}
+	// Fixed point: a parallel event whose footprint a sequential event can
+	// reach becomes sequential itself, poisoning further.
+	for changed := true; changed; {
+		changed = false
+		for i := range d.batch {
+			if d.home[i] < 0 {
+				continue
+			}
+			if d.poison[d.evU[i]] == d.stamp || d.poison[d.evV[i]] == d.stamp {
+				d.home[i] = -1
+				d.poisonAround(d.evU[i])
+				d.poisonAround(d.evV[i])
+				changed = true
+			}
+		}
+	}
+	npar := 0
+	for _, h := range d.home {
+		if h >= 0 {
+			npar++
+		}
+	}
+	return npar >= d.minBatch
+}
+
+// poisonAround stamps sw and its switch-graph neighbors.
+func (d *parDriver) poisonAround(sw int32) {
+	d.poison[sw] = d.stamp
+	for _, nb := range d.nbrs[sw] {
+		d.poison[nb] = d.stamp
+	}
+}
+
+// execute fans the parallel events of the classified batch out to their
+// shard executors. Each executor runs a shallow shadow of the simulator:
+// shared state writes are provably disjoint across shards, and everything
+// executor-local (clock, counters, staged events, segment free list) lives
+// on the shadow.
+func (d *parDriver) execute(s *Simulator) {
+	for _, sh := range d.exec {
+		sh.events = sh.events[:0]
+	}
+	for i, ev := range d.batch {
+		if h := d.home[i]; h >= 0 {
+			d.exec[h].events = append(d.exec[h].events, ev)
+			d.parallelEvents++
+		}
+	}
+	d.active = d.active[:0]
+	for _, sh := range d.exec {
+		if len(sh.events) > 0 {
+			d.active = append(d.active, sh)
+		}
+	}
+	d.parallelWindows++
+	if len(d.active) == 1 {
+		d.active[0].run(s)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, sh := range d.active[1:] {
+		wg.Add(1)
+		go func(sh *parShard) {
+			defer wg.Done()
+			sh.run(s)
+		}(sh)
+	}
+	d.active[0].run(s)
+	wg.Wait()
+}
+
+// run executes the shard's events on a staging shadow of s.
+func (sh *parShard) run(s *Simulator) {
+	sh.shadow = *s
+	sh.shadow.heap = eventQueue{} // never touched: staging intercepts schedule()
+	sh.shadow.staging = true
+	sh.shadow.staged = sh.staged[:0]
+	sh.shadow.segFree = sh.segFree
+	sh.shadow.counters = Counters{}
+	sh.shadow.pendingWork = 0
+	sh.shadow.activity = 0
+	sh.shadow.err = nil
+	sh.marks = sh.marks[:0]
+	sh.cursor = 0
+	for _, ev := range sh.events {
+		if sh.shadow.err == nil {
+			sh.shadow.now = ev.t
+			switch ev.kind {
+			case evArrive:
+				sh.shadow.onArrive(topology.ChannelID(ev.a))
+			case evRoute:
+				sh.shadow.onRoute(topology.ChannelID(ev.a))
+			}
+		}
+		sh.marks = append(sh.marks, int32(len(sh.shadow.staged)))
+	}
+	sh.staged = sh.shadow.staged
+	sh.segFree = sh.shadow.segFree
+}
+
+// merge walks the batch in (t, seq) order on the real simulator: parallel
+// events replay their staged events with freshly assigned global sequence
+// numbers (exactly the numbers sequential execution would have assigned,
+// since the walk preserves both the batch order and each handler's internal
+// scheduling order); sequential events execute inline. Shard counter deltas
+// are commutative sums, merged after the walk.
+func (d *parDriver) merge(s *Simulator) {
+	for i, ev := range d.batch {
+		s.now = ev.t
+		s.counters.Events++
+		s.pendingWork--
+		s.activity++
+		if h := d.home[i]; h >= 0 {
+			sh := d.exec[h]
+			var start int32
+			if sh.cursor > 0 {
+				start = sh.marks[sh.cursor-1]
+			}
+			end := sh.marks[sh.cursor]
+			sh.cursor++
+			for _, se := range sh.staged[start:end] {
+				s.seq++
+				s.pendingWork++
+				s.heap.Push(event{t: se.t, seq: s.seq, kind: se.kind, a: se.a})
+			}
+			continue
+		}
+		switch ev.kind {
+		case evArrive:
+			s.onArrive(topology.ChannelID(ev.a))
+		case evRoute:
+			s.onRoute(topology.ChannelID(ev.a))
+		}
+	}
+	for _, sh := range d.active {
+		c := &sh.shadow.counters
+		s.counters.PayloadFlitHops += c.PayloadFlitHops
+		s.counters.BubbleFlitHops += c.BubbleFlitHops
+		s.counters.HeaderAcquireWait += c.HeaderAcquireWait
+		s.counters.FlitsDropped += c.FlitsDropped
+		if s.err == nil && sh.shadow.err != nil {
+			s.err = sh.shadow.err
+		}
+	}
+}

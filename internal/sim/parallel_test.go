@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/updown"
+)
+
+// parallelTestNets builds the golden topologies of the bit-identity pin:
+// one irregular lattice, one regular torus and one fat-tree, covering the
+// three shard-map shapes (scattered IDs, row bands, stage blocks).
+func parallelTestNets(t *testing.T) map[string]*topology.Network {
+	t.Helper()
+	nets := map[string]*topology.Network{}
+	lat, err := topology.RandomLattice(topology.DefaultLattice(96, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets["lattice96"] = lat
+	tor, err := topology.Torus(12, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets["torus12x12"] = tor
+	ft, err := topology.FatTree(2, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets["fattree2x5"] = ft
+	return nets
+}
+
+// submitMixedTraffic drives the same deterministic unicast/multicast burst
+// used by the stress tests through s.
+func submitMixedTraffic(t *testing.T, s *Simulator, net *topology.Network, seed uint64, msgs int) []*Worm {
+	t.Helper()
+	r := rng.New(seed*7779 + 1)
+	var worms []*Worm
+	for i := 0; i < msgs; i++ {
+		srcIdx := r.Intn(net.NumProcs)
+		src := topology.NodeID(net.NumSwitches + srcIdx)
+		var dests []topology.NodeID
+		if r.Bool(0.3) && net.NumProcs > 2 {
+			k := 2 + r.Intn(min(net.NumProcs-1, 16))
+			for _, pi := range r.Choose(net.NumProcs, k) {
+				d := topology.NodeID(net.NumSwitches + pi)
+				if d != src {
+					dests = append(dests, d)
+				}
+			}
+		}
+		if len(dests) == 0 {
+			for {
+				d := topology.NodeID(net.NumSwitches + r.Intn(net.NumProcs))
+				if d != src {
+					dests = append(dests, d)
+					break
+				}
+			}
+		}
+		w, err := s.Submit(int64(r.Intn(msgs*120)), src, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worms = append(worms, w)
+	}
+	return worms
+}
+
+// runSignature is the complete observable outcome of one trial: any
+// divergence between sequential and parallel execution shows up here.
+type runSignature struct {
+	counters Counters
+	now      int64
+	seq      uint64
+	worms    []string
+}
+
+func signatureOf(s *Simulator, worms []*Worm) runSignature {
+	sig := runSignature{counters: s.Counters(), now: s.Now(), seq: s.seq}
+	for _, w := range worms {
+		sig.worms = append(sig.worms,
+			fmt.Sprintf("id=%d inject=%d done=%d arrivals=%v", w.ID, w.InjectStartNs, w.DoneNs, w.ArrivalNs))
+	}
+	return sig
+}
+
+// runParallelTrial executes one deterministic trial with the given shard
+// count on a fresh simulator and returns its signature plus the number of
+// events that actually executed on shard shadows.
+func runParallelTrial(t *testing.T, net *topology.Network, shards int) (runSignature, uint64) {
+	t.Helper()
+	lab, err := updown.New(net, updown.RootMinID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shortCfg()
+	cfg.ParallelMinBatch = 1 // force fan-out even on tiny windows
+	s, err := New(core.NewRouter(lab), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worms := submitMixedTraffic(t, s, net, 23, 200)
+	if shards <= 1 {
+		err = s.RunUntilIdle(1e13)
+	} else {
+		err = s.RunUntilIdleParallel(1e13, shards)
+	}
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	var parEvents uint64
+	if s.par != nil {
+		parEvents = s.par.parallelEvents
+	}
+	return signatureOf(s, worms), parEvents
+}
+
+func diffSignatures(t *testing.T, name string, shards int, want, got runSignature) {
+	t.Helper()
+	if got.counters != want.counters {
+		t.Errorf("%s shards=%d: counters diverge:\n got %+v\nwant %+v", name, shards, got.counters, want.counters)
+	}
+	if got.now != want.now || got.seq != want.seq {
+		t.Errorf("%s shards=%d: clock/seq diverge: got (now=%d seq=%d) want (now=%d seq=%d)",
+			name, shards, got.now, got.seq, want.now, want.seq)
+	}
+	if len(got.worms) != len(want.worms) {
+		t.Fatalf("%s shards=%d: %d worms, want %d", name, shards, len(got.worms), len(want.worms))
+	}
+	for i := range want.worms {
+		if got.worms[i] != want.worms[i] {
+			t.Errorf("%s shards=%d: worm %d diverges:\n got %s\nwant %s", name, shards, i, got.worms[i], want.worms[i])
+		}
+	}
+}
+
+// TestParallelBitIdentical is the invariant-9 pin: RunUntilIdleParallel
+// with 2, 4 and 8 shards reproduces the sequential run bit for bit — every
+// counter, every per-destination arrival time, the final clock and the
+// final sequence number — on all three topology families, and the shard
+// executors provably ran (the check is not vacuous).
+func TestParallelBitIdentical(t *testing.T) {
+	for name, net := range parallelTestNets(t) {
+		t.Run(name, func(t *testing.T) {
+			want, _ := runParallelTrial(t, net, 1)
+			for _, shards := range []int{2, 4, 8} {
+				got, parEvents := runParallelTrial(t, net, shards)
+				diffSignatures(t, name, shards, want, got)
+				if parEvents == 0 {
+					t.Errorf("%s shards=%d: no events executed on shard shadows — bit-identity check is vacuous", name, shards)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelBitIdenticalSingleProc repeats the pin with GOMAXPROCS=1:
+// shard goroutines then interleave on one OS thread, which would expose any
+// dependence on goroutine scheduling.
+func TestParallelBitIdenticalSingleProc(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	net := parallelTestNets(t)["torus12x12"]
+	want, _ := runParallelTrial(t, net, 1)
+	for _, shards := range []int{2, 4, 8} {
+		got, parEvents := runParallelTrial(t, net, shards)
+		diffSignatures(t, "torus12x12/gomaxprocs1", shards, want, got)
+		if parEvents == 0 {
+			t.Errorf("shards=%d: no shard-shadow events under GOMAXPROCS=1", shards)
+		}
+	}
+}
+
+// TestParallelResetReuse pins that a Reset-then-rerun on the parallel path
+// reproduces the first epoch exactly, with the driver's persistent scratch
+// (shadows, staged buffers, shard free lists) carried across epochs.
+func TestParallelResetReuse(t *testing.T) {
+	net := parallelTestNets(t)["lattice96"]
+	lab, err := updown.New(net, updown.RootMinID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shortCfg()
+	cfg.ParallelMinBatch = 1
+	s, err := New(core.NewRouter(lab), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sigs []runSignature
+	for epoch := 0; epoch < 3; epoch++ {
+		worms := submitMixedTraffic(t, s, net, 23, 150)
+		if err := s.RunUntilIdleParallel(1e13, 4); err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		sigs = append(sigs, signatureOf(s, worms))
+		s.Reset()
+	}
+	for epoch := 1; epoch < len(sigs); epoch++ {
+		diffSignatures(t, "lattice96/reset", 4, sigs[0], sigs[epoch])
+	}
+}
+
+// TestParallelFallsBackToSequential pins the degenerate entries: one shard,
+// or more shards than switches on a one-switch network, must take the plain
+// RunUntilIdle path (no driver is ever built).
+func TestParallelFallsBackToSequential(t *testing.T) {
+	b := topology.NewBuilder(1, 0)
+	b.AttachProcessor(0)
+	b.AttachProcessor(0)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := updown.New(net, updown.RootMinID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(core.NewRouter(lab), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(0, 1, []topology.NodeID{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntilIdleParallel(1e13, 8); err != nil {
+		t.Fatal(err)
+	}
+	if s.par != nil {
+		t.Fatal("driver built for a single-switch network")
+	}
+}

@@ -21,6 +21,15 @@ import (
 // Directives may appear in any order after the switches line; processor IDs
 // are assigned in proc-line order, matching the Builder's semantics.
 
+// MaxAdmittedSwitches is the admission bound every externally supplied
+// topology shares: request-selected specs (serve's alternate-system cap) and
+// file-loaded adjacency text both refuse networks larger than this before
+// any proportional allocation happens. It tracks what the compressed routing
+// tables make affordable — a 64k-switch fat-tree compiles in low single-
+// digit GiB — so an adjacency upload cannot bypass the spec-level cap into
+// an OOM by declaring an enormous switch count.
+const MaxAdmittedSwitches = 65536
+
 // LoadAdjacency parses the adjacency text format into a validated Network.
 func LoadAdjacency(r io.Reader) (*Network, error) {
 	sc := bufio.NewScanner(r)
@@ -62,6 +71,9 @@ func LoadAdjacency(r io.Reader) (*Network, error) {
 			n, err := strconv.Atoi(args[0])
 			if err != nil || n < 1 {
 				return nil, fmt.Errorf("topology: line %d: bad switch count %q", lineNo, args[0])
+			}
+			if n > MaxAdmittedSwitches {
+				return nil, fmt.Errorf("topology: line %d: %d switches exceeds the admission cap %d", lineNo, n, MaxAdmittedSwitches)
 			}
 			maxPorts := 0
 			if len(args) == 2 {

@@ -1,6 +1,7 @@
 package topology_test
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -183,6 +184,10 @@ func TestLoadAdjacencyErrors(t *testing.T) {
 		"switches 2\nlink 0 1\nbogus 1",
 		"switches 2\nlink 0 2",
 		"switches 3\nlink 0 1\nproc 0", // switch 2 disconnected
+		// Oversized declarations are refused at the switches directive,
+		// before any proportional allocation: the admission cap specs get
+		// cannot be bypassed via an adjacency upload.
+		fmt.Sprintf("switches %d\nlink 0 1\nproc 0", topology.MaxAdmittedSwitches+1),
 	}
 	for _, in := range cases {
 		if _, err := topology.LoadAdjacency(strings.NewReader(in)); err == nil {

@@ -99,6 +99,11 @@ type Labeling struct {
 	// of zero or more down-cross channels followed by zero or more
 	// down-tree channels from u to v. Reflexive.
 	extAnc []*bitset.Set
+	// extDesc[v] is the transpose of extAnc: the set of nodes v is an
+	// extended ancestor of. Table compilation streams its words to test
+	// extended-ancestor legality for one channel endpoint across a whole
+	// block of LCAs at once (the desc-to-anc trick, applied to extAnc).
+	extDesc []*bitset.Set
 	// crossReach[w] is the set of nodes that can reach w using only
 	// down-cross channels (reflexive). Defined over switches only but
 	// stored for all nodes for uniform indexing.
@@ -294,6 +299,7 @@ func (l *Labeling) Relabel(down *bitset.Set) error {
 	l.buildDescendants()
 	l.buildCrossReach()
 	l.buildExtendedAncestors()
+	l.buildExtendedDescendants()
 	l.buildSwitchDist()
 	return nil
 }
@@ -314,11 +320,13 @@ func (l *Labeling) ensureStorage() {
 	l.anc = make([]*bitset.Set, total)
 	l.desc = make([]*bitset.Set, total)
 	l.extAnc = make([]*bitset.Set, total)
+	l.extDesc = make([]*bitset.Set, total)
 	l.crossReach = make([]*bitset.Set, total)
 	for v := 0; v < total; v++ {
 		l.anc[v] = bitset.New(total)
 		l.desc[v] = bitset.New(total)
 		l.extAnc[v] = bitset.New(total)
+		l.extDesc[v] = bitset.New(total)
 		l.crossReach[v] = bitset.New(total)
 	}
 	l.SwitchDist = make([][]int32, net.NumSwitches)
@@ -495,6 +503,21 @@ func (l *Labeling) buildExtendedAncestors() {
 	}
 }
 
+// buildExtendedDescendants materializes the transpose of the extended-
+// ancestor relation, exactly as buildDescendants does for anc. Cost is
+// O(Σ|extAnc[v]|) set bits.
+func (l *Labeling) buildExtendedDescendants() {
+	total := l.Net.N()
+	for v := 0; v < total; v++ {
+		l.extDesc[v].Reset()
+	}
+	for v := 0; v < total; v++ {
+		for u := l.extAnc[v].NextSet(0); u >= 0; u = l.extAnc[v].NextSet(u + 1) {
+			l.extDesc[u].Set(v)
+		}
+	}
+}
+
 // IsDown reports whether channel c is failed under this labeling's mask.
 func (l *Labeling) IsDown(c topology.ChannelID) bool {
 	return l.Down != nil && l.Down.Test(int(c))
@@ -533,6 +556,10 @@ func (l *Labeling) SubtreeIntersects(v topology.NodeID, set *bitset.Set) bool {
 
 // ExtendedAncestors returns the (reflexive) extended-ancestor set of v.
 func (l *Labeling) ExtendedAncestors(v topology.NodeID) *bitset.Set { return l.extAnc[v] }
+
+// ExtendedDescendants returns the transpose view: the set of nodes v is an
+// extended ancestor of. Shared; do not mutate.
+func (l *Labeling) ExtendedDescendants(v topology.NodeID) *bitset.Set { return l.extDesc[v] }
 
 // LCA returns the least (deepest) common tree ancestor of a and b.
 func (l *Labeling) LCA(a, b topology.NodeID) topology.NodeID {
@@ -626,11 +653,14 @@ func (l *Labeling) Verify() error {
 			return fmt.Errorf("updown: node %d: ancestors not contained in extended ancestors", v)
 		}
 	}
-	// (6) desc is the exact transpose of anc.
+	// (6) desc is the exact transpose of anc, and extDesc of extAnc.
 	for v := 0; v < net.N(); v++ {
 		for u := 0; u < net.N(); u++ {
 			if l.anc[v].Test(u) != l.desc[u].Test(v) {
 				return fmt.Errorf("updown: descendant sets are not the transpose of ancestor sets at (u=%d, v=%d)", u, v)
+			}
+			if l.extAnc[v].Test(u) != l.extDesc[u].Test(v) {
+				return fmt.Errorf("updown: extended-descendant sets are not the transpose of extended-ancestor sets at (u=%d, v=%d)", u, v)
 			}
 		}
 	}

@@ -2,20 +2,28 @@
 # bench.sh — the PR perf-trajectory smoke target.
 #
 # Runs the reduced-effort benchmark suite (Figure 2, Figure 3, the two
-# engine microbenchmarks, the PR 2 reusable-session sweep pair and the PR 4
-# fault-injection reconfiguration pair) and writes a JSON snapshot with
-# ns/op, B/op, allocs/op and every custom reported metric, next to the
-# fixed pre-optimization baselines so the speedup trajectory is tracked
-# in-repo.
+# engine microbenchmarks, the PR 2 reusable-session sweep pair, the PR 4
+# fault-injection reconfiguration pair, the PR 6 fleet pair and the PR 7
+# scale trio) and writes a JSON snapshot with ns/op, B/op, allocs/op and
+# every custom reported metric, next to the fixed pre-optimization baselines
+# so the speedup trajectory is tracked in-repo. The snapshot is gated
+# through scripts/benchcmp, which rejects malformed JSON and duplicate keys.
 #
 # Usage:
-#   scripts/bench.sh [out.json]      # default out: BENCH_PR6.json
+#   scripts/bench.sh [out.json]      # default out: BENCH_PR7.json
 #   BENCHTIME=3x scripts/bench.sh    # steadier figure numbers (default 1x)
+#   BENCHLARGE=1 scripts/bench.sh    # include the 62500-switch compile cell
+#                                    # (~15 GiB RAM, ~an hour on one core)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR6.json}"
+OUT="${1:-BENCH_PR7.json}"
 BENCHTIME="${BENCHTIME:-1x}"
+# Go appends "-$GOMAXPROCS" to benchmark names unless GOMAXPROCS is 1; the
+# emitter below must strip exactly that suffix (a generic trailing -<digits>
+# strip would also eat numeric sub-benchmark coordinates like /workers-4,
+# collapsing distinct benchmarks onto one JSON key).
+PROCS="${GOMAXPROCS:-$(nproc)}"
 # The sweep pair runs many short trials per second; a fixed high iteration
 # count amortizes benchmark-framework overhead out of the allocs/op column.
 SWEEP_BENCHTIME="${SWEEP_BENCHTIME:-300x}"
@@ -57,7 +65,22 @@ FLEET_RAW=$(go test -run '^$' \
 	-bench 'BenchmarkFleetRun|BenchmarkFleetRetryPath' \
 	-benchmem -benchtime "${FLEET_BENCHTIME:-5x}" ./internal/serve/ 2>&1 | grep -E '^Benchmark' || true)
 
-if [ -z "$RAW" ] || [ -z "$SWEEP_RAW" ] || [ -z "$FAULT_RAW" ] || [ -z "$FLEET_RAW" ]; then
+# PR 7: past the 4096-switch cap — compressed-table compile cost/footprint on
+# large fat-trees, the fused-bitset distribution kernel, and the conservative-
+# parallel driver at 1/2/4/8 shards (bit-identical output; on a single core
+# the extra shards are pure overhead and the numbers record that honestly).
+# The compile cells always run one iteration: one op is minutes at 16k
+# switches. BENCHLARGE=1 adds the 62500-switch headline cell.
+LARGE_FLAGS=""
+[ "${BENCHLARGE:-0}" != "0" ] && LARGE_FLAGS="-benchlarge"
+SCALE_RAW=$(go test -run '^$' \
+	-bench 'BenchmarkLargeFatTreeCompile' \
+	-benchmem -benchtime 1x -timeout 0 $LARGE_FLAGS . 2>&1 | grep -E '^Benchmark' || true)
+PAR_RAW=$(go test -run '^$' \
+	-bench 'BenchmarkDistributionOutputs|BenchmarkParallelRun' \
+	-benchmem -benchtime "${PAR_BENCHTIME:-10x}" . 2>&1 | grep -E '^Benchmark' || true)
+
+if [ -z "$RAW" ] || [ -z "$SWEEP_RAW" ] || [ -z "$FAULT_RAW" ] || [ -z "$FLEET_RAW" ] || [ -z "$SCALE_RAW" ] || [ -z "$PAR_RAW" ]; then
 	echo "bench.sh: no benchmark output" >&2
 	exit 1
 fi
@@ -65,11 +88,13 @@ fi
 ALL_RAW="$RAW
 $SWEEP_RAW
 $FAULT_RAW
-$FLEET_RAW"
+$FLEET_RAW
+$SCALE_RAW
+$PAR_RAW"
 
 {
 	printf '{\n'
-	printf '  "pr": 6,\n'
+	printf '  "pr": 7,\n'
 	printf '  "benchtime": "%s",\n' "$BENCHTIME"
 	printf '  "sweep_benchtime": "%s",\n' "$SWEEP_BENCHTIME"
 	printf '  "go": "%s",\n' "$(go env GOVERSION)"
@@ -83,10 +108,14 @@ $FLEET_RAW"
 		"$BASE_SIMTP_NS" "$BASE_SIMTP_ALLOCS"
 	printf '  },\n'
 	printf '  "current": {\n'
-	echo "$ALL_RAW" | awk '
+	echo "$ALL_RAW" | awk -v procs="$PROCS" '
 		{
 			name = $1
-			sub(/-[0-9]+$/, "", name)
+			# Strip only the GOMAXPROCS suffix Go appends — and Go omits it
+			# entirely when GOMAXPROCS is 1, so strip nothing then (a strip
+			# would eat numeric sub-benchmark coordinates like /workers-1).
+			if (procs != 1)
+				sub("-" procs "$", "", name)
 			sub(/^Benchmark/, "", name)
 			line = sprintf("    \"%s\": {", name)
 			sep = ""
@@ -139,11 +168,28 @@ $FLEET_RAW"
 	FAULTY_NS=$(echo "$FLEET_RAW" | awk '/^BenchmarkFleetRetryPath\/faulty/{print $3; exit}')
 	printf '    "fleet4_vs_local_ratio": %s,\n' \
 		"$(awk -v l="$LOCAL_NS" -v f="$FLEET4_NS" 'BEGIN{printf("%.3f", f/l)}')"
-	printf '    "fleet_retry_overhead_pct": %s\n' \
+	printf '    "fleet_retry_overhead_pct": %s,\n' \
 		"$(awk -v c="$CLEAN_NS" -v f="$FAULTY_NS" 'BEGIN{printf("%.1f", 100*(f/c-1))}')"
+	# PR 7: table footprint at 16k switches, the distribution kernel's alloc
+	# count (must be 0), and the parallel driver's shards=8/shards=1 ratio
+	# (<1 only with real cores; 1-core hosts record the scheduling overhead).
+	FT16_MIB=$(echo "$SCALE_RAW" | awk '/fattree:16x4/{for(i=3;i<NF;i+=2) if($(i+1)=="MiB/tables") print $i}')
+	FT16_COMP=$(echo "$SCALE_RAW" | awk '/fattree:16x4/{for(i=3;i<NF;i+=2) if($(i+1)=="x/compression") print $i}')
+	DIST_ALLOCS=$(echo "$PAR_RAW" | awk '/^BenchmarkDistributionOutputs/{for(i=3;i<NF;i+=2) if($(i+1)=="allocs/op") print $i}')
+	P1_NS=$(echo "$PAR_RAW" | awk -v p="$PROCS" '{n=$1; sub("-" p "$","",n)} n ~ /ParallelRun\/shards=1$/{print $3; exit}')
+	P8_NS=$(echo "$PAR_RAW" | awk -v p="$PROCS" '{n=$1; sub("-" p "$","",n)} n ~ /ParallelRun\/shards=8$/{print $3; exit}')
+	printf '    "fattree16k_table_mib": %s,\n' "${FT16_MIB:-0}"
+	printf '    "fattree16k_compression_x": %s,\n' "${FT16_COMP:-0}"
+	printf '    "distribution_allocs_op": %s,\n' "${DIST_ALLOCS:-0}"
+	printf '    "parallel_shards8_vs_1_ratio": %s\n' \
+		"$(awk -v a="$P1_NS" -v b="$P8_NS" 'BEGIN{printf("%.3f", b/a)}')"
 	printf '  }\n'
 	printf '}\n'
 } >"$OUT"
+
+# Gate the snapshot: well-formed JSON, no duplicate keys (the exact failure
+# mode a benchmark-name collision in the emitter above would produce).
+go run ./scripts/benchcmp "$OUT"
 
 echo "wrote $OUT"
 echo "$ALL_RAW"

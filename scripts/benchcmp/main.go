@@ -1,0 +1,168 @@
+// Command benchcmp validates and compares the BENCH_PR*.json snapshots
+// scripts/bench.sh writes.
+//
+// With one argument it is a validity gate: the file must be well-formed JSON
+// and contain no duplicate object keys at any depth (the failure mode a
+// benchmark-name collision in bench.sh's awk emitter produces — JSON parsers
+// silently keep one of the duplicates, so a snapshot with collisions loses
+// data without anyone noticing). bench.sh runs this over every snapshot it
+// writes.
+//
+// With two arguments it diffs the "current" sections of two snapshots:
+// per-benchmark ns/op ratio (old/new, >1 = new is faster) plus alloc deltas,
+// so a PR's perf claim is one command against the previous PR's file.
+//
+// Usage:
+//
+//	go run ./scripts/benchcmp BENCH_PR7.json
+//	go run ./scripts/benchcmp BENCH_PR6.json BENCH_PR7.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// checkDupKeys walks the token stream and reports every object key that
+// repeats within one object, with a JSON-pointer-ish path for the message.
+func checkDupKeys(dec *json.Decoder, path string) []string {
+	tok, err := dec.Token()
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	delim, ok := tok.(json.Delim)
+	if !ok {
+		return nil // scalar
+	}
+	var problems []string
+	switch delim {
+	case '{':
+		seen := map[string]bool{}
+		for dec.More() {
+			keyTok, err := dec.Token()
+			if err != nil {
+				return append(problems, fmt.Sprintf("%s: %v", path, err))
+			}
+			key := keyTok.(string)
+			if seen[key] {
+				problems = append(problems, fmt.Sprintf("duplicate key %q in %s", key, path))
+			}
+			seen[key] = true
+			problems = append(problems, checkDupKeys(dec, path+"/"+key)...)
+		}
+		dec.Token() // consume '}'
+	case '[':
+		for i := 0; dec.More(); i++ {
+			problems = append(problems, checkDupKeys(dec, fmt.Sprintf("%s[%d]", path, i))...)
+		}
+		dec.Token() // consume ']'
+	}
+	return problems
+}
+
+// snapshot is the part of a bench JSON the diff mode reads.
+type snapshot struct {
+	PR      json.Number                   `json:"pr"`
+	Go      string                        `json:"go"`
+	Current map[string]map[string]float64 `json:"current"`
+}
+
+func validate(name string) []string {
+	f, err := os.Open(name)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.UseNumber()
+	problems := checkDupKeys(dec, name)
+	// A second token after the top-level value means trailing garbage.
+	if _, err := dec.Token(); err == nil {
+		problems = append(problems, fmt.Sprintf("%s: trailing content after JSON value", name))
+	}
+	return problems
+}
+
+func load(name string) (*snapshot, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if len(s.Current) == 0 {
+		return nil, fmt.Errorf("%s: no \"current\" benchmark section", name)
+	}
+	return &s, nil
+}
+
+func diff(oldName, newName string) error {
+	oldS, err := load(oldName)
+	if err != nil {
+		return err
+	}
+	newS, err := load(newName)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(newS.Current))
+	for n := range newS.Current {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-40s %14s %14s %8s %9s\n", "benchmark", "old ns/op", "new ns/op", "old/new", "Δallocs")
+	for _, n := range names {
+		nw := newS.Current[n]
+		od, ok := oldS.Current[n]
+		if !ok {
+			fmt.Printf("%-40s %14s %14.0f %8s %9s\n", n, "-", nw["ns_op"], "new", "-")
+			continue
+		}
+		ratio := "-"
+		if nw["ns_op"] > 0 {
+			ratio = fmt.Sprintf("%.2fx", od["ns_op"]/nw["ns_op"])
+		}
+		fmt.Printf("%-40s %14.0f %14.0f %8s %+9.0f\n",
+			n, od["ns_op"], nw["ns_op"], ratio, nw["allocs_op"]-od["allocs_op"])
+	}
+	for n := range oldS.Current {
+		if _, ok := newS.Current[n]; !ok {
+			fmt.Printf("%-40s (dropped in %s)\n", n, newName)
+		}
+	}
+	return nil
+}
+
+func main() {
+	switch len(os.Args) {
+	case 2:
+		if problems := validate(os.Args[1]); len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, "benchcmp:", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid JSON, no duplicate keys\n", os.Args[1])
+	case 3:
+		for _, name := range os.Args[1:] {
+			if problems := validate(name); len(problems) > 0 {
+				for _, p := range problems {
+					fmt.Fprintln(os.Stderr, "benchcmp:", p)
+				}
+				// Diff anyway: old snapshots written before the emitter fix
+				// carry known duplicate-key collisions worth seeing past.
+			}
+		}
+		if err := diff(os.Args[1], os.Args[2]); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchcmp <bench.json>            # validate\n       benchcmp <old.json> <new.json> # diff")
+		os.Exit(2)
+	}
+}

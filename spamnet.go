@@ -108,6 +108,15 @@ func WithTrace(logf func(format string, args ...any)) Option {
 	return func(o *options) { o.simCfg.Logf = logf }
 }
 
+// WithShards enables conservative-parallel event execution: Session.Run
+// (and the workload/serve/campaign harnesses built on this System's
+// SimConfig) shard the switches over n executors and drain lookahead
+// windows concurrently. The result is bit-identical to the sequential
+// engine — ARCHITECTURE.md invariant 9, pinned by property tests — so this
+// only trades wall-clock for cores on large networks. n <= 1 keeps the
+// sequential driver.
+func WithShards(n int) Option { return func(o *options) { o.simCfg.Shards = n } }
+
 // WithMaxSimTime caps the simulated time Session.Run may reach before
 // reporting an error (default: one hour of simulated time). Long-horizon
 // workloads raise it; latency-bound CI tests lower it to fail fast.
@@ -344,6 +353,11 @@ func (s *System) Fingerprint() uint64 {
 	io.WriteString(h, topology.FormatAdjacency(s.net))
 	cfg := s.simCfg
 	cfg.Logf = nil // function values have no stable representation (and no effect on results)
+	// The parallel-execution knobs are excluded: parallel runs are
+	// bit-identical to sequential ones (invariant 9), so a coordinator and a
+	// worker may shard differently and still produce interchangeable results.
+	cfg.Shards = 0
+	cfg.ParallelMinBatch = 0
 	fmt.Fprintf(h, "|root=%d|ref=%t|cfg=%+v|horizon=%d", s.lab.Root, s.refRouting, cfg, s.MaxSimTimeNs())
 	return h.Sum64()
 }
@@ -356,6 +370,15 @@ func (s *System) Labeling() *updown.Labeling { return s.lab }
 
 // Router exposes the SPAM routing tables (read-only by convention).
 func (s *System) Router() *core.Router { return s.router }
+
+// TableMemStats is the byte-level accounting of the system's compiled
+// routing tables (see core.MemStats): distinct rows/pages/columns after
+// structural sharing, arena size, and the compression ratio against the
+// dense O(3·S²) index. The zero value under WithReferenceRouting.
+type TableMemStats = core.MemStats
+
+// TableMemStats reports the compiled routing-table memory accounting.
+func (s *System) TableMemStats() TableMemStats { return s.router.TableMemStats() }
 
 // ZeroLoadLatency returns the closed-form contention-free latency in
 // nanoseconds of a multicast from src to dests.
@@ -398,6 +421,7 @@ func ParseFaultScript(dsl string) (FaultScript, error) { return faults.Parse(dsl
 type Session struct {
 	sim        *sim.Simulator
 	maxSimTime int64
+	shards     int
 	injector   *faults.Injector
 }
 
@@ -407,7 +431,7 @@ func (s *System) NewSession() (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{sim: sm, maxSimTime: s.MaxSimTimeNs()}, nil
+	return &Session{sim: sm, maxSimTime: s.MaxSimTimeNs(), shards: s.simCfg.Shards}, nil
 }
 
 // Multicast submits a message from processor src to the destination
@@ -428,7 +452,13 @@ func (s *Session) Now() int64 { return s.sim.Now() }
 // simulated time (one hour unless WithMaxSimTime overrides it), or on an
 // internal fault-engine failure.
 func (s *Session) Run() error {
-	if err := s.sim.RunUntilIdle(s.maxSimTime); err != nil {
+	var err error
+	if s.shards > 1 {
+		err = s.sim.RunUntilIdleParallel(s.maxSimTime, s.shards)
+	} else {
+		err = s.sim.RunUntilIdle(s.maxSimTime)
+	}
+	if err != nil {
 		return err
 	}
 	if s.injector != nil {
