@@ -11,8 +11,15 @@
 //	spamsim -list-scenarios
 //	spamsim -scenario hotspot -rate 0.02 [-nodes 128] [-trials 5]
 //	spamsim -scenario mixed -topo torus:8x8
+//	spamsim -scenario allreduce-ring -topo torus:8x8 -trace-out ring.trace
+//	spamsim -trace-in ring.trace -topo torus:8x8
 //	spamsim -campaign paper [-out campaign-out]
 //	spamsim -campaign my-manifest.json
+//
+// -trace-out records the submission stream of the run's last trial to a
+// byte-stable trace file; -trace-in replays a trace file bit-identically
+// on a network with the same processor count (see internal/workload's
+// trace format).
 //
 // A campaign writes REPORT.md plus SVG plots under -out and checkpoints
 // every completed cell in <out>/cells: re-running the same manifest skips
@@ -55,7 +62,7 @@ func main() {
 		shards   = flag.Int("shards", 0, "conservative-parallel event shards per trial (bit-identical to sequential; <=1 = sequential)")
 		report   = flag.String("report", "", "also write a consolidated Markdown report to this file")
 
-		campaignArg = flag.String("campaign", "", "run a campaign manifest: built-in name (paper | smoke | scale) or path to a JSON manifest")
+		campaignArg = flag.String("campaign", "", "run a campaign manifest: built-in name (paper | collectives | smoke | scale) or path to a JSON manifest")
 		outDir      = flag.String("out", "campaign-out", "campaign output directory (REPORT.md, plots/, cells/ checkpoints)")
 
 		scenario  = flag.String("scenario", "", "run a named workload scenario instead of an experiment (see -list-scenarios)")
@@ -69,7 +76,11 @@ func main() {
 		sources   = flag.Int("sources", 0, "broadcast-storm source count")
 		hotFrac   = flag.Float64("hot-frac", 0, "hotspot traffic concentration (0 = scenario default)")
 		rounds    = flag.Int("rounds", 0, "permutation round count")
+		stages    = flag.Int("stages", 0, "pipeline stage count (0 = scenario default)")
+		fanout    = flag.Int("fanout", 0, "tree all-reduce arity (0 = scenario default)")
 		warmup    = flag.Int("warmup", -1, "scenario warmup messages excluded from measurement (-1 = messages/10)")
+		traceOut  = flag.String("trace-out", "", "record the last trial's submission stream to this trace file")
+		traceIn   = flag.String("trace-in", "", "replay a recorded trace file (implies -scenario replay)")
 
 		faultScript  = flag.String("faults", "", `fault timeline DSL, e.g. "50us down 3-7; 90us up 3-7; 120us switch-down 4"`)
 		faultProfile = flag.String("fault-profile", "", "generated fault profile: poisson | maintenance | regional")
@@ -107,7 +118,26 @@ func main() {
 		return
 	}
 
+	if *traceIn != "" {
+		// Replaying a trace is selecting the replay scenario with the
+		// file's contents as its inline trace parameter.
+		if *scenario != "" && *scenario != "replay" {
+			fmt.Fprintf(os.Stderr, "spamsim: -trace-in replays the recorded stream; drop -scenario %s\n", *scenario)
+			os.Exit(1)
+		}
+		*scenario = "replay"
+	}
+
 	if *scenario != "" {
+		traceFile := ""
+		if *traceIn != "" {
+			data, err := os.ReadFile(*traceIn)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spamsim: reading trace: %v\n", err)
+				os.Exit(1)
+			}
+			traceFile = string(data)
+		}
 		params := workload.Params{
 			Topology:          *topoSpec,
 			RatePerProcPerUs:  *rate,
@@ -118,6 +148,9 @@ func main() {
 			Sources:           *sources,
 			HotFraction:       *hotFrac,
 			Rounds:            *rounds,
+			Stages:            *stages,
+			Fanout:            *fanout,
+			Trace:             traceFile,
 			FaultScript:       *faultScript,
 			FaultProfile:      *faultProfile,
 			FaultSeed:         *faultSeed,
@@ -127,7 +160,7 @@ func main() {
 			FaultDrain:        *faultDrain,
 			FaultRetries:      *faultRetries,
 		}
-		if err := runScenario(*scenario, params, simCfg, *nodes, *trials, *warmup, *seed, *csv); err != nil {
+		if err := runScenario(*scenario, params, simCfg, *nodes, *trials, *warmup, *seed, *csv, *traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "spamsim: scenario %s: %v\n", *scenario, err)
 			os.Exit(1)
 		}
@@ -250,7 +283,9 @@ func buildScenarioSystem(topoSpec string, nodes int, seed uint64) (*core.Router,
 // runScenario executes a registered workload scenario on one reusable
 // session: trials run back to back on the same simulator via Reset, and the
 // measured latencies are aggregated with the warmup + batch-means harness.
-func runScenario(name string, params workload.Params, simCfg sim.Config, nodes, trials, warmup int, seed uint64, csv bool) error {
+// When traceOut is set, the last trial's submission stream is written there
+// as a byte-stable trace file (replayable with -trace-in).
+func runScenario(name string, params workload.Params, simCfg sim.Config, nodes, trials, warmup int, seed uint64, csv bool, traceOut string) error {
 	sc, ok := workload.Lookup(name)
 	if !ok {
 		var names []string
@@ -275,7 +310,18 @@ func runScenario(name string, params workload.Params, simCfg sim.Config, nodes, 
 		trials = 1
 	}
 	if warmup < 0 {
-		warmup = params.Messages / 10
+		// Default to a tenth of what the workload will actually submit, so
+		// budget-aware workloads (permutations, storms, collectives, replay)
+		// warm up proportionally; fall back to the -messages knob for
+		// workloads that report no budget.
+		if b := workload.Budget(w, net.NumProcs); b > 0 {
+			warmup = b / 10
+		} else {
+			warmup = params.Messages / 10
+		}
+	}
+	if traceOut != "" {
+		runner.CaptureTrace(true)
 	}
 	st, err := workload.Measure(runner, w, workload.MeasureOpts{
 		Trials:         trials,
@@ -284,6 +330,15 @@ func runScenario(name string, params workload.Params, simCfg sim.Config, nodes, 
 	})
 	if err != nil {
 		return err
+	}
+	if traceOut != "" {
+		// Multi-trial runs derive per-trial seeds; the file holds the
+		// final trial's stream, which replays that trial bit-identically.
+		if err := os.WriteFile(traceOut, []byte(runner.Trace().Format()), 0o644); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d messages, trial %d of %d)\n",
+			traceOut, len(runner.Trace().Msgs), trials, trials)
 	}
 	c := runner.Sim().Counters()
 	topoName := params.Topology

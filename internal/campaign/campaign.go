@@ -230,6 +230,26 @@ func Builtin(name string) (*Manifest, bool) {
 			Params:        workload.Params{Messages: 800},
 		}}
 		return m, true
+	case "collectives":
+		// Collective-communication sweep: the application-level workloads
+		// (ring/tree all-reduce, all-to-all, stage pipeline) across the
+		// same topology zoo the paper grid uses — the figures the paper
+		// never had. 6 topologies × 4 scenarios = 24 cells.
+		return &Manifest{
+			Name:  "collectives",
+			Title: "Collective-communication workloads across the topology zoo",
+			Seed:  1998,
+			Grids: []Grid{{
+				Name: "collectives-zoo",
+				Topologies: []string{
+					"lattice:64", "gnm:64+24", "mesh:8x8", "torus:8x8",
+					"hypercube:6", "fattree:4x3",
+				},
+				Scenarios: []string{"allreduce-ring", "allreduce-tree", "alltoall", "pipeline"},
+				Trials:    2,
+				Params:    workload.Params{Messages: 600},
+			}},
+		}, true
 	case "smoke":
 		return &Manifest{
 			Name: "smoke",
@@ -272,7 +292,7 @@ func Builtin(name string) (*Manifest, bool) {
 }
 
 // BuiltinNames lists the built-in manifests.
-func BuiltinNames() []string { return []string{"paper", "smoke", "scale"} }
+func BuiltinNames() []string { return []string{"paper", "collectives", "smoke", "scale"} }
 
 // sanitize converts a name into a filesystem- and markdown-safe slug.
 func sanitize(s string) string {

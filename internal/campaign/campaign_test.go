@@ -409,6 +409,28 @@ func TestRunSingleCellMatchesEngine(t *testing.T) {
 	}
 }
 
+// TestBuiltinCollectivesManifest validates the collective-communication
+// sweep: every cell must pass registry/topology validation and the
+// expansion must stay within the shared admission cap.
+func TestBuiltinCollectivesManifest(t *testing.T) {
+	m, ok := Builtin("collectives")
+	if !ok {
+		t.Fatal("no collectives manifest")
+	}
+	if err := m.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NumCells(); got != 24 {
+		t.Errorf("collectives manifest: %d cells, want 24", got)
+	}
+	for _, name := range BuiltinNames() {
+		if name == "collectives" {
+			return
+		}
+	}
+	t.Error("collectives missing from BuiltinNames")
+}
+
 // TestBuiltinScaleManifest validates the large-network manifest without
 // running it (its cells compile 16k- and 62500-switch fat-trees): every
 // builtin must validate, and the headline 62500-switch cell must sit inside

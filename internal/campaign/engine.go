@@ -451,7 +451,7 @@ func cellSpecFor(g *Grid, cell Cell, opts Options) cellSpec {
 	// to the operator cap — the cap is a ceiling, never a default; the
 	// serve /run path does the same).
 	if opts.MaxMessages > 0 {
-		if sc, ok := workload.Lookup(cell.Scenario); ok && budgetOf(sc.New(params)) > opts.MaxMessages {
+		if sc, ok := workload.Lookup(cell.Scenario); ok && workload.Budget(sc.New(params), 0) > opts.MaxMessages {
 			params.Messages = opts.MaxMessages
 		}
 	}
@@ -520,7 +520,7 @@ func runCell(cell Cell, spec cellSpec, id string, opts Options,
 	}
 	warmup := spec.Warmup
 	if warmup == 0 {
-		warmup = budgetOf(w) / 10
+		warmup = workload.Budget(w, sys.net.NumProcs) / 10
 	}
 	st, err := workload.Measure(r, w, workload.MeasureOpts{
 		Trials:         spec.Trials,
@@ -577,15 +577,6 @@ func finiteOrZero(v float64) float64 {
 		return 0
 	}
 	return v
-}
-
-// budgetOf reports a workload's per-trial message budget (0 if unbudgeted).
-func budgetOf(w workload.Workload) int {
-	type budgeted interface{ MessageBudget() int }
-	if b, ok := w.(budgeted); ok {
-		return b.MessageBudget()
-	}
-	return 0
 }
 
 // sortedSVGNames returns the plot names in deterministic order.

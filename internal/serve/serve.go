@@ -488,16 +488,39 @@ func (s *Service) resolveRun(req RunRequest) (*resolvedRun, error) {
 	if params.Sources > procs {
 		params.Sources = procs
 	}
+	// A pipeline's budget is items·(Stages−1) with items ≥ 1, so the stage
+	// count itself must respect both the processor count and the message
+	// cap for the clamp below to be able to bound the trial.
+	if maxStages := min(procs, 1+s.cfg.MaxMessages); params.Stages > maxStages {
+		params.Stages = maxStages
+	}
 	if alt != nil {
 		// A topology-selecting request shares scenario defaults sized for
 		// the 128-proc default system; clamp fan-out to what the selected
 		// network can express rather than failing the trial.
 		params = workload.ClampFanOut(params, procs)
 	}
-	if messageBudget(sc.New(params)) > s.cfg.MaxMessages {
+	// Replay requests carry the full submission stream inline; validate
+	// the trace before building anything so a malformed or oversized file
+	// is a client error, and so the budget clamp below sees its size.
+	if req.Scenario == "replay" || params.Trace != "" {
+		tr, err := workload.ParseTrace(params.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", workload.ErrInvalidWorkload, err)
+		}
+		if tr.Procs != procs {
+			return nil, fmt.Errorf("%w: workload: trace was captured on %d processors, network has %d",
+				workload.ErrInvalidWorkload, tr.Procs, procs)
+		}
+		if len(tr.Msgs) > s.cfg.MaxMessages {
+			return nil, fmt.Errorf("%w: workload: trace has %d messages, cap is %d",
+				workload.ErrInvalidWorkload, len(tr.Msgs), s.cfg.MaxMessages)
+		}
+	}
+	if workload.Budget(sc.New(params), procs) > s.cfg.MaxMessages {
 		params.Messages = s.cfg.MaxMessages
 	}
-	messages := messageBudget(sc.New(params))
+	messages := workload.Budget(sc.New(params), procs)
 	// Validate the fault-injection parameters up front: bad drain/profile
 	// strings are a client error, not a trial failure — including for the
 	// pre-wired fault scenarios, whose constructors cannot surface errors.
@@ -904,17 +927,4 @@ func (s *Service) RunCell(ctx context.Context, req CellRequest) (*campaign.CellR
 	}
 	s.requests.Add(1)
 	return cr, nil
-}
-
-// messageBudget reports the per-trial message budget a workload will submit,
-// for warmup defaulting and the MaxMessages clamp. Workloads without an
-// explicit budget (permutations, storms) report 0, which disables the warmup
-// default; their per-trial work is bounded by the Rounds/Sources clamps in
-// Run instead.
-func messageBudget(w workload.Workload) int {
-	type budgeted interface{ MessageBudget() int }
-	if b, ok := w.(budgeted); ok {
-		return b.MessageBudget()
-	}
-	return 0
 }

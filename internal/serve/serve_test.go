@@ -454,3 +454,112 @@ func TestClampsAndClose(t *testing.T) {
 		t.Fatalf("Run after Close: %v, want ErrClosed", err)
 	}
 }
+
+// TestServeReplayGolden is the serve-layer half of the record/replay
+// acceptance property: a trace captured from a scenario trial, replayed
+// through the service at pool sizes 1 and 4, reproduces the original
+// scenario response bit-identically (every statistic, not just the mean).
+func TestServeReplayGolden(t *testing.T) {
+	sys := testSystem(t, 16)
+
+	// Capture trial 0 exactly as the service runs it: a single-trial
+	// Measure on the system's router, seeded with TrialSeed(base, 0).
+	simCfg := sys.SimConfig()
+	simCfg.Logf = nil
+	rec, err := workload.NewRunner(sys.Router(), simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.MaxSimTimeNs = sys.MaxSimTimeNs()
+	sc, ok := workload.Lookup("mixed")
+	if !ok {
+		t.Fatal("mixed scenario missing")
+	}
+	params := workload.Params{RatePerProcPerUs: 0.01, Messages: 60, MulticastDests: 4}
+	rec.CaptureTrace(true)
+	if _, err := workload.Measure(rec, sc.New(params), workload.MeasureOpts{
+		Trials: 1, WarmupMessages: 6, Seed: workload.TrialSeed(42, 0),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	trace := rec.Trace().Format()
+	if len(rec.Trace().Msgs) != 60 {
+		t.Fatalf("captured %d messages, want 60", len(rec.Trace().Msgs))
+	}
+
+	norm := func(r RunResponse) RunResponse {
+		r.Scenario, r.PoolSize, r.ElapsedMs = "", 0, 0
+		return r
+	}
+	origSvc := newService(t, sys, 2)
+	orig, err := origSvc.Run(context.Background(), smallRequest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pool := range []int{1, 4} {
+		svc := newService(t, sys, pool)
+		got, err := svc.Run(context.Background(), RunRequest{
+			Scenario: "replay",
+			Trials:   1,
+			Seed:     42,
+			Params:   workload.Params{Trace: trace},
+		})
+		if err != nil {
+			t.Fatalf("pool=%d: %v", pool, err)
+		}
+		if norm(*got) != norm(*orig) {
+			t.Fatalf("pool=%d replay diverged from the recorded scenario:\n got %+v\nwant %+v",
+				pool, norm(*got), norm(*orig))
+		}
+	}
+}
+
+// TestServeReplayValidation: malformed, mismatched and oversized traces are
+// client errors (ErrInvalidWorkload → HTTP 400), rejected before any trial.
+func TestServeReplayValidation(t *testing.T) {
+	sys := testSystem(t, 16)
+	svc, err := New(Config{System: sys, PoolSize: 1, MaxMessages: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+
+	bad := func(name string, req RunRequest, want string) {
+		t.Helper()
+		_, err := svc.Run(context.Background(), req)
+		if !errors.Is(err, workload.ErrInvalidWorkload) {
+			t.Fatalf("%s: got %v, want ErrInvalidWorkload", name, err)
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, want)
+		}
+	}
+	bad("garbage", RunRequest{Scenario: "replay", Params: workload.Params{Trace: "not a trace"}}, "header")
+	bad("procs mismatch", RunRequest{
+		Scenario: "replay",
+		Params:   workload.Params{Trace: "trace 1\nprocs 4\nmsg 0 0 1\n"},
+	}, "processors")
+	over := &workload.Trace{Procs: 16}
+	for i := 0; i < 31; i++ {
+		over.Msgs = append(over.Msgs, workload.TraceMsg{Parent: -1, Src: 0, Dests: []int32{1}})
+	}
+	bad("oversized", RunRequest{Scenario: "replay", Params: workload.Params{Trace: over.Format()}}, "cap")
+
+	// The same validation guards a trace smuggled under another scenario
+	// name — params.Trace alone triggers it.
+	bad("trace under wrong scenario", RunRequest{Scenario: "mixed", Params: workload.Params{Trace: "junk"}}, "header")
+
+	// HTTP surface: the mapped status is 400.
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	body, _ := json.Marshal(RunRequest{Scenario: "replay", Params: workload.Params{Trace: "junk"}})
+	httpResp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusBadRequest {
+		b, _ := io.ReadAll(httpResp.Body)
+		t.Fatalf("bad trace over HTTP: status %d, body %s", httpResp.StatusCode, b)
+	}
+}

@@ -273,7 +273,9 @@ func (s *Simulator) finishAborts() int {
 			retried = s.onAbort(w)
 		}
 		if !retried && w.OnComplete != nil {
+			s.completing = w
 			w.OnComplete(w, s.now)
+			s.completing = nil
 		}
 	}
 	s.abortScratch = s.abortScratch[:0]

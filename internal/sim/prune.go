@@ -75,7 +75,9 @@ func (s *Simulator) pruneDest(w *Worm, d topology.NodeID) {
 		s.counters.WormsCompleted++
 		s.emit(TraceEvent{Kind: TraceCompleted, Worm: w.ID, Node: d})
 		if w.OnComplete != nil {
+			s.completing = w
 			w.OnComplete(w, s.now)
+			s.completing = nil
 		}
 	}
 }

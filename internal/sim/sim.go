@@ -59,6 +59,13 @@ type Simulator struct {
 	nextWormID  int64
 	outstanding int
 	counters    Counters
+	// completing is the worm whose OnComplete hook is currently executing
+	// (nil outside completion hooks). Trace capture reads it to attribute
+	// mid-run submissions to their triggering completion, which is what
+	// lets a recorded submission stream replay bit-identically: replayed
+	// submissions re-enter the event stream at the same point, with the
+	// same tie-breaking sequence numbers, as the originals.
+	completing *Worm
 
 	lastProgress uint64 // PayloadFlitHops at last watchdog tick
 	lastActivity uint64 // non-watchdog events at last watchdog tick
@@ -116,6 +123,12 @@ func New(router *core.Router, cfg Config) (*Simulator, error) {
 
 // Now returns the current simulated time in nanoseconds.
 func (s *Simulator) Now() int64 { return s.now }
+
+// CompletingWorm returns the worm whose OnComplete hook is currently
+// executing, or nil when called outside a completion hook. Submission
+// recorders use it to tag mid-run submissions with the completion that
+// triggered them, so a replay can re-issue them from the same hook.
+func (s *Simulator) CompletingWorm() *Worm { return s.completing }
 
 // Counters returns aggregate statistics so far.
 func (s *Simulator) Counters() Counters { return s.counters }
@@ -338,6 +351,7 @@ func (s *Simulator) Reset() {
 	s.heap.Reset()
 	s.nextWormID = 0
 	s.outstanding = 0
+	s.completing = nil
 	s.counters = Counters{}
 	s.lastProgress = 0
 	s.lastActivity = 0
@@ -696,7 +710,9 @@ func (s *Simulator) consume(proc topology.NodeID, fl flit) {
 		s.counters.WormsCompleted++
 		s.emit(TraceEvent{Kind: TraceCompleted, Worm: w.ID, Node: proc})
 		if w.OnComplete != nil {
+			s.completing = w
 			w.OnComplete(w, s.now)
+			s.completing = nil
 		}
 	}
 }

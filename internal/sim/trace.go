@@ -39,8 +39,11 @@ type TraceEvent struct {
 	Dist bool `json:"dist,omitempty"`
 	// Channels lists requested/acquired output channels.
 	Channels []topology.ChannelID `json:"channels,omitempty"`
-	// Remaining is the worm's outstanding destination count.
-	Remaining int `json:"remaining,omitempty"`
+	// Remaining is the worm's outstanding destination count. No omitempty:
+	// the final delivery of every worm legitimately carries remaining=0,
+	// and dropping the field would make it indistinguishable from kinds
+	// that never set it.
+	Remaining int `json:"remaining"`
 }
 
 // SetTracer installs a structured trace consumer (nil disables). Install

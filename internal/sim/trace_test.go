@@ -99,6 +99,48 @@ func TestTracePrunedEvents(t *testing.T) {
 	}
 }
 
+// TestTraceEventJSONGolden pins the wire encoding of TraceEvent. The
+// regression of note: remaining=0 on the final delivery must survive the
+// encode/decode round trip — an omitempty tag used to drop it, making the
+// last delivery of every worm indistinguishable from kinds that never set
+// the field.
+func TestTraceEventJSONGolden(t *testing.T) {
+	cases := []struct {
+		ev   TraceEvent
+		want string
+	}{
+		{
+			ev:   TraceEvent{T: 30, Kind: TraceDelivered, Worm: 1, Node: 7, Remaining: 0},
+			want: `{"t":30,"kind":"delivered","worm":1,"node":7,"remaining":0}`,
+		},
+		{
+			ev:   TraceEvent{T: 20, Kind: TraceDelivered, Worm: 2, Node: 9, Remaining: 3},
+			want: `{"t":20,"kind":"delivered","worm":2,"node":9,"remaining":3}`,
+		},
+		{
+			ev:   TraceEvent{T: 10, Kind: TraceAcquired, Worm: 1, Node: 3, Channels: []topology.ChannelID{8, 10}},
+			want: `{"t":10,"kind":"acquired","worm":1,"node":3,"channels":[8,10],"remaining":0}`,
+		},
+	}
+	for _, c := range cases {
+		data, err := json.Marshal(c.ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != c.want {
+			t.Errorf("encoding drifted:\n got %s\nwant %s", data, c.want)
+		}
+		var back TraceEvent
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.T != c.ev.T || back.Kind != c.ev.Kind || back.Worm != c.ev.Worm ||
+			back.Node != c.ev.Node || back.Remaining != c.ev.Remaining {
+			t.Errorf("round trip lost fields: got %+v want %+v", back, c.ev)
+		}
+	}
+}
+
 func TestFormatTrace(t *testing.T) {
 	out := FormatTrace([]TraceEvent{
 		{T: 10, Kind: TraceStartup, Worm: 1, Node: 6},

@@ -51,6 +51,9 @@ func ExampleScenarios() {
 		fmt.Println(sc.Name)
 	}
 	// Output:
+	// allreduce-ring
+	// allreduce-tree
+	// alltoall
 	// bcast-storm
 	// bitreverse
 	// bursty
@@ -59,5 +62,7 @@ func ExampleScenarios() {
 	// hotspot
 	// maintenance
 	// mixed
+	// pipeline
+	// replay
 	// transpose
 }

@@ -33,6 +33,11 @@ func (f Faulty) MessageBudget() int {
 	return 0
 }
 
+// MessageBudgetFor passes the processor-count-aware budget through (see
+// Budget), so size-dependent inner workloads keep their warmup sizing when
+// wrapped with faults.
+func (f Faulty) MessageBudgetFor(procs int) int { return Budget(f.Inner, procs) }
+
 // Generate installs the fault timeline on the trial's simulator, then
 // generates the inner traffic. Injector failures inside the event loop
 // surface as trial errors through the hook-error channel.

@@ -178,6 +178,16 @@ type Transpose struct {
 // Name implements Workload.
 func (tr Transpose) Name() string { return "transpose" }
 
+// MessageBudgetFor reports the per-trial submission count: one message per
+// processor per round.
+func (tr Transpose) MessageBudgetFor(procs int) int {
+	rounds := tr.Rounds
+	if rounds <= 0 {
+		rounds = 1
+	}
+	return rounds * procs
+}
+
 // Generate implements Workload.
 func (tr Transpose) Generate(g *Gen) error {
 	return generatePermutation(g, tr.Rounds, tr.RoundGapNs, func(i, n int) int {
@@ -211,6 +221,16 @@ type BitReverse struct {
 
 // Name implements Workload.
 func (br BitReverse) Name() string { return "bitreverse" }
+
+// MessageBudgetFor reports the per-trial submission count: one message per
+// processor per round.
+func (br BitReverse) MessageBudgetFor(procs int) int {
+	rounds := br.Rounds
+	if rounds <= 0 {
+		rounds = 1
+	}
+	return rounds * procs
+}
 
 // Generate implements Workload.
 func (br BitReverse) Generate(g *Gen) error {
@@ -267,6 +287,19 @@ type BroadcastStorm struct {
 
 // Name implements Workload.
 func (bs BroadcastStorm) Name() string { return "bcast-storm" }
+
+// MessageBudgetFor reports the per-trial submission count: one broadcast per
+// source, sources capped at the processor count.
+func (bs BroadcastStorm) MessageBudgetFor(procs int) int {
+	k := bs.Sources
+	if k <= 0 {
+		k = 4
+	}
+	if k > procs {
+		k = procs
+	}
+	return k
+}
 
 // Generate implements Workload.
 func (bs BroadcastStorm) Generate(g *Gen) error {
@@ -413,36 +446,54 @@ func (cl ClosedLoop) Generate(g *Gen) error {
 	if window <= 0 {
 		window = 1
 	}
-	budget := cl.Messages
-	var launch func(srcIdx int, at int64) error
-	launch = func(srcIdx int, at int64) error {
-		if budget <= 0 {
-			return nil
-		}
-		budget--
-		k := 1
-		if g.Rand.Bool(cl.MulticastFraction) {
-			k = cl.MulticastDests
-		}
-		w, err := g.Submit(at, g.Proc(srcIdx), g.PickDests(srcIdx, k))
-		if err != nil {
-			return err
-		}
-		w.OnComplete = func(_ *sim.Worm, t int64) {
-			// There is no caller to return to inside a hook: record
-			// the error for Trial to surface after the run.
-			if err := launch(srcIdx, t+cl.ThinkNs); err != nil {
-				g.setHookErr(err)
-			}
-		}
-		return nil
+	g.clBudget = cl.Messages
+	g.clThink = cl.ThinkNs
+	g.clMF = cl.MulticastFraction
+	g.clMD = cl.MulticastDests
+	if g.clHook == nil {
+		// Bound once per Gen: every completion reuses this hook, so the
+		// steady-state resubmission loop allocates nothing.
+		g.clHook = g.closedLoopComplete
 	}
-	for i := 0; i < n && budget > 0; i++ {
-		for j := 0; j < window && budget > 0; j++ {
-			if err := launch(i, 0); err != nil {
+	for i := 0; i < n && g.clBudget > 0; i++ {
+		for j := 0; j < window && g.clBudget > 0; j++ {
+			if err := g.closedLoopLaunch(i, 0); err != nil {
 				return err
 			}
 		}
 	}
 	return nil
+}
+
+// closedLoopLaunch submits one closed-loop message from srcIdx at time at
+// and chains the shared completion hook. The budget is spent only on a
+// successful submission — a failed submit must not burn it, or an early
+// error would silently shrink the trial.
+func (g *Gen) closedLoopLaunch(srcIdx int, at int64) error {
+	if g.clBudget <= 0 {
+		return nil
+	}
+	k := 1
+	if g.Rand.Bool(g.clMF) {
+		k = g.clMD
+	}
+	w, err := g.Submit(at, g.Proc(srcIdx), g.PickDests(srcIdx, k))
+	if err != nil {
+		return err
+	}
+	g.clBudget--
+	w.OnComplete = g.clHook
+	return nil
+}
+
+// closedLoopComplete is the shared closed-loop completion hook. The source
+// index is recovered from the completed worm instead of being captured in a
+// per-launch closure.
+func (g *Gen) closedLoopComplete(w *sim.Worm, t int64) {
+	srcIdx := int(w.Src) - g.router.Net.NumSwitches
+	// There is no caller to return to inside a hook: record the error
+	// for Trial to surface after the run.
+	if err := g.closedLoopLaunch(srcIdx, t+g.clThink); err != nil {
+		g.setHookErr(err)
+	}
 }

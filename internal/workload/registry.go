@@ -36,6 +36,13 @@ type Params struct {
 	HotFraction float64 `json:"hot_fraction,omitempty"`
 	// Rounds is the permutation round count.
 	Rounds int `json:"rounds,omitempty"`
+	// Stages is the pipeline stage count.
+	Stages int `json:"stages,omitempty"`
+	// Fanout is the tree all-reduce arity.
+	Fanout int `json:"fanout,omitempty"`
+	// Trace carries an inline arrival-trace file (see LoadTrace) for the
+	// replay scenario.
+	Trace string `json:"trace,omitempty"`
 
 	// Fault injection (see workload.Faulty and internal/faults). A
 	// non-empty FaultScript (the faults DSL, e.g. "50us down 3-7; 90us up
@@ -253,4 +260,55 @@ func init() {
 			}
 		},
 	})
+	Register(Scenario{
+		Name:        "allreduce-ring",
+		Description: "ring all-reduce dependency chains, one per processor, completion-driven",
+		New: func(p Params) Workload {
+			return RingAllReduce{Messages: orI(p.Messages, 2000)}
+		},
+	})
+	Register(Scenario{
+		Name:        "allreduce-tree",
+		Description: "reduce-up / broadcast-down over a complete tree, completion-driven",
+		New: func(p Params) Workload {
+			return TreeAllReduce{Fanout: orI(p.Fanout, 2), Messages: orI(p.Messages, 2000)}
+		},
+	})
+	Register(Scenario{
+		Name:        "alltoall",
+		Description: "personalized all-to-all exchange, rotation schedule, open loop",
+		New: func(p Params) Workload {
+			return AllToAll{Messages: orI(p.Messages, 2000)}
+		},
+	})
+	Register(Scenario{
+		Name:        "pipeline",
+		Description: "stage-DAG dataflow across processor bands, items forwarded on completion",
+		New: func(p Params) Workload {
+			return Pipeline{Stages: orI(p.Stages, 4), Messages: orI(p.Messages, 2000)}
+		},
+	})
+	Register(Scenario{
+		Name:        "replay",
+		Description: "bit-identical replay of a captured arrival trace (params.trace)",
+		New: func(p Params) Workload {
+			tr, err := ParseTrace(p.Trace)
+			if err != nil {
+				// Constructors cannot return errors; surface the parse
+				// failure when the trial generates.
+				return invalid{name: "replay", err: err}
+			}
+			return Replay{Trace: tr}
+		},
+	})
 }
+
+// invalid is a workload whose construction already failed; Generate
+// surfaces the deferred error (wrapped in ErrInvalidWorkload by Trial).
+type invalid struct {
+	name string
+	err  error
+}
+
+func (iv invalid) Name() string          { return iv.name }
+func (iv invalid) Generate(g *Gen) error { return iv.err }

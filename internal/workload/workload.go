@@ -58,6 +58,18 @@ type Gen struct {
 	// completion hook (closed-loop resubmission), where there is no
 	// caller to return it to; Runner.Trial surfaces it after the run.
 	hookErr error
+	// Closed-loop resubmission state. A single retained hook (clHook,
+	// bound once per Gen) reads the cl* fields instead of capturing
+	// per-launch state, so steady-state completions allocate nothing;
+	// ClosedLoop.Generate refreshes the parameters each trial.
+	clHook   func(w *sim.Worm, t int64)
+	clBudget int
+	clThink  int64
+	clMF     float64
+	clMD     int
+	// recorder captures the trial's submission stream when armed (see
+	// trace.go); nil when capture is off.
+	recorder *TraceRecorder
 }
 
 // FaultInjector returns this runner's fault-injection engine, creating it
@@ -98,6 +110,9 @@ func (g *Gen) Submit(at int64, src topology.NodeID, dests []topology.NodeID) (*s
 	w, err := g.Sim.Submit(at, src, dests)
 	if err != nil {
 		return nil, err
+	}
+	if g.recorder != nil {
+		g.recorder.record(g, w, src, dests)
 	}
 	g.worms = append(g.worms, w)
 	return w, nil
@@ -140,6 +155,24 @@ func (g *Gen) submitArrivals(pick func(a arrival) []topology.NodeID) error {
 		}
 	}
 	return nil
+}
+
+// Budget reports a workload's per-trial submission count for warmup sizing
+// and admission clamps, resolving defaults against the processor count.
+// Workloads whose budget depends on the network size (permutations,
+// broadcast storms, pipelines) implement MessageBudgetFor; fixed-budget ones
+// keep the legacy MessageBudget. Returns 0 when the workload reports
+// neither (unknown budget).
+func Budget(w Workload, procs int) int {
+	type budgetedFor interface{ MessageBudgetFor(procs int) int }
+	if b, ok := w.(budgetedFor); ok {
+		return b.MessageBudgetFor(procs)
+	}
+	type budgeted interface{ MessageBudget() int }
+	if b, ok := w.(budgeted); ok {
+		return b.MessageBudget()
+	}
+	return 0
 }
 
 // sortArrivals orders the schedule by (time, source) — the same
@@ -202,6 +235,9 @@ func (r *Runner) Trial(w Workload, seed uint64) error {
 	r.gen.worms = r.gen.worms[:0]
 	r.gen.arrivals = r.gen.arrivals[:0]
 	r.gen.hookErr = nil
+	if r.gen.recorder != nil {
+		r.gen.recorder.reset(r.gen.NumProcs())
+	}
 	if err := w.Generate(&r.gen); err != nil {
 		return fmt.Errorf("%w: %w", ErrInvalidWorkload, err)
 	}

@@ -53,8 +53,16 @@ func completionChecks(t *testing.T, r *Runner, wantMin int) {
 
 func TestEveryRegisteredScenarioRuns(t *testing.T) {
 	r := newTestRunner(t, 16)
+	// The replay scenario needs a trace to replay: capture one from a
+	// small mixed run on the same network.
+	r.CaptureTrace(true)
+	if err := r.Trial(Mixed{RatePerProcPerUs: 0.01, Messages: 20}, 5); err != nil {
+		t.Fatal(err)
+	}
+	traceFile := r.Trace().Format()
+	r.CaptureTrace(false)
 	for _, sc := range Scenarios() {
-		w := sc.New(Params{Messages: 60, MulticastDests: 4, RatePerProcPerUs: 0.01})
+		w := sc.New(Params{Messages: 60, MulticastDests: 4, RatePerProcPerUs: 0.01, Trace: traceFile})
 		if err := r.Trial(w, 42); err != nil {
 			t.Fatalf("scenario %s: %v", sc.Name, err)
 		}
