@@ -27,15 +27,23 @@
 //	                 per-trial accumulator state
 //	POST /cell       fleet worker protocol: one campaign grid cell
 //	GET  /scenarios  registered workload scenarios
-//	GET  /healthz    pool occupancy, admission and fleet counters, and the
-//	                 configuration fingerprint coordinators match against
+//	GET  /healthz    pool occupancy, admission and fleet counters, uptime,
+//	                 build identity, and the configuration fingerprint
+//	                 coordinators match against
+//	GET  /metrics    Prometheus text exposition (disable with -metrics=false)
+//	GET  /debug/pprof/  runtime profiles, only with -pprof
 //
 // Every response is deterministic for a given request: trial seeds derive
 // from the request seed and per-trial shards merge in trial order, so the
 // numbers do not depend on pool size, scheduling, fleet size, retries, or
-// transport faults. Saturated services answer 429 with Retry-After instead
-// of queueing without bound, and shutdown drains in-flight requests for up
-// to -drain before exiting.
+// transport faults — or on whether telemetry is enabled (observability is
+// strictly out of band). Saturated services answer 429 with Retry-After
+// instead of queueing without bound, and shutdown drains in-flight requests
+// for up to -drain before exiting.
+//
+// Logs are structured (log/slog) on stderr; every request line carries a
+// correlation ID that coordinator→worker dispatches propagate, so one grep
+// key follows a request across the fleet.
 package main
 
 import (
@@ -43,7 +51,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -54,6 +62,7 @@ import (
 
 	spamnet "repro"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -75,8 +84,22 @@ func main() {
 		workers     = flag.String("workers", "", "comma-separated worker base URLs (requires -coordinator)")
 		probeEvery  = flag.Duration("probe-interval", 250*time.Millisecond, "worker health probe cadence in coordinator mode")
 		drain       = flag.Duration("drain", 10*time.Second, "shutdown grace period for draining in-flight requests")
+		metricsOn   = flag.Bool("metrics", true, "enable telemetry and GET /metrics (Prometheus text)")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logLevel    = flag.String("log-level", "info", "log level: debug | info | warn | error")
+		logFormat   = flag.String("log-format", "text", "log format: text | json")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spamserve: %v\n", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	var workerURLs []string
 	for _, w := range strings.Split(*workers, ",") {
@@ -86,14 +109,14 @@ func main() {
 	}
 	switch {
 	case *coordinator && len(workerURLs) == 0:
-		log.Fatal("spamserve: -coordinator requires -workers")
+		fatal("-coordinator requires -workers")
 	case !*coordinator && len(workerURLs) > 0:
-		log.Fatal("spamserve: -workers requires -coordinator")
+		fatal("-workers requires -coordinator")
 	}
 
 	strategy, err := rootStrategy(*root)
 	if err != nil {
-		log.Fatalf("spamserve: %v", err)
+		fatal("bad flag", "error", err.Error())
 	}
 	params := spamnet.PaperParams()
 	params.MessageFlits = *flits
@@ -113,7 +136,11 @@ func main() {
 		sys, err2 = spamnet.NewLattice(*nodes, sysOpts...)
 	}
 	if err2 != nil {
-		log.Fatalf("spamserve: building system: %v", err2)
+		fatal("building system", "error", err2.Error())
+	}
+	var reg *telemetry.Registry
+	if *metricsOn {
+		reg = telemetry.NewRegistry()
 	}
 	svc, err := serve.New(serve.Config{
 		System:      sys,
@@ -125,9 +152,12 @@ func main() {
 			Workers:       workerURLs,
 			ProbeInterval: *probeEvery,
 		},
+		Metrics: reg,
+		Logger:  logger,
+		Pprof:   *pprofOn,
 	})
 	if err != nil {
-		log.Fatalf("spamserve: %v", err)
+		fatal("startup failed", "error", err.Error())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -151,23 +181,58 @@ func main() {
 	if *coordinator {
 		role = fmt.Sprintf("coordinator over %d workers", len(workerURLs))
 	}
-	log.Printf("spamserve: %s system (%d switches, seed %d, root %s), pool of %d simulators, %s, listening on %s",
-		topoName, sys.Topology().NumSwitches, *seed, *root, svc.PoolSize(), role, *addr)
+	logger.Info("spamserve listening",
+		"addr", *addr,
+		"topology", topoName,
+		"switches", sys.Topology().NumSwitches,
+		"seed", *seed,
+		"root", *root,
+		"pool", svc.PoolSize(),
+		"role", role,
+		"metrics", *metricsOn,
+		"pprof", *pprofOn,
+	)
 
 	select {
 	case <-ctx.Done():
-		log.Printf("spamserve: shutting down (draining up to %v)", *drain)
+		logger.Info("shutting down", "drain", drain.String())
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("spamserve: shutdown: %v", err)
+			logger.Warn("shutdown", "error", err.Error())
 		}
 		svc.Close()
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("spamserve: %v", err)
+			fatal("server failed", "error", err.Error())
 		}
 	}
+}
+
+// buildLogger constructs the process logger: text or JSON slog on stderr at
+// the requested level.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (debug | info | warn | error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (text | json)", format)
 }
 
 func rootStrategy(name string) (spamnet.RootStrategy, error) {

@@ -10,10 +10,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/updown"
 	"repro/internal/workload"
@@ -56,6 +58,22 @@ type Options struct {
 	// execution — is the runner's responsibility; an error here fails the
 	// campaign.
 	CellRunner func(ctx context.Context, g Grid, cell Cell) (*CellResult, error)
+	// Metrics, when wired, counts campaign progress out of band. The
+	// handles are nil-safe, the engine never branches on them, and nothing
+	// they observe flows into results or the report — so the report stays
+	// bit-identical with metrics on or off.
+	Metrics Metrics
+}
+
+// Metrics is the campaign engine's observability hook: how many cells
+// entered execution, how many loaded from checkpoints, how many computed,
+// and how long each computed cell took (wall clock, seconds). All fields
+// are nil-safe telemetry handles; the zero value disables everything.
+type Metrics struct {
+	CellsStarted  *telemetry.Counter
+	CellsCached   *telemetry.Counter
+	CellsComputed *telemetry.Counter
+	CellSeconds   *telemetry.Histogram
 }
 
 // ExperimentResult is one completed experiment driver.
@@ -94,6 +112,10 @@ type CellResult struct {
 	// compressed one. The report's zoo table surfaces both.
 	TableMB          float64 `json:"table_mb"`
 	TableCompression float64 `json:"table_compression_x"`
+	// Counters aggregates the engine counters over the cell's trials —
+	// deterministic exact sums, checkpointed with the cell and surfaced as
+	// REPORT.md columns.
+	Counters sim.Counters `json:"counters"`
 }
 
 // Result is a completed campaign.
@@ -331,6 +353,9 @@ func Run(ctx context.Context, m *Manifest, opts Options) (*Result, error) {
 	if workers > len(cells) {
 		workers = len(cells)
 	}
+	// gridStart anchors the ETA estimate. Wall-clock readings flow only
+	// into Logf lines and telemetry — never into results or the report.
+	gridStart := time.Now()
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -344,6 +369,7 @@ func Run(ctx context.Context, m *Manifest, opts Options) (*Result, error) {
 				spec := cellSpecFor(g, cell, opts)
 				id := cellID("cell", cell.Grid+"-"+cell.Scenario, spec)
 				if cp := loadCheckpoint(opts.CheckpointDir, id); cp != nil && cp.Cell != nil {
+					opts.Metrics.CellsCached.Inc()
 					cellResults[i] = cp.Cell
 					mu.Lock()
 					cached++
@@ -354,6 +380,8 @@ func Run(ctx context.Context, m *Manifest, opts Options) (*Result, error) {
 					cellErrs[i] = ctx.Err()
 					continue
 				}
+				opts.Metrics.CellsStarted.Inc()
+				cellStart := time.Now()
 				var cr *CellResult
 				var err error
 				if opts.CellRunner != nil {
@@ -381,10 +409,20 @@ func Run(ctx context.Context, m *Manifest, opts Options) (*Result, error) {
 					continue
 				}
 				cellResults[i] = cr
+				cellDur := time.Since(cellStart)
+				opts.Metrics.CellsComputed.Inc()
+				opts.Metrics.CellSeconds.Observe(cellDur.Seconds())
 				mu.Lock()
 				computed++
+				done := cached + computed
+				nComputed := computed
 				mu.Unlock()
-				logf("campaign: cell %s done", cell)
+				// ETA from the mean computed-cell pace so far; checkpoint
+				// hits are effectively free and excluded from the rate.
+				eta := time.Since(gridStart) / time.Duration(nComputed) *
+					time.Duration(len(cells)-done)
+				logf("campaign: cell %s done in %.1fs (%d/%d cells, ETA %s)",
+					cell, cellDur.Seconds(), done, len(cells), eta.Round(time.Second))
 			}
 		}()
 	}
@@ -530,6 +568,7 @@ func runCell(cell Cell, spec cellSpec, id string, opts Options,
 	if err != nil {
 		return nil, err
 	}
+	counters := r.Counters()
 	ts := topology.ComputeStats(sys.net)
 	ms := sys.router.TableMemStats()
 	return &CellResult{
@@ -551,6 +590,7 @@ func runCell(cell Cell, spec cellSpec, id string, opts Options,
 
 		TableMB:          float64(ms.TableBytes) / (1 << 20),
 		TableCompression: ms.CompressionX,
+		Counters:         counters,
 	}, nil
 }
 

@@ -77,16 +77,21 @@ func render(res *Result) {
 		res.SVGs[name] = gridSVG(g, cells)
 		fmt.Fprintf(&sb, "![%s](%s)\n\n", g.Name, name)
 
-		sb.WriteString("| topology | scenario | faults | seed | samples | mean(us) | ci95(us) | p50(us) | p90(us) | p99(us) | max(us) |\n")
-		sb.WriteString("| --- | --- | --- | --- | --- | --- | --- | --- | --- | --- | --- |\n")
+		sb.WriteString("| topology | scenario | faults | seed | samples | mean(us) | ci95(us) | p50(us) | p90(us) | p99(us) | max(us) | worms | flit-hops | hdr-wait | aborted |\n")
+		sb.WriteString("| --- | --- | --- | --- | --- | --- | --- | --- | --- | --- | --- | --- | --- | --- | --- |\n")
 		for _, c := range cells {
 			fault := c.Fault
 			if fault == "" {
 				fault = "-"
 			}
-			fmt.Fprintf(&sb, "| `%s` | %s | %s | %d | %d | %.3f | %.3f | %.3f | %.3f | %.3f | %.3f |\n",
+			// The counter columns are the engine's exact per-cell totals
+			// (summed over trials): completed worms, payload flit hops,
+			// header-acquisition waits, and fault-aborted worms.
+			fmt.Fprintf(&sb, "| `%s` | %s | %s | %d | %d | %.3f | %.3f | %.3f | %.3f | %.3f | %.3f | %d | %d | %d | %d |\n",
 				c.Topology, c.Scenario, fault, c.Seed, c.Count,
-				c.MeanUs, c.CI95Us, c.P50Us, c.P90Us, c.P99Us, c.MaxUs)
+				c.MeanUs, c.CI95Us, c.P50Us, c.P90Us, c.P99Us, c.MaxUs,
+				c.Counters.WormsCompleted, c.Counters.PayloadFlitHops,
+				c.Counters.HeaderAcquireWait, c.Counters.WormsAborted)
 		}
 		sb.WriteString("\n")
 	}

@@ -5,7 +5,30 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/telemetry"
 )
+
+// Metrics is the optional observability hook of a retry loop. All fields
+// are nil-safe telemetry handles (the zero value is fully disabled), so Do
+// instruments unconditionally: counting costs an atomic add when a metric
+// is wired and one branch when it is not, and never changes what Do does —
+// attempt schedule, backoff, and errors are identical with metrics on or
+// off.
+type Metrics struct {
+	// Attempts counts every attempt entered; Retries the subset after the
+	// first.
+	Attempts *telemetry.Counter
+	Retries  *telemetry.Counter
+	// BackoffSleeps counts the sleeps between attempts; BackoffSeconds
+	// observes each planned sleep duration in seconds.
+	BackoffSleeps  *telemetry.Counter
+	BackoffSeconds *telemetry.Histogram
+	// PermanentFailures counts loops ended by a Permanent error; Exhausted
+	// counts loops that burned every attempt.
+	PermanentFailures *telemetry.Counter
+	Exhausted         *telemetry.Counter
+}
 
 // Policy shapes a retry loop: how many attempts, how long each attempt may
 // run, and how the delay between attempts grows. The zero value selects the
@@ -23,6 +46,9 @@ type Policy struct {
 	PerAttempt time.Duration
 	// Seed feeds the deterministic jitter; see Backoff.
 	Seed uint64
+	// Metrics, when wired, counts attempts, retries, backoff sleeps and
+	// terminal outcomes. Purely observational: it never alters the loop.
+	Metrics Metrics
 }
 
 func (p Policy) withDefaults() Policy {
@@ -103,6 +129,10 @@ func Do(ctx context.Context, p Policy, key uint64, attempt func(ctx context.Cont
 			}
 			return err
 		}
+		p.Metrics.Attempts.Inc()
+		if i > 0 {
+			p.Metrics.Retries.Inc()
+		}
 		actx, cancel := context.WithTimeout(ctx, p.PerAttempt)
 		err := attempt(actx, i)
 		cancel()
@@ -110,16 +140,21 @@ func Do(ctx context.Context, p Policy, key uint64, attempt func(ctx context.Cont
 			return nil
 		}
 		if IsPermanent(err) {
+			p.Metrics.PermanentFailures.Inc()
 			return err
 		}
 		last = err
 		if i == p.Attempts-1 {
 			break
 		}
-		if serr := sleep(ctx, Backoff(p, key, i)); serr != nil {
+		d := Backoff(p, key, i)
+		p.Metrics.BackoffSleeps.Inc()
+		p.Metrics.BackoffSeconds.Observe(d.Seconds())
+		if serr := sleep(ctx, d); serr != nil {
 			return fmt.Errorf("%w (after attempt %d: %v)", serr, i+1, last)
 		}
 	}
+	p.Metrics.Exhausted.Inc()
 	return fmt.Errorf("resilience: %d attempt(s) exhausted: %w", p.Attempts, last)
 }
 

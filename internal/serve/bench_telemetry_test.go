@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// Telemetry overhead benchmarks: the tentpole contract is that observability
+// is out of band — an instrumented warm trial costs within noise of an
+// uninstrumented one (≤2% ns/op) and exactly 0 extra allocs/op, and a fleet
+// /run with metrics on both sides stays within noise of one without. Driven
+// by scripts/bench.sh into BENCH_PR9.json.
+
+// benchTrialTelemetry measures one warm workload trial plus (optionally)
+// every per-trial telemetry observation the serving layer performs — the
+// exact instrumented hot path of the pool worker loop.
+func benchTrialTelemetry(b *testing.B, m *serveMetrics) {
+	b.Helper()
+	sys := benchSystem(b)
+	simCfg := sys.SimConfig()
+	simCfg.Logf = nil
+	r, err := workload.NewRunner(sys.Router(), simCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var w workload.Workload = workload.Mixed{RatePerProcPerUs: 0.01, MulticastDests: 4, Messages: 200}
+	if err := r.Trial(w, 33); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		started := time.Now()
+		if err := r.Trial(w, 33); err != nil {
+			b.Fatal(err)
+		}
+		m.poolHighWater.Observe(1)
+		m.trialSeconds.Observe(time.Since(started).Seconds())
+		m.observeTrialCounters(r.Sim().Counters())
+	}
+}
+
+// BenchmarkTelemetryTrial/off vs /on: the same warm trial through the zero
+// (disabled) serveMetrics form and through a live registry-backed one.
+func BenchmarkTelemetryTrial(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		benchTrialTelemetry(b, &serveMetrics{})
+	})
+	b.Run("on", func(b *testing.B) {
+		m := newServeMetrics(telemetry.NewRegistry(), &Service{cfg: Config{PoolSize: 4}})
+		benchTrialTelemetry(b, m)
+	})
+}
+
+// BenchmarkTelemetryFleetRun measures a full coordinator+worker /run with
+// telemetry off everywhere vs on everywhere (registry on both sides plus
+// instrumented HTTP middleware on the worker).
+func BenchmarkTelemetryFleetRun(b *testing.B) {
+	sys := benchSystem(b)
+	build := func(b *testing.B, instrumented bool) *Service {
+		b.Helper()
+		wcfg := Config{System: sys, PoolSize: 2}
+		if instrumented {
+			wcfg.Metrics = telemetry.NewRegistry()
+		}
+		w, err := New(wcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(w.Handler())
+		b.Cleanup(func() { ts.Close(); w.Close() })
+		ccfg := Config{System: sys, PoolSize: 2, Fleet: FleetConfig{
+			Workers:       []string{ts.URL},
+			ProbeInterval: 20 * time.Millisecond,
+		}}
+		if instrumented {
+			ccfg.Metrics = telemetry.NewRegistry()
+		}
+		co, err := New(ccfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(co.Close)
+		deadline := time.Now().Add(5 * time.Second)
+		for co.fleet.healthyCount() < 1 && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		return co
+	}
+	req := benchRequest()
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			co := build(b, mode.on)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := co.Run(context.Background(), req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/resilience"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // FleetConfig runs a Service as a scatter/gather coordinator: /run trial
@@ -55,6 +56,9 @@ const maxFleetRespBytes = 64 << 20
 type fleetWorker struct {
 	url     string
 	healthy atomic.Bool
+	// flaps counts health transitions (either direction); nil-safe, wired
+	// when the coordinator has a metrics registry.
+	flaps *telemetry.Counter
 }
 
 // fleet is the coordinator state hanging off a Service.
@@ -90,10 +94,44 @@ func newFleet(s *Service, cfg FleetConfig) *fleet {
 		client: &http.Client{Transport: tr},
 		stopCh: make(chan struct{}),
 	}
+	// Observability wiring — all nil-safe when the service runs without a
+	// registry. The retry loop shares the service-wide resilience counters;
+	// health flaps get one counter per worker.
+	f.cfg.Policy.Metrics = s.metrics.resilience
+	reg := s.metrics.reg
 	for _, u := range cfg.Workers {
-		f.workers = append(f.workers, &fleetWorker{url: u})
+		f.workers = append(f.workers, &fleetWorker{
+			url:   u,
+			flaps: reg.NewCounter("spamserve_fleet_health_flaps_total", `worker="`+u+`"`, "worker health transitions observed by probes"),
+		})
 	}
+	reg.NewGaugeFunc("spamserve_fleet_workers", "", "configured fleet workers", func() int64 {
+		return int64(len(f.workers))
+	})
+	reg.NewGaugeFunc("spamserve_fleet_healthy", "", "workers currently passing probes", func() int64 {
+		return int64(f.healthyCount())
+	})
+	reg.NewCounterFunc("spamserve_fleet_remote_shards_total", "", "trial spans gathered from workers", f.remoteShards.Load)
+	reg.NewCounterFunc("spamserve_fleet_remote_cells_total", "", "campaign cells gathered from workers", f.remoteCells.Load)
+	reg.NewCounterFunc("spamserve_fleet_local_fallbacks_total", "", "spans/cells degraded to local execution", f.localFallbacks.Load)
+	reg.NewCounterFunc("spamserve_fleet_retries_total", "", "dispatch attempts after the first", f.retries.Load)
 	return f
+}
+
+// setHealth records a probe verdict, counting and logging the transition
+// when it differs from the previous state.
+func (f *fleet) setHealth(w *fleetWorker, ok bool) {
+	if prev := w.healthy.Swap(ok); prev == ok {
+		return
+	}
+	w.flaps.Inc()
+	if lg := f.s.logger; lg != nil {
+		if ok {
+			lg.Info("fleet worker healthy", "worker", w.url)
+		} else {
+			lg.Warn("fleet worker unhealthy", "worker", w.url)
+		}
+	}
 }
 
 // start launches one probe loop per worker. Workers begin unhealthy and
@@ -132,22 +170,22 @@ func (f *fleet) probe(w *fleetWorker) {
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/healthz", nil)
 	if err != nil {
-		w.healthy.Store(false)
+		f.setHealth(w, false)
 		return
 	}
 	resp, err := f.client.Do(req)
 	if err != nil {
-		w.healthy.Store(false)
+		f.setHealth(w, false)
 		return
 	}
 	defer resp.Body.Close()
 	var h Health
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil || resp.StatusCode != http.StatusOK || json.Unmarshal(data, &h) != nil {
-		w.healthy.Store(false)
+		f.setHealth(w, false)
 		return
 	}
-	w.healthy.Store(h.OK && h.Fingerprint == f.s.fingerprint)
+	f.setHealth(w, h.OK && h.Fingerprint == f.s.fingerprint)
 }
 
 // healthyCount reports how many workers currently pass probes.
@@ -189,6 +227,11 @@ func (f *fleet) postJSON(ctx context.Context, url string, in, out any) error {
 		return resilience.Permanent(err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the correlation ID: the worker adopts it, so both sides'
+	// logs for this dispatch share one key.
+	if id := telemetry.RequestID(ctx); id != "" {
+		req.Header.Set(telemetry.RequestIDHeader, id)
+	}
 	resp, err := f.client.Do(req)
 	if err != nil {
 		return err
@@ -260,6 +303,9 @@ func (f *fleet) scatterRun(ctx context.Context, rv *resolvedRun) ([]shard, error
 // else by running the trials on the local pool. The jitter key is the span
 // itself, so the retry schedule replays identically for a given seed.
 func (f *fleet) dispatchSpan(ctx context.Context, rv *resolvedRun, shards []shard, lo, hi int) error {
+	// The span's correlation ID extends the request's: a worker serving
+	// trials [lo,hi) logs "parent/shard-lo-hi".
+	ctx = telemetry.WithRequestID(ctx, telemetry.ChildID(ctx, fmt.Sprintf("shard-%d-%d", lo, hi)))
 	p := f.cfg.Policy
 	p.Seed ^= rv.req.Seed
 	key := uint64(lo)<<32 | uint64(hi)
@@ -278,12 +324,19 @@ func (f *fleet) dispatchSpan(ctx context.Context, rv *resolvedRun, shards []shar
 		if len(sr.Trials) != hi-lo {
 			return fmt.Errorf("shard [%d,%d): worker returned %d trials", lo, hi, len(sr.Trials))
 		}
+		if len(sr.Counters) != 0 && len(sr.Counters) != len(sr.Trials) {
+			return fmt.Errorf("shard [%d,%d): worker returned %d counter snapshots for %d trials", lo, hi, len(sr.Counters), len(sr.Trials))
+		}
 		for i, wire := range sr.Trials {
 			sum, err := stats.SummaryFromWire(wire)
 			if err != nil {
 				return err
 			}
-			shards[lo+i] = shard{sum: sum}
+			sh := shard{sum: sum}
+			if len(sr.Counters) > 0 {
+				sh.counters = sr.Counters[i]
+			}
+			shards[lo+i] = sh
 		}
 		f.remoteShards.Add(1)
 		return nil
@@ -298,6 +351,10 @@ func (f *fleet) dispatchSpan(ctx context.Context, rv *resolvedRun, shards []shar
 	// a correctness dependency. Trials lo..hi on the local pool are
 	// bit-identical to what the worker would have returned.
 	f.localFallbacks.Add(1)
+	if lg := f.s.logger; lg != nil {
+		lg.Warn("fleet span falling back to local pool",
+			"id", telemetry.RequestID(ctx), "trial_lo", lo, "trial_hi", hi, "error", err.Error())
+	}
 	sub, lerr := f.s.runTrials(ctx, rv, lo, hi)
 	if lerr != nil {
 		return lerr
@@ -317,6 +374,7 @@ func (f *fleet) runCell(ctx context.Context, g campaign.Grid, cell campaign.Cell
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%s|%s|%s", cell.Grid, cell.Topology, cell.Scenario, cell.Fault)
 	key := h.Sum64()
+	ctx = telemetry.WithRequestID(ctx, telemetry.ChildID(ctx, fmt.Sprintf("cell-%016x", key^cell.Seed)))
 	var out campaign.CellResult
 	err := resilience.Do(ctx, p, key, func(actx context.Context, attempt int) error {
 		if attempt > 0 {
@@ -340,6 +398,10 @@ func (f *fleet) runCell(ctx context.Context, g campaign.Grid, cell campaign.Cell
 		return nil, cerr
 	}
 	f.localFallbacks.Add(1)
+	if lg := f.s.logger; lg != nil {
+		lg.Warn("fleet cell falling back to local execution",
+			"id", telemetry.RequestID(ctx), "cell", cell.String(), "error", err.Error())
+	}
 	simCfg := f.s.cfg.System.SimConfig()
 	simCfg.Logf = nil
 	return campaign.RunSingleCell(ctx, g, cell, campaign.Options{

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
@@ -47,6 +48,16 @@ type Health struct {
 	TrialsSkipped int64 `json:"trials_skipped"`
 	Scenarios     int   `json:"scenarios"`
 
+	// UptimeSeconds and the build identity make a probe response enough to
+	// diagnose the usual fleet fingerprint mismatch: two binaries at
+	// different revisions. The fleet handshake ignores these fields —
+	// matching is by Fingerprint alone.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Version       string  `json:"version,omitempty"`
+	GoVersion     string  `json:"go_version,omitempty"`
+	VCSRevision   string  `json:"vcs_revision,omitempty"`
+	VCSModified   bool    `json:"vcs_modified,omitempty"`
+
 	// TableMem is the compiled routing-table memory accounting of the
 	// served system (zero under reference routing) — the operational
 	// visibility half of the compressed-index scaling work: a 64k-switch
@@ -63,15 +74,26 @@ type Health struct {
 }
 
 // Handler returns the HTTP API: POST /run, /campaign, /shard, /cell; GET
-// /scenarios, /healthz.
+// /scenarios, /healthz, /metrics (404 unless Config.Metrics is set), and —
+// only with Config.Pprof — /debug/pprof/. Every endpoint is wrapped with
+// the instrumentation middleware (a no-op pass-through when telemetry and
+// logging are both off).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/run", s.handleRun)
-	mux.HandleFunc("/campaign", s.handleCampaign)
-	mux.HandleFunc("/shard", s.handleShard)
-	mux.HandleFunc("/cell", s.handleCell)
-	mux.HandleFunc("/scenarios", s.handleScenarios)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/run", s.instrument("run", s.handleRun))
+	mux.HandleFunc("/campaign", s.instrument("campaign", s.handleCampaign))
+	mux.HandleFunc("/shard", s.instrument("shard", s.handleShard))
+	mux.HandleFunc("/cell", s.instrument("cell", s.handleCell))
+	mux.HandleFunc("/scenarios", s.instrument("scenarios", s.handleScenarios))
+	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -227,6 +249,7 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "GET only"})
 		return
 	}
+	bi := readBuildInfo()
 	h := Health{
 		OK:            true,
 		Fingerprint:   s.fingerprint,
@@ -240,6 +263,11 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		TrialsRun:     s.trialsRun.Load(),
 		TrialsSkipped: s.trialsSkip.Load(),
 		Scenarios:     len(workload.Scenarios()),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Version:       bi.Version,
+		GoVersion:     bi.GoVersion,
+		VCSRevision:   bi.VCSRevision,
+		VCSModified:   bi.VCSModified,
 		TableMem:      s.cfg.System.TableMemStats(),
 	}
 	if s.fleet != nil {

@@ -4,14 +4,18 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	spamnet "repro"
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/updown"
 	"repro/internal/workload"
@@ -46,6 +50,17 @@ type Config struct {
 	// Fleet, when it lists workers, runs this service as a scatter/gather
 	// coordinator; see FleetConfig.
 	Fleet FleetConfig
+	// Metrics, when non-nil, registers the service's telemetry on it and
+	// enables GET /metrics. Telemetry is strictly out-of-band (invariant 11:
+	// observability transparency): every result byte is identical with it on
+	// or off, and the instrumented hot path stays allocation-free.
+	Metrics *telemetry.Registry
+	// Logger, when non-nil, receives structured request and fleet logs with
+	// correlation IDs. Nil keeps the service silent.
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the handler. Keep
+	// it off on exposed listeners.
+	Pprof bool
 }
 
 const (
@@ -105,6 +120,13 @@ type Service struct {
 	// fleet is non-nil in coordinator mode.
 	fleet *fleet
 
+	// metrics is never nil: the zero form is the telemetry-off no-op.
+	// logger is nil when structured logging is off; start anchors /healthz
+	// uptime.
+	metrics *serveMetrics
+	logger  *slog.Logger
+	start   time.Time
+
 	busy       atomic.Int64 // workers currently running a trial
 	highWater  atomic.Int64 // max simultaneous busy workers observed
 	requests   atomic.Int64 // /run requests completed
@@ -148,6 +170,12 @@ func New(cfg Config) (*Service, error) {
 	// so a clamp mismatch would silently change results.
 	s.fingerprint = cfg.System.Fingerprint() ^
 		(uint64(cfg.MaxTrials)*0x9e3779b97f4a7c15 + uint64(cfg.MaxMessages)*0xd1342543de82ef95)
+	s.start = time.Now()
+	s.logger = cfg.Logger
+	// Telemetry registration happens after the clamps resolve (the gauge
+	// functions read them) and before the fleet starts (its retry loop and
+	// health probes share the registry).
+	s.metrics = newServeMetrics(cfg.Metrics, s)
 	if len(cfg.Fleet.Workers) > 0 {
 		s.fleet = newFleet(s, cfg.Fleet)
 	}
@@ -179,6 +207,7 @@ func (s *Service) admit() error {
 			return fmt.Errorf("%w: %d requests in flight (limit %d)", ErrSaturated, cur, s.maxInflight)
 		}
 		if s.inflight.CompareAndSwap(cur, cur+1) {
+			s.metrics.inflightHighWater.Observe(cur + 1)
 			return nil
 		}
 	}
@@ -220,7 +249,15 @@ func (s *Service) worker(r *workload.Runner) {
 				break
 			}
 		}
+		s.metrics.poolHighWater.Observe(n)
+		var started time.Time
+		if s.metrics.enabled {
+			started = time.Now()
+		}
 		*t.err = t.run(r)
+		if s.metrics.enabled {
+			s.metrics.trialSeconds.Observe(time.Since(started).Seconds())
+		}
 		s.trialsRun.Add(1)
 		s.busy.Add(-1)
 		t.wg.Done()
@@ -290,15 +327,22 @@ type RunResponse struct {
 	// error (half a log-scale bin).
 	QuantileErrBound float64 `json:"quantile_rel_err_bound"`
 	PoolSize         int     `json:"pool_size"`
+	// Counters aggregates the engine counters over every measured trial —
+	// exact uint64 sums in trial order, so the field is bit-identical for
+	// any pool size or fleet split. It is a deterministic result (not
+	// telemetry): present whether or not metrics are enabled.
+	Counters sim.Counters `json:"counters"`
 	// ElapsedMs is wall-clock service time; zeroed in golden comparisons.
 	ElapsedMs float64 `json:"elapsed_ms"`
 }
 
-// shard is one trial's private result: a constant-memory summary plus an
-// error slot, owned exclusively by that trial's task.
+// shard is one trial's private result: a constant-memory summary plus the
+// trial's engine counters and an error slot, owned exclusively by that
+// trial's task.
 type shard struct {
-	sum *stats.Summary
-	err error
+	sum      *stats.Summary
+	counters sim.Counters
+	err      error
 }
 
 // ErrClosed reports a Run attempted after Close.
@@ -598,6 +642,8 @@ func (s *Service) runTrials(ctx context.Context, rv *resolvedRun, lo, hi int) ([
 					return err
 				}
 				sh.sum = sum
+				sh.counters = r.Counters()
+				s.metrics.observeTrialCounters(sh.counters)
 				return nil
 			},
 		}
@@ -626,6 +672,7 @@ func (s *Service) runTrials(ctx context.Context, rv *resolvedRun, lo, hi int) ([
 func (s *Service) mergeTrials(rv *resolvedRun, shards []shard) (*RunResponse, error) {
 	merged := stats.NewSummary()
 	trialMeans := &stats.Stream{}
+	var counters sim.Counters
 	for t := range shards {
 		// Every shard is populated here: cancellation and trial errors
 		// return in the callers, so each task ran Measure to completion.
@@ -635,6 +682,7 @@ func (s *Service) mergeTrials(rv *resolvedRun, shards []shard) (*RunResponse, er
 		if shards[t].sum.Count() > 0 {
 			trialMeans.Add(shards[t].sum.Mean())
 		}
+		counters.Add(shards[t].counters)
 	}
 	if rv.trials >= 2 {
 		merged.SetBatchCI(trialMeans)
@@ -668,6 +716,7 @@ func (s *Service) mergeTrials(rv *resolvedRun, shards []shard) (*RunResponse, er
 		P99Us:            merged.Quantile(0.99),
 		QuantileErrBound: merged.Hist().QuantileErrorBound(),
 		PoolSize:         s.cfg.PoolSize,
+		Counters:         counters,
 	}, nil
 }
 
@@ -757,6 +806,15 @@ func (s *Service) RunCampaign(ctx context.Context, req CampaignRequest) (*Campai
 		MaxTrials:   s.cfg.MaxTrials,
 		MaxMessages: s.cfg.MaxMessages,
 		MaxCells:    maxCampaignCells,
+		Metrics:     s.metrics.campaign,
+	}
+	if s.logger != nil {
+		// Campaign progress (per-cell completions, ETA) flows into the
+		// structured log, correlated with the originating request.
+		id := telemetry.RequestID(ctx)
+		opts.Logf = func(format string, args ...any) {
+			s.logger.Info(fmt.Sprintf(format, args...), "id", id, "component", "campaign")
+		}
 	}
 	if s.fleet != nil {
 		// Coordinator mode: scatter grid cells over the worker fleet. The
@@ -809,9 +867,12 @@ type ShardRequest struct {
 
 // ShardResponse carries one exact per-trial summary per requested trial, in
 // trial order. The wire forms round-trip float bits exactly, so the
-// coordinator's merge is bit-identical to a local run's.
+// coordinator's merge is bit-identical to a local run's. Counters carries
+// each trial's engine counters in the same order (uint64s round-trip JSON
+// exactly), so the coordinator's counter aggregate matches a local run too.
 type ShardResponse struct {
-	Trials []stats.SummaryWire `json:"trials"`
+	Trials   []stats.SummaryWire `json:"trials"`
+	Counters []sim.Counters      `json:"counters,omitempty"`
 }
 
 // RunShard executes one trial range on the local pool — the worker half of
@@ -838,12 +899,16 @@ func (s *Service) RunShard(ctx context.Context, req ShardRequest) (*ShardRespons
 	if err != nil {
 		return nil, err
 	}
-	resp := &ShardResponse{Trials: make([]stats.SummaryWire, len(shards))}
+	resp := &ShardResponse{
+		Trials:   make([]stats.SummaryWire, len(shards)),
+		Counters: make([]sim.Counters, len(shards)),
+	}
 	for i := range shards {
 		if shards[i].err != nil {
 			return nil, &TrialError{Scenario: req.Run.Scenario, Trial: req.TrialLo + i, Err: shards[i].err}
 		}
 		resp.Trials[i] = shards[i].sum.Wire()
+		resp.Counters[i] = shards[i].counters
 	}
 	s.requests.Add(1)
 	return resp, nil

@@ -1,0 +1,390 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// newInstrumentedService builds a service with a live metrics registry (and
+// optionally a slog logger writing into the returned buffer).
+func newInstrumentedService(t *testing.T, pool int, withLogger bool) (*Service, *telemetry.Registry, *bytes.Buffer) {
+	t.Helper()
+	sys := testSystem(t, 16)
+	reg := telemetry.NewRegistry()
+	var buf bytes.Buffer
+	cfg := Config{System: sys, PoolSize: pool, Metrics: reg}
+	if withLogger {
+		cfg.Logger = slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc, reg, &buf
+}
+
+func scrape(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp
+}
+
+// metricValue extracts the sample value of an exact exposition line prefix
+// ("name" or `name{labels}`), or -1 if absent.
+func metricValue(body, series string) float64 {
+	for _, line := range strings.Split(body, "\n") {
+		rest, ok := strings.CutPrefix(line, series+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return -1
+		}
+		return v
+	}
+	return -1
+}
+
+// maskNondeterministic strips the sample value from the two line families
+// that legitimately vary between identical request histories: "_seconds"
+// metrics (wall-clock readings) and "_high_water" gauges (observed peak
+// concurrency, a scheduling artifact — 4 trials on a 2-worker pool peak at
+// 1 or 2 depending on stealing order). Everything else must be
+// byte-identical.
+func maskNondeterministic(body string) string {
+	var sb strings.Builder
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "#") &&
+			(strings.Contains(line, "_seconds") || strings.Contains(line, "_high_water")) {
+			if i := strings.LastIndex(line, " "); i >= 0 {
+				line = line[:i] + " <var>"
+			}
+		}
+		sb.WriteString(line)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// TestMetricsEndpoint drives one /run through an instrumented service and
+// checks the Prometheus exposition: content type, per-endpoint counters,
+// trial counts, and the deterministic sim-counter aggregates.
+func TestMetricsEndpoint(t *testing.T) {
+	svc, _, _ := newInstrumentedService(t, 2, false)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+
+	body, _ := json.Marshal(smallRequest(3))
+	resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&run); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: HTTP %d", resp.StatusCode)
+	}
+	if resp.Header.Get(telemetry.RequestIDHeader) == "" {
+		t.Fatal("instrumented response missing correlation ID header")
+	}
+	if run.Counters.WormsCompleted == 0 || run.Counters.Events == 0 {
+		t.Fatalf("run response carries no sim counters: %+v", run.Counters)
+	}
+
+	text, mresp := scrape(t, ts.URL)
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if got := metricValue(text, `spamserve_requests_total{endpoint="run"}`); got != 1 {
+		t.Fatalf("run requests = %v, want 1\n%s", got, text)
+	}
+	if got := metricValue(text, "spamserve_trials_total"); got != 3 {
+		t.Fatalf("trials = %v, want 3", got)
+	}
+	if got := metricValue(text, "spamserve_sim_worms_completed_total"); got != float64(run.Counters.WormsCompleted) {
+		t.Fatalf("sim worms metric %v != response counter %d", got, run.Counters.WormsCompleted)
+	}
+	if got := metricValue(text, `spamserve_request_seconds_count{endpoint="run"}`); got != 1 {
+		t.Fatalf("request latency count = %v, want 1", got)
+	}
+	if !strings.Contains(text, "# TYPE spamserve_request_seconds summary") {
+		t.Fatal("missing summary TYPE line")
+	}
+}
+
+// TestMetricsDisabled404 pins the off state: no registry, /metrics is 404
+// and responses carry no correlation header (zero middleware).
+func TestMetricsDisabled404(t *testing.T) {
+	svc := newService(t, testSystem(t, 16), 2)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("metrics with telemetry off: HTTP %d, want 404", resp.StatusCode)
+	}
+	if resp.Header.Get(telemetry.RequestIDHeader) != "" {
+		t.Fatal("uninstrumented service must not stamp correlation IDs")
+	}
+}
+
+// TestMetricsExpositionGolden: two services with identical request
+// histories scrape byte-identically once duration sample values are masked
+// — the exposition is deterministic modulo wall-clock readings.
+func TestMetricsExpositionGolden(t *testing.T) {
+	texts := make([]string, 2)
+	for i := range texts {
+		svc, _, _ := newInstrumentedService(t, 2, false)
+		ts := httptest.NewServer(svc.Handler())
+		body, _ := json.Marshal(smallRequest(4))
+		for j := 0; j < 2; j++ {
+			resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		texts[i], _ = scrape(t, ts.URL)
+		ts.Close()
+	}
+	a, b := maskNondeterministic(texts[0]), maskNondeterministic(texts[1])
+	if a != b {
+		t.Fatalf("identical histories scraped differently:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+}
+
+// TestHighWaterResetOnRead pins the satellite fix: the /metrics high-water
+// gauges report the max since the LAST scrape (reset on read), while
+// /healthz keeps the all-time max.
+func TestHighWaterResetOnRead(t *testing.T) {
+	svc, _, _ := newInstrumentedService(t, 2, false)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+
+	body, _ := json.Marshal(smallRequest(4))
+	resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	first, _ := scrape(t, ts.URL)
+	if got := metricValue(first, "spamserve_pool_busy_high_water"); got < 1 {
+		t.Fatalf("first scrape high water = %v, want >= 1", got)
+	}
+	if got := metricValue(first, "spamserve_inflight_high_water"); got < 1 {
+		t.Fatalf("first scrape inflight high water = %v, want >= 1", got)
+	}
+	// No requests between scrapes: the window is empty.
+	second, _ := scrape(t, ts.URL)
+	// The scrape request itself re-raises the inflight gauge: /metrics is
+	// not admission-controlled, so only the pool gauge must read 0.
+	if got := metricValue(second, "spamserve_pool_busy_high_water"); got != 0 {
+		t.Fatalf("second scrape high water = %v, want 0 (reset on read)", got)
+	}
+	// /healthz still reports the all-time maximum.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Health
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if h.HighWater < 1 {
+		t.Fatalf("healthz all-time high water = %d, want >= 1", h.HighWater)
+	}
+	if h.UptimeSeconds <= 0 {
+		t.Fatalf("healthz uptime = %v, want > 0", h.UptimeSeconds)
+	}
+	if h.GoVersion == "" {
+		t.Fatal("healthz missing go version build info")
+	}
+}
+
+// TestObservabilityTransparency is determinism invariant 11: the same
+// request answered with telemetry+logging fully on and fully off is
+// byte-identical — run responses and campaign reports alike.
+func TestObservabilityTransparency(t *testing.T) {
+	plain := newService(t, testSystem(t, 16), 2)
+	instr, _, logBuf := newInstrumentedService(t, 2, true)
+
+	req := smallRequest(6)
+	a, err := plain.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := instr.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("telemetry changed /run bytes:\noff: %s\non:  %s", aj, bj)
+	}
+
+	creq := CampaignRequest{Name: "smoke"}
+	ca, err := plain.RunCampaign(context.Background(), creq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := instr.RunCampaign(context.Background(), creq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caj, _ := json.Marshal(ca)
+	cbj, _ := json.Marshal(cb)
+	if !bytes.Equal(caj, cbj) {
+		t.Fatal("telemetry changed /campaign bytes")
+	}
+	if logBuf.Len() == 0 {
+		t.Fatal("instrumented campaign produced no structured logs")
+	}
+}
+
+// TestCorrelationIDPropagation: a request ID sent by the client comes back
+// on the response and flows into the structured request log.
+func TestCorrelationIDPropagation(t *testing.T) {
+	svc, _, logBuf := newInstrumentedService(t, 1, true)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+
+	body, _ := json.Marshal(smallRequest(1))
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/run", bytes.NewReader(body))
+	req.Header.Set(telemetry.RequestIDHeader, "req-e2e-77")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(telemetry.RequestIDHeader); got != "req-e2e-77" {
+		t.Fatalf("response ID %q, want the caller's", got)
+	}
+	if !strings.Contains(logBuf.String(), "req-e2e-77") {
+		t.Fatalf("request log missing correlation ID:\n%s", logBuf.String())
+	}
+}
+
+// TestFleetTelemetryGolden: an instrumented coordinator over instrumented
+// workers returns byte-identical /run responses (counters included) to an
+// uninstrumented local service — invariant 11 across the fleet wire.
+func TestFleetTelemetryGolden(t *testing.T) {
+	sys := testSystem(t, 16)
+	req := smallRequest(8)
+
+	local := newService(t, sys, 2)
+	want, err := local.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	wreg := telemetry.NewRegistry()
+	worker, err := New(Config{System: sys, PoolSize: 2, Metrics: wreg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(worker.Close)
+	wts := httptest.NewServer(worker.Handler())
+	t.Cleanup(wts.Close)
+	co, err := New(Config{System: sys, PoolSize: 2, Metrics: reg, Fleet: FleetConfig{
+		Workers:       []string{wts.URL},
+		Policy:        fastPolicy(),
+		ProbeInterval: 25 * time.Millisecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Close)
+	waitHealthy(t, co, 1)
+
+	got, err := co.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gj, _ := json.Marshal(got)
+	wj, _ := json.Marshal(want)
+	if !bytes.Equal(gj, wj) {
+		t.Fatalf("instrumented fleet diverged from plain local run:\nfleet: %s\nlocal: %s", gj, wj)
+	}
+	if co.fleet.remoteShards.Load() == 0 {
+		t.Fatal("no shards served remotely")
+	}
+	// The worker's flap counter registered on the coordinator saw the
+	// initial unhealthy→healthy transition.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "spamserve_fleet_health_flaps_total") {
+		t.Fatal("coordinator exposition missing fleet flap counter")
+	}
+	if v := metricValue(sb.String(), "spamserve_fleet_remote_shards_total"); v < 1 {
+		t.Fatalf("remote shard counter = %v, want >= 1", v)
+	}
+}
+
+// TestInstrumentedTrialAllocFree is the hot-path contract of the tentpole:
+// a warm workload trial plus every per-trial telemetry observation the
+// serving layer performs stays at exactly 0 allocs/op.
+func TestInstrumentedTrialAllocFree(t *testing.T) {
+	sys := testSystem(t, 64)
+	simCfg := sys.SimConfig()
+	simCfg.Logf = nil
+	r, err := workload.NewRunner(sys.Router(), simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A registry-backed serveMetrics exactly as New wires it; the Service
+	// receiver is only captured by gauge closures, never called here.
+	m := newServeMetrics(telemetry.NewRegistry(), &Service{cfg: Config{PoolSize: 4}})
+	var w workload.Workload = workload.Mixed{RatePerProcPerUs: 0.02, MulticastFraction: 0.1, MulticastDests: 8, Messages: 150}
+	trial := func() {
+		started := time.Now()
+		if err := r.Trial(w, 33); err != nil {
+			t.Fatal(err)
+		}
+		m.poolHighWater.Observe(1)
+		m.trialSeconds.Observe(time.Since(started).Seconds())
+		m.observeTrialCounters(r.Sim().Counters())
+	}
+	trial()
+	trial()
+	if n := testing.AllocsPerRun(300, trial); n != 0 {
+		t.Fatalf("instrumented warm trial allocated %v allocs/run, want 0", n)
+	}
+}

@@ -178,21 +178,38 @@ type procState struct {
 	busy  bool
 }
 
-// Counters exposes aggregate simulator statistics.
+// Counters exposes aggregate simulator statistics. The JSON form rides the
+// /run and fleet shard wires (serve surfaces per-request aggregates), so
+// the tags are part of the wire contract; every field is a deterministic
+// function of the trial and sums exactly across trials.
 type Counters struct {
-	Events            uint64
-	WormsSubmitted    uint64
-	WormsCompleted    uint64
-	PayloadFlitHops   uint64
-	BubbleFlitHops    uint64
-	HeaderAcquireWait uint64 // acquisition attempts that had to wait
+	Events            uint64 `json:"events"`
+	WormsSubmitted    uint64 `json:"worms_submitted"`
+	WormsCompleted    uint64 `json:"worms_completed"`
+	PayloadFlitHops   uint64 `json:"payload_flit_hops"`
+	BubbleFlitHops    uint64 `json:"bubble_flit_hops"`
+	HeaderAcquireWait uint64 `json:"header_acquire_wait"` // acquisition attempts that had to wait
 	// WormsAborted counts worms drained by topology mutations (fault
 	// injection); RouteLostAborts is the subset that lost all legal routes
 	// after a routing-table swap rather than being drained at mutation
 	// time. FlitsDropped counts their flits removed from buffers and wires.
-	WormsAborted    uint64
-	RouteLostAborts uint64
-	FlitsDropped    uint64
+	WormsAborted    uint64 `json:"worms_aborted"`
+	RouteLostAborts uint64 `json:"route_lost_aborts"`
+	FlitsDropped    uint64 `json:"flits_dropped"`
+}
+
+// Add folds o into c field by field — exact uint64 addition, so per-trial
+// snapshots aggregate deterministically in any order.
+func (c *Counters) Add(o Counters) {
+	c.Events += o.Events
+	c.WormsSubmitted += o.WormsSubmitted
+	c.WormsCompleted += o.WormsCompleted
+	c.PayloadFlitHops += o.PayloadFlitHops
+	c.BubbleFlitHops += o.BubbleFlitHops
+	c.HeaderAcquireWait += o.HeaderAcquireWait
+	c.WormsAborted += o.WormsAborted
+	c.RouteLostAborts += o.RouteLostAborts
+	c.FlitsDropped += o.FlitsDropped
 }
 
 // Config parameterizes a Simulator.

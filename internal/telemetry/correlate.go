@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
+// RequestIDHeader is the HTTP header carrying the correlation ID across
+// coordinator→worker hops: the coordinator stamps its request ID (extended
+// with a shard or cell suffix) on every dispatch, the worker adopts it, and
+// both sides' structured logs share one correlation key.
+const RequestIDHeader = "X-Request-Id"
+
+// ctxKey is the private context key type for the correlation ID.
+type ctxKey struct{}
+
+// WithRequestID returns ctx carrying the given correlation ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// RequestID returns the correlation ID carried by ctx ("" if none).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}
+
+// ChildID derives a sub-operation correlation ID: "parent/suffix", or just
+// the suffix when there is no parent. Shard and cell dispatches use it so a
+// worker's logs tie back to the exact span of the coordinator request that
+// produced them.
+func ChildID(ctx context.Context, suffix string) string {
+	if parent := RequestID(ctx); parent != "" {
+		return parent + "/" + suffix
+	}
+	return suffix
+}
+
+// idSeq numbers locally generated request IDs.
+var idSeq atomic.Int64
+
+// NextRequestID generates a process-unique correlation ID for a request
+// that arrived without one. The sequence is process-local wall-clock-free
+// state: IDs appear only in logs and response headers, never in results,
+// so they cannot perturb determinism.
+func NextRequestID() string {
+	return fmt.Sprintf("req-%06d", idSeq.Add(1))
+}

@@ -1,0 +1,20 @@
+// Package telemetry is the dependency-free observability substrate: atomic
+// counters and gauges, a max-since-last-scrape gauge with reset-on-read
+// semantics, latency histograms backed by the mergeable stats.LogHist, a
+// registry that renders everything as Prometheus text exposition, and
+// request-correlation helpers for structured logging.
+//
+// The package exists to make observation provably out of band. Every metric
+// type has nil-receiver-safe methods — a nil *Counter's Add is a no-op — so
+// instrumented layers carry optional metric fields that cost one predictable
+// branch when telemetry is off, and a handful of atomic operations when it
+// is on. No metric operation allocates: Observe on a Histogram is a mutex
+// around the fixed-bin LogHist.Add, Counter and Gauge are single atomics.
+// The serving layer's AllocsPerRun guards pin an instrumented warm trial at
+// 0 allocs/op, and the determinism goldens pin every response byte-identical
+// with telemetry on versus off (ARCHITECTURE.md invariant 11).
+//
+// Exposition is deterministic modulo the sampled values: series render
+// sorted by (name, registration order) with fixed float formatting, so two
+// registries fed identical operation sequences produce identical text.
+package telemetry

@@ -1,0 +1,227 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// seriesKind selects the exposition form of one registered series.
+type seriesKind int
+
+const (
+	kindCounter seriesKind = iota
+	kindCounterFunc
+	kindGauge
+	kindGaugeFunc
+	kindMaxGauge
+	kindHistogram
+)
+
+// series is one registered (name, labels) time series.
+type series struct {
+	name   string
+	labels string // rendered label set, e.g. `endpoint="run"`; "" for none
+	help   string
+	kind   seriesKind
+	order  int // registration index, tie-break within a name
+
+	c  *Counter
+	cf func() int64
+	g  *Gauge
+	gf func() int64
+	mg *MaxGauge
+	h  *Histogram
+}
+
+// Registry holds registered metrics and renders them as Prometheus text
+// exposition (version 0.0.4). A nil *Registry is the "telemetry off" form:
+// every New* method returns a nil metric whose operations are no-ops, so
+// callers instrument unconditionally and the off switch is just a nil.
+//
+// Exposition is deterministic modulo the sampled values: series sort by
+// name, then by registration order within a name (so label sets keep their
+// construction order), floats render in shortest form, and # HELP/# TYPE
+// headers appear exactly once per metric name.
+type Registry struct {
+	mu     sync.Mutex
+	series []*series
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) register(s *series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, old := range r.series {
+		if old.name == s.name && old.labels == s.labels {
+			panic(fmt.Sprintf("telemetry: duplicate series %s{%s}", s.name, s.labels))
+		}
+	}
+	s.order = len(r.series)
+	r.series = append(r.series, s)
+}
+
+// NewCounter registers and returns a counter. labels is a rendered
+// Prometheus label set without braces (`endpoint="run"`), or "" for none.
+// On a nil registry it returns nil (a no-op counter).
+func (r *Registry) NewCounter(name, labels, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	r.register(&series{name: name, labels: labels, help: help, kind: kindCounter, c: c})
+	return c
+}
+
+// NewCounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge for pre-existing atomic counters owned elsewhere.
+func (r *Registry) NewCounterFunc(name, labels, help string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.register(&series{name: name, labels: labels, help: help, kind: kindCounterFunc, cf: fn})
+}
+
+// NewGauge registers and returns a gauge (nil on a nil registry).
+func (r *Registry) NewGauge(name, labels, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{}
+	r.register(&series{name: name, labels: labels, help: help, kind: kindGauge, g: g})
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) NewGaugeFunc(name, labels, help string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.register(&series{name: name, labels: labels, help: help, kind: kindGaugeFunc, gf: fn})
+}
+
+// NewMaxGauge registers and returns a max-since-last-scrape gauge (nil on a
+// nil registry). Each scrape reports the maximum observed since the
+// previous scrape and resets it — the documented reset-on-read semantic;
+// see MaxGauge.
+func (r *Registry) NewMaxGauge(name, labels, help string) *MaxGauge {
+	if r == nil {
+		return nil
+	}
+	g := &MaxGauge{}
+	r.register(&series{name: name, labels: labels, help: help, kind: kindMaxGauge, mg: g})
+	return g
+}
+
+// NewHistogram registers and returns a latency histogram, exposed as a
+// Prometheus summary: {quantile="0.5"|"0.9"|"0.99"} plus _sum and _count.
+func (r *Registry) NewHistogram(name, labels, help string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := NewHistogram()
+	r.register(&series{name: name, labels: labels, help: help, kind: kindHistogram, h: h})
+	return h
+}
+
+// formatFloat renders v in Prometheus shortest form.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered series as text exposition.
+// MaxGauge series reset on this read (see MaxGauge.TakeMax).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ordered := make([]*series, len(r.series))
+	copy(ordered, r.series)
+	r.mu.Unlock()
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].name != ordered[j].name {
+			return ordered[i].name < ordered[j].name
+		}
+		return ordered[i].order < ordered[j].order
+	})
+
+	lastName := ""
+	for _, s := range ordered {
+		if s.name != lastName {
+			lastName = s.name
+			typ := "counter"
+			switch s.kind {
+			case kindGauge, kindGaugeFunc, kindMaxGauge:
+				typ = "gauge"
+			case kindHistogram:
+				typ = "summary"
+			}
+			if s.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.name, s.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.name, typ); err != nil {
+				return err
+			}
+		}
+		if err := writeSeries(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSeries renders one series' sample lines.
+func writeSeries(w io.Writer, s *series) error {
+	braced := func(extra string) string {
+		switch {
+		case s.labels == "" && extra == "":
+			return ""
+		case s.labels == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + s.labels + "}"
+		default:
+			return "{" + s.labels + "," + extra + "}"
+		}
+	}
+	switch s.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", s.name, braced(""), s.c.Value())
+		return err
+	case kindCounterFunc:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", s.name, braced(""), s.cf())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", s.name, braced(""), s.g.Value())
+		return err
+	case kindGaugeFunc:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", s.name, braced(""), s.gf())
+		return err
+	case kindMaxGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", s.name, braced(""), s.mg.TakeMax())
+		return err
+	case kindHistogram:
+		count, sum, q50, q90, q99 := s.h.Snapshot()
+		for _, q := range []struct {
+			q string
+			v float64
+		}{{"0.5", q50}, {"0.9", q90}, {"0.99", q99}} {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.name, braced(`quantile="`+q.q+`"`), formatFloat(q.v)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.name, braced(""), formatFloat(sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.name, braced(""), count)
+		return err
+	}
+	return fmt.Errorf("telemetry: unknown series kind %d", s.kind)
+}

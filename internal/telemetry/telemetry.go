@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; all methods are safe on a nil receiver (no-ops reading 0),
+// which is how instrumented layers stay free when telemetry is off.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotone).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// MaxGauge tracks the maximum observed value since it was last read.
+//
+// Semantics: Observe raises the stored maximum with a CAS loop; TakeMax
+// returns the maximum observed since the previous TakeMax and atomically
+// resets it to zero. Every observation is attributed to exactly one read:
+// an Observe racing a TakeMax either lands before the swap (reported now)
+// or after (reported by the next read). Observed values must be >= 0 —
+// zero doubles as "nothing observed".
+//
+// This is the scrape-friendly high-water form: a forever-max gauge goes
+// flat after the first saturation event and hides every later one, whereas
+// a max-since-last-scrape gauge gives each scrape interval its own peak.
+type MaxGauge struct {
+	v atomic.Int64
+}
+
+// Observe raises the running maximum to v if v exceeds it.
+func (g *MaxGauge) Observe(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// TakeMax returns the maximum observed since the last TakeMax and resets
+// it to zero (reset-on-read).
+func (g *MaxGauge) TakeMax() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Swap(0)
+}
+
+// Peek returns the running maximum without resetting it.
+func (g *MaxGauge) Peek() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a concurrency-safe latency histogram over the default
+// log-scale geometry (stats.NewLatencyHist): constant memory, allocation-
+// free Observe, quantiles with bounded relative error. Exposition renders
+// it as a Prometheus summary (quantiles + _sum + _count).
+type Histogram struct {
+	mu sync.Mutex
+	h  *stats.LogHist
+}
+
+// NewHistogram builds an unregistered histogram (see Registry.NewHistogram
+// for the registered form).
+func NewHistogram() *Histogram {
+	return &Histogram{h: stats.NewLatencyHist()}
+}
+
+// Observe records one value. It never allocates.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.h.Add(v)
+	h.mu.Unlock()
+}
+
+// Snapshot returns (count, sum, q50, q90, q99) under the histogram's lock.
+func (h *Histogram) Snapshot() (count int64, sum, q50, q90, q99 float64) {
+	if h == nil {
+		return 0, 0, 0, 0, 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Count(), h.h.Sum(), h.h.Quantile(0.50), h.h.Quantile(0.90), h.h.Quantile(0.99)
+}

@@ -1,0 +1,270 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var mg *MaxGauge
+	var h *Histogram
+	var r *Registry
+	c.Inc()
+	c.Add(5)
+	g.Set(7)
+	g.Add(1)
+	mg.Observe(9)
+	h.Observe(1.5)
+	if c.Value() != 0 || g.Value() != 0 || mg.TakeMax() != 0 || mg.Peek() != 0 {
+		t.Fatal("nil metrics must read 0")
+	}
+	if n, _, _, _, _ := h.Snapshot(); n != 0 {
+		t.Fatal("nil histogram must be empty")
+	}
+	// A nil registry hands out nil metrics and writes nothing.
+	if m := r.NewCounter("x", "", ""); m != nil {
+		t.Fatal("nil registry must return nil counter")
+	}
+	r.NewCounterFunc("x", "", "", func() int64 { return 1 })
+	r.NewGaugeFunc("x", "", "", func() int64 { return 1 })
+	if m := r.NewGauge("x", "", ""); m != nil {
+		t.Fatal("nil registry must return nil gauge")
+	}
+	if m := r.NewMaxGauge("x", "", ""); m != nil {
+		t.Fatal("nil registry must return nil max gauge")
+	}
+	if m := r.NewHistogram("x", "", ""); m != nil {
+		t.Fatal("nil registry must return nil histogram")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry must write nothing, got %q err %v", sb.String(), err)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	c := &Counter{}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := &Gauge{}
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestMaxGaugeResetOnRead(t *testing.T) {
+	g := &MaxGauge{}
+	g.Observe(3)
+	g.Observe(9)
+	g.Observe(5)
+	if got := g.Peek(); got != 9 {
+		t.Fatalf("peek = %d, want 9", got)
+	}
+	if got := g.TakeMax(); got != 9 {
+		t.Fatalf("first read = %d, want 9", got)
+	}
+	// Reset-on-read: the next window starts empty.
+	if got := g.TakeMax(); got != 0 {
+		t.Fatalf("second read = %d, want 0", got)
+	}
+	g.Observe(2)
+	if got := g.TakeMax(); got != 2 {
+		t.Fatalf("third read = %d, want 2", got)
+	}
+}
+
+// TestMaxGaugeCASRace drives concurrent observers against a concurrent
+// scraper: every observation must be attributed to exactly one read, so the
+// maximum across all reads equals the global maximum observed. Run under
+// -race this also proves the CAS loop is data-race-free.
+func TestMaxGaugeCASRace(t *testing.T) {
+	g := &MaxGauge{}
+	const writers = 8
+	const perWriter = 10000
+	globalMax := int64(writers * perWriter)
+	stop := make(chan struct{})
+	var mu sync.Mutex
+	readMax := int64(0)
+	// One scraper reads (and resets) continuously while writers observe.
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			v := g.TakeMax()
+			mu.Lock()
+			if v > readMax {
+				readMax = v
+			}
+			mu.Unlock()
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= perWriter; i++ {
+				g.Observe(int64(w*perWriter + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
+	// Fold in anything the scraper's final round missed.
+	if v := g.TakeMax(); v > readMax {
+		readMax = v
+	}
+	if readMax != globalMax {
+		t.Fatalf("max across reads = %d, want global max %d (an observation was lost)", readMax, globalMax)
+	}
+}
+
+func TestRegistryExpositionDeterministic(t *testing.T) {
+	build := func() (*Registry, func()) {
+		r := NewRegistry()
+		c1 := r.NewCounter("spam_requests_total", `endpoint="run"`, "requests by endpoint")
+		c2 := r.NewCounter("spam_requests_total", `endpoint="cell"`, "requests by endpoint")
+		g := r.NewGauge("spam_inflight", "", "admitted requests")
+		mg := r.NewMaxGauge("spam_busy_high_water", "", "max busy since last scrape")
+		h := r.NewHistogram("spam_request_seconds", `endpoint="run"`, "request latency")
+		r.NewGaugeFunc("spam_pool_size", "", "pool bound", func() int64 { return 4 })
+		r.NewCounterFunc("spam_trials_total", "", "trials", func() int64 { return 17 })
+		ops := func() {
+			c1.Add(3)
+			c2.Inc()
+			g.Set(2)
+			mg.Observe(5)
+			h.Observe(0.25)
+			h.Observe(0.5)
+		}
+		return r, ops
+	}
+	ra, opsA := build()
+	rb, opsB := build()
+	opsA()
+	opsB()
+	var a, b strings.Builder
+	if err := ra.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("identical op sequences produced different exposition:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	want := `# HELP spam_busy_high_water max busy since last scrape
+# TYPE spam_busy_high_water gauge
+spam_busy_high_water 5
+# HELP spam_inflight admitted requests
+# TYPE spam_inflight gauge
+spam_inflight 2
+# HELP spam_pool_size pool bound
+# TYPE spam_pool_size gauge
+spam_pool_size 4
+# HELP spam_request_seconds request latency
+# TYPE spam_request_seconds summary
+spam_request_seconds{endpoint="run",quantile="0.5"} 0.25028654311746135
+spam_request_seconds{endpoint="run",quantile="0.9"} 0.49580682416846655
+spam_request_seconds{endpoint="run",quantile="0.99"} 0.49580682416846655
+spam_request_seconds_sum{endpoint="run"} 0.75
+spam_request_seconds_count{endpoint="run"} 2
+# HELP spam_requests_total requests by endpoint
+# TYPE spam_requests_total counter
+spam_requests_total{endpoint="run"} 3
+spam_requests_total{endpoint="cell"} 1
+# HELP spam_trials_total trials
+# TYPE spam_trials_total counter
+spam_trials_total 17
+`
+	got := a.String()
+	// The q50 midpoint value depends only on the histogram geometry —
+	// deterministic, but asserting the exact decimal keeps the golden
+	// honest only if it matches; recompute-proof: compare structurally if
+	// the literal drifts.
+	if got != want {
+		t.Fatalf("exposition golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// MaxGauge reset: a second scrape reports 0 for the high-water gauge.
+	var second strings.Builder
+	if err := ra.WritePrometheus(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second.String(), "spam_busy_high_water 0\n") {
+		t.Fatalf("second scrape must reset the max gauge:\n%s", second.String())
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	r.NewCounter("dup_total", "", "")
+}
+
+func TestCorrelationIDs(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" {
+		t.Fatal("empty context must carry no ID")
+	}
+	ctx = WithRequestID(ctx, "req-42")
+	if got := RequestID(ctx); got != "req-42" {
+		t.Fatalf("RequestID = %q", got)
+	}
+	if got := ChildID(ctx, "shard-0-4"); got != "req-42/shard-0-4" {
+		t.Fatalf("ChildID = %q", got)
+	}
+	if got := ChildID(context.Background(), "cell-x"); got != "cell-x" {
+		t.Fatalf("orphan ChildID = %q", got)
+	}
+	a, b := NextRequestID(), NextRequestID()
+	if a == b || !strings.HasPrefix(a, "req-") {
+		t.Fatalf("NextRequestID not unique: %q %q", a, b)
+	}
+}
+
+// TestObserveAllocationFree pins the hot-path contract: counter, gauge and
+// histogram operations allocate nothing, so instrumented trial loops stay
+// at 0 allocs/op.
+func TestObserveAllocationFree(t *testing.T) {
+	c := &Counter{}
+	g := &Gauge{}
+	mg := &MaxGauge{}
+	h := NewHistogram()
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(3)
+		mg.Observe(7)
+		h.Observe(1.25)
+	}); n != 0 {
+		t.Fatalf("metric ops allocate %v/op, want 0", n)
+	}
+	var nc *Counter
+	var nh *Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		nc.Inc()
+		nh.Observe(1.0)
+	}); n != 0 {
+		t.Fatalf("nil metric ops allocate %v/op, want 0", n)
+	}
+}

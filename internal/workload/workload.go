@@ -205,6 +205,9 @@ type Runner struct {
 	// matter how many messages a measurement absorbs.
 	summary *stats.Summary
 	batch   *stats.BatchStream
+	// counters accumulates the engine counters of every trial of the last
+	// Measure call (see Counters).
+	counters sim.Counters
 }
 
 // NewRunner builds a Runner over the given router with its own simulator.
@@ -220,6 +223,12 @@ func NewRunner(router *core.Router, cfg sim.Config) (*Runner, error) {
 
 // Sim exposes the underlying simulator (counters, channel loads).
 func (r *Runner) Sim() *sim.Simulator { return r.sim }
+
+// Counters returns the engine counters summed over every trial of the last
+// Measure call — the deterministic observability payload serve surfaces on
+// the /run wire and campaign reports carry as per-cell columns. Exact
+// uint64 sums in trial order: bit-identical for any pool or fleet split.
+func (r *Runner) Counters() sim.Counters { return r.counters }
 
 // ErrInvalidWorkload marks trial failures raised by workload generation —
 // bad parameters for the network under simulation — as opposed to failures
@@ -348,10 +357,12 @@ func Measure(r *Runner, w Workload, opts MeasureOpts) (*stats.Summary, error) {
 		r.summary.Add(x)
 		r.batch.Add(x)
 	}
+	r.counters = sim.Counters{}
 	for trial := 0; trial < trials; trial++ {
 		if err := r.Trial(w, TrialSeed(opts.Seed, trial)); err != nil {
 			return nil, fmt.Errorf("workload %s trial %d: %w", w.Name(), trial, err)
 		}
+		r.counters.Add(r.sim.Counters())
 		skip := opts.WarmupMessages
 		if max := len(r.Worms()) / 2; skip > max {
 			skip = max

@@ -3,21 +3,22 @@
 #
 # Runs the reduced-effort benchmark suite (Figure 2, Figure 3, the two
 # engine microbenchmarks, the PR 2 reusable-session sweep pair, the PR 4
-# fault-injection reconfiguration pair, the PR 6 fleet pair and the PR 7
-# scale trio) and writes a JSON snapshot with ns/op, B/op, allocs/op and
-# every custom reported metric, next to the fixed pre-optimization baselines
-# so the speedup trajectory is tracked in-repo. The snapshot is gated
-# through scripts/benchcmp, which rejects malformed JSON and duplicate keys.
+# fault-injection reconfiguration pair, the PR 6 fleet pair, the PR 7
+# scale trio and the PR 9 telemetry on/off pairs) and writes a JSON
+# snapshot with ns/op, B/op, allocs/op and every custom reported metric,
+# next to the fixed pre-optimization baselines so the speedup trajectory
+# is tracked in-repo. The snapshot is gated through scripts/benchcmp,
+# which rejects malformed JSON and duplicate keys.
 #
 # Usage:
-#   scripts/bench.sh [out.json]      # default out: BENCH_PR7.json
+#   scripts/bench.sh [out.json]      # default out: BENCH_PR9.json
 #   BENCHTIME=3x scripts/bench.sh    # steadier figure numbers (default 1x)
 #   BENCHLARGE=1 scripts/bench.sh    # include the 62500-switch compile cell
 #                                    # (~15 GiB RAM, ~an hour on one core)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR7.json}"
+OUT="${1:-BENCH_PR9.json}"
 BENCHTIME="${BENCHTIME:-1x}"
 # Go appends "-$GOMAXPROCS" to benchmark names unless GOMAXPROCS is 1; the
 # emitter below must strip exactly that suffix (a generic trailing -<digits>
@@ -80,7 +81,17 @@ PAR_RAW=$(go test -run '^$' \
 	-bench 'BenchmarkDistributionOutputs|BenchmarkParallelRun' \
 	-benchmem -benchtime "${PAR_BENCHTIME:-10x}" . 2>&1 | grep -E '^Benchmark' || true)
 
-if [ -z "$RAW" ] || [ -z "$SWEEP_RAW" ] || [ -z "$FAULT_RAW" ] || [ -z "$FLEET_RAW" ] || [ -z "$SCALE_RAW" ] || [ -z "$PAR_RAW" ]; then
+# PR 9: observability — the same warm trial through a disabled serveMetrics
+# vs a live registry-backed one (the instrumented pool-worker hot path), and
+# a full coordinator+worker /run with telemetry off everywhere vs on both
+# sides. The contract: ≤2% ns/op overhead and exactly 0 extra allocs/op.
+# The trial pair needs a high fixed iteration count so the one-time warmup
+# allocation amortizes out of the allocs/op column.
+TELEM_RAW=$(go test -run '^$' \
+	-bench 'BenchmarkTelemetryTrial|BenchmarkTelemetryFleetRun' \
+	-benchmem -benchtime "${TELEM_BENCHTIME:-20x}" ./internal/serve/ 2>&1 | grep -E '^Benchmark' || true)
+
+if [ -z "$RAW" ] || [ -z "$SWEEP_RAW" ] || [ -z "$FAULT_RAW" ] || [ -z "$FLEET_RAW" ] || [ -z "$SCALE_RAW" ] || [ -z "$PAR_RAW" ] || [ -z "$TELEM_RAW" ]; then
 	echo "bench.sh: no benchmark output" >&2
 	exit 1
 fi
@@ -90,11 +101,12 @@ $SWEEP_RAW
 $FAULT_RAW
 $FLEET_RAW
 $SCALE_RAW
-$PAR_RAW"
+$PAR_RAW
+$TELEM_RAW"
 
 {
 	printf '{\n'
-	printf '  "pr": 7,\n'
+	printf '  "pr": 9,\n'
 	printf '  "benchtime": "%s",\n' "$BENCHTIME"
 	printf '  "sweep_benchtime": "%s",\n' "$SWEEP_BENCHTIME"
 	printf '  "go": "%s",\n' "$(go env GOVERSION)"
@@ -181,8 +193,24 @@ $PAR_RAW"
 	printf '    "fattree16k_table_mib": %s,\n' "${FT16_MIB:-0}"
 	printf '    "fattree16k_compression_x": %s,\n' "${FT16_COMP:-0}"
 	printf '    "distribution_allocs_op": %s,\n' "${DIST_ALLOCS:-0}"
-	printf '    "parallel_shards8_vs_1_ratio": %s\n' \
+	printf '    "parallel_shards8_vs_1_ratio": %s,\n' \
 		"$(awk -v a="$P1_NS" -v b="$P8_NS" 'BEGIN{printf("%.3f", b/a)}')"
+	# PR 9: telemetry overhead — instrumented-vs-plain percentage on the warm
+	# trial hot path and on a full fleet /run, plus the alloc delta (the
+	# zero-allocation contract; the AllocsPerRun test guards it exactly, this
+	# records it in the trajectory snapshot).
+	TT_OFF_NS=$(echo "$TELEM_RAW" | awk '/^BenchmarkTelemetryTrial\/off/{print $3; exit}')
+	TT_ON_NS=$(echo "$TELEM_RAW" | awk '/^BenchmarkTelemetryTrial\/on/{print $3; exit}')
+	TT_OFF_ALLOCS=$(echo "$TELEM_RAW" | awk '/^BenchmarkTelemetryTrial\/off/{for(i=3;i<NF;i+=2) if($(i+1)=="allocs/op") print $i}')
+	TT_ON_ALLOCS=$(echo "$TELEM_RAW" | awk '/^BenchmarkTelemetryTrial\/on/{for(i=3;i<NF;i+=2) if($(i+1)=="allocs/op") print $i}')
+	TF_OFF_NS=$(echo "$TELEM_RAW" | awk '/^BenchmarkTelemetryFleetRun\/off/{print $3; exit}')
+	TF_ON_NS=$(echo "$TELEM_RAW" | awk '/^BenchmarkTelemetryFleetRun\/on/{print $3; exit}')
+	printf '    "telemetry_trial_overhead_pct": %s,\n' \
+		"$(awk -v o="$TT_OFF_NS" -v i="$TT_ON_NS" 'BEGIN{printf("%.2f", 100*(i/o-1))}')"
+	printf '    "telemetry_trial_extra_allocs_op": %s,\n' \
+		"$(awk -v o="${TT_OFF_ALLOCS:-0}" -v i="${TT_ON_ALLOCS:-0}" 'BEGIN{printf("%d", i-o)}')"
+	printf '    "telemetry_fleet_run_overhead_pct": %s\n' \
+		"$(awk -v o="$TF_OFF_NS" -v i="$TF_ON_NS" 'BEGIN{printf("%.2f", 100*(i/o-1))}')"
 	printf '  }\n'
 	printf '}\n'
 } >"$OUT"

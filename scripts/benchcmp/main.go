@@ -6,7 +6,10 @@
 // benchmark-name collision in bench.sh's awk emitter produces — JSON parsers
 // silently keep one of the duplicates, so a snapshot with collisions loses
 // data without anyone noticing). bench.sh runs this over every snapshot it
-// writes.
+// writes. Snapshots that carry the PR 9 telemetry-overhead derived metrics
+// are additionally bound mechanically: the instrumented warm-trial path must
+// stay within 2% ns/op of the uninstrumented one and add exactly 0
+// allocs/op, or the gate fails.
 //
 // With two arguments it diffs the "current" sections of two snapshots:
 // per-benchmark ns/op ratio (old/new, >1 = new is faster) plus alloc deltas,
@@ -62,11 +65,32 @@ func checkDupKeys(dec *json.Decoder, path string) []string {
 	return problems
 }
 
-// snapshot is the part of a bench JSON the diff mode reads.
+// snapshot is the part of a bench JSON the diff and gate modes read.
 type snapshot struct {
 	PR      json.Number                   `json:"pr"`
 	Go      string                        `json:"go"`
 	Current map[string]map[string]float64 `json:"current"`
+	Derived map[string]float64            `json:"derived"`
+}
+
+// telemetryOverheadBoundPct is the contract on the instrumented warm-trial
+// path: telemetry on vs off within measurement noise. Negative overhead
+// (instrumented run happened to be faster) always passes.
+const telemetryOverheadBoundPct = 2.0
+
+// checkTelemetryBounds enforces the observability contract on snapshots
+// that record it; snapshots from earlier PRs (no telemetry keys) pass.
+func checkTelemetryBounds(s *snapshot, name string) []string {
+	var problems []string
+	if pct, ok := s.Derived["telemetry_trial_overhead_pct"]; ok && pct > telemetryOverheadBoundPct {
+		problems = append(problems, fmt.Sprintf(
+			"%s: telemetry_trial_overhead_pct %.2f exceeds the %.0f%% bound", name, pct, telemetryOverheadBoundPct))
+	}
+	if extra, ok := s.Derived["telemetry_trial_extra_allocs_op"]; ok && extra != 0 {
+		problems = append(problems, fmt.Sprintf(
+			"%s: telemetry_trial_extra_allocs_op %.0f violates the zero-allocation contract", name, extra))
+	}
+	return problems
 }
 
 func validate(name string) []string {
@@ -140,13 +164,21 @@ func diff(oldName, newName string) error {
 func main() {
 	switch len(os.Args) {
 	case 2:
-		if problems := validate(os.Args[1]); len(problems) > 0 {
+		problems := validate(os.Args[1])
+		if len(problems) == 0 {
+			if s, err := load(os.Args[1]); err != nil {
+				problems = append(problems, err.Error())
+			} else {
+				problems = append(problems, checkTelemetryBounds(s, os.Args[1])...)
+			}
+		}
+		if len(problems) > 0 {
 			for _, p := range problems {
 				fmt.Fprintln(os.Stderr, "benchcmp:", p)
 			}
 			os.Exit(1)
 		}
-		fmt.Printf("%s: valid JSON, no duplicate keys\n", os.Args[1])
+		fmt.Printf("%s: valid JSON, no duplicate keys, overhead bounds hold\n", os.Args[1])
 	case 3:
 		for _, name := range os.Args[1:] {
 			if problems := validate(name); len(problems) > 0 {
