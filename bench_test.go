@@ -462,6 +462,69 @@ func BenchmarkRoutingDecisionReference(b *testing.B) {
 	_ = sink
 }
 
+// BenchmarkPolicyRoutingDecision measures the full warm per-header decision
+// of each routing-policy family — the baseline candidate row plus, for the
+// armed families, the extras row the engine scans when every candidate is
+// busy. The policy dimension must cost nothing when disarmed and one extra
+// compiled-row read when armed; all three stay 0 allocs/op.
+func BenchmarkPolicyRoutingDecision(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		pol  RoutingPolicy
+	}{
+		{"baseline", PolicyBaseline},
+		{"misroute", PolicyMisroute},
+		{"duato", PolicyDuato},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			sys, err := NewFromSpec("gnm:24+12", WithSeed(1998), WithRoutingPolicy(tc.pol))
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := sys.Router()
+			lcas := sys.Switches()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink int
+			for i := 0; i < b.N; i++ {
+				at := lcas[i%len(lcas)]
+				lca := lcas[(i*7+3)%len(lcas)]
+				sink += len(r.CandidateChannels(at, core.ArriveDownTree, lca))
+				switch tc.pol {
+				case PolicyMisroute:
+					sink += len(r.DerouteChannels(at, core.ArriveDownTree, lca))
+				case PolicyDuato:
+					sink += len(r.AdaptiveChannels(at, core.ArriveDownTree, lca))
+				}
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkRoutingLatencySweep regenerates the adaptive-routing comparator's
+// Fig3-style latency-vs-rate sweep, one sub-benchmark per policy family so
+// the trajectory snapshot records each curve's headline point (mean latency
+// at the highest swept rate) separately.
+func BenchmarkRoutingLatencySweep(b *testing.B) {
+	var series []experiment.Series
+	for i := 0; i < b.N; i++ {
+		cfg := experiment.DefaultRouting(300)
+		cfg.Rates = []float64{0.01, 0.04}
+		cfg.Sim = benchSim()
+		var err error
+		series, err = experiment.RunRoutingComparison(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + experiment.SeriesTable("Routing comparator: latency vs arrival rate per policy", "rate(msg/us/proc)", series).Format())
+	for _, s := range series {
+		last := s.Points[len(s.Points)-1]
+		b.ReportMetric(last.Mean, "us/msg-"+s.Label+"-high")
+	}
+}
+
 // BenchmarkLabelingConstruction measures building the full up*/down*
 // structure (ancestor and extended-ancestor closures included) for a
 // 256-switch network.

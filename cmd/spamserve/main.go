@@ -72,6 +72,8 @@ func main() {
 		topoSpec    = flag.String("topo", "", `default-system topology spec, e.g. "torus:16x16", "fattree:4x3" (default: lattice:<nodes>)`)
 		seed        = flag.Uint64("seed", 1998, "topology generation seed")
 		root        = flag.String("root", "min-id", "spanning-tree root strategy: min-id | max-degree | center")
+		routing     = flag.String("routing", "baseline", "default-system routing policy: baseline | misroute | duato")
+		misBudget   = flag.Int("misroute-budget", 0, "default-system per-worm deroute budget (-routing misroute only)")
 		pool        = flag.Int("pool", 0, "simulator pool size (0 = GOMAXPROCS)")
 		shards      = flag.Int("shards", 0, "conservative-parallel event shards per trial (bit-identical to sequential; <=1 = sequential)")
 		bufFlits    = flag.Int("inputbuf", 1, "input buffer size in flits")
@@ -118,11 +120,20 @@ func main() {
 	if err != nil {
 		fatal("bad flag", "error", err.Error())
 	}
+	policy, err := spamnet.ParseRoutingPolicy(*routing)
+	if err != nil {
+		fatal("bad flag", "error", err.Error())
+	}
+	if *misBudget != 0 && policy != spamnet.PolicyMisroute {
+		fatal("bad flag", "error", "-misroute-budget requires -routing misroute")
+	}
 	params := spamnet.PaperParams()
 	params.MessageFlits = *flits
 	sysOpts := []spamnet.Option{
 		spamnet.WithSeed(*seed),
 		spamnet.WithRootStrategy(strategy),
+		spamnet.WithRoutingPolicy(policy),
+		spamnet.WithMisrouteBudget(*misBudget),
 		spamnet.WithInputBufferFlits(*bufFlits),
 		spamnet.WithLatencyParams(params),
 		spamnet.WithMaxSimTime(*horizon),

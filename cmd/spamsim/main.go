@@ -62,7 +62,7 @@ func main() {
 		shards   = flag.Int("shards", 0, "conservative-parallel event shards per trial (bit-identical to sequential; <=1 = sequential)")
 		report   = flag.String("report", "", "also write a consolidated Markdown report to this file")
 
-		campaignArg = flag.String("campaign", "", "run a campaign manifest: built-in name (paper | collectives | smoke | scale) or path to a JSON manifest")
+		campaignArg = flag.String("campaign", "", "run a campaign manifest: built-in name (paper | collectives | routing | smoke | scale) or path to a JSON manifest")
 		outDir      = flag.String("out", "campaign-out", "campaign output directory (REPORT.md, plots/, cells/ checkpoints)")
 
 		scenario  = flag.String("scenario", "", "run a named workload scenario instead of an experiment (see -list-scenarios)")
@@ -79,6 +79,9 @@ func main() {
 		stages    = flag.Int("stages", 0, "pipeline stage count (0 = scenario default)")
 		fanout    = flag.Int("fanout", 0, "tree all-reduce arity (0 = scenario default)")
 		warmup    = flag.Int("warmup", -1, "scenario warmup messages excluded from measurement (-1 = messages/10)")
+		routing   = flag.String("routing", "", "routing policy: baseline (default) | misroute | duato")
+		misBudget = flag.Int("misroute-budget", 0, "per-worm deroute budget (routing=misroute only)")
+		rootStrat = flag.String("root", "", "spanning-tree root strategy: min-id (default) | max-degree | center")
 		traceOut  = flag.String("trace-out", "", "record the last trial's submission stream to this trace file")
 		traceIn   = flag.String("trace-in", "", "replay a recorded trace file (implies -scenario replay)")
 
@@ -151,6 +154,9 @@ func main() {
 			Stages:            *stages,
 			Fanout:            *fanout,
 			Trace:             traceFile,
+			Routing:           *routing,
+			MisrouteBudget:    *misBudget,
+			Root:              *rootStrat,
 			FaultScript:       *faultScript,
 			FaultProfile:      *faultProfile,
 			FaultSeed:         *faultSeed,
@@ -256,15 +262,16 @@ func runCampaign(arg, out string, workers int, simCfg sim.Config) error {
 }
 
 // buildScenarioSystem constructs the network + routing for a scenario run:
-// the -topo spec when given, else the paper lattice at -nodes switches.
-func buildScenarioSystem(topoSpec string, nodes int, seed uint64) (*core.Router, *topology.Network, error) {
+// the -topo spec when given, else the paper lattice at -nodes switches, with
+// the -routing policy and -root strategy the params carry.
+func buildScenarioSystem(p workload.Params, nodes int, seed uint64) (*core.Router, *topology.Network, error) {
 	var (
 		net *topology.Network
 		err error
 	)
-	if topoSpec != "" {
+	if p.Topology != "" {
 		var sp topology.Spec
-		if sp, err = topology.ParseSpec(topoSpec); err == nil {
+		if sp, err = topology.ParseSpec(p.Topology); err == nil {
 			net, err = sp.Build(seed)
 		}
 	} else {
@@ -273,11 +280,19 @@ func buildScenarioSystem(topoSpec string, nodes int, seed uint64) (*core.Router,
 	if err != nil {
 		return nil, nil, err
 	}
-	lab, err := updown.New(net, updown.RootMinID)
+	pol, _, err := workload.RoutingPolicy(p)
 	if err != nil {
 		return nil, nil, err
 	}
-	return core.NewRouter(lab), net, nil
+	root, _, err := workload.RootStrategy(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	lab, err := updown.New(net, root)
+	if err != nil {
+		return nil, nil, err
+	}
+	return core.NewRouterPolicy(lab, pol), net, nil
 }
 
 // runScenario executes a registered workload scenario on one reusable
@@ -294,14 +309,19 @@ func runScenario(name string, params workload.Params, simCfg sim.Config, nodes, 
 		}
 		return fmt.Errorf("unknown scenario (have %v)", names)
 	}
+	if err := workload.ValidateRoutingParams(params); err != nil {
+		return err
+	}
 	w, err := workload.ApplyFaults(sc.New(params), params)
 	if err != nil {
 		return err
 	}
-	router, net, err := buildScenarioSystem(params.Topology, nodes, seed)
+	router, net, err := buildScenarioSystem(params, nodes, seed)
 	if err != nil {
 		return err
 	}
+	_, budget, _ := workload.RoutingPolicy(params)
+	simCfg.MisrouteBudget = budget
 	runner, err := workload.NewRunner(router, simCfg)
 	if err != nil {
 		return err
@@ -360,6 +380,9 @@ func runScenario(name string, params workload.Params, simCfg sim.Config, nodes, 
 	t.AddRow("messages (last trial)", fmt.Sprintf("%d", c.WormsCompleted))
 	t.AddRow("events (last trial)", fmt.Sprintf("%d", c.Events))
 	t.AddRow("payload flit-hops (last trial)", fmt.Sprintf("%d", c.PayloadFlitHops))
+	if router.Policy() != core.PolicyBaseline {
+		t.AddRow("adaptive / misroute hops (last trial)", fmt.Sprintf("%d / %d", c.AdaptiveHops, c.MisrouteHops))
+	}
 	if inj := runner.FaultInjector(); inj != nil {
 		m := inj.Metrics()
 		t.AddRow("fault events applied/rejected (last trial)", fmt.Sprintf("%d / %d", m.EventsApplied, m.EventsRejected))

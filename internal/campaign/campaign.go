@@ -153,6 +153,12 @@ func (m *Manifest) Validate(allowFiles bool) error {
 				return fmt.Errorf("campaign: grid %s: %w", g.Name, err)
 			}
 		}
+		// The routing-policy and root axes ride Params too; a typoed policy
+		// or a budget on a non-misroute grid must fail validation, not run a
+		// silently different experiment.
+		if err := workload.ValidateRoutingParams(g.Params); err != nil {
+			return fmt.Errorf("campaign: grid %s: %w", g.Name, err)
+		}
 	}
 	return nil
 }
@@ -250,6 +256,37 @@ func Builtin(name string) (*Manifest, bool) {
 				Params:    workload.Params{Messages: 600},
 			}},
 		}, true
+	case "routing":
+		// Adaptive-routing comparator: the same zoo × workload cells under
+		// each routing-policy family — baseline up*/down*, bounded misroute
+		// (budget 2) and Duato-style fully adaptive with the baseline escape
+		// class. One grid per policy (Params are per-grid), certificate-sweep
+		// topology sizes so the whole campaign is seconds-scale and CI can
+		// diff two runs byte-for-byte. The routing experiment driver
+		// regenerates the Fig 3-style latency-vs-rate sweep per policy plus
+		// the root-strategy comparison.
+		zoo := []string{
+			"lattice:32", "gnm:24+12", "mesh:5x4", "torus:5x5",
+			"hypercube:4", "fattree:2x3",
+		}
+		scenarios := []string{"mixed", "hotspot"}
+		grid := func(name string, p workload.Params) Grid {
+			p.Messages = 400
+			return Grid{Name: name, Topologies: zoo, Scenarios: scenarios, Trials: 2, Params: p}
+		}
+		return &Manifest{
+			Name:  "routing",
+			Title: "Adaptive-routing comparator: baseline vs bounded misroute vs Duato escape",
+			Seed:  1998,
+			Experiments: []Experiment{
+				{Driver: "routing", Trials: 3, Messages: 400},
+			},
+			Grids: []Grid{
+				grid("baseline", workload.Params{}),
+				grid("misroute-2", workload.Params{Routing: "misroute", MisrouteBudget: 2}),
+				grid("duato", workload.Params{Routing: "duato"}),
+			},
+		}, true
 	case "smoke":
 		return &Manifest{
 			Name: "smoke",
@@ -292,7 +329,7 @@ func Builtin(name string) (*Manifest, bool) {
 }
 
 // BuiltinNames lists the built-in manifests.
-func BuiltinNames() []string { return []string{"paper", "collectives", "smoke", "scale"} }
+func BuiltinNames() []string { return []string{"paper", "collectives", "routing", "smoke", "scale"} }
 
 // sanitize converts a name into a filesystem- and markdown-safe slug.
 func sanitize(s string) string {

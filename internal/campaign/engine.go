@@ -318,12 +318,14 @@ func Run(ctx context.Context, m *Manifest, opts Options) (*Result, error) {
 	var mu sync.Mutex // systems cache + counters
 
 	type sysKey struct {
-		topo string
-		seed uint64
+		topo    string
+		seed    uint64
+		routing core.Policy
+		root    updown.RootStrategy
 	}
 	systems := map[sysKey]*systemParts{}
-	systemFor := func(topo string, seed uint64) (*systemParts, error) {
-		k := sysKey{topo, seed}
+	systemFor := func(topo string, seed uint64, pol core.Policy, root updown.RootStrategy) (*systemParts, error) {
+		k := sysKey{topo, seed, pol, root}
 		mu.Lock()
 		if s, ok := systems[k]; ok {
 			mu.Unlock()
@@ -333,7 +335,7 @@ func Run(ctx context.Context, m *Manifest, opts Options) (*Result, error) {
 		// Build outside the lock so workers on cached topologies never
 		// wait behind a slow build; construction is deterministic, so a
 		// concurrent duplicate is identical and the loser is dropped.
-		s, err := buildSystem(topo, seed)
+		s, err := buildSystem(topo, seed, pol, root)
 		if err != nil {
 			return nil, err
 		}
@@ -362,7 +364,7 @@ func Run(ctx context.Context, m *Manifest, opts Options) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			runners := map[*systemParts]*workload.Runner{}
+			runners := map[runnerKey]*workload.Runner{}
 			for i := range next {
 				cell := cells[i]
 				g := m.grid(cell.Grid)
@@ -469,7 +471,7 @@ func RunSingleCell(ctx context.Context, g Grid, cell Cell, opts Options) (*CellR
 	}
 	spec := cellSpecFor(&g, cell, opts)
 	id := cellID("cell", cell.Grid+"-"+cell.Scenario, spec)
-	runners := map[*systemParts]*workload.Runner{}
+	runners := map[runnerKey]*workload.Runner{}
 	return runCell(cell, spec, id, opts, buildSystem, runners)
 }
 
@@ -510,7 +512,7 @@ type systemParts struct {
 	router *core.Router
 }
 
-func buildSystem(topoSpec string, seed uint64) (*systemParts, error) {
+func buildSystem(topoSpec string, seed uint64, pol core.Policy, root updown.RootStrategy) (*systemParts, error) {
 	sp, err := topology.ParseSpec(topoSpec)
 	if err != nil {
 		return nil, err
@@ -519,30 +521,52 @@ func buildSystem(topoSpec string, seed uint64) (*systemParts, error) {
 	if err != nil {
 		return nil, err
 	}
-	lab, err := updown.New(net, updown.RootMinID)
+	lab, err := updown.New(net, root)
 	if err != nil {
 		return nil, err
 	}
-	return &systemParts{net: net, router: core.NewRouter(lab)}, nil
+	return &systemParts{net: net, router: core.NewRouterPolicy(lab, pol)}, nil
+}
+
+// runnerKey caches one reusable simulator per (system, misroute budget): the
+// budget lives in the simulator configuration, so two grids sharing a system
+// but differing in budget must not share a runner.
+type runnerKey struct {
+	sys    *systemParts
+	budget int
 }
 
 // runCell measures one grid cell on the worker's reusable simulator for the
 // cell's topology.
 func runCell(cell Cell, spec cellSpec, id string, opts Options,
-	systemFor func(string, uint64) (*systemParts, error),
-	runners map[*systemParts]*workload.Runner) (*CellResult, error) {
+	systemFor func(string, uint64, core.Policy, updown.RootStrategy) (*systemParts, error),
+	runners map[runnerKey]*workload.Runner) (*CellResult, error) {
 
-	sys, err := systemFor(cell.Topology, cell.Seed)
+	// The routing-policy and root axes ride the grid Params (validated by
+	// Manifest.Validate; RunSingleCell re-resolves them here so a fleet
+	// worker builds the same system as a local pool).
+	pol, budget, err := workload.RoutingPolicy(spec.Params)
 	if err != nil {
 		return nil, err
 	}
-	r, ok := runners[sys]
+	root, _, err := workload.RootStrategy(spec.Params)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := systemFor(cell.Topology, cell.Seed, pol, root)
+	if err != nil {
+		return nil, err
+	}
+	rk := runnerKey{sys: sys, budget: budget}
+	r, ok := runners[rk]
 	if !ok {
-		r, err = workload.NewRunner(sys.router, opts.Sim)
+		cfg := opts.Sim
+		cfg.MisrouteBudget = budget
+		r, err = workload.NewRunner(sys.router, cfg)
 		if err != nil {
 			return nil, err
 		}
-		runners[sys] = r
+		runners[rk] = r
 	}
 	sc, ok := workload.Lookup(cell.Scenario)
 	if !ok {

@@ -69,6 +69,7 @@ type Router struct {
 	Net *topology.Network
 	Lab *updown.Labeling
 	tab *Tables // nil in reference mode
+	pol Policy
 }
 
 // Recompile points the router at a (new) labeling of the same network and
@@ -92,10 +93,18 @@ func (r *Router) Recompile(lab *updown.Labeling) {
 	}
 }
 
-// NewRouter builds a SPAM router over a labeling with compiled routing
-// tables.
+// NewRouter builds a baseline SPAM router over a labeling with compiled
+// routing tables.
 func NewRouter(lab *updown.Labeling) *Router {
-	return &Router{Net: lab.Net, Lab: lab, tab: compileTables(lab)}
+	return NewRouterPolicy(lab, PolicyBaseline)
+}
+
+// NewRouterPolicy builds a SPAM router with compiled routing tables for the
+// given routing policy. Non-baseline policies additionally compile the
+// deroute and adaptive extras planes (DerouteChannels, AdaptiveChannels);
+// the baseline candidate planes are identical across policies.
+func NewRouterPolicy(lab *updown.Labeling, pol Policy) *Router {
+	return &Router{Net: lab.Net, Lab: lab, tab: compileTables(lab, pol), pol: pol}
 }
 
 // NewReferenceRouter builds a SPAM router that recomputes every routing
@@ -103,8 +112,17 @@ func NewRouter(lab *updown.Labeling) *Router {
 // allocating, but with no precomputed state beyond the labeling — the
 // implementation the tables are verified against.
 func NewReferenceRouter(lab *updown.Labeling) *Router {
-	return &Router{Net: lab.Net, Lab: lab}
+	return NewReferenceRouterPolicy(lab, PolicyBaseline)
 }
+
+// NewReferenceRouterPolicy builds a reference (compute-per-event) router for
+// the given routing policy.
+func NewReferenceRouterPolicy(lab *updown.Labeling, pol Policy) *Router {
+	return &Router{Net: lab.Net, Lab: lab, pol: pol}
+}
+
+// Policy reports the router's routing-policy family.
+func (r *Router) Policy() Policy { return r.pol }
 
 // TableDriven reports whether this router answers routing queries from
 // compiled tables (NewRouter) rather than by recomputation
@@ -221,6 +239,144 @@ func (r *Router) ReferenceCandidateOutputs(at topology.NodeID, arrival ArrivalCl
 			}
 		}
 		out = append(out, Candidate{Channel: c, DistToLCA: r.Lab.SwitchDist[ch.Dst][lcaSwitch]})
+	}
+	sortCandidates(out)
+	return out
+}
+
+// DerouteChannels returns the deroute-extras row for (at, arrival, lca):
+// the live down-cross channels a down-tree arrival may cross out of its
+// subtree on — baseline-illegal under the paper's Rule 2 arrival clause,
+// but with an extended-ancestor endpoint, so the worm still completes the
+// route down-monotonically (see referenceExtras for why this is the unique
+// deadlock-safe relaxation; cells with other arrival classes are empty).
+// Candidates are ordered by (DistToLCA, ChannelID) like the baseline rows.
+// Up channels never appear: policy hops must not climb, which is what keeps
+// every policy family's dependency relation — and its escape subrelation —
+// acyclic.
+//
+// The row is empty for PolicyBaseline routers. With tables the returned
+// slice aliases the compiled arena and MUST NOT be mutated; in reference
+// mode it is freshly computed.
+func (r *Router) DerouteChannels(at topology.NodeID, arrival ArrivalClass, lcaSwitch topology.NodeID) []topology.ChannelID {
+	if r.pol == PolicyBaseline {
+		return nil
+	}
+	if r.tab != nil {
+		if !r.Net.IsSwitch(at) {
+			panic(fmt.Sprintf("core: DerouteChannels at non-switch %d", at))
+		}
+		return r.tab.deroute(arrival, at, lcaSwitch)
+	}
+	return channelsOf(r.ReferenceDerouteOutputs(at, arrival, lcaSwitch))
+}
+
+// AdaptiveChannels returns the adaptive-extras row for (at, arrival, lca):
+// the full viable extras row, identical to DerouteChannels but compiled into
+// its own planes so the two families stay independently certifiable. A
+// Duato-policy worm may take any of these without budget whenever one is
+// instantly free; none is ever waited on. The row is ordered by
+// (DistToLCA, id), so shortcut sidesteps are preferred when several are
+// free. Distance-productivity is deliberately NOT required: a productive
+// extra is provably unreachable under BFS up*/down* labelings (see
+// referenceExtras), and termination follows from every extra being a
+// down-cross channel — down channels strictly ascend the labeling's
+// (level, id) order, so any worm's path length is bounded without a budget.
+//
+// The row is empty for PolicyBaseline routers. With tables the returned
+// slice aliases the compiled arena and MUST NOT be mutated; in reference
+// mode it is freshly computed.
+func (r *Router) AdaptiveChannels(at topology.NodeID, arrival ArrivalClass, lcaSwitch topology.NodeID) []topology.ChannelID {
+	if r.pol == PolicyBaseline {
+		return nil
+	}
+	if r.tab != nil {
+		if !r.Net.IsSwitch(at) {
+			panic(fmt.Sprintf("core: AdaptiveChannels at non-switch %d", at))
+		}
+		return r.tab.adaptive(arrival, at, lcaSwitch)
+	}
+	return channelsOf(r.ReferenceAdaptiveOutputs(at, arrival, lcaSwitch))
+}
+
+func channelsOf(cands []Candidate) []topology.ChannelID {
+	if len(cands) == 0 {
+		return nil
+	}
+	out := make([]topology.ChannelID, len(cands))
+	for i, cand := range cands {
+		out[i] = cand.Channel
+	}
+	return out
+}
+
+// ReferenceDerouteOutputs is the compute-per-event specification of the
+// deroute-extras row the policy tables are verified against.
+func (r *Router) ReferenceDerouteOutputs(at topology.NodeID, arrival ArrivalClass, lcaSwitch topology.NodeID) []Candidate {
+	return r.referenceExtras(at, arrival, lcaSwitch)
+}
+
+// ReferenceAdaptiveOutputs is the compute-per-event specification of the
+// adaptive-extras row the policy tables are verified against.
+func (r *Router) ReferenceAdaptiveOutputs(at topology.NodeID, arrival ArrivalClass, lcaSwitch topology.NodeID) []Candidate {
+	return r.referenceExtras(at, arrival, lcaSwitch)
+}
+
+// referenceExtras computes the extras of one cell: the channels that are
+// not up*/down*-legal for (arrival, lca) but whose use provably preserves
+// the deadlock certificate. Within the paper's framework exactly one
+// legality clause is relaxable:
+//
+//   - Rule 1 (ups from up/injection arrivals) is already maximal — every up
+//     channel is a baseline candidate, so the up phase is fully adaptive.
+//   - Climbing from a down arrival would let a worm hold a down channel
+//     while stretching back into the up sub-network, adding down→up edges
+//     to the channel dependency relation — the classic unrestricted-
+//     misrouting deadlock. Up channels are therefore never extras.
+//   - Rule 3 (down-tree channels) is maximal too: a down-tree channel whose
+//     endpoint is not an ancestor of the LCA can never complete the descent.
+//   - Rule 2 restricts down-cross channels to up/down-cross arrivals. That
+//     arrival clause is the relaxable one: a worm already descending a
+//     subtree (down-tree arrival) may cross sideways out of it on a
+//     down-cross channel whose endpoint is an extended ancestor of the LCA
+//     and complete the route down-monotonically from there.
+//
+// Because every extra is a down channel and down channels strictly ascend
+// the labeling's (level, id) order, the relation enlarged by extras remains
+// acyclic — including Duato-style indirect dependencies, which are paths in
+// it (deadlock.VerifyPolicy and the zoo battery certify both graphs). The
+// same lexicographic ascent bounds every worm's path length, so Duato
+// routing terminates without a budget or a distance-productivity filter.
+//
+// A productivity filter (endpoint strictly closer to the LCA) was in fact
+// tried for the adaptive planes and proved *vacuous at every reachable
+// cell*: a worm holding a down-tree arrival sits at a tree ancestor of its
+// LCA, whose tree descent is already a shortest path under BFS levels, and
+// the BFS discovery order guarantees any strictly-shorter cross sidestep
+// would have captured the LCA's parent pointer into its own subtree —
+// contradicting the ancestor relation. The adaptive row is therefore the
+// full extras row (the deroute row), ordered by (DistToLCA, id).
+func (r *Router) referenceExtras(at topology.NodeID, arrival ArrivalClass, lcaSwitch topology.NodeID) []Candidate {
+	if !r.Net.IsSwitch(at) {
+		panic(fmt.Sprintf("core: extras at non-switch %d", at))
+	}
+	if arrival != ArriveDownTree {
+		return nil
+	}
+	var out []Candidate
+	for _, c := range r.Net.Out(at) {
+		ch := r.Net.Chan(c)
+		if r.Net.IsProcessor(ch.Dst) || r.Lab.IsDown(c) {
+			continue
+		}
+		if r.Lab.ClassOf[c] != updown.DownCross {
+			continue
+		}
+		end := ch.Dst
+		if !r.Lab.IsExtendedAncestor(end, lcaSwitch) {
+			continue // cannot complete the descent: not viable
+		}
+		out = append(out, Candidate{Channel: c, DistToLCA: r.Lab.SwitchDist[end][lcaSwitch]})
 	}
 	sortCandidates(out)
 	return out

@@ -53,8 +53,16 @@ import (
 // event on.
 type Tables struct {
 	numSwitches int
-	// colID maps (class*numSwitches + at) to the start offset of the
-	// column's page vector inside colPages.
+	// policy records which extras planes are compiled. PolicyBaseline
+	// tables hold exactly the numClasses legality planes; policy tables
+	// append a deroute plane triple and an adaptive plane triple (see
+	// recompilePolicy), sharing rows, pages and the arena with the
+	// baseline planes through the same dedup pools.
+	policy Policy
+	// colID maps (plane*numSwitches + at) to the start offset of the
+	// column's page vector inside colPages. Planes 0..2 are the baseline
+	// legality classes; policy tables add planes 3..5 (deroute extras per
+	// arrival class) and 6..8 (adaptive extras per arrival class).
 	colID []uint32
 	// colPages is the flat pool of page vectors: ppc consecutive entries
 	// per distinct column, each the start offset of a page inside pages.
@@ -109,6 +117,18 @@ type Tables struct {
 	colBuf [numClasses][]uint32
 	// colScratch stages one column's page-offset vector for interning.
 	colScratch []uint32
+
+	// ---- policy-pass scratch (nil for PolicyBaseline) ----
+
+	// polSeen / polTriples / polPack mirror sigSeen / triples / packArena
+	// for the policy pass: per-switch memoization of LCA-equivalent extras
+	// vectors, collision-verified against the stored packed form.
+	polSeen    map[uint64]int32
+	polTriples []polTriple
+	polPack    []uint64
+	// polCol accumulates the per-plane rowID columns of the current switch
+	// for the six policy planes (deroute 0..2, adaptive 0..2).
+	polCol [2 * numClasses][]uint32
 }
 
 // liveChan caches a live (non-failed) inter-switch channel with its
@@ -130,6 +150,16 @@ type tableRow struct {
 type rowTriple struct {
 	id      [numClasses]uint32
 	n       [numClasses]uint32
+	packOff uint32
+}
+
+// polTriple is the policy-pass analogue of rowTriple: the six policy-plane
+// rowIDs (deroute classes 0..2, then adaptive classes 0..2) of one
+// LCA-equivalence class, with lengths and the packed vector's offset in
+// polPack.
+type polTriple struct {
+	id      [2 * numClasses]uint32
+	n       [2 * numClasses]uint32
 	packOff uint32
 }
 
@@ -169,15 +199,31 @@ func (t *Tables) pagesPerCol() int {
 	return (t.numSwitches + pageSize - 1) / pageSize
 }
 
+// planes returns the number of compiled index planes: the numClasses
+// baseline legality planes, plus the deroute and adaptive plane triples for
+// policy tables.
+func (t *Tables) planes() int {
+	if t.policy == PolicyBaseline {
+		return numClasses
+	}
+	return 3 * numClasses
+}
+
+// Policy reports which routing-policy planes the tables carry.
+func (t *Tables) Policy() Policy { return t.policy }
+
 // compileTables builds the full candidate table for a labeling by evaluating
 // the routing legality relations once per LCA-equivalence class per switch.
-func compileTables(lab *updown.Labeling) *Tables {
+// Non-baseline policies append the deroute and adaptive extras planes in a
+// second pass over the finished baseline planes (the extras' viability test
+// reads completed baseline rows).
+func compileTables(lab *updown.Labeling, pol Policy) *Tables {
 	net := lab.Net
 	s := net.NumSwitches
 	ppc := (s + pageSize - 1) / pageSize
 	t := &Tables{
 		numSwitches: s,
-		colID:       make([]uint32, numClasses*s),
+		policy:      pol,
 		rowRefs:     make([]tableRow, 1, 64), // rowRefs[0] = empty row
 		switchOuts:  make([][]topology.ChannelID, s),
 		rowSeen:     make(map[uint64]uint32),
@@ -187,8 +233,15 @@ func compileTables(lab *updown.Labeling) *Tables {
 		row:         make([]Candidate, 0, 16),
 		colScratch:  make([]uint32, ppc),
 	}
+	t.colID = make([]uint32, t.planes()*s)
 	for k := range t.colBuf {
 		t.colBuf[k] = make([]uint32, ppc*pageSize)
+	}
+	if pol != PolicyBaseline {
+		t.polSeen = make(map[uint64]int32)
+		for k := range t.polCol {
+			t.polCol[k] = make([]uint32, ppc*pageSize)
+		}
 	}
 	// Per-switch inter-switch output channels (consumption channels are
 	// distribution-only and never candidates), collected once.
@@ -332,6 +385,164 @@ func (t *Tables) Recompile(lab *updown.Labeling) {
 			t.colID[k*s+at] = t.internCol(t.colScratch)
 		}
 	}
+	if t.policy != PolicyBaseline {
+		t.recompilePolicy(lab)
+	}
+}
+
+// recompilePolicy fills the six policy planes (deroute classes 0..2 at plane
+// offset numClasses, adaptive classes 0..2 at 2*numClasses) for a finished
+// baseline compile. An extras cell holds the channels that fail the
+// up*/down* legality test for (arrival, LCA) but whose use provably
+// preserves the deadlock certificate — which within the paper's rules is
+// exactly one class (see Router.referenceExtras for the argument): down-
+// cross channels offered to *down-tree* arrivals, endpoint an extended
+// ancestor of the LCA. Classes 0 and 1 are therefore empty planes (their
+// columns intern to the all-empty-row page), and the class-2 planes read
+// one word of the extended-descendant transpose per down-cross endpoint —
+// the same streaming shape as the baseline pass.
+//
+// The adaptive planes hold the same rows as the deroute planes (the row
+// interner dedups them, so the extra planes cost only column pointers). A
+// distance-productivity filter was considered and rejected: under a BFS
+// up*/down* labeling a productive extra is *provably unreachable* — any
+// switch a worm can legally occupy with a down-tree arrival is a tree
+// ancestor of its LCA, whose tree descent is already a shortest path, and
+// the BFS discovery order forces every strictly-shorter sidestep's subtree
+// to capture the LCA's parent pointer first (see ARCHITECTURE.md). Duato
+// hops terminate without the filter because every extra is a down-cross
+// channel, and down channels strictly ascend the labeling's (level, id)
+// order.
+func (t *Tables) recompilePolicy(lab *updown.Labeling) {
+	s := t.numSwitches
+	ppc := t.pagesPerCol()
+	var sigHash [pageSize]uint64
+	for at := 0; at < s; at++ {
+		// Only live down-cross channels can be extras; reuse slot 1 of
+		// the class-split scratch.
+		for k := range t.live {
+			t.live[k] = t.live[k][:0]
+		}
+		for _, c := range t.switchOuts[at] {
+			if lab.IsDown(c) || lab.ClassOf[c] != updown.DownCross {
+				continue
+			}
+			t.live[1] = append(t.live[1], liveChan{c: c, end: lab.Net.Chan(c).Dst})
+		}
+		nLive := len(t.live[1])
+		if need := pageSize * nLive; cap(t.packBuf) < need {
+			t.packBuf = make([]uint64, need)
+		} else {
+			t.packBuf = t.packBuf[:need]
+		}
+		clear(t.polSeen)
+		t.polTriples = t.polTriples[:0]
+		t.polPack = t.polPack[:0]
+		for base := 0; base < s; base += pageSize {
+			lim := s - base
+			if lim > pageSize {
+				lim = pageSize
+			}
+			wb := base >> pageBits
+			for j := 0; j < lim; j++ {
+				sigHash[j] = fnvBasis
+			}
+			// Pack per (LCA, channel): bit 0 = deroute extra (a cross
+			// usable by a down-tree arrival), bit 1 = adaptive extra
+			// (the same viability test — see recompilePolicy's doc for
+			// why the adaptive plane is not distance-filtered), upper
+			// bits the biased endpoint→LCA distance for row
+			// construction.
+			for ei, lc := range t.live[1] {
+				w := lab.ExtendedDescendants(lc.end).Word(wb)
+				dr := lab.SwitchDist[lc.end][base : base+lim]
+				for j := 0; j < lim; j++ {
+					var p uint64
+					if w>>uint(j)&1 != 0 {
+						p = (uint64(uint32(dr[j]))+1)<<2 | 3
+					}
+					t.packBuf[j*nLive+ei] = p
+					sigHash[j] = (sigHash[j] ^ p) * fnvPrime
+				}
+			}
+			for j := 0; j < lim; j++ {
+				tri := t.resolvePolTriple(sigHash[j], t.packBuf[j*nLive:(j+1)*nLive])
+				lca := base + j
+				for k := 0; k < 2*numClasses; k++ {
+					t.polCol[k][lca] = tri.id[k]
+					t.naiveArena += int(tri.n[k])
+				}
+			}
+		}
+		for k := 0; k < 2*numClasses; k++ {
+			for p := 0; p < ppc; p++ {
+				t.colScratch[p] = t.internPage(t.polCol[k][p*pageSize : (p+1)*pageSize])
+			}
+			t.colID[(numClasses+k)*s+at] = t.internCol(t.colScratch)
+		}
+	}
+}
+
+// resolvePolTriple is the policy-pass twin of resolveTriple: memoized row
+// construction per LCA-equivalence class, collision-verified against the
+// stored packed vector.
+func (t *Tables) resolvePolTriple(h uint64, pk []uint64) polTriple {
+	if idx, ok := t.polSeen[h]; ok {
+		tri := t.polTriples[idx]
+		stored := t.polPack[tri.packOff : int(tri.packOff)+len(pk)]
+		match := true
+		for i, v := range pk {
+			if stored[i] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return tri
+		}
+	}
+	tri := t.buildPolTriple(pk)
+	tri.packOff = uint32(len(t.polPack))
+	t.polPack = append(t.polPack, pk...)
+	t.polSeen[h] = int32(len(t.polTriples))
+	t.polTriples = append(t.polTriples, tri)
+	return tri
+}
+
+// buildPolTriple constructs and interns the six policy rows of one
+// LCA-equivalence class from its packed extras vector. Only down-tree
+// arrivals (class 2) have extras; the class-0/1 planes stay the empty row.
+func (t *Tables) buildPolTriple(pk []uint64) polTriple {
+	var tri polTriple
+	for pass := 0; pass < 2; pass++ {
+		bit := uint64(1) << uint(pass) // bit 0: deroute, bit 1: adaptive
+		row := t.row[:0]
+		for i, lc := range t.live[1] {
+			if p := pk[i]; p&bit != 0 {
+				row = append(row, Candidate{Channel: lc.c, DistToLCA: int32(uint32(p>>2) - 1)})
+			}
+		}
+		t.row = row
+		k := pass * numClasses
+		tri.id[k+2] = t.internRow(row)
+		tri.n[k+2] = uint32(len(row))
+	}
+	return tri
+}
+
+// deroute returns the precompiled deroute-extras row for (arrival, at, lca).
+// The slice aliases the shared arena: callers must treat it as immutable.
+func (t *Tables) deroute(arrival ArrivalClass, at, lcaSwitch topology.NodeID) []topology.ChannelID {
+	ref := t.rowAt(numClasses+classIndex(arrival), int(at), int(lcaSwitch))
+	return t.arena[ref.off : ref.off+ref.n : ref.off+ref.n]
+}
+
+// adaptive returns the precompiled adaptive-extras row for (arrival, at,
+// lca). The slice aliases the shared arena: callers must treat it as
+// immutable.
+func (t *Tables) adaptive(arrival ArrivalClass, at, lcaSwitch topology.NodeID) []topology.ChannelID {
+	ref := t.rowAt(2*numClasses+classIndex(arrival), int(at), int(lcaSwitch))
+	return t.arena[ref.off : ref.off+ref.n : ref.off+ref.n]
 }
 
 // resolveTriple returns the memoized row triple for an LCA whose packed
@@ -522,7 +733,7 @@ func (t *Tables) candidates(arrival ArrivalClass, at, lcaSwitch topology.NodeID)
 // IDs a non-deduplicated arena would hold. Exposed for diagnostics and
 // tests; MemStats gives the full byte-level accounting.
 func (t *Tables) MemoryFootprint() (indexCells, arenaLen, naiveArenaLen int) {
-	return numClasses * t.numSwitches * t.numSwitches, len(t.arena), t.naiveArena
+	return t.planes() * t.numSwitches * t.numSwitches, len(t.arena), t.naiveArena
 }
 
 // MemStats is the byte-level accounting of one compiled table set, exposed
@@ -550,7 +761,7 @@ func (t *Tables) MemStats() MemStats {
 	s := t.numSwitches
 	m := MemStats{
 		Switches:        s,
-		Cells:           numClasses * s * s,
+		Cells:           t.planes() * s * s,
 		DistinctRows:    len(t.rowRefs),
 		DistinctPages:   len(t.pages) / pageSize,
 		DistinctColumns: len(t.colPages) / t.pagesPerCol(),
@@ -568,16 +779,17 @@ func (t *Tables) MemStats() MemStats {
 	return m
 }
 
-// EqualContent reports whether two tables answer every (class, at, lca)
+// EqualContent reports whether two tables answer every (plane, at, lca)
 // query with the identical candidate list — the bit-identical hot-swap
 // criterion the fault property tests pin (pool layout may differ; contents
-// may not).
+// may not). Policy tables compare their extras planes too, so two tables
+// with different policies are never content-equal.
 func (t *Tables) EqualContent(o *Tables) bool {
-	if t.numSwitches != o.numSwitches {
+	if t.numSwitches != o.numSwitches || t.policy != o.policy {
 		return false
 	}
 	s := t.numSwitches
-	for cls := 0; cls < numClasses; cls++ {
+	for cls := 0; cls < t.planes(); cls++ {
 		for at := 0; at < s; at++ {
 			for lca := 0; lca < s; lca++ {
 				ra := t.rowAt(cls, at, lca)

@@ -194,6 +194,29 @@ var drivers = map[string]driverFn{
 			Series: all, XLabel: "input buffer (flits)", YLabel: "latency (us)",
 		}, nil
 	}},
+	"routing": {desc: "latency vs rate per routing policy (baseline / misroute / Duato)", run: func(o DriverOpts) (*DriverResult, error) {
+		cfg := DefaultRouting(o.Messages)
+		cfg.Seed, cfg.Sim, cfg.Workers = o.Seed, o.Sim, o.Workers
+		series, err := RunRoutingComparison(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &DriverResult{
+			Table: SeriesTable(
+				"Adaptive-routing comparator: latency vs arrival rate per routing policy (90/10 mixed, 128 nodes)",
+				"rate(msg/us/proc)", series),
+			Series: series, XLabel: "rate (msg/us/proc)", YLabel: "latency (us)",
+		}, nil
+	}},
+	"routing-root": {desc: "root placement × routing policy (fat-tree and torus roots)", run: func(o DriverOpts) (*DriverResult, error) {
+		cfg := DefaultRouting(o.Messages)
+		cfg.Seed, cfg.Sim, cfg.Workers = o.Seed, o.Sim, o.Workers
+		rows, err := RunRoutingRootSweep(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &DriverResult{Table: RoutingRootTable(rows)}, nil
+	}},
 	"compare": {desc: "SPAM vs software multicast baselines", run: func(o DriverOpts) (*DriverResult, error) {
 		cfg := DefaultComparison(o.Trials)
 		cfg.Seed, cfg.Sim, cfg.Workers = o.Seed, o.Sim, o.Workers

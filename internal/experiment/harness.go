@@ -205,6 +205,34 @@ func buildRig(switches int, seed uint64, strategy updown.RootStrategy) (*rig, er
 	return &rig{net: net, lab: lab, router: core.NewRouter(lab)}, nil
 }
 
+// withPolicy derives a rig sharing this rig's network and labeling but
+// routing under pol — the comparator sweeps measure policies on the *same*
+// up*/down* structure, so every latency difference is the policy's doing.
+func (r *rig) withPolicy(pol core.Policy) *rig {
+	if pol == core.PolicyBaseline {
+		return r
+	}
+	return &rig{net: r.net, lab: r.lab, router: core.NewRouterPolicy(r.lab, pol)}
+}
+
+// buildRigSpec builds a rig from a topology spec string (the comparator
+// sweeps run on zoo families, not just random lattices).
+func buildRigSpec(spec string, seed uint64, strategy updown.RootStrategy) (*rig, error) {
+	sp, err := topology.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	net, err := sp.Build(seed)
+	if err != nil {
+		return nil, err
+	}
+	lab, err := updown.New(net, strategy)
+	if err != nil {
+		return nil, err
+	}
+	return &rig{net: net, lab: lab, router: core.NewRouter(lab)}, nil
+}
+
 // proc maps a processor index to its node ID.
 func (r *rig) proc(i int) topology.NodeID {
 	return topology.NodeID(r.net.NumSwitches + i)
@@ -239,6 +267,7 @@ type runnerKey struct {
 	watchdogNs         int64
 	stallChecks        int
 	maxEvents          uint64
+	misrouteBudget     int
 }
 
 // simCache is a worker goroutine's pool of resettable simulators, keyed by
@@ -260,6 +289,7 @@ func (c *simCache) runner(rg *rig, cfg sim.Config) (*workload.Runner, error) {
 		watchdogNs:         cfg.WatchdogNs,
 		stallChecks:        cfg.StallChecks,
 		maxEvents:          cfg.MaxEvents,
+		misrouteBudget:     cfg.MisrouteBudget,
 	}
 	if r, ok := c.runners[key]; ok {
 		return r, nil

@@ -143,10 +143,13 @@ func NewInjector(s *sim.Simulator) (*Injector, error) {
 		return nil, err
 	}
 	in := &Injector{
-		sim:       s,
-		net:       base.Net,
-		lab:       lab,
-		router:    core.NewRouter(lab),
+		sim: s,
+		net: base.Net,
+		lab: lab,
+		// The private hot-swap router keeps the base router's routing
+		// policy: fault injection must not silently downgrade an
+		// adaptive simulator to baseline.
+		router:    core.NewRouterPolicy(lab, base.Policy()),
 		mask:      NewMask(base.Net),
 		origin:    make(map[int64]int64),
 		downSince: make(map[uint64]int64),

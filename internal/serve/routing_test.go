@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func routingRequest(routing string, budget, trials int) RunRequest {
+	return RunRequest{
+		Scenario: "mixed",
+		Trials:   trials,
+		Seed:     42,
+		Params: workload.Params{
+			Routing:          routing,
+			MisrouteBudget:   budget,
+			RatePerProcPerUs: 0.01,
+			Messages:         60,
+			MulticastDests:   4,
+		},
+	}
+}
+
+// TestRunMisrouteZeroBaselineDifferential is ARCHITECTURE invariant 12 at
+// the service boundary: a misroute request with budget 0 returns a response
+// bit-identical to the plain baseline request — every statistic and every
+// counter — across pool sizes 1, 4 and 8. The adaptive machinery must be
+// invisible until a budget arms it, no matter how the fleet shards trials.
+func TestRunMisrouteZeroBaselineDifferential(t *testing.T) {
+	sys := testSystem(t, 16)
+	base := newService(t, sys, 2)
+	want, err := base.Run(context.Background(), smallRequest(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.PoolSize, want.ElapsedMs = 0, 0
+	if want.Counters.MisrouteHops != 0 || want.Counters.AdaptiveHops != 0 {
+		t.Fatalf("baseline response counted policy hops: %+v", want.Counters)
+	}
+	for _, pool := range []int{1, 4, 8} {
+		svc := newService(t, testSystem(t, 16), pool)
+		resp, err := svc.Run(context.Background(), routingRequest("misroute", 0, 3))
+		if err != nil {
+			t.Fatalf("pool %d: %v", pool, err)
+		}
+		resp.PoolSize, resp.ElapsedMs = 0, 0
+		if !reflect.DeepEqual(resp, want) {
+			t.Fatalf("pool %d: misroute-0 diverged from baseline:\n got %+v\nwant %+v", pool, resp, want)
+		}
+	}
+}
+
+// TestRunRoutingValidation pins the client-error contract: malformed routing
+// params are rejected up front with ErrInvalidWorkload (HTTP 400), never run.
+func TestRunRoutingValidation(t *testing.T) {
+	svc := newService(t, testSystem(t, 16), 1)
+	cases := []struct {
+		name string
+		req  RunRequest
+		want string
+	}{
+		{"unknown policy", routingRequest("adaptive", 0, 1), "unknown routing policy"},
+		{"budget on baseline", routingRequest("", 2, 1), "requires routing=misroute"},
+		{"budget on duato", routingRequest("duato", 1, 1), "requires routing=misroute"},
+		{"negative budget", routingRequest("misroute", -1, 1), "must be >= 0"},
+		{"bad root", RunRequest{Scenario: "mixed", Trials: 1, Seed: 1,
+			Params: workload.Params{Root: "median", Messages: 20, RatePerProcPerUs: 0.01}}, "root strategy"},
+	}
+	for _, c := range cases {
+		_, err := svc.Run(context.Background(), c.req)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !errors.Is(err, workload.ErrInvalidWorkload) {
+			t.Errorf("%s: error %v is not ErrInvalidWorkload", c.name, err)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestRunRoutingDeterministic pins bit-identical responses across pool sizes
+// and repeats for the armed families, composed with a topology and root
+// override — the full alternate-system construction path.
+func TestRunRoutingDeterministic(t *testing.T) {
+	reqs := map[string]RunRequest{
+		"misroute-2": routingRequest("misroute", 2, 3),
+		"duato":      routingRequest("duato", 0, 3),
+	}
+	duatoTopo := routingRequest("duato", 0, 3)
+	duatoTopo.Params.Topology = "gnm:16+8"
+	duatoTopo.Params.Root = "max-degree"
+	reqs["duato+gnm+root"] = duatoTopo
+
+	for name, req := range reqs {
+		var golden *RunResponse
+		for _, pool := range []int{1, 4} {
+			svc := newService(t, testSystem(t, 16), pool)
+			for rep := 0; rep < 2; rep++ {
+				resp, err := svc.Run(context.Background(), req)
+				if err != nil {
+					t.Fatalf("%s (pool=%d): %v", name, pool, err)
+				}
+				resp.PoolSize, resp.ElapsedMs = 0, 0
+				if golden == nil {
+					golden = resp
+					continue
+				}
+				if !reflect.DeepEqual(resp, golden) {
+					t.Fatalf("%s (pool=%d rep=%d): response diverged:\n got %+v\nwant %+v", name, pool, rep, resp, golden)
+				}
+			}
+		}
+	}
+}

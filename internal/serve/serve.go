@@ -356,55 +356,86 @@ var ErrUnknownScenario = errors.New("serve: unknown scenario")
 // a size beyond the admission cap.
 var ErrBadTopology = errors.New("serve: bad topology")
 
-// altKey identifies a request-built alternate system.
+// altKey identifies a request-built alternate system. Routing policy and
+// root strategy are cache dimensions alongside the topology: "torus:8x8
+// under duato" and "torus:8x8 under baseline" are distinct systems with
+// distinct compiled tables.
 type altKey struct {
-	spec string
-	seed uint64
+	spec    string
+	seed    uint64
+	routing core.Policy
+	root    string
 }
 
 // altSystem is an immutable alternate network + routing structure built for
-// topology-overriding requests. Trials on it run in per-trial simulators
-// (created inside the bounded worker pool, so concurrency stays capped);
-// the routing tables and topology are shared.
+// topology-, routing-policy- or root-overriding requests. Trials on it run
+// in per-trial simulators (created inside the bounded worker pool, so
+// concurrency stays capped); the routing tables and topology are shared.
 type altSystem struct {
 	router *core.Router
 	procs  int
 }
 
-// systemFor returns the alternate system for a topology spec, building and
-// caching it on first use. Spec validation happens before construction so
-// a hostile request cannot make the server do unbounded work.
-func (s *Service) systemFor(spec string, seed uint64) (*altSystem, error) {
-	sp, err := topology.ParseSpec(spec)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrBadTopology, err)
+// systemFor returns the alternate system for a (topology spec, routing
+// policy, root strategy) triple, building and caching it on first use. An
+// empty spec selects the server's default topology — used when only the
+// policy or root dimension is overridden. Spec validation happens before
+// construction so a hostile request cannot make the server do unbounded
+// work.
+func (s *Service) systemFor(spec string, seed uint64, pol core.Policy, root string) (*altSystem, error) {
+	var net *topology.Network
+	k := altKey{spec: spec, seed: seed, routing: pol, root: root}
+	if spec == "" {
+		net = s.cfg.System.Topology()
+	} else {
+		sp, err := topology.ParseSpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrBadTopology, err)
+		}
+		if sp.Family == "file" {
+			return nil, fmt.Errorf("%w: file topologies are not servable", ErrBadTopology)
+		}
+		if n := sp.Switches(); n < 1 || n > maxAltSwitches {
+			return nil, fmt.Errorf("%w: %q expands to %d switches (cap %d)", ErrBadTopology, spec, n, maxAltSwitches)
+		}
+		k.spec = sp.String()
+		s.altMu.Lock()
+		if alt, ok := s.alts[k]; ok {
+			s.altMu.Unlock()
+			return alt, nil
+		}
+		s.altMu.Unlock()
+		// Build outside the lock: a slow large-topology build must not block
+		// requests whose system is already cached. Construction is
+		// deterministic, so a rare concurrent duplicate build yields an
+		// identical system and the loser is simply dropped.
+		if net, err = sp.Build(seed); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrBadTopology, err)
+		}
 	}
-	if sp.Family == "file" {
-		return nil, fmt.Errorf("%w: file topologies are not servable", ErrBadTopology)
-	}
-	if n := sp.Switches(); n < 1 || n > maxAltSwitches {
-		return nil, fmt.Errorf("%w: %q expands to %d switches (cap %d)", ErrBadTopology, spec, n, maxAltSwitches)
-	}
-	k := altKey{spec: sp.String(), seed: seed}
 	s.altMu.Lock()
 	if alt, ok := s.alts[k]; ok {
 		s.altMu.Unlock()
 		return alt, nil
 	}
 	s.altMu.Unlock()
-	// Build outside the lock: a slow large-topology build must not block
-	// requests whose system is already cached. Construction is
-	// deterministic, so a rare concurrent duplicate build yields an
-	// identical system and the loser is simply dropped.
-	net, err := sp.Build(seed)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrBadTopology, err)
+	var router *core.Router
+	if spec == "" && root == "" {
+		// Policy-only override: reuse the default system's labeling so the
+		// alternate router differs from the pooled one in policy alone.
+		router = core.NewRouterPolicy(s.cfg.System.Labeling(), pol)
+	} else {
+		strat, err := updown.ParseRootStrategy(root)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrBadTopology, err)
+		}
+		lab, err := updown.New(net, strat)
+		if err != nil {
+			return nil, err
+		}
+		router = core.NewRouterPolicy(lab, pol)
 	}
-	lab, err := updown.New(net, updown.RootMinID)
-	if err != nil {
-		return nil, err
-	}
-	alt := &altSystem{router: core.NewRouter(lab), procs: net.NumProcs}
+	alt := &altSystem{router: router, procs: net.NumProcs}
 	s.altMu.Lock()
 	defer s.altMu.Unlock()
 	if cached, ok := s.alts[k]; ok {
@@ -505,14 +536,22 @@ func (s *Service) resolveRun(req RunRequest) (*resolvedRun, error) {
 	if trials > s.cfg.MaxTrials {
 		trials = s.cfg.MaxTrials
 	}
-	// A request may select its own topology family ("topology" param); the
-	// alternate system is validated, built and cached up front, and its
-	// trials run in per-trial simulators inside the same bounded pool.
+	// A request may select its own topology family ("topology" param),
+	// routing policy ("routing" + "misroute_budget") or root strategy
+	// ("root"); any override routes through an alternate system, validated,
+	// built and cached up front, with trials in per-trial simulators inside
+	// the same bounded pool. The budget is clamped into the params so every
+	// layer (local trials, fleet shards) sees the same resolved value.
 	params := req.Params
+	if err := workload.ValidateRoutingParams(params); err != nil {
+		return nil, fmt.Errorf("%w: %w", workload.ErrInvalidWorkload, err)
+	}
+	pol, budget, _ := workload.RoutingPolicy(params)
+	params.MisrouteBudget = budget
 	var alt *altSystem
-	if params.Topology != "" {
+	if params.Topology != "" || pol != core.PolicyBaseline || params.Root != "" {
 		var err error
-		if alt, err = s.systemFor(params.Topology, req.Seed); err != nil {
+		if alt, err = s.systemFor(params.Topology, req.Seed, pol, params.Root); err != nil {
 			return nil, err
 		}
 	}
@@ -538,10 +577,11 @@ func (s *Service) resolveRun(req RunRequest) (*resolvedRun, error) {
 	if maxStages := min(procs, 1+s.cfg.MaxMessages); params.Stages > maxStages {
 		params.Stages = maxStages
 	}
-	if alt != nil {
+	if params.Topology != "" {
 		// A topology-selecting request shares scenario defaults sized for
 		// the 128-proc default system; clamp fan-out to what the selected
-		// network can express rather than failing the trial.
+		// network can express rather than failing the trial. (Policy/root
+		// overrides on the default topology keep the default sizing.)
 		params = workload.ClampFanOut(params, procs)
 	}
 	// Replay requests carry the full submission stream inline; validate
@@ -615,12 +655,14 @@ func (s *Service) runTrials(ctx context.Context, rv *resolvedRun, lo, hi int) ([
 			run: func(r *workload.Runner) error {
 				if rv.alt != nil {
 					// The pooled simulator is bound to the default system;
-					// topology-overriding trials run on a fresh simulator
-					// for the alternate router. Worker occupancy still
-					// bounds concurrency, and Measure's TrialSeed contract
-					// keeps the result bit-identical to a serial run.
+					// topology/policy/root-overriding trials run on a fresh
+					// simulator for the alternate router. Worker occupancy
+					// still bounds concurrency, and Measure's TrialSeed
+					// contract keeps the result bit-identical to a serial
+					// run.
 					simCfg := s.cfg.System.SimConfig()
 					simCfg.Logf = nil
+					simCfg.MisrouteBudget = rv.params.MisrouteBudget
 					ar, err := workload.NewRunner(rv.alt.router, simCfg)
 					if err != nil {
 						return err

@@ -469,6 +469,8 @@ func (d *parDriver) merge(s *Simulator) {
 		s.counters.BubbleFlitHops += c.BubbleFlitHops
 		s.counters.HeaderAcquireWait += c.HeaderAcquireWait
 		s.counters.FlitsDropped += c.FlitsDropped
+		s.counters.MisrouteHops += c.MisrouteHops
+		s.counters.AdaptiveHops += c.AdaptiveHops
 		if s.err == nil && sh.shadow.err != nil {
 			s.err = sh.shadow.err
 		}

@@ -230,6 +230,7 @@ func (s *Simulator) recycleWorm(w *Worm) {
 	w.OnComplete = nil
 	w.Prune = false
 	w.PrunedDests = w.PrunedDests[:0]
+	w.MisrouteLeft = 0
 	w.AbortNs = 0
 	w.Retry = 0
 	w.completed = false
@@ -277,6 +278,9 @@ func (s *Simulator) Submit(at int64, src topology.NodeID, dests []topology.NodeI
 	} else {
 		w.ArrivalNs = w.ArrivalNs[:len(dests)]
 		clear(w.ArrivalNs)
+	}
+	if s.router.Policy() == core.PolicyMisroute {
+		w.MisrouteLeft = int32(s.cfg.MisrouteBudget)
 	}
 	w.remaining = len(dests)
 	s.outstanding++
@@ -812,11 +816,43 @@ func (s *Simulator) onRoute(c topology.ChannelID) {
 		pick := cands[0]
 		// Adaptive selection: prefer the highest-priority channel that
 		// is immediately acquirable.
+		found := false
 		for _, cand := range cands {
 			ocs := &s.chans[cand]
 			if ocs.reserved == nil && !ocs.outOcc && len(ocs.ocrq) == 0 {
 				pick = cand
+				found = true
 				break
+			}
+		}
+		if !found {
+			// Every legal channel is busy: the routing policy may take an
+			// extras channel, but only one that is *instantly free* — policy
+			// channels are never waited on, so every blocking wait below
+			// lands on the baseline escape class and the wait-for CDG stays
+			// the acyclic up*/down* one (ARCHITECTURE invariant 12).
+			switch s.router.Policy() {
+			case core.PolicyDuato:
+				for _, cand := range s.router.AdaptiveChannels(at, arrival, w.LCA) {
+					ocs := &s.chans[cand]
+					if ocs.reserved == nil && !ocs.outOcc && len(ocs.ocrq) == 0 {
+						pick = cand
+						s.counters.AdaptiveHops++
+						break
+					}
+				}
+			case core.PolicyMisroute:
+				if w.MisrouteLeft > 0 {
+					for _, cand := range s.router.DerouteChannels(at, arrival, w.LCA) {
+						ocs := &s.chans[cand]
+						if ocs.reserved == nil && !ocs.outOcc && len(ocs.ocrq) == 0 {
+							pick = cand
+							w.MisrouteLeft--
+							s.counters.MisrouteHops++
+							break
+						}
+					}
+				}
 			}
 		}
 		seg.outs = append(seg.outs, pick)

@@ -84,6 +84,13 @@ type Worm struct {
 	// PrunedDests lists destinations dropped by pruning (Prune only).
 	PrunedDests []topology.NodeID
 
+	// MisrouteLeft is the worm's remaining misroute budget: how many more
+	// deroute (non-minimal) channels its header may take under a
+	// PolicyMisroute router. Set from Config.MisrouteBudget at submission,
+	// decremented by the engine per deroute hop; always 0 under other
+	// policies, so budget-0 misroute routing is bit-identical to baseline.
+	MisrouteLeft int32
+
 	// AbortNs is when the worm was aborted by a topology mutation (see
 	// AbortWorms); zero while alive.
 	AbortNs int64
@@ -196,6 +203,12 @@ type Counters struct {
 	WormsAborted    uint64 `json:"worms_aborted"`
 	RouteLostAborts uint64 `json:"route_lost_aborts"`
 	FlitsDropped    uint64 `json:"flits_dropped"`
+	// MisrouteHops counts header hops taken on deroute (non-minimal)
+	// channels under PolicyMisroute; AdaptiveHops counts header hops taken
+	// on the adaptive class under PolicyDuato. Both stay 0 under the
+	// baseline policy (part of the misroute-0 ≡ baseline differential).
+	MisrouteHops uint64 `json:"misroute_hops"`
+	AdaptiveHops uint64 `json:"adaptive_hops"`
 }
 
 // Add folds o into c field by field — exact uint64 addition, so per-trial
@@ -210,6 +223,8 @@ func (c *Counters) Add(o Counters) {
 	c.WormsAborted += o.WormsAborted
 	c.RouteLostAborts += o.RouteLostAborts
 	c.FlitsDropped += o.FlitsDropped
+	c.MisrouteHops += o.MisrouteHops
+	c.AdaptiveHops += o.AdaptiveHops
 }
 
 // Config parameterizes a Simulator.
@@ -250,6 +265,11 @@ type Config struct {
 	// invariant 9), so this knob trades wall-clock for cores without
 	// changing any result.
 	Shards int
+	// MisrouteBudget is the per-worm misroute budget under a PolicyMisroute
+	// router: how many deroute (non-minimal) channels one header may take.
+	// Ignored (treated as 0) under other policies; negative values clamp
+	// to 0. With budget 0 a misroute router is bit-identical to baseline.
+	MisrouteBudget int
 	// ParallelMinBatch is the minimum events a lookahead window must hold
 	// before RunUntilIdleParallel fans it out to shard executors; smaller
 	// windows run sequentially, where goroutine handoff would cost more
@@ -290,6 +310,9 @@ func (c *Config) normalize() {
 	}
 	if c.MaxEvents == 0 {
 		c.MaxEvents = 4_000_000_000
+	}
+	if c.MisrouteBudget < 0 {
+		c.MisrouteBudget = 0
 	}
 	if c.ParallelMinBatch <= 0 {
 		c.ParallelMinBatch = 32

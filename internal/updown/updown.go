@@ -58,6 +58,21 @@ func (s RootStrategy) String() string {
 	return fmt.Sprintf("RootStrategy(%d)", uint8(s))
 }
 
+// ParseRootStrategy parses the wire form of a root strategy. The empty
+// string is min-id (the zero value), so omitted request/manifest fields keep
+// the Autonet-style default.
+func ParseRootStrategy(name string) (RootStrategy, error) {
+	switch name {
+	case "", "min-id":
+		return RootMinID, nil
+	case "max-degree":
+		return RootMaxDegree, nil
+	case "center":
+		return RootCenter, nil
+	}
+	return 0, fmt.Errorf("updown: unknown root strategy %q (min-id | max-degree | center)", name)
+}
+
 // Labeling is the full up*/down* structure for a network.
 //
 // A Labeling can carry a *failed-channel mask* (Down): masked channels are

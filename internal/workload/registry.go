@@ -44,6 +44,17 @@ type Params struct {
 	// replay scenario.
 	Trace string `json:"trace,omitempty"`
 
+	// Routing selects the routing-policy family ("baseline" | "misroute" |
+	// "duato"; empty = baseline) and MisrouteBudget the per-worm deroute
+	// budget (misroute only — the serving layers clamp it to 0 elsewhere).
+	// Root overrides the spanning-tree root strategy ("min-id" |
+	// "max-degree" | "center"; empty = the server's/CLI's default). Like
+	// Topology, scenario constructors ignore all three — the serving layers
+	// and CLIs consume them to build the system the workload runs on.
+	Routing        string `json:"routing,omitempty"`
+	MisrouteBudget int    `json:"misroute_budget,omitempty"`
+	Root           string `json:"root,omitempty"`
+
 	// Fault injection (see workload.Faulty and internal/faults). A
 	// non-empty FaultScript (the faults DSL, e.g. "50us down 3-7; 90us up
 	// 3-7") or FaultProfile ("poisson" | "maintenance" | "regional")

@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/updown"
+)
+
+// RoutingPolicy resolves the Routing/MisrouteBudget params into a policy and
+// a clamped budget. The budget only exists under the misroute family; any
+// other policy forces it to 0 so equivalent requests ("baseline" with a
+// stray budget vs plain baseline) build fingerprint-identical systems.
+func RoutingPolicy(p Params) (core.Policy, int, error) {
+	pol, err := core.ParsePolicy(p.Routing)
+	if err != nil {
+		return core.PolicyBaseline, 0, fmt.Errorf("workload: %w", err)
+	}
+	budget := p.MisrouteBudget
+	if pol != core.PolicyMisroute || budget < 0 {
+		budget = 0
+	}
+	return pol, budget, nil
+}
+
+// RootStrategy resolves the Root param (empty keeps the caller's default,
+// signalled by ok=false).
+func RootStrategy(p Params) (strat updown.RootStrategy, ok bool, err error) {
+	if p.Root == "" {
+		return 0, false, nil
+	}
+	strat, err = updown.ParseRootStrategy(p.Root)
+	if err != nil {
+		return 0, false, fmt.Errorf("workload: %w", err)
+	}
+	return strat, true, nil
+}
+
+// ValidateRoutingParams rejects malformed routing/root params up front, the
+// ValidateFaultParams counterpart for the policy dimension: a typoed routing
+// or root name is a client error, never a silently different experiment. It
+// also rejects a misroute budget on a non-misroute policy — the budget would
+// be ignored, and a manifest cell that looks adaptive but runs baseline is
+// exactly the silent divergence this guard exists to catch.
+func ValidateRoutingParams(p Params) error {
+	pol, _, err := RoutingPolicy(p)
+	if err != nil {
+		return err
+	}
+	if p.MisrouteBudget != 0 && pol != core.PolicyMisroute {
+		return fmt.Errorf("workload: misroute_budget %d requires routing=misroute (got %q)", p.MisrouteBudget, pol)
+	}
+	if p.MisrouteBudget < 0 {
+		return fmt.Errorf("workload: misroute_budget must be >= 0 (got %d)", p.MisrouteBudget)
+	}
+	if _, _, err := RootStrategy(p); err != nil {
+		return err
+	}
+	return nil
+}

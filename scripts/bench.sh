@@ -4,21 +4,22 @@
 # Runs the reduced-effort benchmark suite (Figure 2, Figure 3, the two
 # engine microbenchmarks, the PR 2 reusable-session sweep pair, the PR 4
 # fault-injection reconfiguration pair, the PR 6 fleet pair, the PR 7
-# scale trio and the PR 9 telemetry on/off pairs) and writes a JSON
+# scale trio, the PR 9 telemetry on/off pairs and the PR 10 routing-policy
+# decision/latency sweeps) and writes a JSON
 # snapshot with ns/op, B/op, allocs/op and every custom reported metric,
 # next to the fixed pre-optimization baselines so the speedup trajectory
 # is tracked in-repo. The snapshot is gated through scripts/benchcmp,
 # which rejects malformed JSON and duplicate keys.
 #
 # Usage:
-#   scripts/bench.sh [out.json]      # default out: BENCH_PR9.json
+#   scripts/bench.sh [out.json]      # default out: BENCH_PR10.json
 #   BENCHTIME=3x scripts/bench.sh    # steadier figure numbers (default 1x)
 #   BENCHLARGE=1 scripts/bench.sh    # include the 62500-switch compile cell
 #                                    # (~15 GiB RAM, ~an hour on one core)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR9.json}"
+OUT="${1:-BENCH_PR10.json}"
 BENCHTIME="${BENCHTIME:-1x}"
 # Go appends "-$GOMAXPROCS" to benchmark names unless GOMAXPROCS is 1; the
 # emitter below must strip exactly that suffix (a generic trailing -<digits>
@@ -91,7 +92,19 @@ TELEM_RAW=$(go test -run '^$' \
 	-bench 'BenchmarkTelemetryTrial|BenchmarkTelemetryFleetRun' \
 	-benchmem -benchtime "${TELEM_BENCHTIME:-20x}" ./internal/serve/ 2>&1 | grep -E '^Benchmark' || true)
 
-if [ -z "$RAW" ] || [ -z "$SWEEP_RAW" ] || [ -z "$FAULT_RAW" ] || [ -z "$FLEET_RAW" ] || [ -z "$SCALE_RAW" ] || [ -z "$PAR_RAW" ] || [ -z "$TELEM_RAW" ]; then
+# PR 10: adaptive routing — the per-policy warm routing decision (baseline
+# candidate row plus the armed families' extras row, all 0 allocs/op) and
+# the Fig3-style latency-vs-rate sweep per policy family. The nanosecond-
+# scale decision benchmarks need a high fixed iteration count to amortize
+# setup; the sweep is a whole experiment per op and runs once.
+ROUTING_RAW=$(go test -run '^$' \
+	-bench 'BenchmarkPolicyRoutingDecision' \
+	-benchmem -benchtime "${ROUTING_BENCHTIME:-5000x}" . 2>&1 | grep -E '^Benchmark' || true)
+RSWEEP_RAW=$(go test -run '^$' \
+	-bench 'BenchmarkRoutingLatencySweep' \
+	-benchmem -benchtime "${RSWEEP_BENCHTIME:-1x}" . 2>&1 | grep -E '^Benchmark' || true)
+
+if [ -z "$RAW" ] || [ -z "$SWEEP_RAW" ] || [ -z "$FAULT_RAW" ] || [ -z "$FLEET_RAW" ] || [ -z "$SCALE_RAW" ] || [ -z "$PAR_RAW" ] || [ -z "$TELEM_RAW" ] || [ -z "$ROUTING_RAW" ] || [ -z "$RSWEEP_RAW" ]; then
 	echo "bench.sh: no benchmark output" >&2
 	exit 1
 fi
@@ -102,11 +115,13 @@ $FAULT_RAW
 $FLEET_RAW
 $SCALE_RAW
 $PAR_RAW
-$TELEM_RAW"
+$TELEM_RAW
+$ROUTING_RAW
+$RSWEEP_RAW"
 
 {
 	printf '{\n'
-	printf '  "pr": 9,\n'
+	printf '  "pr": 10,\n'
 	printf '  "benchtime": "%s",\n' "$BENCHTIME"
 	printf '  "sweep_benchtime": "%s",\n' "$SWEEP_BENCHTIME"
 	printf '  "go": "%s",\n' "$(go env GOVERSION)"

@@ -60,8 +60,23 @@ const (
 // 10 µs startup, 40 ns router setup, 10 ns channel propagation, 128 flits.
 func PaperParams() LatencyParams { return core.PaperParams() }
 
+// RoutingPolicy selects the routing-policy family (see core.Policy).
+type RoutingPolicy = core.Policy
+
+// Routing policies re-exported for option construction.
+const (
+	PolicyBaseline = core.PolicyBaseline
+	PolicyMisroute = core.PolicyMisroute
+	PolicyDuato    = core.PolicyDuato
+)
+
+// ParseRoutingPolicy parses a policy's wire name ("" or "baseline",
+// "misroute", "duato").
+func ParseRoutingPolicy(s string) (RoutingPolicy, error) { return core.ParsePolicy(s) }
+
 type options struct {
 	root       RootStrategy
+	policy     RoutingPolicy
 	simCfg     sim.Config
 	seed       uint64
 	procsPer   int
@@ -79,6 +94,19 @@ type Option func(*options)
 
 // WithRootStrategy selects how the spanning-tree root is chosen.
 func WithRootStrategy(s RootStrategy) Option { return func(o *options) { o.root = s } }
+
+// WithRoutingPolicy selects the routing-policy family: PolicyBaseline (the
+// paper's fixed selection, the default), PolicyMisroute (budget-bounded
+// deroutes under congestion — pair with WithMisrouteBudget) or PolicyDuato
+// (fully adaptive productive hops over a deadlock-free baseline escape
+// class). Policy routers stay bit-identical to baseline when their adaptive
+// freedom is never exercised; misroute with budget 0 always is.
+func WithRoutingPolicy(p RoutingPolicy) Option { return func(o *options) { o.policy = p } }
+
+// WithMisrouteBudget sets the per-worm deroute budget for PolicyMisroute
+// systems (ignored under other policies; default 0, which is bit-identical
+// to baseline).
+func WithMisrouteBudget(n int) Option { return func(o *options) { o.simCfg.MisrouteBudget = n } }
 
 // WithLatencyParams overrides the hardware timing constants.
 func WithLatencyParams(p LatencyParams) Option { return func(o *options) { o.simCfg.Params = p } }
@@ -143,15 +171,16 @@ type System struct {
 	router     *core.Router
 	simCfg     sim.Config
 	root       RootStrategy
+	policy     RoutingPolicy
 	refRouting bool
 	maxSimTime int64
 }
 
-func makeRouter(lab *updown.Labeling, reference bool) *core.Router {
+func makeRouter(lab *updown.Labeling, reference bool, pol RoutingPolicy) *core.Router {
 	if reference {
-		return core.NewReferenceRouter(lab)
+		return core.NewReferenceRouterPolicy(lab, pol)
 	}
-	return core.NewRouter(lab)
+	return core.NewRouterPolicy(lab, pol)
 }
 
 // NewLattice builds the paper's experimental platform: `switches` 8-port
@@ -253,8 +282,9 @@ func FromParts(net *topology.Network, lab *updown.Labeling, opts ...Option) (*Sy
 	return &System{
 		net:        net,
 		lab:        lab,
-		router:     makeRouter(lab, o.refRouting),
+		router:     makeRouter(lab, o.refRouting, o.policy),
 		simCfg:     o.simCfg,
+		policy:     o.policy,
 		refRouting: o.refRouting,
 		maxSimTime: o.maxSimTime,
 	}, nil
@@ -268,9 +298,10 @@ func newSystem(net *topology.Network, o options) (*System, error) {
 	return &System{
 		net:        net,
 		lab:        lab,
-		router:     makeRouter(lab, o.refRouting),
+		router:     makeRouter(lab, o.refRouting, o.policy),
 		simCfg:     o.simCfg,
 		root:       o.root,
+		policy:     o.policy,
 		refRouting: o.refRouting,
 		maxSimTime: o.maxSimTime,
 	}, nil
@@ -297,9 +328,10 @@ func (s *System) Reconfigure(failedLinks [][2]int) (*System, error) {
 	return &System{
 		net:        net,
 		lab:        lab,
-		router:     makeRouter(lab, s.refRouting),
+		router:     makeRouter(lab, s.refRouting, s.policy),
 		simCfg:     s.simCfg,
 		root:       s.root,
+		policy:     s.policy,
 		refRouting: s.refRouting,
 		maxSimTime: s.maxSimTime,
 	}, nil
@@ -358,7 +390,7 @@ func (s *System) Fingerprint() uint64 {
 	// worker may shard differently and still produce interchangeable results.
 	cfg.Shards = 0
 	cfg.ParallelMinBatch = 0
-	fmt.Fprintf(h, "|root=%d|ref=%t|cfg=%+v|horizon=%d", s.lab.Root, s.refRouting, cfg, s.MaxSimTimeNs())
+	fmt.Fprintf(h, "|root=%d|ref=%t|pol=%d|cfg=%+v|horizon=%d", s.lab.Root, s.refRouting, uint8(s.policy), cfg, s.MaxSimTimeNs())
 	return h.Sum64()
 }
 
@@ -370,6 +402,9 @@ func (s *System) Labeling() *updown.Labeling { return s.lab }
 
 // Router exposes the SPAM routing tables (read-only by convention).
 func (s *System) Router() *core.Router { return s.router }
+
+// Policy returns the routing-policy family this system was built with.
+func (s *System) Policy() RoutingPolicy { return s.policy }
 
 // TableMemStats is the byte-level accounting of the system's compiled
 // routing tables (see core.MemStats): distinct rows/pages/columns after
